@@ -1,0 +1,165 @@
+//! Repeated local majority over the `h` per-round observations.
+//!
+//! Majority dynamics converge extremely fast — to whichever opinion
+//! already dominates the displays. With a handful of sources in a sea of
+//! arbitrary initial opinions, the source signal (order `s/n` per
+//! observation) is invisible to a single-round majority, so the population
+//! locks into its initial majority regardless of the correct opinion. SF's
+//! listening phases exist precisely to manufacture a population-wide bias
+//! *before* switching to majority amplification; this baseline is that
+//! amplification step alone.
+
+use np_engine::opinion::Opinion;
+use np_engine::population::Role;
+use np_engine::protocol::{AgentState, Protocol};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The h-majority baseline. Binary alphabet; sources display and keep
+/// their preference, non-sources adopt the majority of each round's
+/// observations (ties random).
+///
+/// # Example
+///
+/// ```
+/// use np_baselines::majority::HMajority;
+/// use np_engine::{channel::ChannelKind, population::PopulationConfig, world::World};
+/// use np_linalg::noise::NoiseMatrix;
+///
+/// let config = PopulationConfig::new(64, 0, 1, 64)?;
+/// let noise = NoiseMatrix::uniform(2, 0.1)?;
+/// let mut world = World::new(&HMajority, config, &noise, ChannelKind::Aggregated, 1)?;
+/// world.run(50);
+/// // A single source cannot tip majority dynamics: no consensus on 1.
+/// assert!(!world.is_consensus());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HMajority;
+
+/// Per-agent state of the h-majority baseline.
+#[derive(Debug, Clone)]
+pub struct MajorityAgent {
+    role: Role,
+    opinion: Opinion,
+}
+
+impl MajorityAgent {
+    /// The agent's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+}
+
+impl Protocol for HMajority {
+    type Agent = MajorityAgent;
+
+    fn alphabet_size(&self) -> usize {
+        2
+    }
+
+    fn init_agent(&self, role: Role, rng: &mut StdRng) -> MajorityAgent {
+        MajorityAgent {
+            role,
+            opinion: role.preference().unwrap_or(Opinion::from_bool(rng.gen())),
+        }
+    }
+}
+
+impl AgentState for MajorityAgent {
+    fn display(&self, _rng: &mut StdRng) -> usize {
+        self.opinion.as_index()
+    }
+
+    fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+        if let Role::Source(pref) = self.role {
+            self.opinion = pref;
+            return;
+        }
+        self.opinion = match observed[1].cmp(&observed[0]) {
+            std::cmp::Ordering::Greater => Opinion::One,
+            std::cmp::Ordering::Less => Opinion::Zero,
+            std::cmp::Ordering::Equal => Opinion::from_bool(rng.gen()),
+        };
+    }
+
+    fn opinion(&self) -> Opinion {
+        self.opinion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_engine::channel::ChannelKind;
+    use np_engine::population::PopulationConfig;
+    use np_engine::world::World;
+    use np_linalg::noise::NoiseMatrix;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sources_are_stubborn() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut agent = HMajority.init_agent(Role::Source(Opinion::Zero), &mut rng);
+        agent.update(&[0, 99], &mut rng);
+        assert_eq!(agent.opinion(), Opinion::Zero);
+    }
+
+    #[test]
+    fn non_source_takes_majority() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut agent = HMajority.init_agent(Role::NonSource, &mut rng);
+        agent.update(&[2, 6], &mut rng);
+        assert_eq!(agent.opinion(), Opinion::One);
+        agent.update(&[6, 2], &mut rng);
+        assert_eq!(agent.opinion(), Opinion::Zero);
+    }
+
+    #[test]
+    fn ties_break_randomly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 2];
+        for _ in 0..400 {
+            let mut agent = HMajority.init_agent(Role::NonSource, &mut rng);
+            agent.update(&[4, 4], &mut rng);
+            counts[agent.opinion().as_index()] += 1;
+        }
+        assert!(counts[0] > 100 && counts[1] > 100, "{counts:?}");
+    }
+
+    #[test]
+    fn amplifies_existing_majority_fast() {
+        // Majority of stubborn sources: convergence in a handful of
+        // rounds even under noise.
+        let config = PopulationConfig::new(128, 0, 80, 128).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
+        let mut world =
+            World::new(&HMajority, config, &noise, ChannelKind::Aggregated, 3).unwrap();
+        let outcome = world.run_until_consensus(100);
+        assert!(outcome.converged());
+        assert!(outcome.rounds().unwrap() < 20);
+    }
+
+    #[test]
+    fn cannot_reliably_spread_from_single_source() {
+        // The failure that motivates SF: one source among random initial
+        // opinions. Majority dynamics lock into whichever side the initial
+        // coin flips favor — the source's signal (1/n per observation) is
+        // invisible — so success is a ~fair coin per run. Twelve
+        // consecutive successes would be a 2^-12 event.
+        let mut converged = 0;
+        for seed in 0..12 {
+            let config = PopulationConfig::new(256, 0, 1, 256).unwrap();
+            let noise = NoiseMatrix::uniform(2, 0.2).unwrap();
+            let mut world =
+                World::new(&HMajority, config, &noise, ChannelKind::Aggregated, seed).unwrap();
+            if world.run_until_consensus(300).converged() {
+                converged += 1;
+            }
+        }
+        assert!(
+            converged < 12,
+            "single-source majority succeeded in all runs — it should behave like a coin flip"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion bench: noisy-channel round throughput, exact vs aggregated.
+//!
+//! Quantifies the engine's central optimization (DESIGN.md §2): the
+//! aggregated channel's cost is independent of `h`, so at `h = n` it wins
+//! by orders of magnitude, which is what makes the paper's `h = n`
+//! experiments tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use np_engine::channel::{Channel, ChannelKind};
+use np_linalg::noise::NoiseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_channels(c: &mut Criterion) {
+    let noise = NoiseMatrix::uniform(2, 0.2).unwrap();
+    let mut group = c.benchmark_group("channel_round");
+    for &n in &[256usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let displays: Vec<usize> = (0..n).map(|_| usize::from(rng.gen::<bool>())).collect();
+        for &h in &[1usize, 16, n] {
+            group.throughput(Throughput::Elements((n * h) as u64));
+            for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+                let channel = Channel::new(&noise, kind);
+                let mut out = vec![0u64; n * 2];
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{kind:?}"), format!("n{n}_h{h}")),
+                    &h,
+                    |b, &h| {
+                        b.iter(|| {
+                            channel.fill_observations(&displays, h, &mut rng, &mut out);
+                            out[0]
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_four_symbol_channel(c: &mut Criterion) {
+    // SSF's 4-symbol alphabet costs more per agent in the aggregated path
+    // (O(d²) binomials); measure the overhead.
+    let noise = NoiseMatrix::uniform(4, 0.1).unwrap();
+    let n = 1024usize;
+    let mut rng = StdRng::seed_from_u64(2);
+    let displays: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+    let channel = Channel::new(&noise, ChannelKind::Aggregated);
+    let mut out = vec![0u64; n * 4];
+    c.bench_function("channel_round/Aggregated4/n1024_hn", |b| {
+        b.iter(|| {
+            channel.fill_observations(&displays, n, &mut rng, &mut out);
+            out[0]
+        })
+    });
+}
+
+criterion_group!(benches, bench_channels, bench_four_symbol_channel);
+criterion_main!(benches);

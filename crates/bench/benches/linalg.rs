@@ -1,0 +1,50 @@
+//! Criterion bench: the Theorem 8 pipeline — matrix inversion and
+//! artificial-noise derivation across alphabet sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use np_linalg::lu::invert;
+use np_linalg::noise::NoiseMatrix;
+use np_linalg::Matrix;
+
+fn upper_bounded(d: usize) -> NoiseMatrix {
+    // Deterministic δ-upper-bounded matrix with slightly uneven rows.
+    let delta = 0.5 / d as f64;
+    let mut rows = vec![vec![0.0; d]; d];
+    for (i, row) in rows.iter_mut().enumerate() {
+        let mut off = 0.0;
+        for (j, slot) in row.iter_mut().enumerate() {
+            if i != j {
+                let x = delta * (0.5 + 0.5 * ((i + j) % 2) as f64);
+                *slot = x;
+                off += x;
+            }
+        }
+        row[i] = 1.0 - off;
+    }
+    NoiseMatrix::from_rows(rows).unwrap()
+}
+
+fn bench_invert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_invert");
+    for &d in &[2usize, 4, 8, 16] {
+        let m: Matrix = upper_bounded(d).into_matrix();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| invert(&m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_artificial_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("artificial_noise_derivation");
+    for &d in &[2usize, 4, 8] {
+        let n = upper_bounded(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| n.artificial_noise().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invert, bench_artificial_noise);
+criterion_main!(benches);

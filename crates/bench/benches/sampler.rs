@@ -1,0 +1,55 @@
+//! Criterion bench: the statistical primitives on the hot path — alias
+//! sampling, binomial draws across their three regimes, and multinomial
+//! splitting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use np_stats::alias::AliasTable;
+use np_stats::{binomial, multinomial};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_alias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias_sample");
+    for &k in &[2usize, 4, 16, 256] {
+        let weights: Vec<f64> = (1..=k).map(|i| i as f64).collect();
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| table.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_sample");
+    // One point per sampling regime: Bernoulli loop, BINV, mode inversion,
+    // and a large-n mode inversion.
+    for &(n, p, label) in &[
+        (12u64, 0.4, "bernoulli"),
+        (1000, 0.005, "binv"),
+        (1000, 0.4, "mode"),
+        (1 << 20, 0.3, "mode_large"),
+    ] {
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, &n| {
+            b.iter(|| binomial::sample_unchecked(&mut rng, n, p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multinomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multinomial_sample");
+    for &d in &[2usize, 4, 8] {
+        let probs: Vec<f64> = vec![1.0 / d as f64; d];
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| multinomial::sample_unchecked(&mut rng, 1024, &probs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alias, bench_binomial, bench_multinomial);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! FIG1 — reproduces Figure 1 of the paper: the noise-level map `f(δ)` of
+//! Definition 7, plotted for two alphabet sizes.
+//!
+//! The paper plots `f` for two values of `d`; we use `d = 2` (Algorithm
+//! SF's alphabet) and `d = 4` (Algorithm SSF's alphabet), which are the
+//! two instances the protocols actually use. Expected shape: `f(0) = 0`,
+//! continuous and increasing, `f(δ) → 1/d` as `δ → 1/d` (Claim 15).
+
+use np_bench::report::{fmt_f64, Table};
+use np_linalg::noise::f_delta;
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 1: f(δ) for d = 2 and d = 4 (Definition 7)",
+        &["delta", "f(delta) d=2", "f(delta) d=4"],
+    );
+    let steps = 50;
+    for k in 0..steps {
+        // Sweep δ over [0, 0.5): f for d = 2 is defined on all of it; for
+        // d = 4 only below 0.25.
+        let delta = 0.5 * k as f64 / steps as f64;
+        let f2 = f_delta(2, delta).expect("δ < 1/2");
+        let f4 = if delta < 0.25 {
+            fmt_f64(f_delta(4, delta).expect("δ < 1/4"))
+        } else {
+            "-".to_string()
+        };
+        table.push_row(&[&fmt_f64(delta), &fmt_f64(f2), &f4]);
+    }
+    table.emit("fig1_f_delta");
+
+    // Sanity summary mirroring Claim 15.
+    println!("checks:");
+    println!("  f(0) = {} (expect 0)", f_delta(2, 0.0).unwrap());
+    println!(
+        "  f(0.4999) = {} for d=2 (expect → 0.5)",
+        fmt_f64(f_delta(2, 0.4999).unwrap())
+    );
+    println!(
+        "  f(0.2499) = {} for d=4 (expect → 0.25)",
+        fmt_f64(f_delta(4, 0.2499).unwrap())
+    );
+}

@@ -1,0 +1,61 @@
+//! EXP-MEM — the `O(log T + log h)` bits-per-agent claim of Theorems 4
+//! and 5.
+//!
+//! For each population size we derive the schedules and count the
+//! information-theoretic state bits of one SF and one SSF agent (see
+//! `noisy_pull::memory`). The paper's claim manifests as the
+//! `bits / (log₂T + log₂h)` column staying bounded while `n` — and with it
+//! `T·h`, the total number of messages an agent handles — grows by orders
+//! of magnitude.
+
+use noisy_pull::memory::{paper_yardstick_bits, sf_state_bits, ssf_state_bits};
+use noisy_pull::params::{SfParams, SsfParams};
+use np_bench::report::{fmt_f64, Table};
+use np_engine::population::PopulationConfig;
+
+fn main() {
+    let mut table = Table::new(
+        "EXP-MEM: agent state size vs the O(log T + log h) yardstick",
+        &[
+            "n",
+            "h",
+            "sf_T",
+            "sf_bits",
+            "sf_yard",
+            "sf_ratio",
+            "ssf_bits",
+            "ssf_yard",
+            "ssf_ratio",
+        ],
+    );
+    for exp in [8usize, 10, 12, 14, 16, 18, 20] {
+        let n = 1usize << exp;
+        for h in [1usize, n] {
+            let config = PopulationConfig::new(n, 0, 1, h).expect("grid");
+            let sf = SfParams::derive(&config, 0.2, 1.0).expect("grid");
+            let sf_bits = sf_state_bits(&sf);
+            let sf_yard = paper_yardstick_bits(sf.total_rounds(), h);
+
+            let ssf = SsfParams::derive(&config, 0.1, 16.0).expect("grid");
+            let ssf_bits = ssf_state_bits(&ssf);
+            let ssf_yard = paper_yardstick_bits(10 * ssf.update_interval(), h);
+
+            table.push_row(&[
+                &n,
+                &h,
+                &sf.total_rounds(),
+                &sf_bits,
+                &sf_yard,
+                &fmt_f64(sf_bits as f64 / sf_yard as f64),
+                &ssf_bits,
+                &ssf_yard,
+                &fmt_f64(ssf_bits as f64 / ssf_yard as f64),
+            ]);
+        }
+    }
+    table.emit("memory_bits");
+    println!(
+        "expected shape: both ratio columns bounded (≈ 2–5) across a 4096× \
+         range of n — agent state is O(log T + log h) bits, not O(T) or O(n)."
+    );
+}

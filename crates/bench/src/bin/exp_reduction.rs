@@ -1,0 +1,142 @@
+//! EXP-RED — Theorem 8 / Proposition 16 (claim C5), verified two ways:
+//!
+//! 1. **Algebraically, at scale**: for many random δ-upper-bounded noise
+//!    matrices across alphabet sizes, the derived artificial noise `P`
+//!    must be stochastic and `N·P` exactly `f(δ)`-uniform, with
+//!    `‖N⁻¹‖∞ ≤ (d−1)/(1−dδ)` (Corollary 14).
+//! 2. **Empirically**: push a million messages per displayed symbol
+//!    through the two-stage channel (real noise `N`, then artificial
+//!    noise `P`) and check the total-variation distance between the
+//!    observed distribution and the δ′-uniform row is within sampling
+//!    error.
+
+use np_bench::report::{fmt_f64, Table};
+use np_linalg::noise::{inverse_norm_bound, NoiseMatrix};
+use np_linalg::norm::operator_inf_norm;
+use np_linalg::stochastic::is_stochastic;
+use np_stats::alias::RowSamplers;
+use np_stats::hist::Histogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random δ-upper-bounded noise matrix: off-diagonals uniform in
+/// `[0, max_delta]`, diagonal absorbs the remainder.
+#[allow(clippy::needless_range_loop)] // (i, j) index the matrix symmetrically
+fn random_upper_bounded(rng: &mut StdRng, d: usize, max_delta: f64) -> NoiseMatrix {
+    let mut rows = vec![vec![0.0; d]; d];
+    for i in 0..d {
+        let mut off = 0.0;
+        for j in 0..d {
+            if i != j {
+                let x = rng.gen_range(0.0..=max_delta);
+                rows[i][j] = x;
+                off += x;
+            }
+        }
+        rows[i][i] = 1.0 - off;
+    }
+    NoiseMatrix::from_rows(rows).expect("constructed stochastic")
+}
+
+fn main() {
+    let quick = std::env::var("NP_QUICK").is_ok();
+    let trials = if quick { 50 } else { 500 };
+    let channel_uses: u64 = if quick { 100_000 } else { 1_000_000 };
+    let mut rng = StdRng::seed_from_u64(0x8ED);
+
+    // Part 1: algebraic verification over random matrices.
+    let mut table = Table::new(
+        "EXP-RED part 1: Proposition 16 over random δ-upper-bounded matrices",
+        &[
+            "d",
+            "trials",
+            "P_stochastic",
+            "NP_uniform",
+            "norm_bound_ok",
+            "max_uniform_err",
+        ],
+    );
+    for d in [2usize, 3, 4, 8] {
+        let max_delta = 0.9 / d as f64; // keep δ safely below 1/d
+        let mut stochastic_ok = 0;
+        let mut uniform_ok = 0;
+        let mut norm_ok = 0;
+        let mut max_err = 0.0f64;
+        for _ in 0..trials {
+            let n = random_upper_bounded(&mut rng, d, max_delta);
+            let delta = n.upper_bound_level().expect("constructed within class");
+            let red = n.artificial_noise().expect("Proposition 16 applies");
+            if is_stochastic(red.artificial().as_matrix(), 1e-9) {
+                stochastic_ok += 1;
+            }
+            let composed = n.compose(red.artificial()).expect("same dims");
+            let target = NoiseMatrix::uniform(d, red.uniform_level()).expect("valid level");
+            let err = composed
+                .as_matrix()
+                .max_abs_diff(target.as_matrix())
+                .expect("same dims");
+            max_err = max_err.max(err);
+            if err < 1e-7 {
+                uniform_ok += 1;
+            }
+            let inv = n.inverse().expect("Corollary 14");
+            if operator_inf_norm(&inv) <= inverse_norm_bound(d, delta).expect("valid") + 1e-7 {
+                norm_ok += 1;
+            }
+        }
+        table.push_row(&[
+            &d,
+            &trials,
+            &format!("{stochastic_ok}/{trials}"),
+            &format!("{uniform_ok}/{trials}"),
+            &format!("{norm_ok}/{trials}"),
+            &format!("{max_err:.2e}"),
+        ]);
+    }
+    table.emit("reduction_algebraic");
+
+    // Part 2: empirical channel equivalence.
+    let mut table2 = Table::new(
+        "EXP-RED part 2: two-stage channel vs exact δ'-uniform row (TV distance)",
+        &["d", "displayed", "uses", "tv_distance", "3σ_sampling_bound"],
+    );
+    for d in [2usize, 4] {
+        let n = random_upper_bounded(&mut rng, d, 0.8 / d as f64);
+        let red = n.artificial_noise().expect("applies");
+        let n_rows: Vec<Vec<f64>> = (0..d)
+            .map(|s| n.observation_distribution(s).to_vec())
+            .collect();
+        let p_rows: Vec<Vec<f64>> = (0..d)
+            .map(|s| red.artificial().observation_distribution(s).to_vec())
+            .collect();
+        let n_sampler = RowSamplers::new(&n_rows).expect("valid rows");
+        let p_sampler = RowSamplers::new(&p_rows).expect("valid rows");
+        let target = NoiseMatrix::uniform(d, red.uniform_level()).expect("valid level");
+        for displayed in 0..d {
+            let mut hist = Histogram::new(d);
+            for _ in 0..channel_uses {
+                let through_real = n_sampler.observe(&mut rng, displayed);
+                let through_artificial = p_sampler.observe(&mut rng, through_real);
+                hist.record(through_artificial);
+            }
+            let tv = hist
+                .tv_distance_to(target.observation_distribution(displayed))
+                .expect("same support");
+            // TV of an empirical distribution concentrates around
+            // √(d / (2·uses)); 3× that is a generous pass band.
+            let bound = 3.0 * (d as f64 / (2.0 * channel_uses as f64)).sqrt();
+            table2.push_row(&[
+                &d,
+                &displayed,
+                &channel_uses,
+                &format!("{tv:.5}"),
+                &fmt_f64(bound),
+            ]);
+        }
+    }
+    table2.emit("reduction_empirical");
+    println!(
+        "expected: all counters equal trials in part 1; every TV distance \
+         below its sampling bound in part 2."
+    );
+}

@@ -1,0 +1,201 @@
+//! EXP-WEAK — Lemmas 28 and 36 (claim C6): after the listening phases,
+//! each agent's weak opinion is correct with probability
+//! `≥ ½ + Ω(√(log n / n))`, and weak opinions are mutually independent.
+//!
+//! We run SF through exactly its two listening phases (and SSF through two
+//! update intervals), harvest all non-source weak opinions across many
+//! seeds, and report the measured advantage `P̂(correct) − ½` against the
+//! `√(ln n / n)` yardstick. For independence we estimate the pairwise
+//! correlation between agents' weak-opinion indicators across seeds — it
+//! should be statistically indistinguishable from zero.
+
+use noisy_pull::params::{SfParams, SsfParams};
+use noisy_pull::theory::{sf_weak_opinion_model, ssf_weak_opinion_model};
+use noisy_pull::sf::SourceFilter;
+use noisy_pull::ssf::SelfStabilizingSourceFilter;
+use np_bench::report::{fmt_f64, Table};
+use np_engine::channel::ChannelKind;
+use np_engine::opinion::Opinion;
+use np_engine::population::PopulationConfig;
+use np_engine::world::World;
+use np_linalg::noise::NoiseMatrix;
+use np_stats::estimate::wilson_interval;
+
+/// Collects one weak-opinion sample matrix: rows = seeds, cols = agents
+/// (non-source), entries = 1 if the weak opinion is correct.
+fn sf_weak_matrix(n: usize, delta: f64, c1: f64, seeds: u64) -> Vec<Vec<u8>> {
+    let config = PopulationConfig::new(n, 0, 1, n).expect("grid");
+    let params = SfParams::derive(&config, delta, c1).expect("grid");
+    let noise = NoiseMatrix::uniform(2, delta).expect("grid");
+    let mut rows = Vec::new();
+    for seed in 0..seeds {
+        let mut world = World::new(
+            &SourceFilter::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            0xEA ^ seed,
+        )
+        .expect("alphabets match");
+        world.run(2 * params.phase_len());
+        let row: Vec<u8> = world
+            .iter_agents()
+            .skip(config.num_sources())
+            .map(|a| u8::from(a.weak_opinion() == Some(Opinion::One)))
+            .collect();
+        rows.push(row);
+    }
+    rows
+}
+
+fn ssf_weak_matrix(n: usize, delta: f64, c1: f64, seeds: u64) -> Vec<Vec<u8>> {
+    let config = PopulationConfig::new(n, 0, 1, n).expect("grid");
+    let params = SsfParams::derive(&config, delta, c1).expect("grid");
+    let noise = NoiseMatrix::uniform(4, delta).expect("grid");
+    let mut rows = Vec::new();
+    for seed in 0..seeds {
+        let mut world = World::new(
+            &SelfStabilizingSourceFilter::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            0x55EA ^ seed,
+        )
+        .expect("alphabets match");
+        world.run(2 * params.update_interval() + 1);
+        let row: Vec<u8> = world
+            .iter_agents()
+            .skip(config.num_sources())
+            .map(|a| u8::from(a.weak_opinion() == Opinion::One))
+            .collect();
+        rows.push(row);
+    }
+    rows
+}
+
+/// Mean pairwise correlation across a sample of agent pairs (seeds as
+/// observations).
+fn mean_pairwise_correlation(matrix: &[Vec<u8>]) -> f64 {
+    let seeds = matrix.len();
+    let agents = matrix[0].len();
+    let mut acc = 0.0;
+    let mut pairs = 0usize;
+    // A fixed stride sample of pairs keeps this O(agents).
+    for i in (0..agents.saturating_sub(1)).step_by(7) {
+        let j = i + 1;
+        let (mut si, mut sj, mut sij) = (0.0, 0.0, 0.0);
+        for row in matrix {
+            let a = row[i] as f64;
+            let b = row[j] as f64;
+            si += a;
+            sj += b;
+            sij += a * b;
+        }
+        let n = seeds as f64;
+        let (mi, mj) = (si / n, sj / n);
+        let cov = sij / n - mi * mj;
+        let var_i = mi * (1.0 - mi);
+        let var_j = mj * (1.0 - mj);
+        if var_i > 0.0 && var_j > 0.0 {
+            acc += cov / (var_i * var_j).sqrt();
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        acc / pairs as f64
+    }
+}
+
+fn emit_for(
+    label: &str,
+    csv: &str,
+    matrix_fn: impl Fn(usize, u64) -> Vec<Vec<u8>>,
+    model_fn: impl Fn(usize) -> f64,
+    sizes: &[usize],
+    seeds: u64,
+) {
+    let mut table = Table::new(
+        &format!("EXP-WEAK ({label}): weak-opinion advantage vs √(ln n / n)"),
+        &[
+            "n",
+            "samples",
+            "P(correct)",
+            "model_P",
+            "wilson_lo",
+            "advantage",
+            "sqrt(ln n/n)",
+            "adv/yardstick",
+            "mean_pair_corr",
+        ],
+    );
+    for &n in sizes {
+        let matrix = matrix_fn(n, seeds);
+        let total: u64 = matrix.iter().map(|r| r.len() as u64).sum();
+        let correct: u64 = matrix
+            .iter()
+            .map(|r| r.iter().map(|&x| x as u64).sum::<u64>())
+            .sum();
+        let p = correct as f64 / total as f64;
+        let (lo, _) = wilson_interval(correct, total, 3.29).expect("valid counts");
+        let adv = p - 0.5;
+        let yard = ((n as f64).ln() / n as f64).sqrt();
+        let corr = mean_pairwise_correlation(&matrix);
+        table.push_row(&[
+            &n,
+            &total,
+            &fmt_f64(p),
+            &fmt_f64(model_fn(n)),
+            &fmt_f64(lo),
+            &fmt_f64(adv),
+            &fmt_f64(yard),
+            &fmt_f64(adv / yard),
+            &fmt_f64(corr),
+        ]);
+    }
+    table.emit(csv);
+}
+
+fn main() {
+    let quick = std::env::var("NP_QUICK").is_ok();
+    let sizes: &[usize] = if quick {
+        &[256, 512]
+    } else {
+        &[256, 512, 1024, 2048, 4096]
+    };
+    let seeds = if quick { 20 } else { 60 };
+    let delta = 0.2;
+
+    emit_for(
+        "SF, δ = 0.2, c1 = 1",
+        "weak_opinion_sf",
+        |n, s| sf_weak_matrix(n, delta, 1.0, s),
+        |n| {
+            let config = PopulationConfig::new(n, 0, 1, n).expect("grid");
+            let params = SfParams::derive(&config, delta, 1.0).expect("grid");
+            sf_weak_opinion_model(n, 0, 1, delta, params.m()).expect("grid")
+        },
+        sizes,
+        seeds,
+    );
+    emit_for(
+        "SSF, δ = 0.1, c1 = 4",
+        "weak_opinion_ssf",
+        |n, s| ssf_weak_matrix(n, 0.1, 4.0, s),
+        |n| {
+            let config = PopulationConfig::new(n, 0, 1, n).expect("grid");
+            let params = SsfParams::derive(&config, 0.1, 4.0).expect("grid");
+            ssf_weak_opinion_model(n, 0, 1, 0.1, params.m()).expect("grid")
+        },
+        sizes,
+        seeds,
+    );
+    println!(
+        "expected shape: P(correct) matches model_P (the Claim 29/37 \
+         evidence model) to within sampling error; advantage > 0 with \
+         Wilson lower bound above 0.5; adv/yardstick bounded below across n \
+         (the Ω(√(ln n/n)) claim); mean pairwise correlation ≈ 0 \
+         (independence, Lemmas 28/36(i))."
+    );
+}

@@ -1,0 +1,219 @@
+//! A small, dependency-free flag parser for the CLI.
+//!
+//! Supports `--flag value`, `--flag=value` and boolean `--flag` forms;
+//! unknown flags are errors (typos should not silently become defaults).
+//! Boolean switches are declared in [`BOOLEAN_SWITCHES`] so that
+//! `--exact positional` parses the positional as positional, not as the
+//! switch's value.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Flags that never take a value. A bare occurrence means `true`;
+/// `--flag=false` is also accepted.
+pub const BOOLEAN_SWITCHES: &[&str] = &["exact"];
+
+/// Parsed flags: a map from flag name (without dashes) to raw value
+/// (`"true"` for bare boolean flags), plus the list of positional
+/// arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+    consumed: std::cell::RefCell<std::collections::BTreeSet<String>>,
+}
+
+impl Args {
+    /// Parses raw argument strings (without the program/subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] for malformed flags (e.g. `---x`, a dangling
+    /// `--flag` at the end when the next token is another flag is fine —
+    /// it becomes boolean).
+    pub fn parse<I, S>(raw: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = raw.into_iter().map(Into::into).collect();
+        let mut flags = BTreeMap::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(body) = t.strip_prefix("--") {
+                if body.is_empty() || body.starts_with('-') {
+                    return Err(ArgsError(format!("malformed flag `{t}`")));
+                }
+                if let Some((k, v)) = body.split_once('=') {
+                    flags.insert(k.to_string(), v.to_string());
+                } else if !BOOLEAN_SWITCHES.contains(&body)
+                    && i + 1 < tokens.len()
+                    && !tokens[i + 1].starts_with("--")
+                {
+                    flags.insert(body.to_string(), tokens[i + 1].clone());
+                    i += 1;
+                } else {
+                    flags.insert(body.to_string(), "true".to_string());
+                }
+            } else {
+                positional.push(t.clone());
+            }
+            i += 1;
+        }
+        Ok(Args {
+            flags,
+            positional,
+            consumed: Default::default(),
+        })
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    fn raw(&self, name: &str) -> Option<&str> {
+        let v = self.flags.get(name).map(String::as_str);
+        if v.is_some() {
+            self.consumed.borrow_mut().insert(name.to_string());
+        }
+        v
+    }
+
+    /// A string flag with a default.
+    pub fn str_or(&self, name: &str, default: &str) -> String {
+        self.raw(name).unwrap_or(default).to_string()
+    }
+
+    /// A typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.raw(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgsError(format!("flag --{name}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// A boolean switch (present means true).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if an explicit value is not `true`/`false`.
+    pub fn switch(&self, name: &str) -> Result<bool, ArgsError> {
+        match self.raw(name) {
+            None => Ok(false),
+            Some("true") => Ok(true),
+            Some("false") => Ok(false),
+            Some(v) => Err(ArgsError(format!("flag --{name}: expected true/false, got `{v}`"))),
+        }
+    }
+
+    /// Fails if any flag was never read — catches typos like `--detla`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] listing unknown flags.
+    pub fn finish(&self) -> Result<(), ArgsError> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<&String> = self.flags.keys().filter(|k| !consumed.contains(*k)).collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgsError(format!(
+                "unknown flag(s): {}",
+                unknown
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_flag_forms() {
+        let args = Args::parse(["--n", "100", "--delta=0.2", "--exact", "pos"]).unwrap();
+        assert_eq!(args.get_or("n", 0usize).unwrap(), 100);
+        assert_eq!(args.get_or("delta", 0.0f64).unwrap(), 0.2);
+        assert!(args.switch("exact").unwrap());
+        assert_eq!(args.positional(), &["pos".to_string()]);
+        args.finish().unwrap();
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let args = Args::parse::<_, String>([]).unwrap();
+        assert_eq!(args.get_or("n", 42usize).unwrap(), 42);
+        assert!(!args.switch("exact").unwrap());
+        args.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_values_are_errors() {
+        let args = Args::parse(["--n", "abc"]).unwrap();
+        assert!(args.get_or("n", 0usize).is_err());
+        let args = Args::parse(["--exact=yes"]).unwrap();
+        assert!(args.switch("exact").is_err());
+    }
+
+    #[test]
+    fn declared_switch_does_not_swallow_positional() {
+        let args = Args::parse(["--exact", "pos"]).unwrap();
+        assert!(args.switch("exact").unwrap());
+        assert_eq!(args.positional(), &["pos".to_string()]);
+        args.finish().unwrap();
+        let args = Args::parse(["--exact=false"]).unwrap();
+        assert!(!args.switch("exact").unwrap());
+    }
+
+    #[test]
+    fn malformed_flags_are_rejected() {
+        assert!(Args::parse(["---x"]).is_err());
+        assert!(Args::parse(["--"]).is_err());
+    }
+
+    #[test]
+    fn boolean_flag_before_another_flag() {
+        // Even undeclared flags become boolean when followed by a flag.
+        let args = Args::parse(["--series", "--n", "10"]).unwrap();
+        assert!(args.switch("series").unwrap());
+        assert_eq!(args.get_or("n", 0usize).unwrap(), 10);
+    }
+
+    #[test]
+    fn unknown_flags_are_caught_by_finish() {
+        let args = Args::parse(["--detla", "0.2"]).unwrap();
+        let err = args.finish().unwrap_err();
+        assert!(err.to_string().contains("--detla"));
+    }
+
+    #[test]
+    fn negative_numbers_as_values() {
+        let args = Args::parse(["--x", "-3"]).unwrap();
+        assert_eq!(args.get_or("x", 0i64).unwrap(), -3);
+    }
+}

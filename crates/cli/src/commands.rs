@@ -1,0 +1,361 @@
+//! Subcommand implementations for the `noisy-pull` CLI.
+
+use noisy_pull::adversary::SsfAdversary;
+use noisy_pull::params::{SfParams, SsfParams};
+use noisy_pull::sf::SourceFilter;
+use noisy_pull::ssf::SelfStabilizingSourceFilter;
+use noisy_pull::theory;
+use np_baselines::majority::HMajority;
+use np_baselines::mean_estimator::MeanEstimator;
+use np_baselines::push_spreading::{PushSpreading, PushSpreadingParams};
+use np_baselines::trusting_copy::TrustingCopy;
+use np_baselines::voter::ZealotVoter;
+use np_engine::channel::ChannelKind;
+use np_engine::opinion::Opinion;
+use np_engine::population::PopulationConfig;
+use np_engine::protocol::Protocol;
+use np_engine::push::PushWorld;
+use np_engine::world::World;
+use np_linalg::noise::NoiseMatrix;
+
+use crate::args::{Args, ArgsError};
+
+/// Top-level error type for the CLI: every failure is reported as text.
+pub type CliResult = Result<(), String>;
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+/// Shared population/noise flags.
+struct CommonFlags {
+    n: usize,
+    h: usize,
+    s0: usize,
+    s1: usize,
+    delta: f64,
+    seed: u64,
+    exact: bool,
+}
+
+impl CommonFlags {
+    fn from_args(args: &Args) -> Result<Self, ArgsError> {
+        let n = args.get_or("n", 1024usize)?;
+        Ok(CommonFlags {
+            n,
+            h: args.get_or("h", n)?,
+            s0: args.get_or("s0", 0usize)?,
+            s1: args.get_or("s1", 1usize)?,
+            delta: args.get_or("delta", 0.2f64)?,
+            seed: args.get_or("seed", 42u64)?,
+            exact: args.switch("exact")?,
+        })
+    }
+
+    fn config(&self) -> Result<PopulationConfig, String> {
+        PopulationConfig::new(self.n, self.s0, self.s1, self.h).map_err(err)
+    }
+
+    fn channel(&self) -> ChannelKind {
+        if self.exact {
+            ChannelKind::Exact
+        } else {
+            ChannelKind::Aggregated
+        }
+    }
+}
+
+fn report_run<P: Protocol>(world: &mut World<P>, budget: u64, label: &str) {
+    let mut last_bad = 0u64;
+    for r in 1..=budget {
+        world.step();
+        if !world.is_consensus() {
+            last_bad = r;
+        }
+    }
+    let n = world.config().n();
+    if world.is_consensus() {
+        println!("{label}: consensus settled at round {} / {budget}", last_bad + 1);
+    } else {
+        println!(
+            "{label}: NO consensus within {budget} rounds ({}/{} correct)",
+            world.correct_count(),
+            n
+        );
+    }
+}
+
+/// `run sf` — run Algorithm SF.
+pub fn run_sf(args: &Args) -> CliResult {
+    let common = CommonFlags::from_args(args).map_err(err)?;
+    let c1 = args.get_or("c1", 1.0f64).map_err(err)?;
+    args.finish().map_err(err)?;
+    let config = common.config()?;
+    let params = SfParams::derive(&config, common.delta, c1).map_err(err)?;
+    let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
+    println!(
+        "SF: n={} h={} s0={} s1={} δ={} c1={c1} → m={} schedule={} rounds",
+        common.n,
+        common.h,
+        common.s0,
+        common.s1,
+        common.delta,
+        params.m(),
+        params.total_rounds()
+    );
+    let mut world = World::new(
+        &SourceFilter::new(params),
+        config,
+        &noise,
+        common.channel(),
+        common.seed,
+    )
+    .map_err(err)?;
+    report_run(&mut world, params.total_rounds(), "SF");
+    Ok(())
+}
+
+/// `run ssf` — run Algorithm SSF, optionally under an adversary.
+pub fn run_ssf(args: &Args) -> CliResult {
+    let common = CommonFlags::from_args(args).map_err(err)?;
+    let c1 = args.get_or("c1", 16.0f64).map_err(err)?;
+    let intervals = args.get_or("budget-intervals", 10u64).map_err(err)?;
+    let adversary_name = args.str_or("adversary", "none");
+    args.finish().map_err(err)?;
+    let adversary = SsfAdversary::ALL
+        .into_iter()
+        .find(|a| a.name() == adversary_name)
+        .ok_or_else(|| {
+            format!(
+                "unknown adversary `{adversary_name}`; known: {}",
+                SsfAdversary::ALL
+                    .iter()
+                    .map(|a| a.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+    let config = common.config()?;
+    let params = SsfParams::derive(&config, common.delta, c1).map_err(err)?;
+    let noise = NoiseMatrix::uniform(4, common.delta).map_err(err)?;
+    println!(
+        "SSF: n={} h={} δ={} c1={c1} adversary={adversary} → m={} interval={} rounds",
+        common.n,
+        common.h,
+        common.delta,
+        params.m(),
+        params.update_interval()
+    );
+    let mut world = World::new(
+        &SelfStabilizingSourceFilter::new(params),
+        config,
+        &noise,
+        common.channel(),
+        common.seed,
+    )
+    .map_err(err)?;
+    let correct = config.correct_opinion();
+    let m = params.m();
+    world.corrupt_agents(|id, agent, rng| adversary.corrupt(agent, correct, m, id, rng));
+    report_run(&mut world, intervals * params.update_interval(), "SSF");
+    Ok(())
+}
+
+/// `run baseline <name>` — run one of the comparison protocols.
+pub fn run_baseline(name: &str, args: &Args) -> CliResult {
+    let common = CommonFlags::from_args(args).map_err(err)?;
+    let budget = args.get_or("budget", 1000u64).map_err(err)?;
+    args.finish().map_err(err)?;
+    let config = common.config()?;
+    match name {
+        "voter" => {
+            let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
+            let mut world =
+                World::new(&ZealotVoter, config, &noise, common.channel(), common.seed)
+                    .map_err(err)?;
+            report_run(&mut world, budget, "zealot-voter");
+        }
+        "majority" => {
+            let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
+            let mut world =
+                World::new(&HMajority, config, &noise, common.channel(), common.seed)
+                    .map_err(err)?;
+            report_run(&mut world, budget, "h-majority");
+        }
+        "trusting-copy" => {
+            let noise = NoiseMatrix::uniform(4, common.delta).map_err(err)?;
+            let mut world =
+                World::new(&TrustingCopy, config, &noise, common.channel(), common.seed)
+                    .map_err(err)?;
+            report_run(&mut world, budget, "trusting-copy");
+        }
+        "mean-estimator" => {
+            let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
+            let proto = MeanEstimator::new(common.delta);
+            let mut world =
+                World::new(&proto, config, &noise, common.channel(), common.seed).map_err(err)?;
+            report_run(&mut world, budget, "mean-estimator");
+        }
+        "push" => {
+            let params = PushSpreadingParams::derive(common.n, common.h, common.delta);
+            let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
+            let mut world =
+                PushWorld::new(&PushSpreading::new(params), config, &noise, common.seed)
+                    .map_err(err)?;
+            world.run(params.total_rounds());
+            if world.is_consensus() {
+                println!(
+                    "push-spreading: consensus within {} rounds (spreading stage {})",
+                    params.total_rounds(),
+                    params.spreading_rounds()
+                );
+            } else {
+                println!(
+                    "push-spreading: NO consensus ({}/{} correct)",
+                    world.correct_count(),
+                    common.n
+                );
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown baseline `{other}`; known: voter, majority, trusting-copy, mean-estimator, push"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// `theory` — evaluate the paper's closed-form bounds.
+pub fn theory_cmd(args: &Args) -> CliResult {
+    let n = args.get_or("n", 1024usize).map_err(err)?;
+    let h = args.get_or("h", n).map_err(err)?;
+    let s = args.get_or("s", 1usize).map_err(err)?;
+    let s0 = args.get_or("s0", 0usize).map_err(err)?;
+    let s1 = args.get_or("s1", s).map_err(err)?;
+    let delta = args.get_or("delta", 0.2f64).map_err(err)?;
+    args.finish().map_err(err)?;
+    println!("parameters: n={n} h={h} s0={s0} s1={s1} δ={delta}");
+    match theory::lower_bound_rounds(n, h, s1.abs_diff(s0), delta, 2) {
+        Ok(lb) => println!("Theorem 3 lower bound  : {lb:.2} rounds (×Ω-constant)"),
+        Err(e) => println!("Theorem 3 lower bound  : n/a ({e})"),
+    }
+    match theory::sf_upper_bound_rounds(n, h, s0, s1, delta) {
+        Ok(ub) => println!("Theorem 4 SF bound     : {ub:.2} rounds (×O-constant)"),
+        Err(e) => println!("Theorem 4 SF bound     : n/a ({e})"),
+    }
+    match theory::ssf_upper_bound_rounds(n, h, delta) {
+        Ok(ub) => println!("Theorem 5 SSF bound    : {ub:.2} rounds (×O-constant)"),
+        Err(e) => println!("Theorem 5 SSF bound    : n/a ({e})"),
+    }
+    if let Ok(f) = theory::f_delta(2, delta) {
+        println!("f(δ) at d=2            : {f:.4}");
+    }
+    println!(
+        "noise-dominated regime : {}",
+        theory::is_noise_dominated(n, s0, s1, delta, 2)
+    );
+    Ok(())
+}
+
+/// `reduce` — derive the Theorem 8 artificial noise for a channel given as
+/// `--rows "a,b;c,d"`.
+pub fn reduce_cmd(args: &Args) -> CliResult {
+    let rows_spec = args.str_or("rows", "");
+    args.finish().map_err(err)?;
+    if rows_spec.is_empty() {
+        return Err("missing --rows \"a,b;c,d;...\" (row-major stochastic matrix)".into());
+    }
+    let rows: Result<Vec<Vec<f64>>, String> = rows_spec
+        .split(';')
+        .map(|row| {
+            row.split(',')
+                .map(|x| x.trim().parse::<f64>().map_err(|e| format!("bad entry `{x}`: {e}")))
+                .collect()
+        })
+        .collect();
+    let noise = NoiseMatrix::from_rows(rows?).map_err(err)?;
+    let delta = noise
+        .upper_bound_level()
+        .ok_or("matrix is not δ-upper bounded for any δ ≤ 1/d; reduction does not apply")?;
+    let reduction = noise.artificial_noise().map_err(err)?;
+    println!("input channel N (δ = {delta:.4}):");
+    println!("{:?}", noise.as_matrix());
+    println!("artificial noise P = N⁻¹·T (δ' = f(δ) = {:.4}):", reduction.uniform_level());
+    println!("{:?}", reduction.artificial().as_matrix());
+    let composed = noise.compose(reduction.artificial()).map_err(err)?;
+    println!("composed N·P (exactly δ'-uniform):");
+    println!("{:?}", composed.as_matrix());
+    Ok(())
+}
+
+/// Formats an opinion for messages.
+pub fn opinion_name(o: Opinion) -> &'static str {
+    match o {
+        Opinion::Zero => "0",
+        Opinion::One => "1",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn sf_small_run_succeeds() {
+        run_sf(&args(&["--n", "64", "--delta", "0.1", "--seed", "1"])).unwrap();
+    }
+
+    #[test]
+    fn sf_rejects_unknown_flag() {
+        let e = run_sf(&args(&["--n", "64", "--bogus", "1"])).unwrap_err();
+        assert!(e.contains("--bogus"));
+    }
+
+    #[test]
+    fn ssf_small_run_succeeds() {
+        run_ssf(&args(&["--n", "64", "--delta", "0.1", "--c1", "8", "--adversary", "all-wrong"]))
+            .unwrap();
+    }
+
+    #[test]
+    fn ssf_rejects_unknown_adversary() {
+        let e = run_ssf(&args(&["--n", "64", "--adversary", "gremlin"])).unwrap_err();
+        assert!(e.contains("gremlin"));
+    }
+
+    #[test]
+    fn baselines_run() {
+        for name in ["voter", "majority", "trusting-copy", "mean-estimator"] {
+            run_baseline(name, &args(&["--n", "32", "--budget", "20", "--delta", "0.1"]))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        run_baseline("push", &args(&["--n", "32", "--h", "1", "--delta", "0.1"])).unwrap();
+        assert!(run_baseline("nope", &args(&[])).is_err());
+    }
+
+    #[test]
+    fn theory_prints_for_valid_and_degenerate_inputs() {
+        theory_cmd(&args(&["--n", "1024", "--delta", "0.2"])).unwrap();
+        // δ too high for SF/SSF bounds: still succeeds, printing n/a.
+        theory_cmd(&args(&["--n", "1024", "--delta", "0.45"])).unwrap();
+    }
+
+    #[test]
+    fn reduce_parses_and_derives() {
+        reduce_cmd(&args(&["--rows", "0.9,0.1;0.2,0.8"])).unwrap();
+        assert!(reduce_cmd(&args(&[])).is_err());
+        assert!(reduce_cmd(&args(&["--rows", "0.9,x;0.2,0.8"])).is_err());
+        assert!(reduce_cmd(&args(&["--rows", "0.3,0.7;0.7,0.3"])).is_err());
+    }
+
+    #[test]
+    fn opinion_names() {
+        assert_eq!(opinion_name(Opinion::Zero), "0");
+        assert_eq!(opinion_name(Opinion::One), "1");
+    }
+}

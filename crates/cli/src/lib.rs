@@ -1,0 +1,8 @@
+//! Library portion of the `noisy-pull` CLI: flag parsing and subcommand
+//! implementations, exposed so they can be unit-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

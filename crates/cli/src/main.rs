@@ -1,0 +1,125 @@
+//! `noisy-pull` — command-line interface for the noisy PULL reproduction.
+//!
+//! ```text
+//! noisy-pull run sf --n 1024 --delta 0.2 --seed 42
+//! noisy-pull run ssf --n 1024 --delta 0.1 --adversary poisoned-memory
+//! noisy-pull run baseline voter --n 512 --budget 2000
+//! noisy-pull theory --n 65536 --h 1 --delta 0.2
+//! noisy-pull reduce --rows "0.9,0.1;0.2,0.8"
+//! ```
+
+use np_cli::args::Args;
+use np_cli::commands;
+
+const USAGE: &str = "noisy-pull — protocols from 'Fast and Robust Information Spreading in the Noisy PULL Model'
+
+USAGE:
+    noisy-pull <COMMAND> [FLAGS]
+
+COMMANDS:
+    run sf          run Algorithm SF (Source Filter)
+    run ssf         run Algorithm SSF (Self-stabilizing Source Filter)
+    run baseline X  run a baseline: voter | majority | trusting-copy | mean-estimator | push
+    theory          evaluate the Theorem 3/4/5 closed-form bounds
+    reduce          derive the Theorem 8 artificial-noise matrix
+    help            show this message
+
+COMMON FLAGS:
+    --n N           population size            (default 1024)
+    --h H           sample size / fan-out      (default n)
+    --s0 K --s1 K   sources preferring 0 / 1   (default 0 / 1)
+    --delta D       uniform noise level        (default 0.2; SSF needs < 0.25)
+    --seed S        RNG seed                   (default 42)
+    --c1 C          analysis constant          (default 1 for SF, 16 for SSF)
+    --exact         use the literal per-sample channel
+    --adversary A   SSF initial corruption: none | all-wrong | poisoned-memory |
+                    random-desync | split-brain | fake-consensus
+    --budget R      round budget for baselines (default 1000)
+    --budget-intervals I   SSF budget in update intervals (default 10)
+    --rows \"a,b;c,d\"       reduce: the channel matrix, row-major
+";
+
+fn dispatch(argv: &[String]) -> Result<(), String> {
+    match argv {
+        [] => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        [cmd, rest @ ..] => {
+            let sub = cmd.as_str();
+            match sub {
+                "help" | "--help" | "-h" => {
+                    println!("{USAGE}");
+                    Ok(())
+                }
+                "run" => match rest {
+                    [what, flags @ ..] => {
+                        let args = Args::parse(flags.iter().cloned()).map_err(|e| e.to_string())?;
+                        match what.as_str() {
+                            "sf" => commands::run_sf(&args),
+                            "ssf" => commands::run_ssf(&args),
+                            "baseline" => match args.positional() {
+                                [name, ..] => commands::run_baseline(name, &args),
+                                [] => Err("run baseline: missing baseline name".into()),
+                            },
+                            other => Err(format!("unknown protocol `{other}`; try sf, ssf, baseline")),
+                        }
+                    }
+                    [] => Err("run: missing protocol (sf | ssf | baseline <name>)".into()),
+                },
+                "theory" => {
+                    let args = Args::parse(rest.iter().cloned()).map_err(|e| e.to_string())?;
+                    commands::theory_cmd(&args)
+                }
+                "reduce" => {
+                    let args = Args::parse(rest.iter().cloned()).map_err(|e| e.to_string())?;
+                    commands::reduce_cmd(&args)
+                }
+                other => Err(format!("unknown command `{other}`; see `noisy-pull help`")),
+            }
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = dispatch(&argv) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_paths_succeed() {
+        dispatch(&v(&[])).unwrap();
+        dispatch(&v(&["help"])).unwrap();
+        dispatch(&v(&["--help"])).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(dispatch(&v(&["frobnicate"])).is_err());
+        assert!(dispatch(&v(&["run"])).is_err());
+        assert!(dispatch(&v(&["run", "nope"])).is_err());
+        assert!(dispatch(&v(&["run", "baseline"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_sf_run() {
+        dispatch(&v(&["run", "sf", "--n", "64", "--delta", "0.1", "--seed", "3"])).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_theory_and_reduce() {
+        dispatch(&v(&["theory", "--n", "256"])).unwrap();
+        dispatch(&v(&["reduce", "--rows", "0.95,0.05;0.1,0.9"])).unwrap();
+    }
+}

@@ -1,0 +1,127 @@
+//! Memory accounting: the paper's `O(log T + log h)` bits-per-agent claim.
+//!
+//! Theorems 4 and 5 state that each agent needs only
+//! `O(log T + log h)` bits of memory, where `T` is the running time. The
+//! intuition: an agent stores a constant number of counters, each counting
+//! at most `T·h` observed messages, so each fits in `⌈log₂(T·h + 1)⌉`
+//! bits — plus a constant number of state bits.
+//!
+//! This module computes the *information-theoretic state size* of SF and
+//! SSF agents — the number of bits needed to encode each live field's
+//! value range, not Rust's in-RAM `size_of` (which uses fixed-width
+//! machine words for speed). Tests and the `exp_memory` experiment check
+//! the paper's bound against these counts.
+
+use crate::params::{SfParams, SsfParams};
+
+/// Bits needed to store a counter whose value is at most `max` (at least
+/// 1 bit).
+pub fn bits_for_counter(max: u64) -> u32 {
+    (64 - max.leading_zeros()).max(1)
+}
+
+/// Information-theoretic state size of an SF agent, in bits, for the given
+/// schedule.
+///
+/// Fields: two phase counters (≤ `T·h` each where `T = ⌈m/h⌉`), a
+/// round-in-stage counter (≤ the longest stage), a sub-phase index
+/// (≤ `10·ln n + 1`), the boosting memory (two counters ≤ sub-phase
+/// messages), the stage tag, the weak opinion and the opinion.
+pub fn sf_state_bits(params: &SfParams) -> u32 {
+    let h = params.h() as u64;
+    let phase_messages = params.phase_len().saturating_mul(h);
+    let subphase_messages = params
+        .final_subphase_len()
+        .max(params.subphase_len())
+        .saturating_mul(h);
+    let counters = 2 * bits_for_counter(phase_messages);
+    let round_counter = bits_for_counter(params.phase_len().max(params.final_subphase_len()));
+    let subphase_index = bits_for_counter(params.num_short_subphases() + 1);
+    let boost_mem = 2 * bits_for_counter(subphase_messages);
+    // Stage tag (2 bits for 4 stages), weak opinion (1 + presence bit),
+    // opinion (1).
+    let fixed = 2 + 2 + 1;
+    counters + round_counter + subphase_index + boost_mem + fixed
+}
+
+/// Information-theoretic state size of an SSF agent, in bits.
+///
+/// Fields: four memory counters summing to at most `m + h`, a memory-size
+/// counter, the weak opinion and the opinion. (The capacity `m` itself is
+/// protocol knowledge, not per-agent state.)
+pub fn ssf_state_bits(params: &SsfParams) -> u32 {
+    let cap = params.m().saturating_add(params.h() as u64);
+    4 * bits_for_counter(cap) + bits_for_counter(cap) + 1 + 1
+}
+
+/// The paper's yardstick `log₂ T + log₂ h` (plus 1 to avoid zero), for
+/// comparing against the state-bit counts.
+pub fn paper_yardstick_bits(total_rounds: u64, h: usize) -> u32 {
+    bits_for_counter(total_rounds) + bits_for_counter(h as u64) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_engine::population::PopulationConfig;
+
+    #[test]
+    fn bits_for_counter_values() {
+        assert_eq!(bits_for_counter(0), 1);
+        assert_eq!(bits_for_counter(1), 1);
+        assert_eq!(bits_for_counter(2), 2);
+        assert_eq!(bits_for_counter(255), 8);
+        assert_eq!(bits_for_counter(256), 9);
+        assert_eq!(bits_for_counter(u64::MAX), 64);
+    }
+
+    /// The Theorem 4/5 claim: state bits are within a constant factor of
+    /// `log T + log h`, across a broad parameter sweep.
+    #[test]
+    fn state_bits_track_the_paper_bound() {
+        for exp in [6usize, 8, 10, 12, 14, 16] {
+            let n = 1 << exp;
+            for h in [1usize, 16, n] {
+                let config = PopulationConfig::new(n, 0, 1, h).unwrap();
+                let sf = SfParams::derive(&config, 0.2, 1.0).unwrap();
+                let yard = paper_yardstick_bits(sf.total_rounds(), h);
+                let bits = sf_state_bits(&sf);
+                assert!(
+                    bits <= 10 * yard,
+                    "SF n={n} h={h}: {bits} bits vs yardstick {yard}"
+                );
+
+                let ssf = SsfParams::derive(&config, 0.1, 16.0).unwrap();
+                let budget = 10 * ssf.update_interval();
+                let yard = paper_yardstick_bits(budget, h);
+                let bits = ssf_state_bits(&ssf);
+                assert!(
+                    bits <= 10 * yard,
+                    "SSF n={n} h={h}: {bits} bits vs yardstick {yard}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_bits_grow_logarithmically_not_linearly() {
+        // Quadrupling n must add only O(1) bits.
+        let bits_at = |n: usize| {
+            let config = PopulationConfig::new(n, 0, 1, n).unwrap();
+            sf_state_bits(&SfParams::derive(&config, 0.2, 1.0).unwrap())
+        };
+        let small = bits_at(1 << 8);
+        let large = bits_at(1 << 16);
+        assert!(large - small < 64, "bits grew {small} → {large}");
+    }
+
+    #[test]
+    fn ssf_bits_count_memory_capacity() {
+        let config = PopulationConfig::new(1024, 0, 1, 1024).unwrap();
+        let p1 = SsfParams::derive(&config, 0.1, 1.0).unwrap();
+        let p16 = SsfParams::derive(&config, 0.1, 16.0).unwrap();
+        // 16× capacity = 4 extra bits per counter × 5 counters.
+        assert!(ssf_state_bits(&p16) > ssf_state_bits(&p1));
+        assert!(ssf_state_bits(&p16) - ssf_state_bits(&p1) <= 5 * 5);
+    }
+}

@@ -1,0 +1,458 @@
+//! The noisy observation channel — steps 2 and 3 of the model round.
+//!
+//! Two interchangeable implementations are provided:
+//!
+//! * [`ChannelKind::Exact`] draws each of the `h` samples literally:
+//!   pick a uniform agent, look up its displayed symbol, pass that symbol
+//!   through an alias-sampled row of the noise matrix. Cost `Θ(n·h)` per
+//!   round.
+//!
+//! * [`ChannelKind::Aggregated`] exploits exchangeability. For one agent,
+//!   the `h` sampled *displayed* symbols are i.i.d. categorical with
+//!   probabilities `(c_σ/n)_σ`, where `c_σ` is the number of agents
+//!   currently displaying `σ` — so the vector of how many samples landed on
+//!   each displayed symbol is `Multinomial(h, c/n)`. Conditioned on that,
+//!   the observations produced by the `k_σ` samples of symbol `σ` are
+//!   i.i.d. draws from row `σ` of the noise matrix, so the per-symbol
+//!   observation counts are `Multinomial(k_σ, N_σ)`. Summing over σ gives
+//!   the agent's observation-count vector with *exactly* the same joint
+//!   distribution as the literal channel, at cost `O(|Σ|²)` binomial draws
+//!   per agent — independent of `h`. This is what makes the paper's
+//!   `h = n` regime (`Θ(n²)` messages per round) simulable at
+//!   `n = 10⁵`.
+//!
+//! Both channels deliver observations as per-symbol counts; see
+//! [`crate::protocol`] for why this is lossless for anonymous protocols.
+
+use np_linalg::noise::NoiseMatrix;
+use np_stats::alias::RowSamplers;
+use np_stats::{hypergeometric, multinomial};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which channel implementation to use. The two are
+/// distribution-identical; pick [`ChannelKind::Aggregated`] unless you are
+/// specifically exercising the literal sampling path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelKind {
+    /// Literal per-sample simulation, `Θ(n·h)` per round.
+    Exact,
+    /// Multinomial-count simulation, `O(n·|Σ|²)` per round.
+    #[default]
+    Aggregated,
+}
+
+/// How each agent's `h` samples are drawn from the population.
+///
+/// The paper's model is [`SamplingMode::WithReplacement`] (an agent may
+/// sample the same agent twice, or itself). The without-replacement
+/// variant is offered as a model-robustness check (experiment
+/// EXP-REPLACE): at `h = n` it means "observe everyone exactly once",
+/// which removes the sampling variance entirely and leaves only channel
+/// noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SamplingMode {
+    /// Uniform i.i.d. samples (the paper's model).
+    #[default]
+    WithReplacement,
+    /// A uniform `h`-subset of the population (requires `h ≤ n`).
+    WithoutReplacement,
+}
+
+/// A noisy PULL observation channel bound to a noise matrix.
+///
+/// # Example
+///
+/// ```
+/// use np_engine::channel::{Channel, ChannelKind};
+/// use np_linalg::noise::NoiseMatrix;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let noise = NoiseMatrix::noiseless(2);
+/// let channel = Channel::new(&noise, ChannelKind::Aggregated);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // Three agents all displaying symbol 1; h = 5 noiseless observations
+/// // must all come back as 1.
+/// let displays = vec![1, 1, 1];
+/// let mut obs = vec![0u64; 3 * 2];
+/// channel.fill_observations(&displays, 5, &mut rng, &mut obs);
+/// assert_eq!(obs, vec![0, 5, 0, 5, 0, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel {
+    kind: ChannelKind,
+    mode: SamplingMode,
+    d: usize,
+    /// Alias tables per displayed symbol (exact path and single draws).
+    samplers: RowSamplers,
+    /// Raw noise rows (aggregated path).
+    rows: Vec<Vec<f64>>,
+}
+
+impl Channel {
+    /// Builds a channel from a validated noise matrix, sampling with
+    /// replacement (the paper's model).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a [`NoiseMatrix`]: its rows are valid probability
+    /// vectors by construction.
+    pub fn new(noise: &NoiseMatrix, kind: ChannelKind) -> Self {
+        Channel::with_sampling(noise, kind, SamplingMode::WithReplacement)
+    }
+
+    /// Builds a channel with an explicit [`SamplingMode`].
+    pub fn with_sampling(noise: &NoiseMatrix, kind: ChannelKind, mode: SamplingMode) -> Self {
+        let rows: Vec<Vec<f64>> = (0..noise.dim())
+            .map(|s| noise.observation_distribution(s).to_vec())
+            .collect();
+        let samplers = RowSamplers::new(&rows).expect("noise matrix rows are valid distributions");
+        Channel {
+            kind,
+            mode,
+            d: noise.dim(),
+            samplers,
+            rows,
+        }
+    }
+
+    /// Alphabet size `|Σ|`.
+    pub fn alphabet_size(&self) -> usize {
+        self.d
+    }
+
+    /// The implementation in use.
+    pub fn kind(&self) -> ChannelKind {
+        self.kind
+    }
+
+    /// The sampling mode in use.
+    pub fn sampling_mode(&self) -> SamplingMode {
+        self.mode
+    }
+
+    /// Applies the channel noise to a single displayed symbol, returning
+    /// the observed symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `displayed >= self.alphabet_size()`.
+    pub fn observe_one(&self, rng: &mut StdRng, displayed: usize) -> usize {
+        self.samplers.observe(rng, displayed)
+    }
+
+    /// Runs one full round of observations: every agent samples `h` agents
+    /// (uniformly, with replacement, self included) from `displays` and
+    /// observes their symbols through the noise.
+    ///
+    /// `out` is the flattened `n × d` observation-count matrix
+    /// (`out[agent * d + symbol]`); it is zeroed and refilled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != displays.len() * self.alphabet_size()`, if
+    /// `displays` is empty, if any displayed symbol is out of range, or if
+    /// `h > n` under [`SamplingMode::WithoutReplacement`].
+    pub fn fill_observations(
+        &self,
+        displays: &[usize],
+        h: usize,
+        rng: &mut StdRng,
+        out: &mut [u64],
+    ) {
+        let n = displays.len();
+        assert!(n > 0, "no agents to observe");
+        assert_eq!(out.len(), n * self.d, "observation buffer has wrong size");
+        if self.mode == SamplingMode::WithoutReplacement {
+            assert!(h <= n, "cannot draw {h} distinct agents from {n} without replacement");
+        }
+        out.fill(0);
+        match self.kind {
+            ChannelKind::Exact => self.fill_exact(displays, h, rng, out),
+            ChannelKind::Aggregated => self.fill_aggregated(displays, h, rng, out),
+        }
+    }
+
+    fn fill_exact(&self, displays: &[usize], h: usize, rng: &mut StdRng, out: &mut [u64]) {
+        let n = displays.len();
+        match self.mode {
+            SamplingMode::WithReplacement => {
+                for agent in 0..n {
+                    let base = agent * self.d;
+                    for _ in 0..h {
+                        let sampled = rng.gen_range(0..n);
+                        let observed = self.samplers.observe(rng, displays[sampled]);
+                        out[base + observed] += 1;
+                    }
+                }
+            }
+            SamplingMode::WithoutReplacement => {
+                // Partial Fisher–Yates per agent over a persistent
+                // permutation buffer: each agent's first h positions end up
+                // a uniform h-subset; the buffer remains a permutation so
+                // no reset is needed between agents.
+                let mut idx: Vec<usize> = (0..n).collect();
+                for agent in 0..n {
+                    let base = agent * self.d;
+                    for i in 0..h {
+                        let j = rng.gen_range(i..n);
+                        idx.swap(i, j);
+                        let observed = self.samplers.observe(rng, displays[idx[i]]);
+                        out[base + observed] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn fill_aggregated(&self, displays: &[usize], h: usize, rng: &mut StdRng, out: &mut [u64]) {
+        let n = displays.len();
+        // Histogram of currently displayed symbols.
+        let mut disp_counts = vec![0u64; self.d];
+        for &s in displays {
+            assert!(s < self.d, "displayed symbol {s} out of range {}", self.d);
+            disp_counts[s] += 1;
+        }
+        let probs: Vec<f64> = disp_counts.iter().map(|&c| c as f64 / n as f64).collect();
+        let mut sampled = vec![0u64; self.d];
+        let mut observed = vec![0u64; self.d];
+        for agent in 0..n {
+            let base = agent * self.d;
+            // How many of this agent's h samples landed on each displayed
+            // symbol: multinomial with replacement, multivariate
+            // hypergeometric without.
+            match self.mode {
+                SamplingMode::WithReplacement => {
+                    multinomial::sample_into(rng, h as u64, &probs, &mut sampled);
+                }
+                SamplingMode::WithoutReplacement => {
+                    hypergeometric::sample_multivariate_into(
+                        rng,
+                        &disp_counts,
+                        h as u64,
+                        &mut sampled,
+                    );
+                }
+            }
+            // Push each group through the noise row. (Index loop: σ names
+            // the displayed symbol, used for both lookups.)
+            #[allow(clippy::needless_range_loop)]
+            for sigma in 0..self.d {
+                let k = sampled[sigma];
+                if k == 0 {
+                    continue;
+                }
+                multinomial::sample_into(rng, k, &self.rows[sigma], &mut observed);
+                for (slot, c) in out[base..base + self.d].iter_mut().zip(&observed) {
+                    *slot += c;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn counts_for(
+        kind: ChannelKind,
+        noise: &NoiseMatrix,
+        displays: &[usize],
+        h: usize,
+        seed: u64,
+    ) -> Vec<u64> {
+        let channel = Channel::new(noise, kind);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = vec![0u64; displays.len() * noise.dim()];
+        channel.fill_observations(displays, h, &mut rng, &mut out);
+        out
+    }
+
+    #[test]
+    fn noiseless_aggregated_counts_sum_to_h() {
+        let noise = NoiseMatrix::noiseless(2);
+        let displays = vec![0, 1, 1, 0, 1];
+        let out = counts_for(ChannelKind::Aggregated, &noise, &displays, 9, 3);
+        for agent in 0..5 {
+            let total: u64 = out[agent * 2..agent * 2 + 2].iter().sum();
+            assert_eq!(total, 9);
+        }
+    }
+
+    #[test]
+    fn noiseless_exact_counts_sum_to_h() {
+        let noise = NoiseMatrix::noiseless(2);
+        let displays = vec![0, 1, 1];
+        let out = counts_for(ChannelKind::Exact, &noise, &displays, 7, 4);
+        for agent in 0..3 {
+            let total: u64 = out[agent * 2..agent * 2 + 2].iter().sum();
+            assert_eq!(total, 7);
+        }
+    }
+
+    #[test]
+    fn uniform_displays_noiseless_gives_deterministic_output() {
+        // Everyone displays symbol 1, no noise: every observation is 1.
+        let noise = NoiseMatrix::noiseless(3);
+        let displays = vec![1; 10];
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let out = counts_for(kind, &noise, &displays, 4, 5);
+            for agent in 0..10 {
+                assert_eq!(&out[agent * 3..agent * 3 + 3], &[0, 4, 0]);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_noisy_channel_ignores_displays() {
+        // δ = 1/2 on binary alphabet: observations are fair coins no matter
+        // what is displayed. Check empirical frequency.
+        let noise = NoiseMatrix::uniform(2, 0.5).unwrap();
+        let displays = vec![1; 200]; // everyone displays 1
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let out = counts_for(kind, &noise, &displays, 50, 6);
+            let ones: u64 = (0..200).map(|a| out[a * 2 + 1]).sum();
+            let total = 200 * 50;
+            let frac = ones as f64 / total as f64;
+            assert!((frac - 0.5).abs() < 0.02, "{kind:?}: fraction {frac}");
+        }
+    }
+
+    /// The central guarantee: exact and aggregated channels produce the
+    /// same distribution. We compare per-symbol observation frequencies
+    /// over many rounds on an asymmetric configuration.
+    #[test]
+    fn exact_and_aggregated_agree_in_distribution() {
+        let noise =
+            NoiseMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        // 30% display 1.
+        let displays: Vec<usize> = (0..100).map(|i| usize::from(i % 10 < 3)).collect();
+        let h = 8;
+        let reps = 300;
+        let mut totals = [[0u64; 2]; 2]; // [kind][symbol]
+        for (ki, kind) in [ChannelKind::Exact, ChannelKind::Aggregated].iter().enumerate() {
+            let channel = Channel::new(&noise, *kind);
+            let mut rng = StdRng::seed_from_u64(99 + ki as u64);
+            let mut out = vec![0u64; displays.len() * 2];
+            for _ in 0..reps {
+                channel.fill_observations(&displays, h, &mut rng, &mut out);
+                for agent in 0..displays.len() {
+                    totals[ki][0] += out[agent * 2];
+                    totals[ki][1] += out[agent * 2 + 1];
+                }
+            }
+        }
+        // Expected P(observe 1) = 0.3·0.9 + 0.7·0.2 = 0.41.
+        let total_obs = (100 * h * reps) as f64;
+        for (ki, t) in totals.iter().enumerate() {
+            let frac = t[1] as f64 / total_obs;
+            assert!((frac - 0.41).abs() < 0.01, "kind {ki}: fraction {frac}");
+        }
+        // And the two kinds agree with each other tightly.
+        let f_exact = totals[0][1] as f64 / total_obs;
+        let f_aggr = totals[1][1] as f64 / total_obs;
+        assert!((f_exact - f_aggr).abs() < 0.01);
+    }
+
+    #[test]
+    fn observe_one_follows_noise_row() {
+        let noise = NoiseMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.3, 0.7]]).unwrap();
+        let channel = Channel::new(&noise, ChannelKind::Exact);
+        let mut rng = StdRng::seed_from_u64(11);
+        // Row 0 is deterministic.
+        for _ in 0..50 {
+            assert_eq!(channel.observe_one(&mut rng, 0), 0);
+        }
+        // Row 1 is 70% ones.
+        let mut ones = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            ones += channel.observe_one(&mut rng, 1);
+        }
+        let frac = ones as f64 / trials as f64;
+        assert!((frac - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn wrong_buffer_size_panics() {
+        let noise = NoiseMatrix::noiseless(2);
+        let channel = Channel::new(&noise, ChannelKind::Aggregated);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = vec![0u64; 3];
+        channel.fill_observations(&[0, 1], 1, &mut rng, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_display_symbol_panics() {
+        let noise = NoiseMatrix::noiseless(2);
+        let channel = Channel::new(&noise, ChannelKind::Aggregated);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = vec![0u64; 4];
+        channel.fill_observations(&[0, 2], 1, &mut rng, &mut out);
+    }
+
+    #[test]
+    fn without_replacement_h_equals_n_sees_everyone_exactly_once() {
+        // δ = 0, h = n, no replacement: every agent's counts equal the
+        // exact display histogram — deterministically.
+        let noise = NoiseMatrix::noiseless(2);
+        let displays = vec![0, 1, 1, 0, 1, 1, 0, 1]; // 3 zeros, 5 ones
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let channel = Channel::with_sampling(&noise, kind, SamplingMode::WithoutReplacement);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut out = vec![0u64; displays.len() * 2];
+            channel.fill_observations(&displays, displays.len(), &mut rng, &mut out);
+            for agent in 0..displays.len() {
+                assert_eq!(&out[agent * 2..agent * 2 + 2], &[3, 5], "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn without_replacement_partial_draw_matches_marginals() {
+        // 40% display 1; draw h = 10 of 50 without replacement: observed-1
+        // frequency must match 0.4·(1−δ) + 0.6·δ.
+        let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
+        let displays: Vec<usize> = (0..50).map(|i| usize::from(i % 5 < 2)).collect();
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let channel = Channel::with_sampling(&noise, kind, SamplingMode::WithoutReplacement);
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut out = vec![0u64; 50 * 2];
+            let mut ones = 0u64;
+            let reps = 400;
+            for _ in 0..reps {
+                channel.fill_observations(&displays, 10, &mut rng, &mut out);
+                ones += (0..50).map(|a| out[a * 2 + 1]).sum::<u64>();
+            }
+            let frac = ones as f64 / (50 * 10 * reps) as f64;
+            let expect = 0.4 * 0.9 + 0.6 * 0.1;
+            assert!((frac - expect).abs() < 0.01, "{kind:?}: {frac} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn without_replacement_rejects_oversampling() {
+        let noise = NoiseMatrix::noiseless(2);
+        let channel =
+            Channel::with_sampling(&noise, ChannelKind::Exact, SamplingMode::WithoutReplacement);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = vec![0u64; 4];
+        channel.fill_observations(&[0, 1], 3, &mut rng, &mut out);
+    }
+
+    #[test]
+    fn accessors() {
+        let noise = NoiseMatrix::uniform(4, 0.1).unwrap();
+        let c = Channel::new(&noise, ChannelKind::Exact);
+        assert_eq!(c.alphabet_size(), 4);
+        assert_eq!(c.kind(), ChannelKind::Exact);
+        assert_eq!(c.sampling_mode(), SamplingMode::WithReplacement);
+        assert_eq!(ChannelKind::default(), ChannelKind::Aggregated);
+        assert_eq!(SamplingMode::default(), SamplingMode::WithReplacement);
+    }
+}

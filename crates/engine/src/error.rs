@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The population configuration is inconsistent (e.g. more sources than
+    /// agents, zero agents, zero sample size).
+    BadPopulation {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// The number of sources preferring 0 equals the number preferring 1:
+    /// there is no strict majority, so "correct opinion" is undefined
+    /// (the paper requires bias `s ≥ 1`).
+    TiedSources {
+        /// The common count `s0 = s1`.
+        count: usize,
+    },
+    /// The noise matrix's alphabet size does not match the protocol's.
+    AlphabetMismatch {
+        /// Alphabet size expected by the protocol.
+        protocol: usize,
+        /// Alphabet size of the supplied noise matrix.
+        noise: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BadPopulation { detail } => {
+                write!(f, "bad population configuration: {detail}")
+            }
+            EngineError::TiedSources { count } => {
+                write!(f, "tied sources (s0 = s1 = {count}): no correct opinion exists")
+            }
+            EngineError::AlphabetMismatch { protocol, noise } => write!(
+                f,
+                "alphabet mismatch: protocol uses {protocol} symbols, noise matrix has {noise}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        for e in [
+            EngineError::BadPopulation { detail: "x".into() },
+            EngineError::TiedSources { count: 2 },
+            EngineError::AlphabetMismatch { protocol: 2, noise: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Run metrics: convergence outcomes and time series of opinion counts.
+
+use crate::opinion::Opinion;
+
+/// The outcome of a bounded run: did the system reach consensus on the
+/// correct opinion, and when.
+///
+/// Produced by [`crate::world::World::run_until_consensus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// All agents held the correct opinion at the end of the given round
+    /// (1-based count of completed rounds).
+    Converged {
+        /// Rounds executed until the first all-correct configuration.
+        rounds: u64,
+    },
+    /// The round budget was exhausted first.
+    TimedOut {
+        /// The budget that was exhausted.
+        budget: u64,
+        /// Number of agents holding the correct opinion at the end.
+        correct_at_end: usize,
+    },
+}
+
+impl RunOutcome {
+    /// Returns `true` if the run converged within budget.
+    pub fn converged(&self) -> bool {
+        matches!(self, RunOutcome::Converged { .. })
+    }
+
+    /// Rounds to convergence, if the run converged.
+    pub fn rounds(&self) -> Option<u64> {
+        match self {
+            RunOutcome::Converged { rounds } => Some(*rounds),
+            RunOutcome::TimedOut { .. } => None,
+        }
+    }
+}
+
+/// Per-round time series of how many agents hold each opinion.
+///
+/// Recording is optional (it costs one pass per round); enable it with
+/// [`crate::world::World::record_series`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpinionSeries {
+    ones: Vec<usize>,
+    n: usize,
+}
+
+impl OpinionSeries {
+    /// Creates an empty series for a population of `n` agents.
+    pub fn new(n: usize) -> Self {
+        OpinionSeries { ones: Vec::new(), n }
+    }
+
+    /// Appends one round's count of agents holding opinion 1.
+    pub fn push(&mut self, ones: usize) {
+        debug_assert!(ones <= self.n);
+        self.ones.push(ones);
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.ones.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ones.is_empty()
+    }
+
+    /// Count of agents holding `opinion` after the given recorded round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round >= self.len()`.
+    pub fn count(&self, round: usize, opinion: Opinion) -> usize {
+        match opinion {
+            Opinion::One => self.ones[round],
+            Opinion::Zero => self.n - self.ones[round],
+        }
+    }
+
+    /// The margin above half of the population holding `opinion` after the
+    /// given round — the paper's `A_ℓ` when `opinion` is correct (can be
+    /// negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round >= self.len()`.
+    pub fn margin(&self, round: usize, opinion: Opinion) -> f64 {
+        self.count(round, opinion) as f64 - self.n as f64 / 2.0
+    }
+
+    /// The full series of counts for `opinion`, one entry per round.
+    pub fn counts(&self, opinion: Opinion) -> Vec<usize> {
+        (0..self.len()).map(|r| self.count(r, opinion)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let c = RunOutcome::Converged { rounds: 17 };
+        assert!(c.converged());
+        assert_eq!(c.rounds(), Some(17));
+        let t = RunOutcome::TimedOut {
+            budget: 100,
+            correct_at_end: 42,
+        };
+        assert!(!t.converged());
+        assert_eq!(t.rounds(), None);
+    }
+
+    #[test]
+    fn series_counts_and_margins() {
+        let mut s = OpinionSeries::new(10);
+        assert!(s.is_empty());
+        s.push(3);
+        s.push(7);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.count(0, Opinion::One), 3);
+        assert_eq!(s.count(0, Opinion::Zero), 7);
+        assert_eq!(s.count(1, Opinion::One), 7);
+        assert_eq!(s.margin(1, Opinion::One), 2.0);
+        assert_eq!(s.margin(0, Opinion::One), -2.0);
+        assert_eq!(s.counts(Opinion::One), vec![3, 7]);
+        assert_eq!(s.counts(Opinion::Zero), vec![7, 3]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Binary opinions, the values agents are trying to agree on.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A binary opinion (`Y ∈ {0, 1}` in the paper).
+///
+/// # Example
+///
+/// ```
+/// use np_engine::opinion::Opinion;
+///
+/// let y = Opinion::One;
+/// assert_eq!(y.as_index(), 1);
+/// assert_eq!(!y, Opinion::Zero);
+/// assert_eq!(Opinion::from_index(0), Some(Opinion::Zero));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opinion {
+    /// Opinion 0.
+    Zero,
+    /// Opinion 1.
+    One,
+}
+
+impl Opinion {
+    /// Both opinions, in index order.
+    pub const ALL: [Opinion; 2] = [Opinion::Zero, Opinion::One];
+
+    /// The opinion as a symbol index (`Zero → 0`, `One → 1`).
+    pub fn as_index(self) -> usize {
+        match self {
+            Opinion::Zero => 0,
+            Opinion::One => 1,
+        }
+    }
+
+    /// Parses a symbol index; returns `None` for indices other than 0/1.
+    pub fn from_index(i: usize) -> Option<Opinion> {
+        match i {
+            0 => Some(Opinion::Zero),
+            1 => Some(Opinion::One),
+            _ => None,
+        }
+    }
+
+    /// `true → One`, `false → Zero`.
+    pub fn from_bool(b: bool) -> Opinion {
+        if b {
+            Opinion::One
+        } else {
+            Opinion::Zero
+        }
+    }
+
+    /// The opinion as a boolean (`One → true`).
+    pub fn as_bool(self) -> bool {
+        self == Opinion::One
+    }
+
+    /// The opposite opinion.
+    pub fn flipped(self) -> Opinion {
+        !self
+    }
+}
+
+impl Not for Opinion {
+    type Output = Opinion;
+
+    fn not(self) -> Opinion {
+        match self {
+            Opinion::Zero => Opinion::One,
+            Opinion::One => Opinion::Zero,
+        }
+    }
+}
+
+impl fmt::Display for Opinion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_index())
+    }
+}
+
+impl From<bool> for Opinion {
+    fn from(b: bool) -> Opinion {
+        Opinion::from_bool(b)
+    }
+}
+
+impl From<Opinion> for usize {
+    fn from(o: Opinion) -> usize {
+        o.as_index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for o in Opinion::ALL {
+            assert_eq!(Opinion::from_index(o.as_index()), Some(o));
+        }
+        assert_eq!(Opinion::from_index(2), None);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        assert_eq!(Opinion::from_bool(true), Opinion::One);
+        assert_eq!(Opinion::from_bool(false), Opinion::Zero);
+        assert!(Opinion::One.as_bool());
+        assert!(!Opinion::Zero.as_bool());
+        assert_eq!(Opinion::from(true), Opinion::One);
+        assert_eq!(usize::from(Opinion::One), 1);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(!Opinion::Zero, Opinion::One);
+        assert_eq!(Opinion::One.flipped(), Opinion::Zero);
+        for o in Opinion::ALL {
+            assert_eq!(!!o, o);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Opinion::Zero.to_string(), "0");
+        assert_eq!(Opinion::One.to_string(), "1");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(Opinion::Zero < Opinion::One);
+    }
+}

@@ -1,0 +1,101 @@
+//! The protocol abstraction: what a spreading algorithm must provide to run
+//! on the engine.
+//!
+//! A [`Protocol`] is a factory for per-agent state machines
+//! ([`AgentState`]). Each round the world calls [`AgentState::display`] on
+//! every agent, routes the displayed symbols through the noisy channel, and
+//! then calls [`AgentState::update`] with the agent's observation counts.
+//!
+//! # Why observations are count vectors
+//!
+//! In the noisy PULL model agents are anonymous: an observation carries no
+//! sender identity, only a (noisy) symbol. Every algorithm in the paper —
+//! SF's counters, SSF's majority-over-memory, the boosting majority — is a
+//! symmetric function of the received *multiset* of symbols, and a multiset
+//! over `Σ` is exactly a count vector of length `|Σ|`. Delivering counts is
+//! therefore lossless, and it is what allows the aggregated channel to skip
+//! materializing individual messages.
+
+use rand::rngs::StdRng;
+
+use crate::opinion::Opinion;
+use crate::population::Role;
+
+/// A spreading algorithm: a factory of per-agent state machines plus static
+/// protocol metadata.
+pub trait Protocol {
+    /// The per-agent state machine type.
+    type Agent: AgentState;
+
+    /// Size of the communication alphabet `|Σ|` (2 for SF, 4 for SSF).
+    fn alphabet_size(&self) -> usize;
+
+    /// Creates the initial state for an agent with the given role.
+    ///
+    /// `rng` may be used for randomized initialization; the engine passes
+    /// its own deterministic generator.
+    fn init_agent(&self, role: Role, rng: &mut StdRng) -> Self::Agent;
+}
+
+/// The per-agent, per-round behaviour of a protocol.
+pub trait AgentState {
+    /// The symbol (index into `Σ`) this agent displays this round.
+    ///
+    /// Called exactly once per round, *before* any observations are
+    /// delivered, matching step 1 of the model.
+    fn display(&self, rng: &mut StdRng) -> usize;
+
+    /// Consumes this round's observations: `observed[σ]` is how many of the
+    /// agent's `h` samples arrived (post-noise) as symbol `σ`.
+    fn update(&mut self, observed: &[u64], rng: &mut StdRng);
+
+    /// The agent's current opinion `Y ∈ {0, 1}`.
+    fn opinion(&self) -> Opinion;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+    use rand::SeedableRng;
+
+    /// A protocol that displays its opinion and never changes it — enough
+    /// to exercise the trait plumbing.
+    struct Stubborn;
+    struct StubbornAgent(Opinion);
+
+    impl Protocol for Stubborn {
+        type Agent = StubbornAgent;
+        fn alphabet_size(&self) -> usize {
+            2
+        }
+        fn init_agent(&self, role: Role, _rng: &mut StdRng) -> StubbornAgent {
+            StubbornAgent(role.preference().unwrap_or(Opinion::Zero))
+        }
+    }
+
+    impl AgentState for StubbornAgent {
+        fn display(&self, _rng: &mut StdRng) -> usize {
+            self.0.as_index()
+        }
+        fn update(&mut self, _observed: &[u64], _rng: &mut StdRng) {}
+        fn opinion(&self) -> Opinion {
+            self.0
+        }
+    }
+
+    #[test]
+    fn trait_plumbing_works() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = PopulationConfig::new(4, 1, 2, 1).unwrap();
+        let agents: Vec<StubbornAgent> = cfg
+            .iter_roles()
+            .map(|r| Stubborn.init_agent(r, &mut rng))
+            .collect();
+        assert_eq!(agents[0].opinion(), Opinion::One);
+        assert_eq!(agents[2].opinion(), Opinion::Zero);
+        assert_eq!(agents[3].opinion(), Opinion::Zero);
+        assert_eq!(agents[0].display(&mut rng), 1);
+        assert_eq!(Stubborn.alphabet_size(), 2);
+    }
+}

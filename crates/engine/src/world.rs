@@ -1,0 +1,412 @@
+//! The round loop: wires a protocol, a population, and a noisy channel
+//! together and runs the system to consensus.
+
+use np_linalg::noise::NoiseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::channel::{Channel, ChannelKind};
+use crate::metrics::{OpinionSeries, RunOutcome};
+use crate::opinion::Opinion;
+use crate::population::PopulationConfig;
+use crate::protocol::{AgentState, Protocol};
+use crate::{EngineError, Result};
+
+/// A running instance of the noisy PULL model: one population, one
+/// protocol, one noise matrix, one RNG.
+///
+/// Construction is deterministic given the seed: two worlds built with the
+/// same arguments produce identical executions.
+///
+/// # Example
+///
+/// See the crate-level example in [`crate`].
+pub struct World<P: Protocol> {
+    config: PopulationConfig,
+    channel: Channel,
+    agents: Vec<P::Agent>,
+    displays: Vec<usize>,
+    observations: Vec<u64>,
+    rng: StdRng,
+    round: u64,
+    series: Option<OpinionSeries>,
+}
+
+impl<P: Protocol> World<P> {
+    /// Builds a world: initializes one agent per role in the canonical
+    /// layout of [`PopulationConfig::role_of`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::AlphabetMismatch`] if the protocol's alphabet
+    /// size differs from the noise matrix's.
+    pub fn new(
+        protocol: &P,
+        config: PopulationConfig,
+        noise: &NoiseMatrix,
+        kind: ChannelKind,
+        seed: u64,
+    ) -> Result<Self> {
+        if protocol.alphabet_size() != noise.dim() {
+            return Err(EngineError::AlphabetMismatch {
+                protocol: protocol.alphabet_size(),
+                noise: noise.dim(),
+            });
+        }
+        World::with_channel(protocol, config, Channel::new(noise, kind), seed)
+    }
+
+    /// Builds a world around a pre-configured [`Channel`] (e.g. one using
+    /// [`crate::channel::SamplingMode::WithoutReplacement`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::AlphabetMismatch`] if the protocol's alphabet
+    /// size differs from the channel's.
+    pub fn with_channel(
+        protocol: &P,
+        config: PopulationConfig,
+        channel: Channel,
+        seed: u64,
+    ) -> Result<Self> {
+        if protocol.alphabet_size() != channel.alphabet_size() {
+            return Err(EngineError::AlphabetMismatch {
+                protocol: protocol.alphabet_size(),
+                noise: channel.alphabet_size(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let agents: Vec<P::Agent> = config
+            .iter_roles()
+            .map(|role| protocol.init_agent(role, &mut rng))
+            .collect();
+        let n = config.n();
+        let d = channel.alphabet_size();
+        Ok(World {
+            config,
+            channel,
+            agents,
+            displays: vec![0; n],
+            observations: vec![0; n * d],
+            rng,
+            round: 0,
+            series: None,
+        })
+    }
+
+    /// The population configuration.
+    pub fn config(&self) -> &PopulationConfig {
+        self.config_ref()
+    }
+
+    fn config_ref(&self) -> &PopulationConfig {
+        &self.config
+    }
+
+    /// Number of completed rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Enables per-round recording of opinion counts (see
+    /// [`World::series`]).
+    pub fn record_series(&mut self) {
+        if self.series.is_none() {
+            self.series = Some(OpinionSeries::new(self.config.n()));
+        }
+    }
+
+    /// The recorded opinion series, if [`World::record_series`] was called.
+    pub fn series(&self) -> Option<&OpinionSeries> {
+        self.series.as_ref()
+    }
+
+    /// Applies an arbitrary mutation to every agent's state *before* the
+    /// run starts — the self-stabilization adversary of Section 1.3. The
+    /// closure receives the agent id, a mutable reference to its state, and
+    /// the world RNG.
+    ///
+    /// Roles are not passed: the model forbids the adversary from changing
+    /// them (it may only corrupt internal state).
+    pub fn corrupt_agents<F>(&mut self, mut corrupt: F)
+    where
+        F: FnMut(usize, &mut P::Agent, &mut StdRng),
+    {
+        for (id, agent) in self.agents.iter_mut().enumerate() {
+            corrupt(id, agent, &mut self.rng);
+        }
+    }
+
+    /// Read access to an agent's state (experiments inspect weak opinions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn agent(&self, id: usize) -> &P::Agent {
+        &self.agents[id]
+    }
+
+    /// Iterates over all agent states in id order.
+    pub fn iter_agents(&self) -> impl Iterator<Item = &P::Agent> {
+        self.agents.iter()
+    }
+
+    /// Executes one synchronous round: display → sample+noise → update.
+    pub fn step(&mut self) {
+        // Step 1: displays.
+        for (slot, agent) in self.displays.iter_mut().zip(&self.agents) {
+            *slot = agent.display(&mut self.rng);
+        }
+        // Steps 2+3: noisy observations.
+        self.channel.fill_observations(
+            &self.displays,
+            self.config.h(),
+            &mut self.rng,
+            &mut self.observations,
+        );
+        // Step 4: updates.
+        let d = self.channel.alphabet_size();
+        for (agent, obs) in self.agents.iter_mut().zip(self.observations.chunks_exact(d)) {
+            agent.update(obs, &mut self.rng);
+        }
+        self.round += 1;
+        if let Some(series) = self.series.as_mut() {
+            let ones = self
+                .agents
+                .iter()
+                .filter(|a| a.opinion() == Opinion::One)
+                .count();
+            series.push(ones);
+        }
+    }
+
+    /// Runs `rounds` rounds unconditionally.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Number of agents currently holding the correct opinion.
+    pub fn correct_count(&self) -> usize {
+        let correct = self.config.correct_opinion();
+        self.agents.iter().filter(|a| a.opinion() == correct).count()
+    }
+
+    /// Returns `true` if every agent (sources included) holds the correct
+    /// opinion — the paper's consensus condition (Definition 2).
+    pub fn is_consensus(&self) -> bool {
+        self.correct_count() == self.config.n()
+    }
+
+    /// Steps until consensus on the correct opinion or until `budget`
+    /// rounds have run.
+    pub fn run_until_consensus(&mut self, budget: u64) -> RunOutcome {
+        let start = self.round;
+        while self.round - start < budget {
+            self.step();
+            if self.is_consensus() {
+                return RunOutcome::Converged {
+                    rounds: self.round - start,
+                };
+            }
+        }
+        RunOutcome::TimedOut {
+            budget,
+            correct_at_end: self.correct_count(),
+        }
+    }
+
+    /// Steps until the consensus has *held* for `window` consecutive rounds
+    /// (or the budget runs out), returning the round at which the stable
+    /// window began. Used by the self-stabilization persistence experiment:
+    /// Definition 2 requires consensus to be reached *and kept*.
+    pub fn run_until_stable_consensus(&mut self, budget: u64, window: u64) -> RunOutcome {
+        let start = self.round;
+        let mut streak: u64 = 0;
+        while self.round - start < budget {
+            self.step();
+            if self.is_consensus() {
+                streak += 1;
+                if streak >= window {
+                    return RunOutcome::Converged {
+                        rounds: self.round - start - (window - 1),
+                    };
+                }
+            } else {
+                streak = 0;
+            }
+        }
+        RunOutcome::TimedOut {
+            budget,
+            correct_at_end: self.correct_count(),
+        }
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for World<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("config", &self.config)
+            .field("round", &self.round)
+            .field("correct_count", &self.correct_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Role;
+    use rand::Rng;
+
+    /// Copy-the-majority test protocol; sources stubbornly display and hold
+    /// their preference.
+    struct Majority;
+    struct MajorityAgent {
+        role: Role,
+        opinion: Opinion,
+    }
+
+    impl Protocol for Majority {
+        type Agent = MajorityAgent;
+        fn alphabet_size(&self) -> usize {
+            2
+        }
+        fn init_agent(&self, role: Role, _rng: &mut StdRng) -> MajorityAgent {
+            let opinion = role.preference().unwrap_or(Opinion::Zero);
+            MajorityAgent { role, opinion }
+        }
+    }
+
+    impl AgentState for MajorityAgent {
+        fn display(&self, _rng: &mut StdRng) -> usize {
+            self.opinion.as_index()
+        }
+        fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+            if let Role::Source(p) = self.role {
+                self.opinion = p;
+                return;
+            }
+            self.opinion = match observed[1].cmp(&observed[0]) {
+                std::cmp::Ordering::Greater => Opinion::One,
+                std::cmp::Ordering::Less => Opinion::Zero,
+                std::cmp::Ordering::Equal => Opinion::from_bool(rng.gen()),
+            };
+        }
+        fn opinion(&self) -> Opinion {
+            self.opinion
+        }
+    }
+
+    /// Plain majority dynamics can only amplify an existing display
+    /// majority (that inability to spread from few sources is the paper's
+    /// whole motivation), so the toy convergence tests seed a *majority* of
+    /// stubborn sources.
+    fn world(seed: u64) -> World<Majority> {
+        let config = PopulationConfig::new(32, 0, 20, 32).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.05).unwrap();
+        World::new(&Majority, config, &noise, ChannelKind::Aggregated, seed).unwrap()
+    }
+
+    /// A fully-noisy world (δ = ½): observations are fair coins, so
+    /// non-source opinions are re-randomized every round.
+    fn noisy_world(seed: u64) -> World<Majority> {
+        let config = PopulationConfig::new(32, 0, 4, 32).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.5).unwrap();
+        World::new(&Majority, config, &noise, ChannelKind::Aggregated, seed).unwrap()
+    }
+
+    #[test]
+    fn alphabet_mismatch_rejected() {
+        let config = PopulationConfig::new(8, 0, 1, 1).unwrap();
+        let noise = NoiseMatrix::uniform(4, 0.1).unwrap();
+        let err = World::new(&Majority, config, &noise, ChannelKind::Exact, 0).unwrap_err();
+        assert!(matches!(err, EngineError::AlphabetMismatch { protocol: 2, noise: 4 }));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = world(7);
+        let mut b = world(7);
+        a.run(20);
+        b.run(20);
+        assert_eq!(a.correct_count(), b.correct_count());
+        let ops_a: Vec<Opinion> = a.iter_agents().map(|x| x.opinion()).collect();
+        let ops_b: Vec<Opinion> = b.iter_agents().map(|x| x.opinion()).collect();
+        assert_eq!(ops_a, ops_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = noisy_world(1);
+        let mut b = noisy_world(2);
+        a.run(1);
+        b.run(1);
+        let ops_a: Vec<Opinion> = a.iter_agents().map(|x| x.opinion()).collect();
+        let ops_b: Vec<Opinion> = b.iter_agents().map(|x| x.opinion()).collect();
+        // Under pure noise each of the 28 non-source opinions is a fair
+        // coin, so identical vectors across seeds are (2^-28)-unlikely.
+        assert_ne!(ops_a, ops_b);
+    }
+
+    #[test]
+    fn majority_converges_with_big_h_and_low_noise() {
+        let mut w = world(42);
+        let outcome = w.run_until_consensus(500);
+        assert!(outcome.converged(), "outcome: {outcome:?}");
+        assert!(w.is_consensus());
+        assert_eq!(w.correct_count(), 32);
+    }
+
+    #[test]
+    fn series_records_when_enabled() {
+        let mut w = world(3);
+        assert!(w.series().is_none());
+        w.record_series();
+        w.run(5);
+        let s = w.series().unwrap();
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn run_until_consensus_times_out_on_tiny_budget() {
+        let mut w = world(5);
+        let outcome = w.run_until_consensus(1);
+        // One round of majority under noise will almost surely not convert
+        // all 28 non-sources; accept either but check invariants.
+        match outcome {
+            RunOutcome::Converged { rounds } => assert_eq!(rounds, 1),
+            RunOutcome::TimedOut { budget, correct_at_end } => {
+                assert_eq!(budget, 1);
+                assert!(correct_at_end <= 32);
+            }
+        }
+        assert_eq!(w.round(), 1);
+    }
+
+    #[test]
+    fn stable_consensus_requires_window() {
+        let mut w = world(8);
+        let outcome = w.run_until_stable_consensus(1000, 10);
+        assert!(outcome.converged());
+        // After the stable window, the system is (still) in consensus.
+        assert!(w.is_consensus());
+    }
+
+    #[test]
+    fn corrupt_agents_flips_states() {
+        let mut w = world(9);
+        w.corrupt_agents(|_, agent, _| agent.opinion = Opinion::Zero);
+        assert_eq!(w.correct_count(), 0);
+        // Sources re-assert their preference on the next update.
+        w.step();
+        assert!(w.correct_count() >= 4);
+    }
+
+    #[test]
+    fn debug_output_mentions_round() {
+        let w = world(1);
+        assert!(format!("{w:?}").contains("round"));
+    }
+}

@@ -1,0 +1,113 @@
+use std::fmt;
+
+/// Errors produced by the linear-algebra and noise-matrix toolkit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A constructor received rows of inconsistent length, or zero
+    /// dimensions.
+    BadShape {
+        /// Human-readable description of the shape violation.
+        detail: String,
+    },
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimensions of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Dimensions of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// inverted or solved against.
+    Singular,
+    /// A matrix expected to be stochastic failed validation.
+    NotStochastic {
+        /// Index of the first offending row.
+        row: usize,
+        /// Description of the violation (negative entry or bad row sum).
+        detail: String,
+    },
+    /// A noise matrix failed a δ-class requirement (Definition 1 of the
+    /// paper).
+    NoiseClassViolation {
+        /// Description of the violated requirement.
+        detail: String,
+    },
+    /// A scalar parameter was outside its admissible range.
+    ParameterOutOfRange {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Description of the admissible range.
+        range: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::BadShape { detail } => write!(f, "bad matrix shape: {detail}"),
+            LinalgError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotStochastic { row, detail } => {
+                write!(f, "matrix is not stochastic at row {row}: {detail}")
+            }
+            LinalgError::NoiseClassViolation { detail } => {
+                write!(f, "noise-matrix class violation: {detail}")
+            }
+            LinalgError::ParameterOutOfRange { name, value, range } => {
+                write!(f, "parameter `{name}` = {value} outside {range}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            LinalgError::BadShape {
+                detail: "ragged".into(),
+            },
+            LinalgError::DimensionMismatch {
+                left: (2, 2),
+                right: (3, 3),
+            },
+            LinalgError::Singular,
+            LinalgError::NotStochastic {
+                row: 1,
+                detail: "row sums to 0.9".into(),
+            },
+            LinalgError::NoiseClassViolation {
+                detail: "diagonal too small".into(),
+            },
+            LinalgError::ParameterOutOfRange {
+                name: "delta",
+                value: 0.7,
+                range: "[0, 0.5)".into(),
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LinalgError::Singular, LinalgError::Singular);
+        assert_ne!(
+            LinalgError::Singular,
+            LinalgError::BadShape { detail: "x".into() }
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! LU decomposition with partial pivoting, linear solves, inversion, and
+//! determinants.
+//!
+//! The paper's Theorem 8 needs the inverse of a δ-upper-bounded noise matrix
+//! `N` (which Corollary 14 proves exists, with `‖N⁻¹‖∞ ≤ (d−1)/(1−dδ)`).
+//! Since alphabet sizes are tiny (`d ∈ {2, 4}` for the paper's protocols),
+//! Doolittle LU with partial pivoting is more than adequate numerically.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Relative pivot threshold below which a matrix is declared numerically
+/// singular.
+const PIVOT_EPS: f64 = 1e-12;
+
+/// An LU decomposition `P·A = L·U` with partial pivoting.
+///
+/// Create one with [`LuDecomposition::new`], then reuse it for repeated
+/// solves via [`LuDecomposition::solve`] — e.g. one solve per column when
+/// computing an inverse.
+///
+/// # Example
+///
+/// ```
+/// use np_linalg::{lu::LuDecomposition, Matrix};
+///
+/// let a = Matrix::from_rows(vec![vec![4.0, 3.0], vec![6.0, 3.0]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// let b = a.mul_vec(&x)?;
+/// assert!((b[0] - 10.0).abs() < 1e-9 && (b[1] - 12.0).abs() < 1e-9);
+/// # Ok::<(), np_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined storage: strictly-lower part holds `L` (unit diagonal
+    /// implied), upper part holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row placed at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, `+1.0` or `-1.0` (for the determinant).
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::BadShape`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot smaller than the numerical
+    ///   threshold is encountered.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::BadShape {
+                detail: format!("LU requires a square matrix, got {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        // Scale reference for the relative singularity test.
+        let scale = lu
+            .as_slice()
+            .iter()
+            .fold(0.0_f64, |m, &x| m.max(x.abs()))
+            .max(1.0);
+
+        for k in 0..n {
+            // Partial pivoting: find the largest |entry| in column k at or
+            // below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= PIVOT_EPS * scale {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    lu[(i, j)] -= factor * lu[(k, j)];
+                }
+            }
+        }
+        Ok(LuDecomposition { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    // Index-based loops mirror the textbook substitution formulas.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution on the permuted right-hand side (L has a unit
+        // diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = sum;
+        }
+        // Back substitution with U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Computes the inverse by solving against each canonical basis vector.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience wrapper: inverts a square matrix.
+///
+/// # Errors
+///
+/// * [`LinalgError::BadShape`] if `a` is not square.
+/// * [`LinalgError::Singular`] if `a` is (numerically) singular.
+///
+/// # Example
+///
+/// ```
+/// use np_linalg::{lu::invert, Matrix};
+///
+/// let a = Matrix::from_rows(vec![vec![2.0, 0.0], vec![0.0, 4.0]])?;
+/// let inv = invert(&a)?;
+/// assert!(inv.approx_eq(&Matrix::from_rows(vec![vec![0.5, 0.0], vec![0.0, 0.25]])?, 1e-12));
+/// # Ok::<(), np_linalg::LinalgError>(())
+/// ```
+pub fn invert(a: &Matrix) -> Result<Matrix> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+/// Convenience wrapper: determinant of a square matrix.
+///
+/// Returns `0.0` for numerically singular matrices.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::BadShape`] if `a` is not square.
+pub fn determinant(a: &Matrix) -> Result<f64> {
+    match LuDecomposition::new(a) {
+        Ok(lu) => Ok(lu.determinant()),
+        Err(LinalgError::Singular) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invert_identity() {
+        let i = Matrix::identity(4);
+        assert!(invert(&i).unwrap().approx_eq(&i, 1e-12));
+    }
+
+    #[test]
+    fn invert_known_2x2() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let inv = invert(&a).unwrap();
+        let expected =
+            Matrix::from_rows(vec![vec![-2.0, 1.0], vec![1.5, -0.5]]).unwrap();
+        assert!(inv.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn invert_roundtrip_3x3() {
+        let a = Matrix::from_rows(vec![
+            vec![0.8, 0.1, 0.1],
+            vec![0.05, 0.9, 0.05],
+            vec![0.2, 0.2, 0.6],
+        ])
+        .unwrap();
+        let inv = invert(&a).unwrap();
+        let prod = a.mul_checked(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+        let prod2 = inv.mul_checked(&a).unwrap();
+        assert!(prod2.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn singular_is_detected() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(invert(&a), Err(LinalgError::Singular)));
+        assert_eq!(determinant(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_pivot_requires_pivoting() {
+        // First pivot is zero, but the matrix is invertible: pivoting must
+        // kick in.
+        let a = Matrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let inv = invert(&a).unwrap();
+        assert!(inv.approx_eq(&a, 1e-12));
+        assert!((determinant(&a).unwrap() - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(vec![vec![3.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        assert!((determinant(&a).unwrap() - 6.0).abs() < 1e-12);
+        let b = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert!((determinant(&b).unwrap() - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_direct_computation() {
+        let a = Matrix::from_rows(vec![
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ])
+        .unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&[1.0, 2.0, 3.0]).unwrap();
+        let b = a.mul_vec(&x).unwrap();
+        for (got, want) in b.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs() {
+        let lu = LuDecomposition::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::BadShape { .. })
+        ));
+        assert!(determinant(&a).is_err());
+    }
+
+    #[test]
+    fn dim_reports_size() {
+        let lu = LuDecomposition::new(&Matrix::identity(5)).unwrap();
+        assert_eq!(lu.dim(), 5);
+    }
+}

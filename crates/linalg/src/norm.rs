@@ -1,0 +1,99 @@
+//! Matrix and vector norms.
+//!
+//! The analysis in Section 4 of the paper is carried out in the `‖·‖∞`
+//! operator norm, which for a matrix equals the maximum absolute row sum
+//! (Eq. (4) in the paper). Corollary 14 bounds `‖N⁻¹‖∞ ≤ (d−1)/(1−dδ)` for
+//! every δ-upper-bounded `N`; [`operator_inf_norm`] lets tests verify that
+//! bound directly.
+
+use crate::Matrix;
+
+/// The `ℓ∞` norm of a vector: `max_i |v_i|`.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(np_linalg::norm::vec_inf_norm(&[1.0, -3.0, 2.0]), 3.0);
+/// ```
+pub fn vec_inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// The `ℓ1` norm of a vector: `Σ_i |v_i|`.
+pub fn vec_l1_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// The operator norm induced by `‖·‖∞`, i.e. the maximum absolute row sum
+/// (Eq. (4) of the paper):
+///
+/// `‖A‖∞ = max_i Σ_j |A_ij|`.
+///
+/// # Example
+///
+/// ```
+/// use np_linalg::{norm::operator_inf_norm, Matrix};
+///
+/// let a = Matrix::from_rows(vec![vec![1.0, -2.0], vec![0.5, 0.5]])?;
+/// assert_eq!(operator_inf_norm(&a), 3.0);
+/// # Ok::<(), np_linalg::LinalgError>(())
+/// ```
+pub fn operator_inf_norm(a: &Matrix) -> f64 {
+    a.iter_rows().map(vec_l1_norm).fold(0.0, f64::max)
+}
+
+/// The maximum absolute entry of a matrix (`max norm`), used for coarse
+/// numerical-error reporting.
+pub fn max_norm(a: &Matrix) -> f64 {
+    vec_inf_norm(a.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_norms() {
+        assert_eq!(vec_inf_norm(&[]), 0.0);
+        assert_eq!(vec_inf_norm(&[-5.0, 4.0]), 5.0);
+        assert_eq!(vec_l1_norm(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(vec_l1_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn operator_norm_of_stochastic_matrix_is_one() {
+        let a = Matrix::from_rows(vec![vec![0.9, 0.1], vec![0.3, 0.7]]).unwrap();
+        assert!((operator_inf_norm(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operator_norm_picks_worst_row() {
+        let a = Matrix::from_rows(vec![vec![1.0, 1.0, 1.0], vec![-2.0, 2.0, 0.0]]).unwrap();
+        assert_eq!(operator_inf_norm(&a), 4.0);
+    }
+
+    #[test]
+    fn operator_norm_is_submultiplicative() {
+        let a = Matrix::from_rows(vec![vec![0.5, -1.5], vec![2.0, 0.25]]).unwrap();
+        let b = Matrix::from_rows(vec![vec![-0.75, 1.0], vec![0.1, -2.0]]).unwrap();
+        let ab = a.mul_checked(&b).unwrap();
+        assert!(operator_inf_norm(&ab) <= operator_inf_norm(&a) * operator_inf_norm(&b) + 1e-12);
+    }
+
+    #[test]
+    fn operator_norm_bounds_vector_image() {
+        // ‖A·x‖∞ ≤ ‖A‖∞ · ‖x‖∞ by definition of the induced norm.
+        let a = Matrix::from_rows(vec![vec![0.2, -0.9], vec![1.1, 0.4]]).unwrap();
+        let x = [0.3, -1.0];
+        let ax = a.mul_vec(&x).unwrap();
+        assert!(vec_inf_norm(&ax) <= operator_inf_norm(&a) * vec_inf_norm(&x) + 1e-12);
+    }
+
+    #[test]
+    fn max_norm_matches_flat_max() {
+        let a = Matrix::from_rows(vec![vec![-7.0, 2.0], vec![3.0, 6.5]]).unwrap();
+        assert_eq!(max_norm(&a), 7.0);
+    }
+}

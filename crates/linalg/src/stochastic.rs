@@ -1,0 +1,206 @@
+//! Predicates and helpers for (weakly-)stochastic matrices.
+//!
+//! Definition 9 of the paper: a matrix is *weakly-stochastic* if each row
+//! sums to 1; it is *stochastic* if additionally every entry is
+//! non-negative. Rows of a stochastic matrix are probability distributions —
+//! in the noisy PULL model, row `σ` of the noise matrix is the distribution
+//! of the observed message when `σ` was displayed.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Default absolute tolerance used by the stochasticity predicates.
+///
+/// Noise matrices in this workspace are constructed from clean closed forms,
+/// then pushed through LU solves; `1e-9` comfortably absorbs that numerical
+/// error at alphabet sizes `d ≤ 16`.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns `true` if every row of `a` sums to 1 within `tol`
+/// (weakly-stochastic, Definition 9).
+pub fn is_weakly_stochastic(a: &Matrix, tol: f64) -> bool {
+    a.iter_rows().all(|row| (row.iter().sum::<f64>() - 1.0).abs() <= tol)
+}
+
+/// Returns `true` if `a` is weakly-stochastic and every entry is
+/// `≥ -tol` (stochastic, Definition 9).
+pub fn is_stochastic(a: &Matrix, tol: f64) -> bool {
+    is_weakly_stochastic(a, tol) && a.as_slice().iter().all(|&x| x >= -tol)
+}
+
+/// Validates that `a` is stochastic, reporting the first offending row.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotStochastic`] naming the first row with a
+/// negative entry (below `-tol`) or a row sum differing from 1 by more than
+/// `tol`.
+///
+/// # Example
+///
+/// ```
+/// use np_linalg::{stochastic, Matrix};
+///
+/// let good = Matrix::from_rows(vec![vec![0.25, 0.75], vec![1.0, 0.0]])?;
+/// assert!(stochastic::validate_stochastic(&good, 1e-9).is_ok());
+///
+/// let bad = Matrix::from_rows(vec![vec![1.2, -0.2], vec![0.5, 0.5]])?;
+/// assert!(stochastic::validate_stochastic(&bad, 1e-9).is_err());
+/// # Ok::<(), np_linalg::LinalgError>(())
+/// ```
+pub fn validate_stochastic(a: &Matrix, tol: f64) -> Result<()> {
+    for (i, row) in a.iter_rows().enumerate() {
+        if let Some(x) = row.iter().find(|&&x| x < -tol) {
+            return Err(LinalgError::NotStochastic {
+                row: i,
+                detail: format!("negative entry {x}"),
+            });
+        }
+        let sum: f64 = row.iter().sum();
+        if (sum - 1.0).abs() > tol {
+            return Err(LinalgError::NotStochastic {
+                row: i,
+                detail: format!("row sums to {sum}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Clamps tiny negative entries (within `tol` of zero) to exactly zero and
+/// renormalizes each row to sum to 1.
+///
+/// This is used after computing `P = N⁻¹·T` (Proposition 16): the result is
+/// provably stochastic, but floating-point solves can leave entries like
+/// `-1e-17` that would later break exact samplers.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotStochastic`] if any entry is more negative than
+/// `-tol` (i.e. the matrix is genuinely non-stochastic, not just noisy), or
+/// if a row sums to zero after clamping.
+pub fn sanitize_stochastic(a: &Matrix, tol: f64) -> Result<Matrix> {
+    let mut out = a.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        for x in row.iter_mut() {
+            if *x < 0.0 {
+                if *x < -tol {
+                    return Err(LinalgError::NotStochastic {
+                        row: i,
+                        detail: format!("negative entry {x} beyond tolerance {tol}"),
+                    });
+                }
+                *x = 0.0;
+            }
+        }
+        let sum: f64 = row.iter().sum();
+        if sum <= 0.0 {
+            return Err(LinalgError::NotStochastic {
+                row: i,
+                detail: "row sums to zero after clamping".into(),
+            });
+        }
+        if (sum - 1.0).abs() > tol {
+            return Err(LinalgError::NotStochastic {
+                row: i,
+                detail: format!("row sums to {sum}"),
+            });
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Returns row `i` of a stochastic matrix as an owned probability vector.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+pub fn row_distribution(a: &Matrix, i: usize) -> Vec<f64> {
+    a.row(i).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stochastic_example() -> Matrix {
+        Matrix::from_rows(vec![vec![0.7, 0.2, 0.1], vec![0.1, 0.8, 0.1], vec![0.0, 0.5, 0.5]])
+            .unwrap()
+    }
+
+    #[test]
+    fn stochastic_accepts_valid() {
+        let m = stochastic_example();
+        assert!(is_weakly_stochastic(&m, DEFAULT_TOL));
+        assert!(is_stochastic(&m, DEFAULT_TOL));
+        assert!(validate_stochastic(&m, DEFAULT_TOL).is_ok());
+    }
+
+    #[test]
+    fn weakly_stochastic_allows_negatives() {
+        let m = Matrix::from_rows(vec![vec![1.5, -0.5], vec![0.5, 0.5]]).unwrap();
+        assert!(is_weakly_stochastic(&m, DEFAULT_TOL));
+        assert!(!is_stochastic(&m, DEFAULT_TOL));
+        let err = validate_stochastic(&m, DEFAULT_TOL).unwrap_err();
+        assert!(matches!(err, LinalgError::NotStochastic { row: 0, .. }));
+    }
+
+    #[test]
+    fn bad_row_sum_detected() {
+        let m = Matrix::from_rows(vec![vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap();
+        assert!(!is_weakly_stochastic(&m, DEFAULT_TOL));
+        let err = validate_stochastic(&m, DEFAULT_TOL).unwrap_err();
+        assert!(matches!(err, LinalgError::NotStochastic { row: 0, .. }));
+    }
+
+    #[test]
+    fn product_of_stochastic_is_stochastic() {
+        // Closure under products — the fact behind Claim 11's setting.
+        let a = stochastic_example();
+        let b = Matrix::from_rows(vec![
+            vec![0.2, 0.3, 0.5],
+            vec![0.6, 0.2, 0.2],
+            vec![0.25, 0.25, 0.5],
+        ])
+        .unwrap();
+        let ab = a.mul_checked(&b).unwrap();
+        assert!(is_stochastic(&ab, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn inverse_of_stochastic_is_weakly_stochastic() {
+        // Claim 12 of the paper.
+        let a = stochastic_example();
+        let inv = crate::lu::invert(&a).unwrap();
+        assert!(is_weakly_stochastic(&inv, 1e-8));
+    }
+
+    #[test]
+    fn sanitize_clamps_tiny_negatives() {
+        let m = Matrix::from_rows(vec![vec![1.0 + 1e-12, -1e-12], vec![0.5, 0.5]]).unwrap();
+        let s = sanitize_stochastic(&m, 1e-9).unwrap();
+        assert!(is_stochastic(&s, 0.0));
+        assert_eq!(s[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn sanitize_rejects_genuine_negatives() {
+        let m = Matrix::from_rows(vec![vec![1.1, -0.1], vec![0.5, 0.5]]).unwrap();
+        assert!(sanitize_stochastic(&m, 1e-9).is_err());
+    }
+
+    #[test]
+    fn sanitize_rejects_bad_sums() {
+        let m = Matrix::from_rows(vec![vec![0.3, 0.3], vec![0.5, 0.5]]).unwrap();
+        assert!(sanitize_stochastic(&m, 1e-9).is_err());
+    }
+
+    #[test]
+    fn row_distribution_extracts_row() {
+        let m = stochastic_example();
+        assert_eq!(row_distribution(&m, 2), vec![0.0, 0.5, 0.5]);
+    }
+}

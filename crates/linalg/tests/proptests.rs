@@ -1,0 +1,170 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These check the paper's Section 4 statements on *randomized* inputs:
+//! Corollary 14 (inverse-norm bound), Proposition 16 (`P = N⁻¹·T` is
+//! stochastic and `N·P` is δ′-uniform), and Claims 11/12/15.
+
+use np_linalg::lu::{determinant, invert};
+use np_linalg::noise::{f_delta, inverse_norm_bound, NoiseMatrix};
+use np_linalg::norm::operator_inf_norm;
+use np_linalg::stochastic::{is_stochastic, is_weakly_stochastic};
+use np_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a random δ-upper-bounded noise matrix of size `d` with level at
+/// most `max_delta`.
+///
+/// Each row `σ` gets off-diagonal entries drawn in `[0, max_delta]` and the
+/// diagonal absorbs the rest; by construction `N_{σσ} = 1 − Σ_{σ'≠σ} N_{σσ'}
+/// ≥ 1 − (d−1)·max_delta` and every off-diagonal entry is `≤ max_delta`, so
+/// the matrix is `max_delta`-upper bounded.
+#[allow(clippy::needless_range_loop)] // (i, j) index the matrix symmetrically
+fn upper_bounded_noise(d: usize, max_delta: f64) -> impl Strategy<Value = NoiseMatrix> {
+    prop::collection::vec(0.0..=max_delta, d * (d - 1)).prop_map(move |offs| {
+        let mut rows = vec![vec![0.0; d]; d];
+        let mut it = offs.into_iter();
+        for (i, row) in rows.iter_mut().enumerate() {
+            let mut off_sum = 0.0;
+            for j in 0..d {
+                if i != j {
+                    let x = it.next().expect("enough entries");
+                    row[j] = x;
+                    off_sum += x;
+                }
+            }
+            row[i] = 1.0 - off_sum;
+        }
+        NoiseMatrix::from_rows(rows).expect("constructed stochastic")
+    })
+}
+
+/// Strategy: a random stochastic matrix (rows normalized from positive
+/// weights).
+fn stochastic_matrix(d: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(0.01..1.0f64, d * d).prop_map(move |w| {
+        let mut rows = vec![vec![0.0; d]; d];
+        for i in 0..d {
+            let slice = &w[i * d..(i + 1) * d];
+            let sum: f64 = slice.iter().sum();
+            for j in 0..d {
+                rows[i][j] = slice[j] / sum;
+            }
+        }
+        Matrix::from_rows(rows).expect("valid rows")
+    })
+}
+
+proptest! {
+    #[test]
+    fn corollary_14_norm_bound_d2(n in upper_bounded_noise(2, 0.45)) {
+        let delta = n.upper_bound_level().expect("constructed upper-bounded");
+        prop_assume!(delta < 0.5 - 1e-6);
+        let inv = n.inverse().expect("Corollary 14: invertible");
+        let norm = operator_inf_norm(&inv);
+        let bound = inverse_norm_bound(2, delta).unwrap();
+        prop_assert!(norm <= bound + 1e-7, "norm {norm} > bound {bound}");
+    }
+
+    #[test]
+    fn corollary_14_norm_bound_d4(n in upper_bounded_noise(4, 0.22)) {
+        let delta = n.upper_bound_level().expect("constructed upper-bounded");
+        prop_assume!(delta < 0.25 - 1e-6);
+        let inv = n.inverse().expect("Corollary 14: invertible");
+        let norm = operator_inf_norm(&inv);
+        let bound = inverse_norm_bound(4, delta).unwrap();
+        prop_assert!(norm <= bound + 1e-7, "norm {norm} > bound {bound}");
+    }
+
+    #[test]
+    fn proposition_16_p_is_stochastic_and_composition_uniform_d2(
+        n in upper_bounded_noise(2, 0.45)
+    ) {
+        prop_assume!(n.upper_bound_level().unwrap() < 0.5 - 1e-6);
+        let red = n.artificial_noise().expect("Proposition 16 applies");
+        prop_assert!(is_stochastic(red.artificial().as_matrix(), 1e-9));
+        let composed = n.compose(red.artificial()).unwrap();
+        prop_assert!(composed.is_uniform_with_level(red.uniform_level(), 1e-7));
+    }
+
+    #[test]
+    fn proposition_16_p_is_stochastic_and_composition_uniform_d3(
+        n in upper_bounded_noise(3, 0.30)
+    ) {
+        prop_assume!(n.upper_bound_level().unwrap() < 1.0/3.0 - 1e-6);
+        let red = n.artificial_noise().expect("Proposition 16 applies");
+        prop_assert!(is_stochastic(red.artificial().as_matrix(), 1e-9));
+        let composed = n.compose(red.artificial()).unwrap();
+        prop_assert!(composed.is_uniform_with_level(red.uniform_level(), 1e-7));
+    }
+
+    #[test]
+    fn proposition_16_p_is_stochastic_and_composition_uniform_d4(
+        n in upper_bounded_noise(4, 0.22)
+    ) {
+        prop_assume!(n.upper_bound_level().unwrap() < 0.25 - 1e-6);
+        let red = n.artificial_noise().expect("Proposition 16 applies");
+        prop_assert!(is_stochastic(red.artificial().as_matrix(), 1e-9));
+        let composed = n.compose(red.artificial()).unwrap();
+        prop_assert!(composed.is_uniform_with_level(red.uniform_level(), 1e-7));
+    }
+
+    #[test]
+    fn claim_15_f_increasing_and_bounded(d in 2usize..8, steps in 2usize..40) {
+        let hi = 1.0 / d as f64;
+        let mut prev = -1.0;
+        for k in 0..steps {
+            let delta = hi * (k as f64) / (steps as f64) * 0.999;
+            let f = f_delta(d, delta).unwrap();
+            prop_assert!(f > prev);
+            prop_assert!((0.0..hi).contains(&f));
+            prop_assert!(f >= delta - 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn claim_11_products_of_stochastic_are_stochastic(
+        a in stochastic_matrix(3),
+        b in stochastic_matrix(3)
+    ) {
+        let ab = a.mul_checked(&b).unwrap();
+        prop_assert!(is_stochastic(&ab, 1e-9));
+    }
+
+    #[test]
+    fn claim_12_inverse_of_stochastic_is_weakly_stochastic(a in stochastic_matrix(3)) {
+        // Random stochastic matrices are a.s. invertible; skip singular draws.
+        if let Ok(inv) = invert(&a) {
+            prop_assert!(is_weakly_stochastic(&inv, 1e-6));
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip(a in stochastic_matrix(4)) {
+        if let Ok(inv) = invert(&a) {
+            let prod = a.mul_checked(&inv).unwrap();
+            prop_assert!(prod.approx_eq(&Matrix::identity(4), 1e-7));
+        }
+    }
+
+    #[test]
+    fn determinant_of_product_is_product_of_determinants(
+        a in stochastic_matrix(3),
+        b in stochastic_matrix(3)
+    ) {
+        let da = determinant(&a).unwrap();
+        let db = determinant(&b).unwrap();
+        let dab = determinant(&a.mul_checked(&b).unwrap()).unwrap();
+        prop_assert!((dab - da * db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_preserves_entries(a in stochastic_matrix(3)) {
+        let t = a.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert_eq!(a[(i, j)], t[(j, i)]);
+            }
+        }
+    }
+}

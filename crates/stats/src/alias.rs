@@ -1,0 +1,263 @@
+//! Vose's alias method for O(1) categorical sampling.
+//!
+//! The noisy channel applies a noise-matrix row — a categorical distribution
+//! over at most a handful of symbols — once per *observation*. With up to
+//! `n·h` observations per round, the per-sample cost matters; the alias
+//! method turns each draw into one uniform index, one uniform coin and one
+//! comparison, regardless of alphabet size.
+
+use rand::Rng;
+
+use crate::{Result, StatsError};
+
+/// A pre-processed categorical distribution supporting O(1) sampling.
+///
+/// Construction is O(k) for `k` categories (Vose's stable two-worklist
+/// variant).
+///
+/// # Example
+///
+/// ```
+/// use np_stats::alias::AliasTable;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let t = AliasTable::new(&[0.1, 0.9])?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut ones = 0usize;
+/// for _ in 0..10_000 {
+///     if t.sample(&mut rng) == 1 {
+///         ones += 1;
+///     }
+/// }
+/// assert!((ones as f64 / 10_000.0 - 0.9).abs() < 0.02);
+/// # Ok::<(), np_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance probability for each column.
+    prob: Vec<f64>,
+    /// Alias category for each column.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from (unnormalized) non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadWeights`] if `weights` is empty, contains a
+    /// negative or non-finite entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(StatsError::BadWeights {
+                detail: "empty weight vector".into(),
+            });
+        }
+        if let Some(w) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(StatsError::BadWeights {
+                detail: format!("invalid weight {w}"),
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(StatsError::BadWeights {
+                detail: "weights sum to zero".into(),
+            });
+        }
+        let k = weights.len();
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * k as f64 / total).collect();
+        let mut prob = vec![0.0; k];
+        let mut alias = vec![0usize; k];
+        let mut small: Vec<usize> = Vec::with_capacity(k);
+        let mut large: Vec<usize> = Vec::with_capacity(k);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains is numerically 1.
+        for &i in large.iter().chain(small.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no categories (never constructible —
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let col = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col]
+        }
+    }
+
+    /// Draws `count` categories, returning how many times each category was
+    /// hit. Equivalent to `count` calls to [`AliasTable::sample`].
+    pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        let mut out = vec![0u64; self.len()];
+        for _ in 0..count {
+            out[self.sample(rng)] += 1;
+        }
+        out
+    }
+}
+
+/// Pre-processed alias tables for every row of a stochastic matrix: the
+/// standard representation of a noisy channel.
+///
+/// Row `σ` answers "given that `σ` was displayed, what is observed?".
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSamplers {
+    rows: Vec<AliasTable>,
+}
+
+impl RowSamplers {
+    /// Builds one alias table per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadWeights`] if any row is not a valid weight
+    /// vector.
+    pub fn new(rows: &[Vec<f64>]) -> Result<Self> {
+        let tables = rows
+            .iter()
+            .map(|r| AliasTable::new(r))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RowSamplers { rows: tables })
+    }
+
+    /// Number of rows (alphabet size).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Samples an observed symbol given the displayed symbol `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma >= self.len()`.
+    pub fn observe<R: Rng + ?Sized>(&self, rng: &mut R, sigma: usize) -> usize {
+        self.rows[sigma].sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -0.1]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let t = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let counts = t.sample_counts(&mut rng, n);
+        let total: f64 = weights.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = weights[i] / total;
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "category {i}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_are_normalized() {
+        let a = AliasTable::new(&[2.0, 6.0]).unwrap();
+        let b = AliasTable::new(&[0.25, 0.75]).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        // Same normalized distribution and same RNG stream ⇒ same samples.
+        for _ in 0..1000 {
+            assert_eq!(a.sample(&mut rng_a), b.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let t = AliasTable::new(&[1.0, 1.0]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn row_samplers_observe_uses_correct_row() {
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let s = RowSamplers::new(&rows).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(s.observe(&mut rng, 0), 0);
+            assert_eq!(s.observe(&mut rng, 1), 1);
+        }
+    }
+
+    #[test]
+    fn row_samplers_reject_bad_rows() {
+        assert!(RowSamplers::new(&[vec![1.0], vec![]]).is_err());
+    }
+}

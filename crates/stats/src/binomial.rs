@@ -1,0 +1,373 @@
+//! Exact binomial sampling and pmf/cdf evaluation.
+//!
+//! The engine's aggregated channel (see `np-engine`) replaces per-message
+//! noise draws with binomial counts, so the binomial sampler must be *exact*
+//! (not a normal approximation): statistical tests in this workspace compare
+//! the aggregated channel against the literal per-message channel and would
+//! detect distributional drift.
+//!
+//! The sampler composes three standard exact methods:
+//!
+//! * direct Bernoulli counting for tiny `n`;
+//! * BINV (inversion from zero) when `n·min(p, 1−p)` is small;
+//! * inversion from the mode (two-sided pmf walk) otherwise, which runs in
+//!   `O(σ)` expected steps — microseconds even at `n = 2³⁰`.
+
+use rand::Rng;
+
+use crate::{Result, StatsError};
+
+/// Natural log of `n!`, exact-table for `n < 1024`, Stirling series beyond.
+///
+/// The Stirling tail keeps absolute error below `1e-12` for `n ≥ 1024`,
+/// which is far below the noise floor of the samplers that consume it.
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE_SIZE: usize = 1024;
+    // Lazily built exact table (sum of logs).
+    static TABLE: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = vec![0.0f64; TABLE_SIZE];
+        for i in 2..TABLE_SIZE {
+            t[i] = t[i - 1] + (i as f64).ln();
+        }
+        t
+    });
+    if (n as usize) < TABLE_SIZE {
+        return table[n as usize];
+    }
+    // Stirling series: ln n! = n ln n − n + ½ln(2πn) + 1/(12n) − 1/(360n³) + 1/(1260n⁵)
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+        + 1.0 / (1260.0 * x * x * x * x * x)
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// The binomial pmf `P(Binomial(n, p) = k)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadProbability`] if `p ∉ [0, 1]`.
+pub fn pmf(n: u64, p: f64, k: u64) -> Result<f64> {
+    check_probability(p)?;
+    if k > n {
+        return Ok(0.0);
+    }
+    if p == 0.0 {
+        return Ok(if k == 0 { 1.0 } else { 0.0 });
+    }
+    if p == 1.0 {
+        return Ok(if k == n { 1.0 } else { 0.0 });
+    }
+    let ln_p = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    Ok(ln_p.exp())
+}
+
+/// The binomial cdf `P(Binomial(n, p) ≤ k)` by direct summation.
+///
+/// Intended for moderate `n` (tests and bound evaluation); cost is `O(k)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadProbability`] if `p ∉ [0, 1]`.
+pub fn cdf(n: u64, p: f64, k: u64) -> Result<f64> {
+    check_probability(p)?;
+    if k >= n {
+        return Ok(1.0);
+    }
+    let mut acc = 0.0;
+    for i in 0..=k {
+        acc += pmf(n, p, i)?;
+    }
+    Ok(acc.min(1.0))
+}
+
+fn check_probability(p: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(StatsError::BadProbability { value: p });
+    }
+    Ok(())
+}
+
+/// Draws one sample from `Binomial(n, p)`.
+///
+/// Exact for all `(n, p)`; see the module docs for the method selection.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadProbability`] if `p ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use np_stats::binomial::sample;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let x = sample(&mut rng, 1_000_000, 0.25)?;
+/// // Mean 250k, σ ≈ 433: a draw 20σ out would indicate a broken sampler.
+/// assert!((x as f64 - 250_000.0).abs() < 20.0 * 433.0);
+/// # Ok::<(), np_stats::StatsError>(())
+/// ```
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> Result<u64> {
+    check_probability(p)?;
+    Ok(sample_unchecked(rng, n, p))
+}
+
+/// Like [`sample`] but assumes `p ∈ [0, 1]` (hot-path variant used by the
+/// channel implementations, which validate noise levels at construction).
+///
+/// # Panics
+///
+/// Debug-asserts `p ∈ [0, 1]`; in release builds an out-of-range `p` is
+/// clamped by the underlying arithmetic, producing meaningless output.
+pub fn sample_unchecked<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - sample_unchecked(rng, n, 1.0 - p);
+    }
+    // From here p ≤ 0.5.
+    if n <= 16 {
+        let mut count = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                count += 1;
+            }
+        }
+        return count;
+    }
+    if n as f64 * p <= 12.0 {
+        sample_binv(rng, n, p)
+    } else {
+        sample_from_mode(rng, n, p)
+    }
+}
+
+/// BINV: sequential inversion from k = 0 using the pmf recurrence.
+/// Expected iterations ≈ n·p + 1; used only when that is small.
+fn sample_binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let mut f = q.powf(n as f64); // pmf(0)
+    let mut u = rng.gen::<f64>();
+    let mut k = 0u64;
+    loop {
+        if u <= f || k >= n {
+            return k;
+        }
+        u -= f;
+        // pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/q
+        f *= (n - k) as f64 / (k + 1) as f64 * s;
+        k += 1;
+        // Guard against float underflow stranding us past the support.
+        if f <= 0.0 {
+            return k.min(n);
+        }
+    }
+}
+
+/// Inversion from the mode: start at the modal value and expand outward,
+/// alternating the side with the larger remaining mass direction. Exact up
+/// to pmf round-off; expected iterations `O(σ)`.
+fn sample_from_mode<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let mode = (((n + 1) as f64) * p).floor() as u64;
+    let mode = mode.min(n);
+    let pmf_mode = pmf(n, p, mode).expect("p validated");
+    let q = 1.0 - p;
+    let ratio = p / q;
+    let mut u = rng.gen::<f64>() - pmf_mode;
+    if u <= 0.0 {
+        return mode;
+    }
+    // Walk outward: maintain pmf at the current left/right frontier.
+    let mut lo = mode; // next left candidate is lo−1
+    let mut hi = mode; // next right candidate is hi+1
+    let mut pmf_lo = pmf_mode;
+    let mut pmf_hi = pmf_mode;
+    loop {
+        let can_left = lo > 0;
+        let can_right = hi < n;
+        if !can_left && !can_right {
+            // Numerical leftovers: return the mode (mass deficit < 1e-12).
+            return mode;
+        }
+        // Peek the next pmf on each available side.
+        let next_left = if can_left {
+            // pmf(k−1) = pmf(k) · k/(n−k+1) · q/p
+            pmf_lo * (lo as f64) / ((n - lo + 1) as f64) / ratio
+        } else {
+            -1.0
+        };
+        let next_right = if can_right {
+            // pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/q
+            pmf_hi * ((n - hi) as f64) / ((hi + 1) as f64) * ratio
+        } else {
+            -1.0
+        };
+        if next_right >= next_left {
+            hi += 1;
+            pmf_hi = next_right;
+            u -= pmf_hi;
+            if u <= 0.0 {
+                return hi;
+            }
+        } else {
+            lo -= 1;
+            pmf_lo = next_left;
+            u -= pmf_lo;
+            if u <= 0.0 {
+                return lo;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ln_factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_continuity() {
+        // The table/Stirling boundary at 1024 must be seamless.
+        let direct: f64 = (2..=1500u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(1500) - direct).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_choose_values() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (50, 0.5), (100, 0.02), (17, 0.9)] {
+            let total: f64 = (0..=n).map(|k| pmf(n, p, k).unwrap()).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n}, p={p}: total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_edge_cases() {
+        assert_eq!(pmf(10, 0.0, 0).unwrap(), 1.0);
+        assert_eq!(pmf(10, 0.0, 1).unwrap(), 0.0);
+        assert_eq!(pmf(10, 1.0, 10).unwrap(), 1.0);
+        assert_eq!(pmf(10, 0.5, 11).unwrap(), 0.0);
+        assert!(pmf(10, 1.5, 0).is_err());
+        assert!(pmf(10, -0.5, 0).is_err());
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let n = 30;
+        let p = 0.4;
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = cdf(n, p, k).unwrap();
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(cdf(n, p, n).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn sample_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample(&mut rng, 0, 0.5).unwrap(), 0);
+        assert_eq!(sample(&mut rng, 100, 0.0).unwrap(), 0);
+        assert_eq!(sample(&mut rng, 100, 1.0).unwrap(), 100);
+        assert!(sample(&mut rng, 10, 2.0).is_err());
+    }
+
+    #[test]
+    fn sample_within_support() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &(n, p) in &[(5u64, 0.5), (100, 0.01), (100, 0.99), (10_000, 0.3)] {
+            for _ in 0..200 {
+                let x = sample(&mut rng, n, p).unwrap();
+                assert!(x <= n);
+            }
+        }
+    }
+
+    /// Kolmogorov–Smirnov check of the empirical cdf against the exact
+    /// cdf, for each sampling regime (shared machinery in [`crate::ks`]).
+    fn check_distribution(n: u64, p: f64, draws: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; (n + 1) as usize];
+        for _ in 0..draws {
+            counts[sample(&mut rng, n, p).unwrap() as usize] += 1;
+        }
+        assert!(
+            crate::ks::ks_passes(&counts, |k| cdf(n, p, k as u64).unwrap(), 3.0).unwrap(),
+            "KS test failed for n={n}, p={p}"
+        );
+    }
+
+    #[test]
+    fn distribution_matches_bernoulli_regime() {
+        check_distribution(12, 0.37, 100_000, 11);
+    }
+
+    #[test]
+    fn distribution_matches_binv_regime() {
+        check_distribution(400, 0.01, 100_000, 12);
+    }
+
+    #[test]
+    fn distribution_matches_mode_inversion_regime() {
+        check_distribution(300, 0.45, 100_000, 13);
+    }
+
+    #[test]
+    fn distribution_matches_reflected_regime() {
+        // p > 0.5 goes through the reflection path.
+        check_distribution(300, 0.8, 100_000, 14);
+    }
+
+    #[test]
+    fn large_n_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let (n, p) = (1u64 << 24, 0.3);
+        let draws = 2000;
+        let mean_exact = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let mut acc = 0.0;
+        for _ in 0..draws {
+            acc += sample(&mut rng, n, p).unwrap() as f64;
+        }
+        let mean = acc / draws as f64;
+        // Standard error of the mean is sd/√draws; allow 6 SEs.
+        assert!(
+            (mean - mean_exact).abs() < 6.0 * sd / (draws as f64).sqrt(),
+            "mean {mean} vs exact {mean_exact}"
+        );
+    }
+}

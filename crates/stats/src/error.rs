@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced by the statistics toolkit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A weight vector for categorical sampling was empty, contained
+    /// negative/non-finite entries, or summed to zero.
+    BadWeights {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A probability parameter was outside `[0, 1]`.
+    BadProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A numeric parameter was outside its admissible range.
+    ParameterOutOfRange {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the admissible range.
+        range: String,
+    },
+    /// Two empirical distributions had different support sizes.
+    SupportMismatch {
+        /// Support size of the left distribution.
+        left: usize,
+        /// Support size of the right distribution.
+        right: usize,
+    },
+    /// An estimator was queried before receiving any observations.
+    Empty,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::BadWeights { detail } => write!(f, "bad weights: {detail}"),
+            StatsError::BadProbability { value } => {
+                write!(f, "probability {value} outside [0, 1]")
+            }
+            StatsError::ParameterOutOfRange { name, range } => {
+                write!(f, "parameter `{name}` outside {range}")
+            }
+            StatsError::SupportMismatch { left, right } => {
+                write!(f, "support mismatch: {left} vs {right}")
+            }
+            StatsError::Empty => write!(f, "estimator has no observations"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants = [
+            StatsError::BadWeights {
+                detail: "empty".into(),
+            },
+            StatsError::BadProbability { value: 1.5 },
+            StatsError::ParameterOutOfRange {
+                name: "m",
+                range: "positive".into(),
+            },
+            StatsError::SupportMismatch { left: 2, right: 3 },
+            StatsError::Empty,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

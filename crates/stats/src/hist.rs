@@ -1,0 +1,277 @@
+//! Empirical categorical distributions and distances between them.
+//!
+//! Used by the Theorem 8 verification experiment: simulate the channel
+//! `N` followed by artificial noise `P` a million times, histogram the
+//! observed symbols per displayed symbol, and check the total-variation
+//! distance to the exact δ′-uniform row is within sampling error.
+
+use crate::{Result, StatsError};
+
+/// An empirical distribution over categories `0..k`.
+///
+/// # Example
+///
+/// ```
+/// use np_stats::hist::Histogram;
+///
+/// let mut h = Histogram::new(3);
+/// h.record(0);
+/// h.record(2);
+/// h.record(2);
+/// assert_eq!(h.total(), 3);
+/// assert!((h.frequency(2) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `k` categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "histogram needs at least one category");
+        Histogram {
+            counts: vec![0; k],
+            total: 0,
+        }
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one observation of `category`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` is out of range.
+    pub fn record(&mut self, category: usize) {
+        self.counts[category] += 1;
+        self.total += 1;
+    }
+
+    /// Records `count` observations of `category` at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` is out of range.
+    pub fn record_many(&mut self, category: usize, count: u64) {
+        self.counts[category] += count;
+        self.total += count;
+    }
+
+    /// Raw count for a category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` is out of range.
+    pub fn count(&self, category: usize) -> u64 {
+        self.counts[category]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical frequency of a category (0 if nothing recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` is out of range.
+    pub fn frequency(&self, category: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[category] as f64 / self.total as f64
+        }
+    }
+
+    /// The empirical probability vector.
+    pub fn frequencies(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|i| self.frequency(i)).collect()
+    }
+
+    /// Total-variation distance between the empirical distribution and a
+    /// reference probability vector: `½ Σ |p̂ᵢ − pᵢ|`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::SupportMismatch`] if the supports differ.
+    /// * [`StatsError::Empty`] if nothing was recorded.
+    pub fn tv_distance_to(&self, reference: &[f64]) -> Result<f64> {
+        if reference.len() != self.counts.len() {
+            return Err(StatsError::SupportMismatch {
+                left: self.counts.len(),
+                right: reference.len(),
+            });
+        }
+        if self.total == 0 {
+            return Err(StatsError::Empty);
+        }
+        Ok(self
+            .frequencies()
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0)
+    }
+
+    /// Pearson χ² statistic against a reference distribution
+    /// (`Σ (observedᵢ − expectedᵢ)² / expectedᵢ` over categories with
+    /// `pᵢ > 0`).
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::SupportMismatch`] if the supports differ.
+    /// * [`StatsError::Empty`] if nothing was recorded.
+    /// * [`StatsError::BadWeights`] if a category with `pᵢ = 0` was
+    ///   observed (the statistic would be infinite).
+    pub fn chi_square_to(&self, reference: &[f64]) -> Result<f64> {
+        if reference.len() != self.counts.len() {
+            return Err(StatsError::SupportMismatch {
+                left: self.counts.len(),
+                right: reference.len(),
+            });
+        }
+        if self.total == 0 {
+            return Err(StatsError::Empty);
+        }
+        let mut stat = 0.0;
+        for (i, &p) in reference.iter().enumerate() {
+            let observed = self.counts[i] as f64;
+            if p <= 0.0 {
+                if self.counts[i] > 0 {
+                    return Err(StatsError::BadWeights {
+                        detail: format!("observed category {i} with reference probability 0"),
+                    });
+                }
+                continue;
+            }
+            let expected = self.total as f64 * p;
+            stat += (observed - expected) * (observed - expected) / expected;
+        }
+        Ok(stat)
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the category counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge histograms with different supports"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn zero_categories_panics() {
+        let _ = Histogram::new(0);
+    }
+
+    #[test]
+    fn record_and_frequencies() {
+        let mut h = Histogram::new(2);
+        assert_eq!(h.frequency(0), 0.0);
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        h.record_many(1, 2);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.frequencies(), vec![0.4, 0.6]);
+        assert_eq!(h.categories(), 2);
+    }
+
+    #[test]
+    fn tv_distance_exact_values() {
+        let mut h = Histogram::new(2);
+        h.record_many(0, 50);
+        h.record_many(1, 50);
+        assert!((h.tv_distance_to(&[0.5, 0.5]).unwrap()).abs() < 1e-12);
+        assert!((h.tv_distance_to(&[1.0, 0.0]).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_distance_errors() {
+        let h = Histogram::new(2);
+        assert_eq!(h.tv_distance_to(&[0.5, 0.5]), Err(StatsError::Empty));
+        let mut h2 = Histogram::new(2);
+        h2.record(0);
+        assert!(matches!(
+            h2.tv_distance_to(&[1.0]),
+            Err(StatsError::SupportMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn chi_square_perfect_fit_is_zero() {
+        let mut h = Histogram::new(4);
+        for i in 0..4 {
+            h.record_many(i, 25);
+        }
+        assert!((h.chi_square_to(&[0.25; 4]).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_known_value() {
+        // Observed [60, 40] vs fair: (10² / 50)·2 = 4.
+        let mut h = Histogram::new(2);
+        h.record_many(0, 60);
+        h.record_many(1, 40);
+        assert!((h.chi_square_to(&[0.5, 0.5]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_zero_probability_handling() {
+        let mut h = Histogram::new(2);
+        h.record_many(0, 10);
+        // Observing only category 0 with reference (1, 0) is a perfect fit.
+        assert_eq!(h.chi_square_to(&[1.0, 0.0]).unwrap(), 0.0);
+        // Observing category 1 where p = 0 is an error.
+        h.record(1);
+        assert!(h.chi_square_to(&[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(2);
+        a.record(0);
+        let mut b = Histogram::new(2);
+        b.record(1);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count(0), 1);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different supports")]
+    fn merge_mismatched_panics() {
+        let mut a = Histogram::new(2);
+        let b = Histogram::new(3);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,131 @@
+//! Kolmogorov–Smirnov-style distances between empirical and exact
+//! distributions over integer supports.
+//!
+//! Several test suites in this workspace verify samplers against exact
+//! cdfs (the binomial sampler, the aggregated channel); this module holds
+//! the shared machinery.
+
+use crate::{Result, StatsError};
+
+/// The KS statistic `sup_k |F̂(k) − F(k)|` for an empirical sample given
+/// as per-value counts over `0..counts.len()`, against an exact cdf
+/// `F(k) = cdf(k)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] if the counts sum to zero.
+///
+/// # Example
+///
+/// ```
+/// use np_stats::ks::ks_statistic;
+///
+/// // Perfect fit: empirical mass (1/2, 1/2) against a fair-coin cdf.
+/// let d = ks_statistic(&[50, 50], |k| if k == 0 { 0.5 } else { 1.0 })?;
+/// assert!(d < 1e-12);
+/// # Ok::<(), np_stats::StatsError>(())
+/// ```
+pub fn ks_statistic<F: Fn(usize) -> f64>(counts: &[u64], cdf: F) -> Result<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Err(StatsError::Empty);
+    }
+    let mut acc = 0u64;
+    let mut worst = 0.0f64;
+    for (k, &c) in counts.iter().enumerate() {
+        acc += c;
+        let emp = acc as f64 / total as f64;
+        worst = worst.max((emp - cdf(k)).abs());
+    }
+    Ok(worst)
+}
+
+/// An asymptotic KS critical value `c / √draws`.
+///
+/// `c ≈ 1.36` gives the classical 5% level; the statistical tests in this
+/// workspace use `c = 3.0` (≈ `α = 1e-7`) so that seeded CI runs never
+/// false-alarm while real distributional bugs — which produce `Θ(1)`
+/// distances — are still caught instantly.
+///
+/// # Errors
+///
+/// Returns [`StatsError::ParameterOutOfRange`] if `draws == 0` or
+/// `c ≤ 0`.
+pub fn ks_critical(draws: u64, c: f64) -> Result<f64> {
+    if draws == 0 {
+        return Err(StatsError::ParameterOutOfRange {
+            name: "draws",
+            range: "positive".into(),
+        });
+    }
+    if c <= 0.0 || !c.is_finite() {
+        return Err(StatsError::ParameterOutOfRange {
+            name: "c",
+            range: "(0, ∞)".into(),
+        });
+    }
+    Ok(c / (draws as f64).sqrt())
+}
+
+/// Convenience: `true` if the empirical counts pass a KS test against the
+/// exact cdf at critical constant `c`.
+///
+/// # Errors
+///
+/// Propagates errors from [`ks_statistic`] and [`ks_critical`].
+pub fn ks_passes<F: Fn(usize) -> f64>(counts: &[u64], cdf: F, c: f64) -> Result<bool> {
+    let total: u64 = counts.iter().sum();
+    let stat = ks_statistic(counts, cdf)?;
+    Ok(stat < ks_critical(total, c)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_sample_is_an_error() {
+        assert_eq!(ks_statistic(&[0, 0], |_| 0.5), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn critical_value_validation() {
+        assert!(ks_critical(0, 3.0).is_err());
+        assert!(ks_critical(100, 0.0).is_err());
+        assert!((ks_critical(100, 3.0).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_gross_mismatch() {
+        // All mass at 0 against a fair coin: distance 1/2.
+        let d = ks_statistic(&[100, 0], |k| if k == 0 { 0.5 } else { 1.0 }).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+        assert!(!ks_passes(&[100, 0], |k| if k == 0 { 0.5 } else { 1.0 }, 3.0).unwrap());
+    }
+
+    #[test]
+    fn binomial_sampler_passes_against_its_own_cdf() {
+        let (n, p) = (60u64, 0.35);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; (n + 1) as usize];
+        for _ in 0..50_000 {
+            counts[binomial::sample(&mut rng, n, p).unwrap() as usize] += 1;
+        }
+        assert!(ks_passes(&counts, |k| binomial::cdf(n, p, k as u64).unwrap(), 3.0).unwrap());
+    }
+
+    #[test]
+    fn wrong_parameter_fails_the_test() {
+        // Sample Binomial(60, 0.35) but test against p = 0.45: must fail.
+        let (n, p) = (60u64, 0.35);
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut counts = vec![0u64; (n + 1) as usize];
+        for _ in 0..50_000 {
+            counts[binomial::sample(&mut rng, n, p).unwrap() as usize] += 1;
+        }
+        assert!(!ks_passes(&counts, |k| binomial::cdf(n, 0.45, k as u64).unwrap(), 3.0).unwrap());
+    }
+}

@@ -1,0 +1,203 @@
+//! Multinomial sampling via conditional binomial splitting.
+//!
+//! Drawing `Multinomial(n; p₁, …, p_k)` as a chain of conditional binomials
+//! — `X₁ ~ Binom(n, p₁)`, `X₂ ~ Binom(n − X₁, p₂/(1 − p₁))`, … — is exact
+//! and costs `k` binomial draws instead of `n` categorical ones. The
+//! engine's aggregated channel uses this to split "how many of my `h`
+//! samples landed on each displayed symbol".
+
+use rand::Rng;
+
+use crate::binomial;
+use crate::{Result, StatsError};
+
+/// Draws a multinomial sample: how many of `n` independent trials landed in
+/// each category, where category `i` has probability `probs[i]`.
+///
+/// `probs` must be non-negative and sum to 1 within `1e-9` (rows of noise
+/// matrices qualify directly).
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadWeights`] if `probs` is empty, has negative or
+/// non-finite entries, or does not sum to 1.
+///
+/// # Example
+///
+/// ```
+/// use np_stats::multinomial::sample;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let counts = sample(&mut rng, 1000, &[0.2, 0.3, 0.5])?;
+/// assert_eq!(counts.iter().sum::<u64>(), 1000);
+/// assert_eq!(counts.len(), 3);
+/// # Ok::<(), np_stats::StatsError>(())
+/// ```
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64]) -> Result<Vec<u64>> {
+    validate_probs(probs)?;
+    Ok(sample_unchecked(rng, n, probs))
+}
+
+/// Like [`sample`] but skips validation (hot path; callers hold rows of
+/// already-validated stochastic matrices).
+pub fn sample_unchecked<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
+    let mut out = vec![0u64; probs.len()];
+    sample_into(rng, n, probs, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`sample_unchecked`]: writes the counts into
+/// `out`. The simulation engine calls this once per agent per round, so
+/// avoiding the per-call `Vec` matters.
+///
+/// # Panics
+///
+/// Panics if `out.len() != probs.len()` or `probs` is empty.
+pub fn sample_into<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64], out: &mut [u64]) {
+    let k = probs.len();
+    assert!(k > 0, "empty probability vector");
+    assert_eq!(out.len(), k, "output buffer size mismatch");
+    out.fill(0);
+    let mut remaining_n = n;
+    let mut remaining_p = 1.0;
+    for i in 0..k {
+        if remaining_n == 0 {
+            break;
+        }
+        if i == k - 1 {
+            out[i] = remaining_n;
+            break;
+        }
+        // Conditional probability of category i among the remaining mass,
+        // clamped against float drift.
+        let cond = (probs[i] / remaining_p).clamp(0.0, 1.0);
+        let x = binomial::sample_unchecked(rng, remaining_n, cond);
+        out[i] = x;
+        remaining_n -= x;
+        remaining_p = (remaining_p - probs[i]).max(0.0);
+        if remaining_p <= 0.0 {
+            // All residual categories have zero probability.
+            break;
+        }
+    }
+}
+
+fn validate_probs(probs: &[f64]) -> Result<()> {
+    if probs.is_empty() {
+        return Err(StatsError::BadWeights {
+            detail: "empty probability vector".into(),
+        });
+    }
+    if let Some(p) = probs.iter().find(|p| !p.is_finite() || **p < 0.0) {
+        return Err(StatsError::BadWeights {
+            detail: format!("invalid probability {p}"),
+        });
+    }
+    let total: f64 = probs.iter().sum();
+    if (total - 1.0).abs() > 1e-9 {
+        return Err(StatsError::BadWeights {
+            detail: format!("probabilities sum to {total}, expected 1"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_probs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample(&mut rng, 10, &[]).is_err());
+        assert!(sample(&mut rng, 10, &[0.5, 0.6]).is_err());
+        assert!(sample(&mut rng, 10, &[1.5, -0.5]).is_err());
+        assert!(sample(&mut rng, 10, &[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let counts = sample(&mut rng, 997, &[0.1, 0.2, 0.3, 0.4]).unwrap();
+            assert_eq!(counts.iter().sum::<u64>(), 997);
+        }
+    }
+
+    #[test]
+    fn zero_probability_categories_stay_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let counts = sample(&mut rng, 500, &[0.5, 0.0, 0.5]).unwrap();
+            assert_eq!(counts[1], 0);
+        }
+    }
+
+    #[test]
+    fn degenerate_distribution_puts_all_in_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = sample(&mut rng, 42, &[0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(counts, vec![0, 42, 0]);
+    }
+
+    #[test]
+    fn n_zero_gives_zero_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let counts = sample(&mut rng, 0, &[0.25, 0.75]).unwrap();
+        assert_eq!(counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn marginal_frequencies_match() {
+        let probs = [0.15, 0.35, 0.5];
+        let mut rng = StdRng::seed_from_u64(5);
+        let n_per = 1000u64;
+        let reps = 2000usize;
+        let mut sums = [0u64; 3];
+        for _ in 0..reps {
+            let counts = sample(&mut rng, n_per, &probs).unwrap();
+            for (s, c) in sums.iter_mut().zip(&counts) {
+                *s += c;
+            }
+        }
+        let total = (n_per as f64) * (reps as f64);
+        for (i, &s) in sums.iter().enumerate() {
+            let got = s as f64 / total;
+            assert!(
+                (got - probs[i]).abs() < 0.005,
+                "category {i}: got {got}, want {}",
+                probs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn single_category_gets_everything() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(sample(&mut rng, 13, &[1.0]).unwrap(), vec![13]);
+    }
+
+    #[test]
+    fn sample_into_matches_allocating_variant() {
+        let probs = [0.25, 0.25, 0.5];
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut buf = [0u64; 3];
+        for _ in 0..50 {
+            let owned = sample_unchecked(&mut a, 100, &probs);
+            sample_into(&mut b, 100, &probs, &mut buf);
+            assert_eq!(owned.as_slice(), buf.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn sample_into_checks_buffer_size() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut buf = [0u64; 2];
+        sample_into(&mut rng, 10, &[0.5, 0.25, 0.25], &mut buf);
+    }
+}

@@ -1,0 +1,151 @@
+//! Rademacher random variables (Definition 18 of the paper).
+//!
+//! A `Rad(p)` variable takes value `+1` with probability `p` and `−1`
+//! otherwise. The paper's weak-opinion analysis (Section 2.3, Lemma 20)
+//! reduces sums of `{−1, 0, +1}` evidence variables to sums of Rademacher
+//! variables conditioned on the number of non-zeros; this module provides
+//! both the single-draw primitive and the exact sum-of-`m` shortcut.
+
+use rand::Rng;
+
+use crate::binomial;
+use crate::{Result, StatsError};
+
+/// Draws one `Rad(p)` value: `+1` with probability `p`, `−1` otherwise.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadProbability`] if `p ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use np_stats::rademacher::sample;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let x = sample(&mut rng, 0.75)?;
+/// assert!(x == 1 || x == -1);
+/// # Ok::<(), np_stats::StatsError>(())
+/// ```
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, p: f64) -> Result<i64> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(StatsError::BadProbability { value: p });
+    }
+    Ok(if rng.gen::<f64>() < p { 1 } else { -1 })
+}
+
+/// Draws the sum of `m` i.i.d. `Rad(p)` variables in O(σ) time via the
+/// identity `Σ Rad(p) = 2·Binomial(m, p) − m`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadProbability`] if `p ∉ [0, 1]`.
+pub fn sum<R: Rng + ?Sized>(rng: &mut R, m: u64, p: f64) -> Result<i64> {
+    let heads = binomial::sample(rng, m, p)?;
+    Ok(2 * heads as i64 - m as i64)
+}
+
+/// Exact `P(Σᵢ Xᵢ > 0) − P(Σᵢ Xᵢ < 0)` for `m` i.i.d. `Rad(½ + θ)`
+/// variables, by direct binomial summation.
+///
+/// Used in tests to confirm that the paper's Lemma 22 lower bound really
+/// lower-bounds the truth.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadProbability`] if `½ + θ ∉ [0, 1]`.
+pub fn exact_sign_advantage(m: u64, theta: f64) -> Result<f64> {
+    let p = 0.5 + theta;
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(StatsError::BadProbability { value: p });
+    }
+    // Σ > 0 ⟺ heads > m/2; Σ < 0 ⟺ heads < m/2.
+    let mut gt = 0.0;
+    let mut lt = 0.0;
+    for k in 0..=m {
+        let mass = binomial::pmf(m, p, k)?;
+        if 2 * k > m {
+            gt += mass;
+        } else if 2 * k < m {
+            lt += mass;
+        }
+    }
+    Ok(gt - lt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_values_and_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = sample(&mut rng, 0.5).unwrap();
+            assert!(x == 1 || x == -1);
+        }
+        assert!(sample(&mut rng, -0.1).is_err());
+        assert!(sample(&mut rng, 1.1).is_err());
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample(&mut rng, 1.0).unwrap(), 1);
+        assert_eq!(sample(&mut rng, 0.0).unwrap(), -1);
+        assert_eq!(sum(&mut rng, 10, 1.0).unwrap(), 10);
+        assert_eq!(sum(&mut rng, 10, 0.0).unwrap(), -10);
+    }
+
+    #[test]
+    fn sum_has_correct_parity_and_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for m in [1u64, 2, 7, 100] {
+            for _ in 0..50 {
+                let s = sum(&mut rng, m, 0.6).unwrap();
+                assert!(s.unsigned_abs() <= m);
+                // Sum of m ±1's has the parity of m.
+                assert_eq!((s + m as i64) % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_mean_matches_expectation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (m, p) = (10_000u64, 0.53);
+        let reps = 2000;
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            acc += sum(&mut rng, m, p).unwrap() as f64;
+        }
+        let mean = acc / reps as f64;
+        let expect = m as f64 * (2.0 * p - 1.0);
+        let sd = (m as f64 * 4.0 * p * (1.0 - p)).sqrt();
+        assert!((mean - expect).abs() < 6.0 * sd / (reps as f64).sqrt());
+    }
+
+    #[test]
+    fn exact_sign_advantage_zero_for_fair() {
+        // Fair coin: by symmetry the advantage is 0 (odd m) and 0 (even m).
+        assert!(exact_sign_advantage(9, 0.0).unwrap().abs() < 1e-12);
+        assert!(exact_sign_advantage(10, 0.0).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_sign_advantage_increases_with_theta() {
+        let a1 = exact_sign_advantage(101, 0.01).unwrap();
+        let a2 = exact_sign_advantage(101, 0.05).unwrap();
+        let a3 = exact_sign_advantage(101, 0.2).unwrap();
+        assert!(0.0 < a1 && a1 < a2 && a2 < a3 && a3 <= 1.0);
+    }
+
+    #[test]
+    fn exact_sign_advantage_validates() {
+        assert!(exact_sign_advantage(10, 0.6).is_err());
+        assert!(exact_sign_advantage(10, -0.6).is_err());
+    }
+}

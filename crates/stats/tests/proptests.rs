@@ -1,0 +1,148 @@
+//! Property-based tests for the statistics substrate.
+
+use np_stats::alias::AliasTable;
+use np_stats::estimate::{wilson_interval, Running, Summary};
+use np_stats::seeds::SeedSequence;
+use np_stats::{binomial, multinomial, rademacher};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn binomial_pmf_sums_to_one(n in 1u64..200, p in 0.0f64..=1.0) {
+        let total: f64 = (0..=n).map(|k| binomial::pmf(n, p, k).unwrap()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn binomial_cdf_is_monotone(n in 1u64..100, p in 0.0f64..=1.0) {
+        let mut prev = -1.0;
+        for k in 0..=n {
+            let c = binomial::cdf(n, p, k).unwrap();
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn binomial_samples_stay_in_support(n in 0u64..100_000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let x = binomial::sample(&mut rng, n, p).unwrap();
+            prop_assert!(x <= n);
+        }
+    }
+
+    #[test]
+    fn binomial_sample_mean_tracks_np(n in 100u64..5000, p in 0.05f64..0.95, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 300;
+        let mut acc = 0.0;
+        for _ in 0..draws {
+            acc += binomial::sample(&mut rng, n, p).unwrap() as f64;
+        }
+        let mean = acc / draws as f64;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        // 6 standard errors of the mean.
+        prop_assert!(
+            (mean - n as f64 * p).abs() < 6.0 * sd / (draws as f64).sqrt() + 1e-9,
+            "mean {mean} vs np {}", n as f64 * p
+        );
+    }
+
+    #[test]
+    fn multinomial_counts_sum_and_respect_zeros(
+        n in 0u64..10_000,
+        weights in prop::collection::vec(0.0f64..1.0, 2..8),
+        seed in any::<u64>()
+    ) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 0.01);
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = multinomial::sample(&mut rng, n, &probs).unwrap();
+        prop_assert_eq!(counts.iter().sum::<u64>(), n);
+        for (c, p) in counts.iter().zip(&probs) {
+            if *p == 0.0 {
+                prop_assert_eq!(*c, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_only_emits_positive_weight_categories(
+        weights in prop::collection::vec(0.0f64..10.0, 1..16),
+        seed in any::<u64>()
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let s = table.sample(&mut rng);
+            prop_assert!(weights[s] > 0.0, "sampled zero-weight category {s}");
+        }
+    }
+
+    #[test]
+    fn rademacher_sum_has_parity_of_m(m in 1u64..500, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = rademacher::sum(&mut rng, m, p).unwrap();
+        prop_assert!(s.unsigned_abs() <= m);
+        prop_assert_eq!((s + m as i64).rem_euclid(2), 0);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate(
+        successes in 0u64..100,
+        extra in 1u64..100,
+        z in 0.5f64..4.0
+    ) {
+        let trials = successes + extra;
+        let (lo, hi) = wilson_interval(successes, trials, z).unwrap();
+        let p_hat = successes as f64 / trials as f64;
+        prop_assert!(lo <= p_hat + 1e-12 && p_hat <= hi + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn running_matches_batch_summary(xs in prop::collection::vec(-100.0f64..100.0, 1..100)) {
+        let mut running = Running::new();
+        for &x in &xs {
+            running.push(x);
+        }
+        let summary = Summary::from_values(&xs).unwrap();
+        prop_assert!((running.mean().unwrap() - summary.mean()).abs() < 1e-9);
+        prop_assert_eq!(running.min().unwrap(), summary.min());
+        prop_assert_eq!(running.max().unwrap(), summary.max());
+    }
+
+    #[test]
+    fn summary_percentiles_are_monotone(xs in prop::collection::vec(-50.0f64..50.0, 2..80)) {
+        let s = Summary::from_values(&xs).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=10 {
+            let q = s.percentile(k as f64 / 10.0).unwrap();
+            prop_assert!(q >= prev - 1e-12);
+            prev = q;
+        }
+        prop_assert_eq!(s.percentile(0.0).unwrap(), s.min());
+        prop_assert_eq!(s.percentile(1.0).unwrap(), s.max());
+    }
+
+    #[test]
+    fn seed_sequences_are_injective_within_prefix(master in any::<u64>()) {
+        let seq = SeedSequence::new(master);
+        let seeds: Vec<u64> = (0..256).map(|i| seq.seed_at(i)).collect();
+        let unique: std::collections::HashSet<&u64> = seeds.iter().collect();
+        prop_assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn lemma22_bound_is_valid_for_random_parameters(m in 1u64..400, theta in 0.0f64..=0.5) {
+        let bound = np_stats::concentration::lemma22_lower_bound(theta, m).unwrap();
+        let exact = np_stats::rademacher::exact_sign_advantage(m, theta).unwrap();
+        prop_assert!(bound <= exact + 1e-9, "bound {bound} > exact {exact}");
+    }
+}

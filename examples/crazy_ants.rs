@@ -1,0 +1,73 @@
+//! Cooperative transport by "crazy ants" (Paratrechina longicornis) —
+//! the paper's motivating scenario (§1.1, §3).
+//!
+//! A group of ants carries a food item. Each carrier senses, through the
+//! load itself, the *cumulative* force of all carriers — a noisy
+//! observation of the whole group's directional tendency, i.e. the noisy
+//! PULL(h) model with `h = n`. Occasionally one freshly arrived ant knows
+//! the way to the nest: a single source. Gelblum et al. (2015) showed the
+//! informed ant's direction *eventually* wins; the paper shows it can win
+//! *fast* (logarithmic time) because the sample size is large.
+//!
+//! This example runs that story: one informed ant among `n` carriers at
+//! three sample sizes — full load sensing (`h = n`), partial sensing
+//! (`h = √n`), and pairwise antennation (`h = 1`) — and reports how long
+//! the informed direction takes to dominate. The `h = 1` run is the
+//! regime where Boczkowski et al.'s Ω(n) bound bites.
+//!
+//! ```text
+//! cargo run --release --example crazy_ants
+//! ```
+
+use noisy_pull_repro::prelude::*;
+
+fn run_with_sample_size(n: usize, h: usize, delta: f64, seed: u64) -> (u64, u64, bool) {
+    let config = PopulationConfig::new(n, 0, 1, h).expect("valid scenario");
+    let params = SfParams::derive(&config, delta, 1.0).expect("valid scenario");
+    let noise = NoiseMatrix::uniform(2, delta).expect("valid scenario");
+    let mut world = World::new(
+        &SourceFilter::new(params),
+        config,
+        &noise,
+        if h <= 8 { ChannelKind::Exact } else { ChannelKind::Aggregated },
+        seed,
+    )
+    .expect("alphabets match");
+    // Find the settle round: run the full schedule tracking the last
+    // non-consensus round.
+    let mut last_bad = 0;
+    for r in 1..=params.total_rounds() {
+        world.step();
+        if !world.is_consensus() {
+            last_bad = r;
+        }
+    }
+    let converged = world.is_consensus();
+    (last_bad + 1, params.total_rounds(), converged)
+}
+
+fn main() {
+    let n = 512; // carrying ants
+    let delta = 0.2; // mechanical noise in force sensing
+
+    println!("cooperative transport: {n} carrier ants, 1 informed ant, δ = {delta}\n");
+    println!("   sensing mode          h    settled at  schedule  converged");
+    println!("   ------------------------------------------------------------");
+    let sqrt_n = (n as f64).sqrt() as usize;
+    for (label, h) in [
+        ("load sensing (h = n)   ", n),
+        ("partial load (h = √n)  ", sqrt_n),
+        ("antennation  (h = 1)   ", 1),
+    ] {
+        let (settle, schedule, ok) = run_with_sample_size(n, h, delta, 7);
+        println!("   {label} {h:>5} {settle:>11} {schedule:>9}  {ok}");
+    }
+
+    println!(
+        "\nreading: with full load sensing the informed direction takes over in\n\
+         O(log n) rounds; with pairwise antennation the schedule balloons to\n\
+         Θ(n log n) — the exponential separation the paper proves. Sensing the\n\
+         average tendency of the group is what makes a single informed ant\n\
+         effective *quickly*."
+    );
+}

@@ -1,0 +1,72 @@
+//! PUSH vs PULL under noise: why the paper's model is the hard one (§1.5).
+//!
+//! Same task — one source, pairwise communication (`h = 1`), 10% noise —
+//! in the two models. In PUSH, reception is a reliable event ("someone
+//! meant to talk to me") even though content is noisy; in PULL there is
+//! no such signal, and Boczkowski et al. proved an Ω(n) lower bound. This
+//! example measures both dissemination times side by side.
+//!
+//! ```text
+//! cargo run --release --example push_vs_pull
+//! ```
+
+use noisy_pull_repro::baselines::push_spreading::{PushSpreading, PushSpreadingParams};
+use noisy_pull_repro::engine::push::PushWorld;
+use noisy_pull_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let delta = 0.1;
+    println!("single source, h = 1, δ = {delta}: dissemination cost by model\n");
+    println!("      n   PULL listening   PUSH spreading   ratio");
+    println!("   ------------------------------------------------");
+    for exp in [7usize, 8, 9, 10] {
+        let n = 1 << exp;
+
+        // PULL: SF's listening phases are the dissemination part.
+        let config = PopulationConfig::new(n, 0, 1, 1)?;
+        let sf_params = SfParams::derive(&config, delta, 1.0)?;
+        let pull_dissem = 2 * sf_params.phase_len();
+
+        // PUSH: the spreading stage.
+        let push_params = PushSpreadingParams::derive(n, 1, delta);
+        let push_dissem = push_params.spreading_rounds();
+
+        println!(
+            "   {n:>4}   {pull_dissem:>14}   {push_dissem:>14}   {:>5.1}",
+            pull_dissem as f64 / push_dissem as f64
+        );
+    }
+
+    // Run the PUSH protocol once end-to-end to show it actually works.
+    let n = 512;
+    let params = PushSpreadingParams::derive(n, 1, delta);
+    let config = PopulationConfig::new(n, 0, 1, 1)?;
+    let noise = NoiseMatrix::uniform(2, delta)?;
+    let mut world = PushWorld::new(&PushSpreading::new(params), config, &noise, 3)?;
+    world.run(params.spreading_rounds());
+    let informed = world
+        .iter_agents()
+        .filter(|a| a.is_informed())
+        .count();
+    println!(
+        "\nPUSH at n = {n}: {informed}/{n} agents informed after the \
+         {}-round spreading stage",
+        params.spreading_rounds()
+    );
+    world.run(params.total_rounds() - params.spreading_rounds());
+    println!(
+        "after correction: consensus = {} ({} rounds total)",
+        world.is_consensus(),
+        params.total_rounds()
+    );
+    assert!(world.is_consensus());
+
+    println!(
+        "\nreading: PULL's listening cost grows linearly in n (the Ω(n)\n\
+         bound), PUSH's spreading stage stays logarithmic. One reliable\n\
+         bit — 'this message was intended' — changes the complexity class.\n\
+         The paper's result: in PULL, a large sample size h buys back what\n\
+         that missing bit costs."
+    );
+    Ok(())
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table (console + CSV under target/experiments/).
+# Set NP_QUICK=1 for a fast smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exps=(exp_fig1 exp_logtime exp_speedup_h exp_noise_sweep exp_bias_sweep
+      exp_self_stab exp_lb_tightness exp_weak_opinion exp_boosting
+      exp_reduction exp_baselines exp_conflict exp_push_pull
+      exp_ablation_c1 exp_memory exp_sf_variant exp_trajectory exp_replacement
+      exp_scale)
+for exp in "${exps[@]}"; do
+    echo "### $exp"
+    cargo run --release -q -p np-bench --bin "$exp"
+    echo
+done

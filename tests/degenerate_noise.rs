@@ -1,0 +1,104 @@
+//! Integration: behaviour at the edges of the noise range — the
+//! information-theoretic sanity checks.
+
+use noisy_pull_repro::prelude::*;
+
+#[test]
+fn sf_under_fully_mixing_noise_cannot_learn() {
+    // δ = ½ on the binary alphabet: observations are fair coins carrying
+    // zero information. No protocol can do better than chance; check SF's
+    // machinery doesn't somehow "succeed" reliably. (SfParams rejects
+    // δ ≥ ½, so we drive the world with a δ = 0.5 channel while the
+    // protocol believes δ = 0.4 — the belief only sets the schedule.)
+    let n = 128;
+    let config = PopulationConfig::new(n, 0, 1, n).unwrap();
+    let params = SfParams::derive(&config, 0.4, 0.25).unwrap();
+    let channel_noise = NoiseMatrix::uniform(2, 0.5).unwrap();
+    let mut successes = 0;
+    for seed in 0..6 {
+        let mut world = World::new(
+            &SourceFilter::new(params),
+            config,
+            &channel_noise,
+            ChannelKind::Aggregated,
+            seed,
+        )
+        .unwrap();
+        world.run(params.total_rounds());
+        if world.is_consensus() {
+            successes += 1;
+        }
+    }
+    // Boosting converges to *some* unanimous value; it is correct only by
+    // coin flip. All six correct would be a 1/64 event.
+    assert!(successes < 6, "learned from a zero-information channel?");
+}
+
+#[test]
+fn sf_noiseless_converges_fast_and_surely() {
+    let n = 128;
+    let config = PopulationConfig::new(n, 0, 1, n).unwrap();
+    let params = SfParams::derive(&config, 0.0, 1.0).unwrap();
+    let noise = NoiseMatrix::uniform(2, 0.0).unwrap();
+    for seed in 0..4 {
+        let mut world = World::new(
+            &SourceFilter::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            seed,
+        )
+        .unwrap();
+        world.run(params.total_rounds());
+        assert!(world.is_consensus(), "seed {seed}");
+    }
+}
+
+#[test]
+fn ssf_rejects_noise_at_and_beyond_quarter() {
+    let config = PopulationConfig::new(64, 0, 1, 64).unwrap();
+    assert!(SsfParams::derive(&config, 0.25, 1.0).is_err());
+    assert!(SsfParams::derive(&config, 0.3, 1.0).is_err());
+    assert!(SsfParams::derive(&config, 0.2499, 1.0).is_ok());
+}
+
+#[test]
+fn sf_tolerates_noise_arbitrarily_close_to_half() {
+    // δ = 0.42 is brutal but information still flows; with the derived
+    // (large) budget SF must still converge.
+    let n = 256;
+    let config = PopulationConfig::new(n, 0, 1, n).unwrap();
+    let params = SfParams::derive(&config, 0.42, 1.0).unwrap();
+    let noise = NoiseMatrix::uniform(2, 0.42).unwrap();
+    let mut world = World::new(
+        &SourceFilter::new(params),
+        config,
+        &noise,
+        ChannelKind::Aggregated,
+        11,
+    )
+    .unwrap();
+    world.run(params.total_rounds());
+    assert!(world.is_consensus(), "{}/{n}", world.correct_count());
+}
+
+#[test]
+fn reduction_handles_nearly_singular_channel() {
+    // δ close to 1/d: N is nearly fully mixing; the inverse norm explodes
+    // (Corollary 14's bound diverges) but the construction must still
+    // produce a valid stochastic P with δ' < 1/d.
+    let n = NoiseMatrix::uniform(2, 0.49).unwrap();
+    let red = n.artificial_noise().unwrap();
+    assert!(red.uniform_level() < 0.5);
+    let composed = n.compose(red.artificial()).unwrap();
+    assert!(composed.is_uniform_with_level(red.uniform_level(), 1e-7));
+}
+
+#[test]
+fn lower_bound_formula_degenerates_gracefully() {
+    use noisy_pull_repro::core::theory;
+    // δ|Σ| = 1 has no informative bound.
+    assert!(theory::lower_bound_rounds(100, 1, 1, 0.5, 2).is_err());
+    // δ = 0: bound is 0 rounds (no noise — spreading is easy).
+    assert_eq!(theory::lower_bound_rounds(100, 1, 1, 0.0, 2).unwrap(), 0.0);
+}

@@ -1,0 +1,112 @@
+//! Integration: the full Theorem 8 pipeline — derive artificial noise from
+//! a non-uniform channel, wrap a protocol, and converge — plus an
+//! empirical distributional check of the two-stage channel.
+
+use noisy_pull_repro::prelude::*;
+use np_stats::alias::RowSamplers;
+use np_stats::hist::Histogram;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sf_under_asymmetric_binary_noise() {
+    let real = NoiseMatrix::from_rows(vec![vec![0.93, 0.07], vec![0.15, 0.85]]).unwrap();
+    let reduction = real.artificial_noise().unwrap();
+    assert!(reduction.uniform_level() < 0.5);
+
+    let config = PopulationConfig::new(256, 0, 1, 256).unwrap();
+    let params = SfParams::derive(&config, reduction.uniform_level(), 1.5).unwrap();
+    let protocol =
+        WithArtificialNoise::new(SourceFilter::new(params), reduction.artificial().clone())
+            .unwrap();
+    let mut world =
+        World::new(&protocol, config, &real, ChannelKind::Aggregated, 31).unwrap();
+    world.run(params.total_rounds());
+    assert!(world.is_consensus(), "{}/256", world.correct_count());
+}
+
+#[test]
+fn ssf_under_asymmetric_four_symbol_noise() {
+    // A lopsided 4-symbol channel within the δ-upper-bounded class.
+    let real = NoiseMatrix::from_rows(vec![
+        vec![0.91, 0.04, 0.03, 0.02],
+        vec![0.01, 0.93, 0.02, 0.04],
+        vec![0.03, 0.03, 0.92, 0.02],
+        vec![0.02, 0.02, 0.04, 0.92],
+    ])
+    .unwrap();
+    let reduction = real.artificial_noise().unwrap();
+    assert!(
+        reduction.uniform_level() < 0.25,
+        "δ' = {} must stay below 1/4 for SSF",
+        reduction.uniform_level()
+    );
+
+    let config = PopulationConfig::new(256, 0, 1, 256).unwrap();
+    let params = SsfParams::derive(&config, reduction.uniform_level(), 8.0).unwrap();
+    let protocol = WithArtificialNoise::new(
+        SelfStabilizingSourceFilter::new(params),
+        reduction.artificial().clone(),
+    )
+    .unwrap();
+    let mut world =
+        World::new(&protocol, config, &real, ChannelKind::Aggregated, 33).unwrap();
+    world.run(params.expected_convergence_rounds() + 2);
+    assert!(world.is_consensus(), "{}/256", world.correct_count());
+}
+
+#[test]
+fn two_stage_channel_matches_uniform_target_empirically() {
+    let real = NoiseMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.22, 0.78]]).unwrap();
+    let reduction = real.artificial_noise().unwrap();
+    let target = NoiseMatrix::uniform(2, reduction.uniform_level()).unwrap();
+
+    let n_rows: Vec<Vec<f64>> = (0..2).map(|s| real.observation_distribution(s).to_vec()).collect();
+    let p_rows: Vec<Vec<f64>> = (0..2)
+        .map(|s| reduction.artificial().observation_distribution(s).to_vec())
+        .collect();
+    let n_sampler = RowSamplers::new(&n_rows).unwrap();
+    let p_sampler = RowSamplers::new(&p_rows).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let uses = 200_000u64;
+    for displayed in 0..2 {
+        let mut hist = Histogram::new(2);
+        for _ in 0..uses {
+            let mid = n_sampler.observe(&mut rng, displayed);
+            hist.record(p_sampler.observe(&mut rng, mid));
+        }
+        let tv = hist
+            .tv_distance_to(target.observation_distribution(displayed))
+            .unwrap();
+        let bound = 4.0 * (1.0 / (2.0 * uses as f64)).sqrt();
+        assert!(tv < bound, "displayed {displayed}: TV {tv} ≥ {bound}");
+    }
+}
+
+#[test]
+fn reduction_rejects_hopeless_channels() {
+    // A channel that flips more often than chance has no δ ≤ 1/d class.
+    let hopeless = NoiseMatrix::from_rows(vec![vec![0.3, 0.7], vec![0.7, 0.3]]).unwrap();
+    assert!(hopeless.artificial_noise().is_err());
+}
+
+#[test]
+fn reduction_preserves_weak_opinion_access_through_wrapper() {
+    let real = NoiseMatrix::from_rows(vec![vec![0.95, 0.05], vec![0.1, 0.9]]).unwrap();
+    let reduction = real.artificial_noise().unwrap();
+    let config = PopulationConfig::new(64, 0, 1, 64).unwrap();
+    let params = SfParams::derive(&config, reduction.uniform_level(), 1.0).unwrap();
+    let protocol =
+        WithArtificialNoise::new(SourceFilter::new(params), reduction.artificial().clone())
+            .unwrap();
+    let mut world =
+        World::new(&protocol, config, &real, ChannelKind::Aggregated, 35).unwrap();
+    world.run(2 * params.phase_len());
+    // The wrapped agent's weak opinion is reachable for analysis.
+    let have_weak = world
+        .iter_agents()
+        .filter(|a| a.inner().weak_opinion().is_some())
+        .count();
+    assert_eq!(have_weak, 64);
+}

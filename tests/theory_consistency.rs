@@ -1,0 +1,128 @@
+//! Integration: measured behaviour against the paper's closed forms —
+//! small-scale versions of EXP-T4-*, EXP-LB and EXP-WEAK that run in CI.
+
+use noisy_pull_repro::core::theory;
+use noisy_pull_repro::prelude::*;
+use np_bench::harness::{summarize, SfSetup};
+
+#[test]
+fn doubling_h_roughly_halves_time_in_the_h_bound_regime() {
+    // n modest, h ≪ n: the 1/h term dominates the schedule.
+    let base = SfSetup {
+        n: 256,
+        s0: 0,
+        s1: 1,
+        h: 4,
+        delta: 0.1,
+        c1: 1.0,
+    };
+    let faster = SfSetup { h: 8, ..base };
+    let t_base = summarize(&base.run_many(1, 6)).1.expect("converges").mean();
+    let t_fast = summarize(&faster.run_many(2, 6)).1.expect("converges").mean();
+    let ratio = t_base / t_fast;
+    assert!(
+        (1.5..=2.6).contains(&ratio),
+        "halving ratio {ratio} outside [1.5, 2.6]"
+    );
+}
+
+#[test]
+fn settle_time_at_h_equals_n_is_logarithmic_not_linear() {
+    // Quadrupling n must NOT quadruple the time (it should grow ~ln n).
+    let small = SfSetup::single_source_full_sample(128, 0.2, 1.0);
+    let large = SfSetup::single_source_full_sample(512, 0.2, 1.0);
+    let t_small = summarize(&small.run_many(3, 6)).1.expect("converges").mean();
+    let t_large = summarize(&large.run_many(4, 6)).1.expect("converges").mean();
+    let growth = t_large / t_small;
+    let linear_growth = 4.0;
+    assert!(
+        growth < linear_growth / 1.5,
+        "time grew {growth}× for 4× population — not logarithmic"
+    );
+}
+
+#[test]
+fn measured_time_within_log_factor_of_lower_bound() {
+    let setup = SfSetup::single_source_full_sample(512, 0.2, 1.0);
+    let measured = summarize(&setup.run_many(5, 6)).1.expect("converges").mean();
+    let lb = theory::lower_bound_rounds(512, 512, 1, 0.2, 2).unwrap();
+    let ratio = measured / lb.max(1.0);
+    let log_n = (512f64).ln();
+    assert!(
+        ratio < 60.0 * log_n,
+        "measured/lower = {ratio}, far beyond O(log n) = {log_n}"
+    );
+}
+
+#[test]
+fn sf_weak_opinions_have_the_advertised_advantage() {
+    // Lemma 28 shape: advantage ≥ ~c·√(ln n / n) for some constant c > 0.
+    let n = 256;
+    let config = PopulationConfig::new(n, 0, 1, n).unwrap();
+    let params = SfParams::derive(&config, 0.2, 1.0).unwrap();
+    let noise = NoiseMatrix::uniform(2, 0.2).unwrap();
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for seed in 0..30 {
+        let mut world = World::new(
+            &SourceFilter::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            0x3A + seed,
+        )
+        .unwrap();
+        world.run(2 * params.phase_len());
+        for agent in world.iter_agents() {
+            correct += u64::from(agent.weak_opinion() == Some(Opinion::One));
+            total += 1;
+        }
+    }
+    let measured = correct as f64 / total as f64;
+    let advantage = measured - 0.5;
+    let yardstick = ((n as f64).ln() / n as f64).sqrt();
+    assert!(
+        advantage > 0.2 * yardstick,
+        "advantage {advantage} below 0.2×√(ln n/n) = {}",
+        0.2 * yardstick
+    );
+    // And the Claim 29 evidence model predicts the measured accuracy
+    // within sampling error (~7.7k weak-opinion samples → 3σ ≈ 0.017).
+    let model = theory::sf_weak_opinion_model(n, 0, 1, 0.2, params.m()).unwrap();
+    assert!(
+        (measured - model).abs() < 0.02,
+        "measured {measured} vs Claim-29 model {model}"
+    );
+}
+
+#[test]
+fn theorem_formulas_bound_schedules_consistently() {
+    // The derived schedule length must scale with the Theorem 4 formula
+    // across a parameter sweep (fixed constant ratio band).
+    let mut ratios = Vec::new();
+    for &(n, h, delta) in &[
+        (512usize, 512usize, 0.1f64),
+        (512, 512, 0.3),
+        (1024, 1024, 0.2),
+        (1024, 64, 0.2),
+        (2048, 2048, 0.2),
+    ] {
+        let setup = SfSetup {
+            n,
+            s0: 0,
+            s1: 1,
+            h,
+            delta,
+            c1: 1.0,
+        };
+        let schedule = setup.params().total_rounds() as f64;
+        let formula = theory::sf_upper_bound_rounds(n, h, 0, 1, delta).unwrap();
+        ratios.push(schedule / formula);
+    }
+    let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 30.0,
+        "schedule/formula ratios vary too widely: {ratios:?}"
+    );
+}
