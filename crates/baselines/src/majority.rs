@@ -133,8 +133,7 @@ mod tests {
         // rounds even under noise.
         let config = PopulationConfig::new(128, 0, 80, 128).unwrap();
         let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
-        let mut world =
-            World::new(&HMajority, config, &noise, ChannelKind::Aggregated, 3).unwrap();
+        let mut world = World::new(&HMajority, config, &noise, ChannelKind::Aggregated, 3).unwrap();
         let outcome = world.run_until_consensus(100);
         assert!(outcome.converged());
         assert!(outcome.rounds().unwrap() < 20);

@@ -48,7 +48,10 @@ impl MeanEstimator {
     ///
     /// Panics unless `0 ≤ δ < ½`.
     pub fn new(delta: f64) -> Self {
-        assert!((0.0..0.5).contains(&delta), "delta {delta} outside [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&delta),
+            "delta {delta} outside [0, 0.5)"
+        );
         MeanEstimator { delta }
     }
 

@@ -57,7 +57,10 @@ impl PushSpreadingParams {
     pub fn derive(n: usize, h: usize, delta: f64) -> Self {
         assert!(n >= 2, "need at least two agents");
         assert!(h >= 1, "fan-out must be positive");
-        assert!((0.0..0.5).contains(&delta), "delta {delta} outside [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&delta),
+            "delta {delta} outside [0, 0.5)"
+        );
         let ln_n = (n as f64).ln().max(1.0);
         let receipt_window = (2.0 * ln_n).ceil() as u64;
         let growth = (1.0 + h as f64 * receipt_window as f64).ln();
@@ -216,7 +219,9 @@ impl PushAgentState for PushSpreadingAgent {
                     if subphase + 1 >= self.params.correction_subphases {
                         self.stage = PushStage::Done;
                     } else {
-                        self.stage = PushStage::Correcting { subphase: subphase + 1 };
+                        self.stage = PushStage::Correcting {
+                            subphase: subphase + 1,
+                        };
                     }
                 }
             }

@@ -169,8 +169,7 @@ mod tests {
             let config = PopulationConfig::new(512, 0, 1, 8).unwrap();
             let noise = NoiseMatrix::uniform(4, 0.1).unwrap();
             let mut world =
-                World::new(&TrustingCopy, config, &noise, ChannelKind::Aggregated, seed)
-                    .unwrap();
+                World::new(&TrustingCopy, config, &noise, ChannelKind::Aggregated, seed).unwrap();
             let outcome = world.run_until_consensus(500);
             if !outcome.converged() {
                 failures += 1;

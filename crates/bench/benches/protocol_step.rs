@@ -24,8 +24,7 @@ fn bench_world_step<P: Protocol>(
     let mut group = c.benchmark_group("world_step");
     group.throughput(Throughput::Elements(config.n() as u64));
     group.bench_with_input(BenchmarkId::new(label, config.n()), &(), |b, _| {
-        let mut world =
-            World::new(proto, config, &noise, ChannelKind::Aggregated, 7).unwrap();
+        let mut world = World::new(proto, config, &noise, ChannelKind::Aggregated, 7).unwrap();
         b.iter(|| {
             world.step();
             world.round()

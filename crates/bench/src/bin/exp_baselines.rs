@@ -40,9 +40,8 @@ fn run_protocol<P: Protocol + Sync>(
         runs,
         suggested_threads(),
         move |seed| {
-            let mut world =
-                World::new(proto, config, &noise, ChannelKind::Aggregated, seed)
-                    .expect("alphabets match");
+            let mut world = World::new(proto, config, &noise, ChannelKind::Aggregated, seed)
+                .expect("alphabets match");
             run_settled(&mut world, budget)
         },
     )
@@ -115,10 +114,21 @@ fn main() {
         push(&mut table, "trusting-copy", budget, &tc);
 
         // Mean estimator (δ = 0.15).
-        let me = run_protocol(&MeanEstimator::new(delta2), config2, delta2, budget, runs, 0xBA63);
+        let me = run_protocol(
+            &MeanEstimator::new(delta2),
+            config2,
+            delta2,
+            budget,
+            runs,
+            0xBA63,
+        );
         push(&mut table, "mean-estimator", budget, &me);
 
-        let name = if s0 == 0 { "baselines_single" } else { "baselines_conflict" };
+        let name = if s0 == 0 {
+            "baselines_single"
+        } else {
+            "baselines_conflict"
+        };
         table.emit(name);
     }
     println!(

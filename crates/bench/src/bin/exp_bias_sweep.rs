@@ -22,14 +22,7 @@ fn main() {
 
     let mut table = Table::new(
         "EXP-T4-S: SF settle round vs bias s (h = n, δ = 0.2, agreeing sources)",
-        &[
-            "s",
-            "runs",
-            "success",
-            "m",
-            "settle_mean",
-            "schedule_len",
-        ],
+        &["s", "runs", "success", "m", "settle_mean", "schedule_len"],
     );
     for &s in biases {
         let setup = SfSetup {

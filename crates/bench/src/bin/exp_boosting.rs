@@ -49,11 +49,21 @@ fn main() {
         // source) start correct, the rest wrong.
         let cutoff = n / 2 + a0;
         world.corrupt_agents(|id, agent, _| {
-            let opinion = if id < cutoff { Opinion::One } else { Opinion::Zero };
+            let opinion = if id < cutoff {
+                Opinion::One
+            } else {
+                Opinion::Zero
+            };
             agent.force_boost_stage(opinion);
         });
         let mut prev_margin = a0 as f64;
-        table.push_row(&[&a0, &0, &fmt_f64(prev_margin), &"-", &fmt_f64(prev_margin / n as f64)]);
+        table.push_row(&[
+            &a0,
+            &0,
+            &fmt_f64(prev_margin),
+            &"-",
+            &fmt_f64(prev_margin / n as f64),
+        ]);
         let max_subphases = 12u64.min(params.num_short_subphases());
         for sub in 1..=max_subphases {
             world.run(params.subphase_len());
@@ -63,7 +73,13 @@ fn main() {
             } else {
                 "-".to_string()
             };
-            table.push_row(&[&a0, &sub, &fmt_f64(margin), &growth, &fmt_f64(margin / n as f64)]);
+            table.push_row(&[
+                &a0,
+                &sub,
+                &fmt_f64(margin),
+                &growth,
+                &fmt_f64(margin / n as f64),
+            ]);
             prev_margin = margin;
             if margin >= n as f64 / 2.0 {
                 break;

@@ -15,7 +15,11 @@ fn main() {
     let quick = std::env::var("NP_QUICK").is_ok();
     let n = if quick { 512 } else { 2048 };
     let runs = if quick { 5 } else { 12 };
-    let totals: &[usize] = if quick { &[1, 5, 17] } else { &[1, 3, 9, 17, 33, 45] };
+    let totals: &[usize] = if quick {
+        &[1, 5, 17]
+    } else {
+        &[1, 3, 9, 17, 33, 45]
+    };
 
     let mut table = Table::new(
         "EXP-CONFLICT: bias-1 plurality consensus vs number of conflicting sources",

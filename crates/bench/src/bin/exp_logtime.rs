@@ -58,7 +58,5 @@ fn main() {
         }
     }
     table.emit("logtime");
-    println!(
-        "expected shape: success ≈ 1 everywhere; settle/ln(n) bounded (no growth with n)."
-    );
+    println!("expected shape: success ≈ 1 everywhere; settle/ln(n) bounded (no growth with n).");
 }

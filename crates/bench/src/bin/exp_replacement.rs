@@ -57,7 +57,11 @@ fn measure(
     }
     (
         wins as f64 / runs as f64,
-        if wins > 0 { settle_acc / wins as f64 } else { f64::NAN },
+        if wins > 0 {
+            settle_acc / wins as f64
+        } else {
+            f64::NAN
+        },
         weak_correct as f64 / weak_total as f64,
     )
 }
@@ -71,13 +75,7 @@ fn main() {
 
     let mut table = Table::new(
         "EXP-REPLACE: SF under with- vs without-replacement sampling (single source)",
-        &[
-            "h",
-            "mode",
-            "success",
-            "settle_mean",
-            "weak_accuracy",
-        ],
+        &["h", "mode", "success", "settle_mean", "weak_accuracy"],
     );
     for &h in &hs {
         let config = PopulationConfig::new(n, 0, 1, h).expect("grid");

@@ -54,7 +54,11 @@ where
     }
     VariantStats {
         success: wins as f64 / runs as f64,
-        settle_mean: if wins > 0 { settle_acc / wins as f64 } else { f64::NAN },
+        settle_mean: if wins > 0 {
+            settle_acc / wins as f64
+        } else {
+            f64::NAN
+        },
         weak_accuracy: weak_correct as f64 / weak_total.max(1) as f64,
     }
 }
@@ -68,13 +72,7 @@ fn main() {
 
     let mut table = Table::new(
         "EXP-VARIANT: SF vs SF-ALT (alternating displays, §2.1 Remark), h = n, single source",
-        &[
-            "n",
-            "variant",
-            "success",
-            "settle_mean",
-            "weak_accuracy",
-        ],
+        &["n", "variant", "success", "settle_mean", "weak_accuracy"],
     );
     for &n in sizes {
         let config = PopulationConfig::new(n, 0, 1, n).expect("grid");
@@ -92,7 +90,10 @@ fn main() {
                     0xFA ^ seed,
                 )
                 .expect("alphabets match");
-                (world, Box::new(|a: &noisy_pull::sf::SfAgent| a.weak_opinion()))
+                (
+                    world,
+                    Box::new(|a: &noisy_pull::sf::SfAgent| a.weak_opinion()),
+                )
             },
             params,
             listening,

@@ -16,10 +16,7 @@ fn main() {
     let runs = if quick { 5 } else { 15 };
     let delta = 0.2;
     let c1 = 1.0;
-    let hs: Vec<usize> = (0..)
-        .map(|k| 1usize << k)
-        .take_while(|&h| h <= n)
-        .collect();
+    let hs: Vec<usize> = (0..).map(|k| 1usize << k).take_while(|&h| h <= n).collect();
 
     let mut table = Table::new(
         "EXP-T4-H: SF settle round vs h (n fixed, δ = 0.2, single source)",

@@ -64,7 +64,12 @@ fn main() {
         0x7249,
     )
     .expect("alphabets match");
-    record(world, sf_params.total_rounds(), "EXP-TRAJ: SF trajectory", "trajectory_sf");
+    record(
+        world,
+        sf_params.total_rounds(),
+        "EXP-TRAJ: SF trajectory",
+        "trajectory_sf",
+    );
 
     // SSF under the poisoned-memory adversary, δ = 0.1.
     let ssf_params = SsfParams::derive(&config, 0.1, 16.0).expect("grid");
@@ -89,8 +94,14 @@ fn main() {
     );
 
     // Zealot voter, same binary noise, same budget as SF.
-    let world = World::new(&ZealotVoter, config, &noise2, ChannelKind::Aggregated, 0x724B)
-        .expect("alphabets match");
+    let world = World::new(
+        &ZealotVoter,
+        config,
+        &noise2,
+        ChannelKind::Aggregated,
+        0x724B,
+    )
+    .expect("alphabets match");
     record(
         world,
         sf_params.total_rounds(),

@@ -10,9 +10,9 @@
 //! should be statistically indistinguishable from zero.
 
 use noisy_pull::params::{SfParams, SsfParams};
-use noisy_pull::theory::{sf_weak_opinion_model, ssf_weak_opinion_model};
 use noisy_pull::sf::SourceFilter;
 use noisy_pull::ssf::SelfStabilizingSourceFilter;
+use noisy_pull::theory::{sf_weak_opinion_model, ssf_weak_opinion_model};
 use np_bench::report::{fmt_f64, Table};
 use np_engine::channel::ChannelKind;
 use np_engine::opinion::Opinion;

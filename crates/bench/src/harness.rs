@@ -308,8 +308,7 @@ mod tests {
         use np_baselines::majority::HMajority;
         let config = PopulationConfig::new(16, 0, 12, 16).unwrap();
         let noise = NoiseMatrix::uniform(2, 0.0).unwrap();
-        let mut world =
-            World::new(&HMajority, config, &noise, ChannelKind::Aggregated, 1).unwrap();
+        let mut world = World::new(&HMajority, config, &noise, ChannelKind::Aggregated, 1).unwrap();
         let m = run_settled(&mut world, 10);
         assert!(m.converged());
         assert!(m.settled_round.unwrap() <= 3);

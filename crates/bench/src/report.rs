@@ -72,7 +72,8 @@ impl Table {
             cells.len(),
             self.columns.len()
         );
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Renders the table with aligned columns.
@@ -116,10 +117,22 @@ impl Table {
     /// containing commas or quotes are quoted).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.columns.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(","));
+            out.push_str(
+                &row.iter()
+                    .map(|c| csv_cell(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
             out.push('\n');
         }
         out

@@ -123,7 +123,9 @@ impl Args {
             None => Ok(false),
             Some("true") => Ok(true),
             Some("false") => Ok(false),
-            Some(v) => Err(ArgsError(format!("flag --{name}: expected true/false, got `{v}`"))),
+            Some(v) => Err(ArgsError(format!(
+                "flag --{name}: expected true/false, got `{v}`"
+            ))),
         }
     }
 
@@ -134,7 +136,11 @@ impl Args {
     /// Returns [`ArgsError`] listing unknown flags.
     pub fn finish(&self) -> Result<(), ArgsError> {
         let consumed = self.consumed.borrow();
-        let unknown: Vec<&String> = self.flags.keys().filter(|k| !consumed.contains(*k)).collect();
+        let unknown: Vec<&String> = self
+            .flags
+            .keys()
+            .filter(|k| !consumed.contains(*k))
+            .collect();
         if unknown.is_empty() {
             Ok(())
         } else {

@@ -75,7 +75,10 @@ fn report_run<P: Protocol>(world: &mut World<P>, budget: u64, label: &str) {
     }
     let n = world.config().n();
     if world.is_consensus() {
-        println!("{label}: consensus settled at round {} / {budget}", last_bad + 1);
+        println!(
+            "{label}: consensus settled at round {} / {budget}",
+            last_bad + 1
+        );
     } else {
         println!(
             "{label}: NO consensus within {budget} rounds ({}/{} correct)",
@@ -270,7 +273,11 @@ pub fn reduce_cmd(args: &Args) -> CliResult {
         .split(';')
         .map(|row| {
             row.split(',')
-                .map(|x| x.trim().parse::<f64>().map_err(|e| format!("bad entry `{x}`: {e}")))
+                .map(|x| {
+                    x.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad entry `{x}`: {e}"))
+                })
                 .collect()
         })
         .collect();
@@ -281,7 +288,10 @@ pub fn reduce_cmd(args: &Args) -> CliResult {
     let reduction = noise.artificial_noise().map_err(err)?;
     println!("input channel N (δ = {delta:.4}):");
     println!("{:?}", noise.as_matrix());
-    println!("artificial noise P = N⁻¹·T (δ' = f(δ) = {:.4}):", reduction.uniform_level());
+    println!(
+        "artificial noise P = N⁻¹·T (δ' = f(δ) = {:.4}):",
+        reduction.uniform_level()
+    );
     println!("{:?}", reduction.artificial().as_matrix());
     let composed = noise.compose(reduction.artificial()).map_err(err)?;
     println!("composed N·P (exactly δ'-uniform):");
@@ -318,8 +328,17 @@ mod tests {
 
     #[test]
     fn ssf_small_run_succeeds() {
-        run_ssf(&args(&["--n", "64", "--delta", "0.1", "--c1", "8", "--adversary", "all-wrong"]))
-            .unwrap();
+        run_ssf(&args(&[
+            "--n",
+            "64",
+            "--delta",
+            "0.1",
+            "--c1",
+            "8",
+            "--adversary",
+            "all-wrong",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -331,8 +350,11 @@ mod tests {
     #[test]
     fn baselines_run() {
         for name in ["voter", "majority", "trusting-copy", "mean-estimator"] {
-            run_baseline(name, &args(&["--n", "32", "--budget", "20", "--delta", "0.1"]))
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            run_baseline(
+                name,
+                &args(&["--n", "32", "--budget", "20", "--delta", "0.1"]),
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
         run_baseline("push", &args(&["--n", "32", "--h", "1", "--delta", "0.1"])).unwrap();
         assert!(run_baseline("nope", &args(&[])).is_err());

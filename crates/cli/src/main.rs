@@ -11,7 +11,8 @@
 use np_cli::args::Args;
 use np_cli::commands;
 
-const USAGE: &str = "noisy-pull — protocols from 'Fast and Robust Information Spreading in the Noisy PULL Model'
+const USAGE: &str =
+    "noisy-pull — protocols from 'Fast and Robust Information Spreading in the Noisy PULL Model'
 
 USAGE:
     noisy-pull <COMMAND> [FLAGS]
@@ -62,7 +63,9 @@ fn dispatch(argv: &[String]) -> Result<(), String> {
                                 [name, ..] => commands::run_baseline(name, &args),
                                 [] => Err("run baseline: missing baseline name".into()),
                             },
-                            other => Err(format!("unknown protocol `{other}`; try sf, ssf, baseline")),
+                            other => {
+                                Err(format!("unknown protocol `{other}`; try sf, ssf, baseline"))
+                            }
                         }
                     }
                     [] => Err("run: missing protocol (sf | ssf | baseline <name>)".into()),
@@ -114,7 +117,10 @@ mod tests {
 
     #[test]
     fn end_to_end_sf_run() {
-        dispatch(&v(&["run", "sf", "--n", "64", "--delta", "0.1", "--seed", "3"])).unwrap();
+        dispatch(&v(&[
+            "run", "sf", "--n", "64", "--delta", "0.1", "--seed", "3",
+        ]))
+        .unwrap();
     }
 
     #[test]

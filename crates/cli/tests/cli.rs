@@ -42,8 +42,18 @@ fn sf_run_reports_consensus() {
 #[test]
 fn ssf_run_with_adversary() {
     let out = run_ok(&[
-        "run", "ssf", "--n", "128", "--delta", "0.1", "--c1", "8", "--adversary",
-        "poisoned-memory", "--seed", "2",
+        "run",
+        "ssf",
+        "--n",
+        "128",
+        "--delta",
+        "0.1",
+        "--c1",
+        "8",
+        "--adversary",
+        "poisoned-memory",
+        "--seed",
+        "2",
     ]);
     assert!(out.contains("consensus settled"), "{out}");
 }
@@ -56,7 +66,9 @@ fn baseline_voter_reports_failure_under_noise() {
 
 #[test]
 fn push_baseline_runs() {
-    let out = run_ok(&["run", "baseline", "push", "--n", "64", "--h", "1", "--delta", "0.1"]);
+    let out = run_ok(&[
+        "run", "baseline", "push", "--n", "64", "--h", "1", "--delta", "0.1",
+    ]);
     assert!(out.contains("push-spreading"), "{out}");
 }
 
@@ -84,5 +96,8 @@ fn errors_exit_nonzero_with_message() {
     let err = run_err(&["run", "ssf", "--adversary", "gremlin", "--n", "64"]);
     assert!(err.contains("gremlin"), "{err}");
     let err = run_err(&["reduce", "--rows", "0.3,0.7;0.7,0.3"]);
-    assert!(err.contains("not δ-upper bounded") || err.contains("reduction"), "{err}");
+    assert!(
+        err.contains("not δ-upper bounded") || err.contains("reduction"),
+        "{err}"
+    );
 }

@@ -107,7 +107,11 @@ impl SsfAdversary {
                 agent.corrupt_state(weak, opinion, mem);
             }
             SsfAdversary::SplitBrain => {
-                let (mine, other) = if id.is_multiple_of(2) { (wrong, correct) } else { (correct, wrong) };
+                let (mine, other) = if id.is_multiple_of(2) {
+                    (wrong, correct)
+                } else {
+                    (correct, wrong)
+                };
                 let _ = other;
                 let mut mem = [0u64; 4];
                 mem[crate::ssf::encode(true, mine)] = m / 2;

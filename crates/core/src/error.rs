@@ -27,7 +27,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::NoiseTooHigh { delta, limit } => {
-                write!(f, "noise level δ = {delta} not below the protocol limit {limit}")
+                write!(
+                    f,
+                    "noise level δ = {delta} not below the protocol limit {limit}"
+                )
             }
             CoreError::BadParameter { name, detail } => {
                 write!(f, "bad parameter `{name}`: {detail}")
@@ -45,7 +48,10 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         for e in [
-            CoreError::NoiseTooHigh { delta: 0.6, limit: 0.5 },
+            CoreError::NoiseTooHigh {
+                delta: 0.6,
+                limit: 0.5,
+            },
             CoreError::BadParameter {
                 name: "c1",
                 detail: "must be positive".into(),

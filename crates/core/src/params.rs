@@ -173,9 +173,7 @@ impl SfParams {
     /// Total schedule length in rounds:
     /// `2T + ⌈10 ln n⌉·⌈w/h⌉ + T`.
     pub fn total_rounds(&self) -> u64 {
-        2 * self.phase_len
-            + self.num_short_subphases * self.subphase_len
-            + self.final_subphase_len
+        2 * self.phase_len + self.num_short_subphases * self.subphase_len + self.final_subphase_len
     }
 }
 
@@ -345,7 +343,10 @@ mod tests {
             p.total_rounds(),
             3 * p.phase_len() + p.num_short_subphases() * p.subphase_len()
         );
-        assert_eq!(p.num_short_subphases(), (10.0 * (4096f64).ln()).ceil() as u64);
+        assert_eq!(
+            p.num_short_subphases(),
+            (10.0 * (4096f64).ln()).ceil() as u64
+        );
         assert_eq!(p.n(), 4096);
         assert_eq!(p.h(), 4096);
         assert_eq!(p.delta(), 0.2);

@@ -198,10 +198,15 @@ mod tests {
         // splits are still sampled), so trajectories differ; compare
         // outcomes statistically instead: both must converge.
         let wrapped_protocol =
-            WithArtificialNoise::new(SourceFilter::new(params), NoiseMatrix::noiseless(2))
-                .unwrap();
-        let mut wrapped = World::new(&wrapped_protocol, config, &noise, ChannelKind::Aggregated, 77)
-            .unwrap();
+            WithArtificialNoise::new(SourceFilter::new(params), NoiseMatrix::noiseless(2)).unwrap();
+        let mut wrapped = World::new(
+            &wrapped_protocol,
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            77,
+        )
+        .unwrap();
         wrapped.run(params.total_rounds());
 
         assert!(plain.is_consensus());
@@ -213,7 +218,10 @@ mod tests {
         // P = swap matrix: observation counts are exchanged before the
         // inner protocol sees them.
         let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
-        let params = SfParams::derive(&config, 0.1, 1.0).unwrap().with_m(16).unwrap();
+        let params = SfParams::derive(&config, 0.1, 1.0)
+            .unwrap()
+            .with_m(16)
+            .unwrap();
         let swap = NoiseMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let proto = WithArtificialNoise::new(SourceFilter::new(params), swap).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
@@ -236,10 +244,13 @@ mod tests {
         let protocol =
             WithArtificialNoise::new(SourceFilter::new(params), reduction.artificial().clone())
                 .unwrap();
-        let mut world =
-            World::new(&protocol, config, &real, ChannelKind::Aggregated, 21).unwrap();
+        let mut world = World::new(&protocol, config, &real, ChannelKind::Aggregated, 21).unwrap();
         world.run(params.total_rounds());
-        assert!(world.is_consensus(), "correct: {}/256", world.correct_count());
+        assert!(
+            world.is_consensus(),
+            "correct: {}/256",
+            world.correct_count()
+        );
     }
 
     #[test]

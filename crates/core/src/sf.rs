@@ -105,6 +105,10 @@ pub struct SfAgent {
     /// Boosting memory: messages observed in the current sub-phase,
     /// as (zeros, ones).
     mem: [u64; 2],
+    /// Total messages observed in the current stage — invariant
+    /// bookkeeping: every counter is bounded by it (see
+    /// [`np_engine::invariants::check_counter_bounded`]).
+    gathered: u64,
 }
 
 impl SfAgent {
@@ -147,6 +151,7 @@ impl SfAgent {
         self.weak = Some(opinion);
         self.opinion = opinion;
         self.mem = [0, 0];
+        self.gathered = 0;
     }
 
     fn majority_of_mem(&self, rng: &mut StdRng) -> Opinion {
@@ -179,6 +184,7 @@ impl Protocol for SourceFilter {
             // round zero.
             opinion: Opinion::from_bool(rng.gen()),
             mem: [0, 0],
+            gathered: 0,
         }
     }
 }
@@ -204,14 +210,27 @@ impl AgentState for SfAgent {
             Stage::Listen0 => {
                 self.counter1 += observed[1];
                 self.round_in_stage += 1;
+                self.gathered += observed.iter().sum::<u64>();
+                np_engine::invariants::check_counter_bounded(
+                    "SF Counter₁",
+                    self.counter1,
+                    self.gathered,
+                );
                 if self.round_in_stage >= self.params.phase_len() {
                     self.stage = Stage::Listen1;
                     self.round_in_stage = 0;
+                    self.gathered = 0;
                 }
             }
             Stage::Listen1 => {
                 self.counter0 += observed[0];
                 self.round_in_stage += 1;
+                self.gathered += observed.iter().sum::<u64>();
+                np_engine::invariants::check_counter_bounded(
+                    "SF Counter₀",
+                    self.counter0,
+                    self.gathered,
+                );
                 if self.round_in_stage >= self.params.phase_len() {
                     // Ỹ := 1{Counter₁ > Counter₀}, ties broken randomly.
                     let weak = match self.counter1.cmp(&self.counter0) {
@@ -224,12 +243,19 @@ impl AgentState for SfAgent {
                     self.stage = Stage::Boost(0);
                     self.round_in_stage = 0;
                     self.mem = [0, 0];
+                    self.gathered = 0;
                 }
             }
             Stage::Boost(subphase) => {
                 self.mem[0] += observed[0];
                 self.mem[1] += observed[1];
                 self.round_in_stage += 1;
+                self.gathered += observed.iter().sum::<u64>();
+                np_engine::invariants::check_counter_bounded(
+                    "SF boosting memory",
+                    self.mem[0] + self.mem[1],
+                    self.gathered,
+                );
                 let len = if subphase < self.params.num_short_subphases() {
                     self.params.subphase_len()
                 } else {
@@ -239,6 +265,7 @@ impl AgentState for SfAgent {
                     self.opinion = self.majority_of_mem(rng);
                     self.mem = [0, 0];
                     self.round_in_stage = 0;
+                    self.gathered = 0;
                     if subphase >= self.params.num_short_subphases() {
                         self.stage = Stage::Done;
                     } else {
@@ -311,7 +338,10 @@ mod tests {
     #[test]
     fn counters_accumulate_per_phase() {
         let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
-        let params = SfParams::derive(&config, 0.1, 1.0).unwrap().with_m(16).unwrap();
+        let params = SfParams::derive(&config, 0.1, 1.0)
+            .unwrap()
+            .with_m(16)
+            .unwrap();
         let proto = SourceFilter::new(params);
         let mut rng = StdRng::seed_from_u64(1);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
@@ -332,7 +362,10 @@ mod tests {
     #[test]
     fn weak_opinion_tie_breaks_randomly() {
         let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
-        let params = SfParams::derive(&config, 0.1, 1.0).unwrap().with_m(8).unwrap();
+        let params = SfParams::derive(&config, 0.1, 1.0)
+            .unwrap()
+            .with_m(8)
+            .unwrap();
         let proto = SourceFilter::new(params);
         let mut outcomes = [0u32; 2];
         for seed in 0..200 {
@@ -342,13 +375,19 @@ mod tests {
             agent.update(&[4, 4], &mut rng); // counter0 = 4 → tie
             outcomes[agent.weak_opinion().unwrap().as_index()] += 1;
         }
-        assert!(outcomes[0] > 50 && outcomes[1] > 50, "tie-break biased: {outcomes:?}");
+        assert!(
+            outcomes[0] > 50 && outcomes[1] > 50,
+            "tie-break biased: {outcomes:?}"
+        );
     }
 
     #[test]
     fn boosting_takes_majority_each_subphase() {
         let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
-        let params = SfParams::derive(&config, 0.1, 1.0).unwrap().with_m(8).unwrap();
+        let params = SfParams::derive(&config, 0.1, 1.0)
+            .unwrap()
+            .with_m(8)
+            .unwrap();
         let proto = SourceFilter::new(params);
         let mut rng = StdRng::seed_from_u64(3);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
@@ -385,7 +424,11 @@ mod tests {
     fn converges_single_source_h_equals_n() {
         let (mut world, params) = sf_world(256, 0, 1, 256, 0.2, 11);
         world.run(params.total_rounds());
-        assert!(world.is_consensus(), "correct: {}/256", world.correct_count());
+        assert!(
+            world.is_consensus(),
+            "correct: {}/256",
+            world.correct_count()
+        );
     }
 
     #[test]
@@ -394,9 +437,7 @@ mod tests {
         let (mut world, params) = sf_world(256, 3, 1, 256, 0.2, 13);
         world.run(params.total_rounds());
         assert!(world.is_consensus());
-        assert!(world
-            .iter_agents()
-            .all(|a| a.opinion() == Opinion::Zero));
+        assert!(world.iter_agents().all(|a| a.opinion() == Opinion::Zero));
     }
 
     #[test]

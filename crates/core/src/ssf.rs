@@ -54,6 +54,7 @@ pub fn decode(symbol: usize) -> (bool, Opinion) {
     assert!(symbol < 4, "symbol {symbol} outside the 2-bit alphabet");
     (
         symbol >= 2,
+        // xtask-allow: unwrap (symbol % 2 is always a valid Opinion index)
         Opinion::from_index(symbol % 2).expect("index in {0,1}"),
     )
 }
@@ -191,12 +192,18 @@ impl AgentState for SsfAgent {
             *slot += c;
         }
         self.mem_size += observed.iter().sum::<u64>();
+        np_engine::invariants::check_counter_bounded(
+            "SSF memory counters",
+            self.mem.iter().sum::<u64>(),
+            self.mem_size,
+        );
         if self.mem_size > self.m {
             // Weak opinion: majority of second bits among source-tagged
             // messages — (1,1) vs (1,0).
             self.weak = SsfAgent::majority(self.mem[3], self.mem[2], rng);
             // Opinion: majority of all second bits — (·,1) vs (·,0).
-            self.opinion = SsfAgent::majority(self.mem[1] + self.mem[3], self.mem[0] + self.mem[2], rng);
+            self.opinion =
+                SsfAgent::majority(self.mem[1] + self.mem[3], self.mem[0] + self.mem[2], rng);
             self.mem = [0; 4];
             self.mem_size = 0;
         }
@@ -275,7 +282,10 @@ mod tests {
     #[test]
     fn update_round_fires_when_memory_exceeds_m() {
         let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
-        let params = SsfParams::derive(&config, 0.0, 1.0).unwrap().with_m(10).unwrap();
+        let params = SsfParams::derive(&config, 0.0, 1.0)
+            .unwrap()
+            .with_m(10)
+            .unwrap();
         let proto = SelfStabilizingSourceFilter::new(params);
         let mut rng = StdRng::seed_from_u64(2);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
@@ -292,7 +302,10 @@ mod tests {
     #[test]
     fn weak_opinion_uses_only_tagged_messages() {
         let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
-        let params = SsfParams::derive(&config, 0.0, 1.0).unwrap().with_m(10).unwrap();
+        let params = SsfParams::derive(&config, 0.0, 1.0)
+            .unwrap()
+            .with_m(10)
+            .unwrap();
         let proto = SelfStabilizingSourceFilter::new(params);
         let mut rng = StdRng::seed_from_u64(3);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
@@ -306,7 +319,10 @@ mod tests {
     #[test]
     fn tie_breaks_are_random() {
         let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
-        let params = SsfParams::derive(&config, 0.0, 1.0).unwrap().with_m(3).unwrap();
+        let params = SsfParams::derive(&config, 0.0, 1.0)
+            .unwrap()
+            .with_m(3)
+            .unwrap();
         let proto = SelfStabilizingSourceFilter::new(params);
         let mut outcomes = [0u32; 2];
         for seed in 0..200 {
@@ -316,14 +332,21 @@ mod tests {
             agent.update(&[0, 0, 2, 2], &mut rng);
             outcomes[agent.weak_opinion().as_index()] += 1;
         }
-        assert!(outcomes[0] > 50 && outcomes[1] > 50, "biased ties: {outcomes:?}");
+        assert!(
+            outcomes[0] > 50 && outcomes[1] > 50,
+            "biased ties: {outcomes:?}"
+        );
     }
 
     #[test]
     fn converges_from_clean_start() {
         let (mut world, params) = ssf_world(256, 0, 1, 256, 0.1, 7);
         world.run(params.expected_convergence_rounds() + 2);
-        assert!(world.is_consensus(), "correct: {}/256", world.correct_count());
+        assert!(
+            world.is_consensus(),
+            "correct: {}/256",
+            world.correct_count()
+        );
     }
 
     #[test]
@@ -345,7 +368,11 @@ mod tests {
         });
         assert_eq!(world.correct_count(), 0);
         world.run(2 * params.expected_convergence_rounds() + 4);
-        assert!(world.is_consensus(), "correct: {}/256", world.correct_count());
+        assert!(
+            world.is_consensus(),
+            "correct: {}/256",
+            world.correct_count()
+        );
     }
 
     #[test]
@@ -358,7 +385,11 @@ mod tests {
         // check).
         for _ in 0..4 * params.update_interval() {
             world.step();
-            assert!(world.is_consensus(), "consensus lost at round {}", world.round());
+            assert!(
+                world.is_consensus(),
+                "consensus lost at round {}",
+                world.round()
+            );
         }
     }
 

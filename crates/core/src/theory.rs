@@ -37,7 +37,10 @@ pub fn lower_bound_rounds(n: usize, h: usize, s: usize, delta: f64, sigma: usize
     if gap <= 0.0 {
         return Err(CoreError::BadParameter {
             name: "delta",
-            detail: format!("δ·|Σ| = {} ≥ 1: lower bound degenerates", delta * sigma as f64),
+            detail: format!(
+                "δ·|Σ| = {} ≥ 1: lower bound degenerates",
+                delta * sigma as f64
+            ),
         });
     }
     Ok(n as f64 * delta / (h as f64 * (s * s) as f64 * gap * gap))
@@ -52,13 +55,7 @@ pub fn lower_bound_rounds(n: usize, h: usize, s: usize, delta: f64, sigma: usize
 ///
 /// Returns [`CoreError::NoiseTooHigh`] unless `0 ≤ δ < ½`, and
 /// [`CoreError::BadParameter`] for zero sizes or `s0 == s1`.
-pub fn sf_upper_bound_rounds(
-    n: usize,
-    h: usize,
-    s0: usize,
-    s1: usize,
-    delta: f64,
-) -> Result<f64> {
+pub fn sf_upper_bound_rounds(n: usize, h: usize, s0: usize, s1: usize, delta: f64) -> Result<f64> {
     if !(0.0..0.5).contains(&delta) {
         return Err(CoreError::NoiseTooHigh { delta, limit: 0.5 });
     }
@@ -79,9 +76,7 @@ pub fn sf_upper_bound_rounds(
     let log_n = nf.ln().max(1.0);
     let gap = 1.0 - 2.0 * delta;
     let s2 = (s * s) as f64;
-    let core = nf * delta / (s2.min(nf) * gap * gap)
-        + nf.sqrt() / s as f64
-        + (s0 + s1) as f64 / s2;
+    let core = nf * delta / (s2.min(nf) * gap * gap) + nf.sqrt() / s as f64 + (s0 + s1) as f64 / s2;
     Ok(core * log_n / h as f64 + log_n)
 }
 
@@ -142,13 +137,7 @@ pub fn is_noise_dominated(n: usize, s0: usize, s1: usize, delta: f64, sigma: usi
 /// # Errors
 ///
 /// Returns [`CoreError::BadParameter`] for invalid sizes or `δ ∉ [0, ½)`.
-pub fn sf_weak_opinion_model(
-    n: usize,
-    s0: usize,
-    s1: usize,
-    delta: f64,
-    m: u64,
-) -> Result<f64> {
+pub fn sf_weak_opinion_model(n: usize, s0: usize, s1: usize, delta: f64, m: u64) -> Result<f64> {
     if n == 0 || s0 + s1 > n || s0 == s1 || m == 0 {
         return Err(CoreError::BadParameter {
             name: "n/s0/s1/m",
@@ -177,13 +166,7 @@ pub fn sf_weak_opinion_model(
 ///
 /// Returns [`CoreError::BadParameter`] for invalid sizes or
 /// `δ ∉ [0, ¼)`.
-pub fn ssf_weak_opinion_model(
-    n: usize,
-    s0: usize,
-    s1: usize,
-    delta: f64,
-    m: u64,
-) -> Result<f64> {
+pub fn ssf_weak_opinion_model(n: usize, s0: usize, s1: usize, delta: f64, m: u64) -> Result<f64> {
     if n == 0 || s0 + s1 > n || s0 == s1 || m == 0 {
         return Err(CoreError::BadParameter {
             name: "n/s0/s1/m",
@@ -212,11 +195,12 @@ fn evidence_sign_probability(m: u64, p_plus: f64, p_minus: f64) -> Result<f64> {
     }
     let k = ((m as f64) * p_nonzero).round().max(1.0) as u64;
     let theta = p_plus / p_nonzero - 0.5;
-    let advantage = np_stats::rademacher::exact_sign_advantage(k, theta)
-        .map_err(|e| CoreError::BadParameter {
+    let advantage = np_stats::rademacher::exact_sign_advantage(k, theta).map_err(|e| {
+        CoreError::BadParameter {
             name: "theta",
             detail: e.to_string(),
-        })?;
+        }
+    })?;
     Ok(0.5 + advantage / 2.0)
 }
 

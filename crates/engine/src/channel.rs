@@ -106,6 +106,8 @@ impl Channel {
         let rows: Vec<Vec<f64>> = (0..noise.dim())
             .map(|s| noise.observation_distribution(s).to_vec())
             .collect();
+        crate::invariants::check_rows_stochastic(&rows);
+        // xtask-allow: unwrap (NoiseMatrix rows are valid distributions by construction)
         let samplers = RowSamplers::new(&rows).expect("noise matrix rows are valid distributions");
         Channel {
             kind,
@@ -164,7 +166,10 @@ impl Channel {
         assert!(n > 0, "no agents to observe");
         assert_eq!(out.len(), n * self.d, "observation buffer has wrong size");
         if self.mode == SamplingMode::WithoutReplacement {
-            assert!(h <= n, "cannot draw {h} distinct agents from {n} without replacement");
+            assert!(
+                h <= n,
+                "cannot draw {h} distinct agents from {n} without replacement"
+            );
         }
         out.fill(0);
         match self.kind {
@@ -325,14 +330,16 @@ mod tests {
     /// over many rounds on an asymmetric configuration.
     #[test]
     fn exact_and_aggregated_agree_in_distribution() {
-        let noise =
-            NoiseMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        let noise = NoiseMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
         // 30% display 1.
         let displays: Vec<usize> = (0..100).map(|i| usize::from(i % 10 < 3)).collect();
         let h = 8;
         let reps = 300;
         let mut totals = [[0u64; 2]; 2]; // [kind][symbol]
-        for (ki, kind) in [ChannelKind::Exact, ChannelKind::Aggregated].iter().enumerate() {
+        for (ki, kind) in [ChannelKind::Exact, ChannelKind::Aggregated]
+            .iter()
+            .enumerate()
+        {
             let channel = Channel::new(&noise, *kind);
             let mut rng = StdRng::seed_from_u64(99 + ki as u64);
             let mut out = vec![0u64; displays.len() * 2];

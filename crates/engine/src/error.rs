@@ -33,7 +33,10 @@ impl fmt::Display for EngineError {
                 write!(f, "bad population configuration: {detail}")
             }
             EngineError::TiedSources { count } => {
-                write!(f, "tied sources (s0 = s1 = {count}): no correct opinion exists")
+                write!(
+                    f,
+                    "tied sources (s0 = s1 = {count}): no correct opinion exists"
+                )
             }
             EngineError::AlphabetMismatch { protocol, noise } => write!(
                 f,
@@ -54,7 +57,10 @@ mod tests {
         for e in [
             EngineError::BadPopulation { detail: "x".into() },
             EngineError::TiedSources { count: 2 },
-            EngineError::AlphabetMismatch { protocol: 2, noise: 4 },
+            EngineError::AlphabetMismatch {
+                protocol: 2,
+                noise: 4,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -1,0 +1,206 @@
+//! Runtime invariant checks for the simulation engine.
+//!
+//! Each function here asserts a structural property the rest of the
+//! workspace relies on — noise rows are probability distributions,
+//! displayed symbols stay inside the alphabet, per-agent observation
+//! counts account for exactly `h` samples, counters never exceed the
+//! messages that could have produced them — and panics with a descriptive
+//! message when the property is violated.
+//!
+//! All checks compile to no-ops unless [`ENABLED`] is true, which happens
+//! in two cases:
+//!
+//! * debug builds (`cfg(debug_assertions)`) — so every `cargo test` run
+//!   exercises them for free, and
+//! * the opt-in `strict-invariants` cargo feature — so release-mode
+//!   experiment binaries can keep the checks when chasing a suspected
+//!   engine bug (`cargo run --release --features strict-invariants ...`).
+//!
+//! The hooks live in [`crate::world::World::step`] (thus every
+//! `World::run`), [`crate::channel::Channel`] construction, and the SF/SSF
+//! update functions in the `noisy-pull` crate.
+
+use crate::population::PopulationConfig;
+
+/// Tolerance for "this row sums to 1" checks. Noise rows are produced by
+/// closed-form constructors, so anything beyond accumulated round-off
+/// indicates a genuinely broken matrix.
+pub const ROW_SUM_TOLERANCE: f64 = 1e-9;
+
+/// True when invariant checks are compiled in (debug builds, or any build
+/// with the `strict-invariants` feature).
+pub const ENABLED: bool = cfg!(debug_assertions) || cfg!(feature = "strict-invariants");
+
+/// Asserts that every row of `rows` is a probability distribution: entries
+/// in `[0, 1]` and a sum within [`ROW_SUM_TOLERANCE`] of 1.
+///
+/// # Panics
+///
+/// Panics (when [`ENABLED`]) naming the first offending row.
+pub fn check_rows_stochastic(rows: &[Vec<f64>]) {
+    if !ENABLED {
+        return;
+    }
+    for (i, row) in rows.iter().enumerate() {
+        assert!(
+            row.iter().all(|&p| (0.0..=1.0).contains(&p)),
+            "invariant violated: noise row {i} has an entry outside [0, 1]: {row:?}"
+        );
+        let sum: f64 = row.iter().sum();
+        assert!(
+            (sum - 1.0).abs() <= ROW_SUM_TOLERANCE,
+            "invariant violated: noise row {i} sums to {sum}, not 1 (±{ROW_SUM_TOLERANCE}): {row:?}"
+        );
+    }
+}
+
+/// Asserts that every displayed symbol lies inside the `d`-symbol alphabet.
+///
+/// # Panics
+///
+/// Panics (when [`ENABLED`]) naming the first offending agent.
+pub fn check_displays_in_alphabet(displays: &[usize], d: usize) {
+    if !ENABLED {
+        return;
+    }
+    if let Some((agent, &symbol)) = displays.iter().enumerate().find(|&(_, &s)| s >= d) {
+        panic!(
+            "invariant violated: agent {agent} displayed symbol {symbol} outside the \
+             {d}-symbol alphabet"
+        );
+    }
+}
+
+/// Asserts that each agent's per-symbol observation counts sum to exactly
+/// `h` — the PULL(h) model delivers exactly `h` (noisy) messages per agent
+/// per round, so a mismatch means the channel lost or invented samples.
+///
+/// `observations` is the flattened `n × d` count matrix used by
+/// [`crate::world::World`].
+///
+/// # Panics
+///
+/// Panics (when [`ENABLED`]) naming the first offending agent.
+pub fn check_observation_counts(observations: &[u64], d: usize, h: u64) {
+    if !ENABLED {
+        return;
+    }
+    for (agent, counts) in observations.chunks_exact(d).enumerate() {
+        let total: u64 = counts.iter().sum();
+        assert!(
+            total == h,
+            "invariant violated: agent {agent} observed {total} messages in a round, \
+             expected exactly h = {h}: {counts:?}"
+        );
+    }
+}
+
+/// Asserts that a protocol counter is bounded by the number of messages
+/// that could have contributed to it (`counter ≤ gathered`). Used by the
+/// SF/SSF update functions: `Counter₀`/`Counter₁` count a *subset* of the
+/// messages gathered during a phase, so exceeding the total means an
+/// accounting bug.
+///
+/// # Panics
+///
+/// Panics (when [`ENABLED`]) with the counter's name.
+pub fn check_counter_bounded(name: &str, counter: u64, gathered: u64) {
+    if !ENABLED {
+        return;
+    }
+    assert!(
+        counter <= gathered,
+        "invariant violated: {name} = {counter} exceeds the {gathered} messages gathered"
+    );
+}
+
+/// Asserts the population's role arithmetic is consistent: at least one
+/// agent, at least one source, sources fit in the population, a strict
+/// source majority exists, and `h ≥ 1`.
+///
+/// [`PopulationConfig::new`] already rejects all of these, so a violation
+/// means a config was forged or a future constructor skipped validation.
+///
+/// # Panics
+///
+/// Panics (when [`ENABLED`]) describing the inconsistency.
+pub fn check_population(config: &PopulationConfig) {
+    if !ENABLED {
+        return;
+    }
+    let (n, s0, s1, h) = (config.n(), config.s0(), config.s1(), config.h());
+    assert!(n > 0, "invariant violated: empty population");
+    assert!(h > 0, "invariant violated: sample size h = 0");
+    let sources = s0.checked_add(s1);
+    assert!(
+        sources.is_some_and(|s| s <= n),
+        "invariant violated: {s0} + {s1} sources exceed n = {n}"
+    );
+    assert!(
+        sources != Some(0),
+        "invariant violated: no sources in population"
+    );
+    assert!(
+        s0 != s1,
+        "invariant violated: tied sources (s0 = s1 = {s0}) have no correct opinion"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Positive cases must pass in every build mode; the #[should_panic]
+    // cases are only live when the checks are compiled in (all test builds
+    // are debug builds, and `--features strict-invariants` keeps them in
+    // release test runs too).
+
+    #[test]
+    fn valid_inputs_pass_all_checks() {
+        check_rows_stochastic(&[vec![0.9, 0.1], vec![0.5, 0.5]]);
+        check_displays_in_alphabet(&[0, 1, 1, 0], 2);
+        check_observation_counts(&[3, 5, 8, 0], 2, 8);
+        check_counter_bounded("Counter₁", 7, 16);
+        let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
+        check_population(&config);
+    }
+
+    #[test]
+    // Asserting on the cfg-derived constant is the point of this test.
+    #[allow(clippy::assertions_on_constants)]
+    fn enabled_in_test_builds() {
+        // Test builds carry debug_assertions (or the feature), otherwise
+        // the #[should_panic] tests below would vacuously pass.
+        assert!(ENABLED);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise row 1 sums to")]
+    fn non_stochastic_row_panics() {
+        check_rows_stochastic(&[vec![0.5, 0.5], vec![0.6, 0.6]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn negative_entry_panics() {
+        check_rows_stochastic(&[vec![1.5, -0.5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "displayed symbol 2 outside")]
+    fn display_outside_alphabet_panics() {
+        check_displays_in_alphabet(&[0, 1, 2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "observed 7 messages")]
+    fn lost_observation_panics() {
+        check_observation_counts(&[3, 5, 3, 4], 2, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "Counter₀ = 9 exceeds")]
+    fn counter_above_gathered_panics() {
+        check_counter_bounded("Counter₀", 9, 8);
+    }
+}

@@ -32,8 +32,11 @@
 //!   state-corruption hook for self-stabilization experiments.
 //! * [`metrics`] — time series of correct-opinion counts, convergence
 //!   records.
-//! * [`runner`] — a crossbeam-based multi-seed batch runner with
+//! * [`runner`] — a scoped-thread multi-seed batch runner with
 //!   deterministic seed fan-out.
+//! * [`invariants`] — debug-assertion checks of engine-level structural
+//!   properties, compiled into debug builds and into any build with the
+//!   `strict-invariants` feature.
 //! * [`push`] — the noisy PUSH(h) model (the paper's §1.5 contrast class,
 //!   where reception is reliable even though content is noisy), used to
 //!   measure the PULL/PUSH separation.
@@ -105,10 +108,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must not panic on recoverable errors (experiment workers
+// would die mid-batch); tests are exempt. `.expect()` documenting an
+// infallible-by-construction case is allowed but audited by
+// `cargo xtask check`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod error;
 
 pub mod channel;
+pub mod invariants;
 pub mod metrics;
 pub mod opinion;
 pub mod population;

@@ -51,7 +51,10 @@ pub struct OpinionSeries {
 impl OpinionSeries {
     /// Creates an empty series for a population of `n` agents.
     pub fn new(n: usize) -> Self {
-        OpinionSeries { ones: Vec::new(), n }
+        OpinionSeries {
+            ones: Vec::new(),
+            n,
+        }
     }
 
     /// Appends one round's count of agents holding opinion 1.

@@ -79,9 +79,11 @@ impl PopulationConfig {
                 detail: "sample size h must be positive".into(),
             });
         }
-        let sources = s0.checked_add(s1).ok_or_else(|| EngineError::BadPopulation {
-            detail: "source count overflow".into(),
-        })?;
+        let sources = s0
+            .checked_add(s1)
+            .ok_or_else(|| EngineError::BadPopulation {
+                detail: "source count overflow".into(),
+            })?;
         if sources > n {
             return Err(EngineError::BadPopulation {
                 detail: format!("s0 + s1 = {sources} exceeds n = {n}"),
@@ -265,14 +267,21 @@ mod tests {
     fn role_helpers() {
         assert!(Role::Source(Opinion::One).is_source());
         assert!(!Role::NonSource.is_source());
-        assert_eq!(Role::Source(Opinion::Zero).preference(), Some(Opinion::Zero));
+        assert_eq!(
+            Role::Source(Opinion::Zero).preference(),
+            Some(Opinion::Zero)
+        );
         assert_eq!(Role::NonSource.preference(), None);
     }
 
     #[test]
     fn source_assumption() {
-        assert!(PopulationConfig::new(100, 5, 10, 1).unwrap().satisfies_source_assumption());
-        assert!(!PopulationConfig::new(100, 5, 30, 1).unwrap().satisfies_source_assumption());
+        assert!(PopulationConfig::new(100, 5, 10, 1)
+            .unwrap()
+            .satisfies_source_assumption());
+        assert!(!PopulationConfig::new(100, 5, 30, 1)
+            .unwrap()
+            .satisfies_source_assumption());
     }
 
     #[test]

@@ -104,6 +104,8 @@ impl<P: PushProtocol> PushWorld<P> {
         let rows: Vec<Vec<f64>> = (0..noise.dim())
             .map(|s| noise.observation_distribution(s).to_vec())
             .collect();
+        crate::invariants::check_rows_stochastic(&rows);
+        // xtask-allow: unwrap (NoiseMatrix rows are valid distributions by construction)
         let samplers = RowSamplers::new(&rows).expect("noise rows are distributions");
         let n = config.n();
         let d = noise.dim();
@@ -174,7 +176,10 @@ impl<P: PushProtocol> PushWorld<P> {
     /// Number of agents currently holding the correct opinion.
     pub fn correct_count(&self) -> usize {
         let correct = self.config.correct_opinion();
-        self.agents.iter().filter(|a| a.opinion() == correct).count()
+        self.agents
+            .iter()
+            .filter(|a| a.opinion() == correct)
+            .count()
     }
 
     /// Returns `true` if every agent holds the correct opinion.
@@ -276,10 +281,7 @@ mod tests {
         let noise = NoiseMatrix::noiseless(2);
         let mut world = PushWorld::new(&Shout, config, &noise, 1).unwrap();
         world.step();
-        let received: u64 = world
-            .iter_agents()
-            .map(|a| a.counts[0] + a.counts[1])
-            .sum();
+        let received: u64 = world.iter_agents().map(|a| a.counts[0] + a.counts[1]).sum();
         // 4 sources × h = 2 pushes each; sources don't record but
         // non-sources might not receive all (pushes can land on sources,
         // who ignore them). Re-check conservation at the inbox level via a
@@ -321,10 +323,7 @@ mod tests {
         let noise = NoiseMatrix::uniform(2, 0.5).unwrap();
         let mut world = PushWorld::new(&Shout, config, &noise, 3).unwrap();
         world.run(10);
-        let received: u64 = world
-            .iter_agents()
-            .map(|a| a.counts[0] + a.counts[1])
-            .sum();
+        let received: u64 = world.iter_agents().map(|a| a.counts[0] + a.counts[1]).sum();
         // 8 sources × 4 pushes × 10 rounds = 320 copies; non-sources hold
         // 16−8 of 16 slots uniformly: expected 160, binomial spread.
         assert!(received > 80 && received < 240, "received = {received}");

@@ -2,8 +2,10 @@
 //!
 //! Experiments estimate convergence-time distributions by repeating a run
 //! over many seeds. [`run_batch`] fans a seed sequence out over worker
-//! threads (crossbeam scoped threads; results land in seed order, so output
-//! is independent of thread scheduling).
+//! threads (std scoped threads; results land in seed order, so output is
+//! independent of thread scheduling).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use np_stats::seeds::SeedSequence;
 
@@ -17,6 +19,12 @@ use np_stats::seeds::SeedSequence;
 ///
 /// Determinism: results depend only on `(seeds, runs, job)`, not on
 /// `threads` or scheduling.
+///
+/// # Panics
+///
+/// If `job` panics for some seed, the panic is re-raised on the calling
+/// thread with the offending run index and seed in the message, so a
+/// failing experiment can be reproduced with a single serial run.
 ///
 /// # Example
 ///
@@ -41,44 +49,87 @@ where
     if threads == 1 {
         return (0..runs).map(|i| job(seeds.seed_at(i as u64))).collect();
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    // Each worker records the run index it is currently executing, so a
+    // panicking job can be attributed to a concrete (index, seed) pair.
+    let claimed: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(usize::MAX)).collect();
     let mut slots: Vec<Option<T>> = (0..runs).map(|_| None).collect();
-    // Hand each worker a disjoint set of result slots via chunked stealing:
-    // a mutex-free design would need unsafe; instead collect (index, value)
-    // pairs per worker and scatter afterwards.
-    let results: Vec<Vec<(usize, T)>> = crossbeam::thread::scope(|scope| {
+    // Hand each worker indices via an atomic cursor: collect (index, value)
+    // pairs per worker and scatter afterwards, so output order never
+    // depends on scheduling.
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let next = &next;
                 let job = &job;
-                scope.spawn(move |_| {
+                let claimed = &claimed[worker];
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= runs {
                             break;
                         }
+                        claimed.store(i, Ordering::Relaxed);
                         local.push((i, job(seeds.seed_at(i as u64))));
                     }
                     local
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
-    for (i, value) in results.into_iter().flatten() {
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(worker, handle)| match handle.join() {
+                Ok(local) => local,
+                Err(payload) => {
+                    let index = claimed[worker].load(Ordering::Relaxed);
+                    let detail = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    panic!(
+                        "run_batch worker {worker} panicked on run index {index} \
+                         (seed {}): {detail}",
+                        seeds.seed_at(index as u64)
+                    );
+                }
+            })
+            .collect()
+    });
+    for (i, value) in per_worker.into_iter().flatten() {
         slots[i] = Some(value);
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every slot filled exactly once"))
+        .enumerate()
+        .map(|(i, slot)| match slot {
+            Some(value) => value,
+            // All workers joined cleanly and the cursor covered 0..runs.
+            None => unreachable!("run index {i} produced no result"),
+        })
         .collect()
 }
 
-/// A reasonable worker count: available parallelism minus one (leave a core
-/// for the OS), at least 1.
+/// The environment variable overriding [`suggested_threads`], for CI and
+/// reproducibility audits (`NOISY_PULL_THREADS=1` forces serial batches).
+pub const THREADS_ENV_VAR: &str = "NOISY_PULL_THREADS";
+
+/// A reasonable worker count: the [`THREADS_ENV_VAR`] override when set to
+/// a positive integer, otherwise available parallelism minus one (leave a
+/// core for the OS), at least 1.
+///
+/// [`run_batch`] output never depends on the thread count, but pinning it
+/// makes timing-sensitive CI runs comparable across machines.
 pub fn suggested_threads() -> usize {
+    if let Some(threads) = std::env::var(THREADS_ENV_VAR)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&threads| threads >= 1)
+    {
+        return threads;
+    }
     std::thread::available_parallelism()
         .map(|p| p.get().saturating_sub(1).max(1))
         .unwrap_or(1)
@@ -128,7 +179,31 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "panicked on run index")]
+    fn worker_panic_reports_run_index() {
+        let seeds = SeedSequence::new(4);
+        let bad_seed = seeds.seed_at(7);
+        run_batch(seeds, 16, 4, |s| {
+            assert_ne!(s, bad_seed, "deliberate failure");
+            s
+        });
+    }
+
+    #[test]
     fn suggested_threads_is_positive() {
         assert!(suggested_threads() >= 1);
+    }
+
+    #[test]
+    fn suggested_threads_honors_env_override() {
+        // Serialized within this one test; other tests only assert
+        // positivity, which holds under any override value.
+        std::env::set_var(THREADS_ENV_VAR, "3");
+        assert_eq!(suggested_threads(), 3);
+        std::env::set_var(THREADS_ENV_VAR, "0");
+        assert!(suggested_threads() >= 1, "invalid override falls back");
+        std::env::set_var(THREADS_ENV_VAR, "not a number");
+        assert!(suggested_threads() >= 1, "unparsable override falls back");
+        std::env::remove_var(THREADS_ENV_VAR);
     }
 }

@@ -75,6 +75,7 @@ impl<P: Protocol> World<P> {
                 noise: channel.alphabet_size(),
             });
         }
+        crate::invariants::check_population(&config);
         let mut rng = StdRng::seed_from_u64(seed);
         let agents: Vec<P::Agent> = config
             .iter_roles()
@@ -157,6 +158,7 @@ impl<P: Protocol> World<P> {
         for (slot, agent) in self.displays.iter_mut().zip(&self.agents) {
             *slot = agent.display(&mut self.rng);
         }
+        crate::invariants::check_displays_in_alphabet(&self.displays, self.channel.alphabet_size());
         // Steps 2+3: noisy observations.
         self.channel.fill_observations(
             &self.displays,
@@ -164,9 +166,14 @@ impl<P: Protocol> World<P> {
             &mut self.rng,
             &mut self.observations,
         );
-        // Step 4: updates.
         let d = self.channel.alphabet_size();
-        for (agent, obs) in self.agents.iter_mut().zip(self.observations.chunks_exact(d)) {
+        crate::invariants::check_observation_counts(&self.observations, d, self.config.h() as u64);
+        // Step 4: updates.
+        for (agent, obs) in self
+            .agents
+            .iter_mut()
+            .zip(self.observations.chunks_exact(d))
+        {
             agent.update(obs, &mut self.rng);
         }
         self.round += 1;
@@ -190,7 +197,10 @@ impl<P: Protocol> World<P> {
     /// Number of agents currently holding the correct opinion.
     pub fn correct_count(&self) -> usize {
         let correct = self.config.correct_opinion();
-        self.agents.iter().filter(|a| a.opinion() == correct).count()
+        self.agents
+            .iter()
+            .filter(|a| a.opinion() == correct)
+            .count()
     }
 
     /// Returns `true` if every agent (sources included) holds the correct
@@ -322,7 +332,13 @@ mod tests {
         let config = PopulationConfig::new(8, 0, 1, 1).unwrap();
         let noise = NoiseMatrix::uniform(4, 0.1).unwrap();
         let err = World::new(&Majority, config, &noise, ChannelKind::Exact, 0).unwrap_err();
-        assert!(matches!(err, EngineError::AlphabetMismatch { protocol: 2, noise: 4 }));
+        assert!(matches!(
+            err,
+            EngineError::AlphabetMismatch {
+                protocol: 2,
+                noise: 4
+            }
+        ));
     }
 
     #[test]
@@ -377,7 +393,10 @@ mod tests {
         // all 28 non-sources; accept either but check invariants.
         match outcome {
             RunOutcome::Converged { rounds } => assert_eq!(rounds, 1),
-            RunOutcome::TimedOut { budget, correct_at_end } => {
+            RunOutcome::TimedOut {
+                budget,
+                correct_at_end,
+            } => {
                 assert_eq!(budget, 1);
                 assert!(correct_at_end <= 32);
             }
@@ -402,6 +421,41 @@ mod tests {
         // Sources re-assert their preference on the next update.
         w.step();
         assert!(w.correct_count() >= 4);
+    }
+
+    /// A protocol that displays a symbol outside its declared alphabet —
+    /// the class of bug `invariants::check_displays_in_alphabet` exists to
+    /// catch at the point of violation rather than as a downstream index
+    /// panic. Only live when the checks are compiled in (debug builds and
+    /// `--features strict-invariants`).
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    #[test]
+    #[should_panic(expected = "outside the 2-symbol alphabet")]
+    fn rogue_display_is_caught_by_invariants() {
+        struct Rogue;
+        struct RogueAgent;
+        impl Protocol for Rogue {
+            type Agent = RogueAgent;
+            fn alphabet_size(&self) -> usize {
+                2
+            }
+            fn init_agent(&self, _role: Role, _rng: &mut StdRng) -> RogueAgent {
+                RogueAgent
+            }
+        }
+        impl AgentState for RogueAgent {
+            fn display(&self, _rng: &mut StdRng) -> usize {
+                2
+            }
+            fn update(&mut self, _observed: &[u64], _rng: &mut StdRng) {}
+            fn opinion(&self) -> Opinion {
+                Opinion::Zero
+            }
+        }
+        let config = PopulationConfig::new(4, 0, 1, 4).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
+        let mut w = World::new(&Rogue, config, &noise, ChannelKind::Aggregated, 0).unwrap();
+        w.step();
     }
 
     #[test]

@@ -37,6 +37,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must not panic on recoverable errors (experiment workers
+// would die mid-batch); tests are exempt. `.expect()` documenting an
+// infallible-by-construction case is allowed but audited by
+// `cargo xtask check`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod error;
 mod matrix;

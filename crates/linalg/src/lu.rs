@@ -99,7 +99,11 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(LuDecomposition { lu, perm, perm_sign })
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -220,8 +224,7 @@ mod tests {
     fn invert_known_2x2() {
         let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let inv = invert(&a).unwrap();
-        let expected =
-            Matrix::from_rows(vec![vec![-2.0, 1.0], vec![1.5, -0.5]]).unwrap();
+        let expected = Matrix::from_rows(vec![vec![-2.0, 1.0], vec![1.5, -0.5]]).unwrap();
         assert!(inv.approx_eq(&expected, 1e-12));
     }
 

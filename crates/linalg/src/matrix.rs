@@ -194,6 +194,8 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // xtask-allow: float-eq (exact-zero skip exploiting sparsity; a tolerance
+                // here would change results)
                 if a == 0.0 {
                     continue;
                 }
@@ -264,14 +266,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -308,7 +316,12 @@ impl Add<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -328,7 +341,12 @@ impl Sub<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -341,7 +359,8 @@ impl Mul<&Matrix> for &Matrix {
     /// Panics on dimension mismatch; use [`Matrix::mul_checked`] for a
     /// fallible version.
     fn mul(self, rhs: &Matrix) -> Matrix {
-        self.mul_checked(rhs).expect("dimension mismatch in matrix product")
+        // xtask-allow: unwrap (documented panic: `Mul` is the panicking variant of mul_checked)
+        self.mul_checked(rhs).expect("dimension mismatch")
     }
 }
 
@@ -420,7 +439,10 @@ mod tests {
         let a = sample();
         let b = Matrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let ab = a.mul_checked(&b).unwrap();
-        assert_eq!(ab, Matrix::from_rows(vec![vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+        assert_eq!(
+            ab,
+            Matrix::from_rows(vec![vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -226,7 +226,8 @@ impl NoiseMatrix {
     pub fn uniform_level(&self) -> Option<f64> {
         // All off-diagonal entries must agree; take the first as candidate.
         let delta = if self.dim() >= 2 { self.m[(0, 1)] } else { 0.0 };
-        self.is_uniform_with_level(delta, DEFAULT_TOL).then_some(delta)
+        self.is_uniform_with_level(delta, DEFAULT_TOL)
+            .then_some(delta)
     }
 
     /// Composes two channels: a message first passes through `self`, then
@@ -286,11 +287,13 @@ impl NoiseMatrix {
     /// ```
     pub fn artificial_noise(&self) -> Result<ArtificialNoise> {
         let d = self.dim();
-        let delta = self.upper_bound_level().ok_or_else(|| LinalgError::NoiseClassViolation {
-            detail: format!(
-                "matrix is not δ-upper bounded for any δ ≤ 1/{d}; reduction does not apply"
-            ),
-        })?;
+        let delta = self
+            .upper_bound_level()
+            .ok_or_else(|| LinalgError::NoiseClassViolation {
+                detail: format!(
+                    "matrix is not δ-upper bounded for any δ ≤ 1/{d}; reduction does not apply"
+                ),
+            })?;
         if delta >= 1.0 / d as f64 - 1e-12 && delta > 0.0 {
             // At δ = 1/d the channel can be non-invertible (fully mixing).
             if self.inverse().is_err() {
@@ -391,6 +394,7 @@ pub fn f_delta(d: usize, delta: f64) -> Result<f64> {
             range: format!("[0, 1/{d})"),
         });
     }
+    // xtask-allow: float-eq (IEEE sentinel: exact zero has a closed-form answer)
     if delta == 0.0 {
         return Ok(0.0);
     }
@@ -435,9 +439,11 @@ pub fn inverse_norm_bound(d: usize, delta: f64) -> Result<f64> {
 /// [`NoiseMatrix::upper_bound_level`] failure
 /// ([`LinalgError::NoiseClassViolation`]) and [`inverse_norm_bound`].
 pub fn verify_inverse_norm_bound(n: &NoiseMatrix) -> Result<(f64, f64)> {
-    let delta = n.upper_bound_level().ok_or_else(|| LinalgError::NoiseClassViolation {
-        detail: "matrix is not δ-upper bounded".into(),
-    })?;
+    let delta = n
+        .upper_bound_level()
+        .ok_or_else(|| LinalgError::NoiseClassViolation {
+            detail: "matrix is not δ-upper bounded".into(),
+        })?;
     let inv = n.inverse()?;
     let norm = operator_inf_norm(&inv);
     let bound = inverse_norm_bound(n.dim(), delta)?;
@@ -453,7 +459,10 @@ mod tests {
         let n = NoiseMatrix::uniform(4, 0.1).unwrap();
         assert!(n.is_uniform_with_level(0.1, 1e-12));
         assert_eq!(n.uniform_level(), Some(0.1));
-        assert_eq!(n.upper_bound_level().map(|d| (d * 1e12).round() / 1e12), Some(0.1));
+        assert_eq!(
+            n.upper_bound_level().map(|d| (d * 1e12).round() / 1e12),
+            Some(0.1)
+        );
         assert!(n.is_upper_bounded(0.1));
         assert!(n.is_lower_bounded(0.1));
         assert_eq!(n.lower_bound_level(), 0.1);

@@ -18,7 +18,8 @@ pub const DEFAULT_TOL: f64 = 1e-9;
 /// Returns `true` if every row of `a` sums to 1 within `tol`
 /// (weakly-stochastic, Definition 9).
 pub fn is_weakly_stochastic(a: &Matrix, tol: f64) -> bool {
-    a.iter_rows().all(|row| (row.iter().sum::<f64>() - 1.0).abs() <= tol)
+    a.iter_rows()
+        .all(|row| (row.iter().sum::<f64>() - 1.0).abs() <= tol)
 }
 
 /// Returns `true` if `a` is weakly-stochastic and every entry is
@@ -127,8 +128,12 @@ mod tests {
     use super::*;
 
     fn stochastic_example() -> Matrix {
-        Matrix::from_rows(vec![vec![0.7, 0.2, 0.1], vec![0.1, 0.8, 0.1], vec![0.0, 0.5, 0.5]])
-            .unwrap()
+        Matrix::from_rows(vec![
+            vec![0.7, 0.2, 0.1],
+            vec![0.1, 0.8, 0.1],
+            vec![0.0, 0.5, 0.5],
+        ])
+        .unwrap()
     }
 
     #[test]

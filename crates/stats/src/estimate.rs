@@ -227,7 +227,7 @@ impl Summary {
             });
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         let mut running = Running::new();
         for &x in values {
             running.push(x);
@@ -245,6 +245,7 @@ impl Summary {
 
     /// Mean of the sample.
     pub fn mean(&self) -> f64 {
+        // xtask-allow: unwrap (Summary::new rejects empty input)
         self.running.mean().expect("nonempty by construction")
     }
 
@@ -260,6 +261,7 @@ impl Summary {
 
     /// Maximum value.
     pub fn max(&self) -> f64 {
+        // xtask-allow: unwrap (Summary::new rejects empty input)
         *self.values.last().expect("nonempty")
     }
 
@@ -285,6 +287,7 @@ impl Summary {
 
     /// Median (50th percentile).
     pub fn median(&self) -> f64 {
+        // xtask-allow: unwrap (0.5 is always a valid quantile)
         self.percentile(0.5).expect("0.5 is valid")
     }
 }
@@ -345,9 +348,7 @@ mod tests {
         left.merge(&right);
         assert_eq!(left.count(), whole.count());
         assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-10);
-        assert!(
-            (left.sample_variance().unwrap() - whole.sample_variance().unwrap()).abs() < 1e-10
-        );
+        assert!((left.sample_variance().unwrap() - whole.sample_variance().unwrap()).abs() < 1e-10);
         assert_eq!(left.min().unwrap(), whole.min().unwrap());
         assert_eq!(left.max().unwrap(), whole.max().unwrap());
     }

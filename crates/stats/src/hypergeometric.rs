@@ -100,9 +100,10 @@ pub fn sample_unchecked<R: Rng + ?Sized>(
         return k_min;
     }
     // Mode of the hypergeometric.
-    let mode = (((draws + 1) as f64) * ((successes + 1) as f64) / ((total + 2) as f64)).floor()
-        as u64;
+    let mode =
+        (((draws + 1) as f64) * ((successes + 1) as f64) / ((total + 2) as f64)).floor() as u64;
     let mode = mode.clamp(k_min, k_max);
+    // xtask-allow: unwrap (parameters validated by the public `sample` wrapper)
     let pmf_mode = pmf(total, successes, draws, mode).expect("validated");
     let mut u = rng.gen::<f64>() - pmf_mode;
     if u <= 0.0 {
@@ -124,8 +125,16 @@ pub fn sample_unchecked<R: Rng + ?Sized>(
         if !can_left && !can_right {
             return mode;
         }
-        let next_left = if can_left { pmf_lo / ratio_up(lo - 1) } else { -1.0 };
-        let next_right = if can_right { pmf_hi * ratio_up(hi) } else { -1.0 };
+        let next_left = if can_left {
+            pmf_lo / ratio_up(lo - 1)
+        } else {
+            -1.0
+        };
+        let next_right = if can_right {
+            pmf_hi * ratio_up(hi)
+        } else {
+            -1.0
+        };
         if next_right >= next_left {
             hi += 1;
             pmf_hi = next_right;
@@ -161,7 +170,10 @@ pub fn sample_multivariate_into<R: Rng + ?Sized>(
     assert!(!counts.is_empty(), "empty category counts");
     assert_eq!(out.len(), counts.len(), "output buffer size mismatch");
     let mut remaining_total: u64 = counts.iter().sum();
-    assert!(draws <= remaining_total, "cannot draw {draws} from {remaining_total}");
+    assert!(
+        draws <= remaining_total,
+        "cannot draw {draws} from {remaining_total}"
+    );
     out.fill(0);
     let mut remaining_draws = draws;
     for (i, &c) in counts.iter().enumerate() {
@@ -230,7 +242,10 @@ mod tests {
             counts[sample(&mut rng, t, s, d).unwrap() as usize] += 1;
         }
         let cdf = |k: usize| -> f64 {
-            (0..=k as u64).map(|i| pmf(t, s, d, i).unwrap()).sum::<f64>().min(1.0)
+            (0..=k as u64)
+                .map(|i| pmf(t, s, d, i).unwrap())
+                .sum::<f64>()
+                .min(1.0)
         };
         assert!(crate::ks::ks_passes(&counts, cdf, 3.0).unwrap());
     }
@@ -246,7 +261,7 @@ mod tests {
         }
         let mean = acc / trials as f64;
         let expect = d as f64 * s as f64 / t as f64; // 150
-        // Variance = d·(s/t)(1−s/t)·(t−d)/(t−1) ≈ 52.6 → σ ≈ 7.25.
+                                                     // Variance = d·(s/t)(1−s/t)·(t−d)/(t−1) ≈ 52.6 → σ ≈ 7.25.
         assert!((mean - expect).abs() < 6.0 * 7.25 / (trials as f64).sqrt());
     }
 
@@ -294,7 +309,10 @@ mod tests {
             hist[out[0] as usize] += 1;
         }
         let cdf = |k: usize| -> f64 {
-            (0..=k as u64).map(|i| pmf(20, 6, 8, i).unwrap()).sum::<f64>().min(1.0)
+            (0..=k as u64)
+                .map(|i| pmf(20, 6, 8, i).unwrap())
+                .sum::<f64>()
+                .min(1.0)
         };
         assert!(crate::ks::ks_passes(&hist, cdf, 3.0).unwrap());
     }

@@ -45,7 +45,10 @@ impl SeedSequence {
     /// `seed_at(i)` is a pure function of `(master, i)`, so parallel workers
     /// can compute their own seeds without coordination.
     pub fn seed_at(&self, index: u64) -> u64 {
-        splitmix64(self.master.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        splitmix64(
+            self.master
+                .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 
     /// Derives a child sequence for a named sub-experiment, so different

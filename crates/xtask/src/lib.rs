@@ -1,0 +1,26 @@
+//! Static analysis for the noisy-PULL workspace: determinism and
+//! robustness lints beyond what rustc/clippy check.
+//!
+//! The paper's guarantees (Theorems 4 and 5) are probability statements
+//! over *seeded* randomness, and `np_engine::runner::run_batch` promises
+//! results that depend only on `(seeds, runs, job)`. One stray
+//! `thread_rng()`, wall-clock branch, or `HashMap` iteration in a protocol
+//! hot path silently breaks reproducibility of every experiment. These
+//! lints make that class of bug a CI failure instead of a silent drift.
+//!
+//! The scanner is a line-and-token pass, not a parser: it strips strings
+//! and comments, tracks `#[cfg(test)]` regions by brace depth, and matches
+//! per-rule token lists. False positives are silenced inline with
+//! `// xtask-allow: <rule>` on the offending or preceding line — an
+//! auditable escape hatch (`grep xtask-allow` lists every exemption).
+//!
+//! Run as `cargo xtask check` (see `src/main.rs` for file selection).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scanner;
+
+pub use rules::{Rule, RULES};
+pub use scanner::{scan_source, FileClass, Finding};

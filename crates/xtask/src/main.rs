@@ -1,0 +1,151 @@
+//! `cargo xtask` — workspace task runner.
+//!
+//! Currently one task: `check`, the determinism/robustness lint pass
+//! described in the library docs ([`xtask`]). File selection lives here so
+//! the scanner itself stays a pure, fixture-testable function.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::rules::CRATE_HEADERS;
+use xtask::{scan_source, FileClass, Finding};
+
+/// Library crates held to the full rule set: these implement the protocol
+/// (Theorems 4/5) and the experiment engine, where determinism is a
+/// correctness requirement, not a style preference.
+const LIB_CRATES: &[&str] = &[
+    "crates/core",
+    "crates/engine",
+    "crates/linalg",
+    "crates/stats",
+    "crates/baselines",
+];
+
+/// Crate roots only held to the header rule (`#![forbid(unsafe_code)]`,
+/// `#![warn(missing_docs)]`): binaries and the facade legitimately print
+/// and unwrap at the top level.
+const HEADER_ONLY_ROOTS: &[&str] = &[
+    "crates/bench/src/lib.rs",
+    "crates/cli/src/lib.rs",
+    "crates/xtask/src/lib.rs",
+    "src/lib.rs",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(),
+        Some("list-rules") => {
+            for name in xtask::rules::all_rule_names() {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cargo xtask <check|list-rules>");
+            eprintln!();
+            eprintln!("  check       run the determinism/robustness lints over library crates");
+            eprintln!("  list-rules  print every rule name accepted by `// xtask-allow: <rule>`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check() -> ExitCode {
+    let root = workspace_root();
+    let mut files_scanned = 0usize;
+    let mut all: Vec<(PathBuf, Finding)> = Vec::new();
+
+    for krate in LIB_CRATES {
+        let src = root.join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files);
+        files.sort();
+        for file in files {
+            let class = if file.file_name().is_some_and(|n| n == "lib.rs") {
+                FileClass::LibraryRoot
+            } else {
+                FileClass::LibrarySource
+            };
+            for finding in scan_file(&file, class) {
+                all.push((file.clone(), finding));
+            }
+            files_scanned += 1;
+        }
+    }
+
+    for rel in HEADER_ONLY_ROOTS {
+        let file = root.join(rel);
+        let headers_only = scan_file(&file, FileClass::LibraryRoot)
+            .into_iter()
+            .filter(|f| f.rule == CRATE_HEADERS);
+        for finding in headers_only {
+            all.push((file.clone(), finding));
+        }
+        files_scanned += 1;
+    }
+
+    if all.is_empty() {
+        println!("xtask check: {files_scanned} files clean");
+        return ExitCode::SUCCESS;
+    }
+
+    for (path, finding) in &all {
+        let shown = path.strip_prefix(&root).unwrap_or(path);
+        println!(
+            "{}:{}: [{}] {}\n    {}",
+            shown.display(),
+            finding.line,
+            finding.rule,
+            finding.message,
+            finding.excerpt
+        );
+    }
+    println!(
+        "xtask check: {} finding(s) in {files_scanned} files \
+         (suppress intentional ones with `// xtask-allow: <rule>`)",
+        all.len()
+    );
+    ExitCode::FAILURE
+}
+
+fn scan_file(path: &Path, class: FileClass) -> Vec<Finding> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => scan_source(class, &text),
+        Err(err) => {
+            // A missing/unreadable source file is itself a finding: the
+            // gate must not silently shrink its coverage.
+            vec![Finding {
+                rule: "io",
+                line: 0,
+                excerpt: format!("{}: {err}", path.display()),
+                message: "could not read source file",
+            }]
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}

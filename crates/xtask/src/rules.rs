@@ -1,0 +1,74 @@
+//! The lint rule catalog.
+//!
+//! Every rule has a stable kebab-case name — the same name the
+//! `// xtask-allow: <rule>` escape hatch and the fixture self-tests use.
+//! Token rules match against comment- and string-stripped source text and
+//! never fire inside `#[cfg(test)]` regions (tests legitimately unwrap,
+//! use `HashSet` for membership checks, and so on).
+
+/// A token-matching lint rule.
+#[derive(Clone, Copy, Debug)]
+pub struct Rule {
+    /// Stable rule name, as used by `xtask-allow` directives.
+    pub name: &'static str,
+    /// Substrings that trigger the rule in sanitized (string/comment
+    /// stripped) non-test code.
+    pub needles: &'static [&'static str],
+    /// One-line rationale shown with each finding.
+    pub message: &'static str,
+}
+
+/// Name of the crate-header rule (not token-based; see
+/// [`crate::scanner::scan_source`]).
+pub const CRATE_HEADERS: &str = "crate-headers";
+
+/// Name of the float-equality rule (structural, not a plain token match).
+pub const FLOAT_EQ: &str = "float-eq";
+
+/// The token rules applied to library-crate sources.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "ambient-randomness",
+        needles: &["thread_rng", "rand::random", "from_entropy", "OsRng"],
+        message: "ambient randomness breaks seed-reproducibility; take an explicit \
+                  seeded StdRng (run_batch results must depend only on (seeds, runs, job))",
+    },
+    Rule {
+        name: "wall-clock",
+        needles: &["SystemTime::now", "Instant::now"],
+        message: "wall-clock reads make runs time-dependent; protocol and engine code \
+                  must be a pure function of the seed (time experiments in np-bench instead)",
+    },
+    Rule {
+        name: "hash-iteration",
+        needles: &["HashMap", "HashSet"],
+        message: "HashMap/HashSet iteration order is nondeterministic across runs; \
+                  use BTreeMap/BTreeSet or a sorted Vec in library code",
+    },
+    Rule {
+        name: "unwrap",
+        needles: &[".unwrap()", ".expect("],
+        message: "unwrap/expect in library code turns recoverable errors into panics \
+                  inside experiment workers; propagate a typed error instead",
+    },
+    Rule {
+        name: "debug-print",
+        needles: &["println!(", "eprintln!(", "dbg!("],
+        message: "library crates must not write to stdio; return data and let np-cli \
+                  or np-bench do the printing",
+    },
+];
+
+/// Returns the token rule with the given name, if any.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// All rule names, token and structural, for `--list` style output and
+/// directive validation.
+pub fn all_rule_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = RULES.iter().map(|r| r.name).collect();
+    names.push(FLOAT_EQ);
+    names.push(CRATE_HEADERS);
+    names
+}

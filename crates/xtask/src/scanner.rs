@@ -1,0 +1,460 @@
+//! The line-and-token scanner behind `cargo xtask check`.
+//!
+//! Operates on one file at a time: every line is sanitized (string and
+//! char literals blanked, comments split off), `#[cfg(test)]` regions are
+//! tracked by brace depth, and the sanitized code of non-test lines is
+//! matched against the rule catalog in [`crate::rules`].
+//!
+//! Known limitations, by design (it is a lexer, not a parser):
+//! * `#[cfg(test)] mod tests;` pointing at a separate file does not mark
+//!   that file as test code — keep test modules inline, as this workspace
+//!   does.
+//! * The float-equality check is a heuristic: it fires when a `==`/`!=`
+//!   operand contains a float literal or an `f32`/`f64` token. Intentional
+//!   exact comparisons (IEEE sentinels like `delta == 0.0`) should carry
+//!   an `// xtask-allow: float-eq` directive with a justifying comment.
+
+use crate::rules::{CRATE_HEADERS, FLOAT_EQ, RULES};
+
+/// How a file participates in the lint pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Root module of a library crate: token rules plus header checks.
+    LibraryRoot,
+    /// Any other library-crate module: token rules only.
+    LibrarySource,
+}
+
+/// One lint hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule name (matches `xtask-allow` directives).
+    pub rule: &'static str,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// One-line rationale.
+    pub message: &'static str,
+}
+
+/// A line split into sanitized code (strings/chars blanked) and the body
+/// of its `//` comment, if any.
+struct SplitLine {
+    code: String,
+    comment: String,
+}
+
+/// Per-file scan state.
+struct ScanState {
+    depth: i64,
+    /// `Some(d)`: inside a `#[cfg(test)]` item; leaves when depth returns
+    /// to `d`.
+    test_end_depth: Option<i64>,
+    /// Saw `#[cfg(test)]`, waiting for the item's opening brace.
+    pending_cfg_test: bool,
+    in_block_comment: bool,
+}
+
+/// Scans one file's source text, returning all findings in line order.
+pub fn scan_source(class: FileClass, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut state = ScanState {
+        depth: 0,
+        test_end_depth: None,
+        pending_cfg_test: false,
+        in_block_comment: false,
+    };
+    let mut carried_allows: Vec<String> = Vec::new();
+    let mut file_allows: Vec<String> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let split = sanitize(raw_line, &mut state.in_block_comment);
+        let mut allows = parse_allows(&split.comment);
+        file_allows.extend(allows.iter().cloned());
+        allows.extend(carried_allows.iter().cloned());
+
+        let code = split.code.as_str();
+        let trimmed_code = code.trim();
+
+        if state.test_end_depth.is_none() && trimmed_code.contains("#[cfg(test)]") {
+            state.pending_cfg_test = true;
+        }
+
+        let in_test = state.test_end_depth.is_some();
+        if !in_test && !state.pending_cfg_test {
+            check_token_rules(code, raw_line, line_no, &allows, &mut findings);
+            check_float_eq(code, raw_line, line_no, &allows, &mut findings);
+        }
+
+        // Resolve a pending #[cfg(test)]: the next brace opens the test
+        // item; a braceless statement (e.g. `#[cfg(test)] use x;`) ends
+        // the pendency without opening a region.
+        if state.pending_cfg_test && state.test_end_depth.is_none() {
+            if code.contains('{') {
+                state.test_end_depth = Some(state.depth);
+                state.pending_cfg_test = false;
+            } else if code.contains(';') {
+                state.pending_cfg_test = false;
+            }
+        }
+
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        state.depth += opens - closes;
+        if let Some(end_depth) = state.test_end_depth {
+            if state.depth <= end_depth {
+                state.test_end_depth = None;
+            }
+        }
+
+        // A directive also covers the next code line, carrying through any
+        // comment-only lines in between, so a standalone
+        // `// xtask-allow: rule` comment (possibly continued over several
+        // comment lines) can precede the offending statement.
+        let own = parse_allows(&split.comment);
+        if trimmed_code.is_empty() && !split.comment.is_empty() {
+            carried_allows.extend(own);
+        } else {
+            carried_allows = own;
+        }
+    }
+
+    if class == FileClass::LibraryRoot && !file_allows.iter().any(|a| a == CRATE_HEADERS) {
+        for header in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+            if !text.contains(header) {
+                findings.push(Finding {
+                    rule: CRATE_HEADERS,
+                    line: 1,
+                    excerpt: format!("missing `{header}`"),
+                    message: "library crate roots must forbid unsafe code and warn on \
+                              undocumented public items",
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+fn check_token_rules(
+    code: &str,
+    raw_line: &str,
+    line_no: usize,
+    allows: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    for rule in RULES {
+        if allows.iter().any(|a| a == rule.name) {
+            continue;
+        }
+        if rule.needles.iter().any(|needle| code.contains(needle)) {
+            findings.push(Finding {
+                rule: rule.name,
+                line: line_no,
+                excerpt: raw_line.trim().to_owned(),
+                message: rule.message,
+            });
+        }
+    }
+}
+
+fn check_float_eq(
+    code: &str,
+    raw_line: &str,
+    line_no: usize,
+    allows: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    if allows.iter().any(|a| a == FLOAT_EQ) {
+        return;
+    }
+    if has_float_comparison(code) {
+        findings.push(Finding {
+            rule: FLOAT_EQ,
+            line: line_no,
+            excerpt: raw_line.trim().to_owned(),
+            message: "exact float comparison is almost always a tolerance bug; compare \
+                      |a - b| against an epsilon (or xtask-allow an intentional IEEE \
+                      sentinel check)",
+        });
+    }
+}
+
+/// Detects `==` / `!=` where either operand looks like a float.
+fn has_float_comparison(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let is_eq = bytes[i] == b'=' && bytes[i + 1] == b'=';
+        let is_ne = bytes[i] == b'!' && bytes[i + 1] == b'=';
+        if !(is_eq || is_ne) {
+            i += 1;
+            continue;
+        }
+        // Exclude compound operators: `<=`, `>=`, `+=`, `===`(never valid
+        // rust, but cheap to skip), and the char after the operator being
+        // another `=`.
+        let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+        let next = bytes.get(i + 2).copied().unwrap_or(b' ');
+        if is_eq && (b"<>!=+-*/%^&|".contains(&prev) || next == b'=') {
+            i += 2;
+            continue;
+        }
+        if is_ne && next == b'=' {
+            i += 2;
+            continue;
+        }
+        let left = operand_slice(&code[..i], true);
+        let right = operand_slice(&code[i + 2..], false);
+        if looks_float(left) || looks_float(right) {
+            return true;
+        }
+        i += 2;
+    }
+    false
+}
+
+/// Extracts the text of one comparison operand, stopping at expression
+/// delimiters.
+fn operand_slice(s: &str, is_left: bool) -> &str {
+    const DELIMS: &[char] = &['(', ')', '{', '}', ',', ';', '&', '|', '[', ']'];
+    if is_left {
+        match s.rfind(DELIMS) {
+            Some(pos) => &s[pos + 1..],
+            None => s,
+        }
+    } else {
+        match s.find(DELIMS) {
+            Some(pos) => &s[..pos],
+            None => s,
+        }
+    }
+}
+
+/// Whether an operand contains a float literal or an `f32`/`f64` token.
+fn looks_float(operand: &str) -> bool {
+    let bytes = operand.as_bytes();
+    for i in 1..bytes.len() {
+        if bytes[i] == b'.' && bytes[i - 1].is_ascii_digit() {
+            let next = bytes.get(i + 1).copied().unwrap_or(b' ');
+            // `1.5`, `1.` — but not `1..x` (range) or tuple field access
+            // chains, which have a non-digit before the dot.
+            if next.is_ascii_digit() {
+                return true;
+            }
+            if next != b'.' && !next.is_ascii_alphabetic() && next != b'_' {
+                return true;
+            }
+        }
+    }
+    operand.contains("f64") || operand.contains("f32")
+}
+
+/// Parses `xtask-allow: a, b` directives out of a comment body.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let Some(pos) = comment.find("xtask-allow:") else {
+        return Vec::new();
+    };
+    comment[pos + "xtask-allow:".len()..]
+        .split(',')
+        .map(|part| {
+            // Keep the leading rule-name token; anything after it (e.g. a
+            // parenthesized justification) is free-form commentary.
+            let trimmed = part.trim();
+            let end = trimmed
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+                .unwrap_or(trimmed.len());
+            trimmed[..end].to_owned()
+        })
+        .filter(|name| !name.is_empty())
+        .collect()
+}
+
+/// Blanks string/char literals, splits off `//` comments, and tracks
+/// `/* */` block comments across lines.
+fn sanitize(line: &str, in_block_comment: &mut bool) -> SplitLine {
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if *in_block_comment {
+            if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        let c = chars[i];
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                comment = chars[i..].iter().collect();
+                break;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            '"' => {
+                // Skip the string literal's body (escapes handled; raw
+                // strings degrade to best-effort).
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                code.push('"');
+                code.push('"');
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // chars; a lifetime never has a closing quote.
+                let close = if chars.get(i + 1) == Some(&'\\') {
+                    chars.get(i + 3) == Some(&'\'')
+                } else {
+                    chars.get(i + 2) == Some(&'\'')
+                };
+                if close {
+                    let skip = if chars.get(i + 1) == Some(&'\\') {
+                        4
+                    } else {
+                        3
+                    };
+                    code.push_str("' '");
+                    i += skip;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    SplitLine { code, comment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> Vec<Finding> {
+        scan_source(FileClass::LibrarySource, text)
+    }
+
+    #[test]
+    fn clean_code_has_no_findings() {
+        let findings = scan("fn f(rng: &mut StdRng) -> u64 {\n    rng.next()\n}\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn needles_inside_strings_do_not_fire() {
+        let findings = scan("fn f() { let s = \"do not call thread_rng here\"; }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn needles_inside_comments_do_not_fire() {
+        let findings = scan("// thread_rng would be bad\n/* Instant::now too */\nfn f() {}\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let text = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+                    Some(1).unwrap(); }\n}\n";
+        let findings = scan(text);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn code_after_cfg_test_region_is_checked_again() {
+        let text = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n\
+                    fn after() { y.unwrap(); }\n";
+        let findings = scan(text);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 5);
+        assert_eq!(findings[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let findings = scan("fn f() { x.unwrap(); } // xtask-allow: unwrap\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn preceding_line_allow_suppresses() {
+        let findings = scan("// xtask-allow: unwrap\nfn f() { x.unwrap(); }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_carries_through_comment_continuation_lines() {
+        let text = "// xtask-allow: unwrap (long justification\n// continued here)\n\
+                    fn f() { x.unwrap(); }\n";
+        assert!(scan(text).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_carry_past_code_lines() {
+        let text = "// xtask-allow: unwrap\nfn ok() {}\nfn f() { x.unwrap(); }\n";
+        let findings = scan(text);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn allow_for_another_rule_does_not_suppress() {
+        let findings = scan("fn f() { x.unwrap(); } // xtask-allow: wall-clock\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn float_eq_detected_both_sides() {
+        assert_eq!(scan("fn f() { let ok = a == 0.5; }\n")[0].rule, "float-eq");
+        assert_eq!(scan("fn f() { let ok = 0.5 != b; }\n")[0].rule, "float-eq");
+        assert_eq!(
+            scan("fn f() { let ok = x as f64 == y; }\n")[0].rule,
+            "float-eq"
+        );
+    }
+
+    #[test]
+    fn integer_eq_is_fine() {
+        assert!(scan("fn f() { let ok = a == 5; }\n").is_empty());
+        assert!(scan("fn f() { let ok = a <= 5.0; }\n").is_empty());
+        assert!(scan("fn f() { for i in 0..=n {} }\n").is_empty());
+    }
+
+    #[test]
+    fn headers_checked_only_for_roots() {
+        let text = "pub fn f() {}\n";
+        assert!(scan_source(FileClass::LibrarySource, text).is_empty());
+        let root = scan_source(FileClass::LibraryRoot, text);
+        assert_eq!(root.len(), 2);
+        assert!(root.iter().all(|f| f.rule == "crate-headers"));
+        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+        assert!(scan_source(FileClass::LibraryRoot, good).is_empty());
+    }
+
+    #[test]
+    fn directive_parsing_handles_lists() {
+        let allows = parse_allows("// xtask-allow: unwrap, float-eq (sentinel)");
+        assert_eq!(allows, vec!["unwrap".to_owned(), "float-eq".to_owned()]);
+    }
+}

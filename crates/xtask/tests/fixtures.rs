@@ -1,0 +1,107 @@
+//! Rule self-tests: every lint rule fires exactly where its bad fixture
+//! says — no more, no fewer — stays silent on the clean fixture, and is
+//! suppressed by `xtask-allow` directives. Fixtures live in
+//! `tests/fixtures/` (a subdirectory, so cargo does not compile them as
+//! test targets).
+
+use xtask::rules::all_rule_names;
+use xtask::{scan_source, FileClass};
+
+/// Scans a fixture file, returning `(rule, line)` pairs in file order.
+fn scan_fixture(name: &str, class: FileClass) -> Vec<(String, usize)> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("fixture {} unreadable: {err}", path.display()));
+    scan_source(class, &text)
+        .into_iter()
+        .map(|f| (f.rule.to_owned(), f.line))
+        .collect()
+}
+
+fn expect(rule: &str, lines: &[usize]) -> Vec<(String, usize)> {
+    lines.iter().map(|&l| (rule.to_owned(), l)).collect()
+}
+
+#[test]
+fn ambient_randomness_fires_exactly_where_expected() {
+    let got = scan_fixture("ambient_randomness.rs", FileClass::LibrarySource);
+    assert_eq!(got, expect("ambient-randomness", &[5, 6]));
+}
+
+#[test]
+fn wall_clock_fires_exactly_where_expected() {
+    let got = scan_fixture("wall_clock.rs", FileClass::LibrarySource);
+    assert_eq!(got, expect("wall-clock", &[7]));
+}
+
+#[test]
+fn hash_iteration_fires_exactly_where_expected() {
+    let got = scan_fixture("hash_iteration.rs", FileClass::LibrarySource);
+    assert_eq!(got, expect("hash-iteration", &[5, 6]));
+}
+
+#[test]
+fn unwrap_fires_exactly_where_expected() {
+    let got = scan_fixture("unwrap.rs", FileClass::LibrarySource);
+    assert_eq!(got, expect("unwrap", &[5, 9]));
+}
+
+#[test]
+fn debug_print_fires_exactly_where_expected() {
+    let got = scan_fixture("debug_print.rs", FileClass::LibrarySource);
+    assert_eq!(got, expect("debug-print", &[5, 6, 7]));
+}
+
+#[test]
+fn float_eq_fires_exactly_where_expected() {
+    let got = scan_fixture("float_eq.rs", FileClass::LibrarySource);
+    assert_eq!(got, expect("float-eq", &[5, 9, 13]));
+}
+
+#[test]
+fn crate_headers_fires_on_library_roots_only() {
+    let as_root = scan_fixture("missing_headers.rs", FileClass::LibraryRoot);
+    assert_eq!(as_root, expect("crate-headers", &[1, 1]));
+    let as_source = scan_fixture("missing_headers.rs", FileClass::LibrarySource);
+    assert!(as_source.is_empty(), "{as_source:?}");
+}
+
+#[test]
+fn clean_fixture_has_no_findings_even_as_root() {
+    let got = scan_fixture("clean.rs", FileClass::LibraryRoot);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn allow_directives_suppress_every_finding() {
+    let got = scan_fixture("allowed.rs", FileClass::LibrarySource);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn every_rule_has_a_bad_fixture() {
+    // Each rule must be demonstrated by a fixture that makes it fire;
+    // collect the rules fired across all bad fixtures and compare against
+    // the full catalog, so adding a rule without a fixture fails here.
+    let bad_fixtures = [
+        "ambient_randomness.rs",
+        "wall_clock.rs",
+        "hash_iteration.rs",
+        "unwrap.rs",
+        "debug_print.rs",
+        "float_eq.rs",
+        "missing_headers.rs",
+    ];
+    let mut fired: Vec<String> = bad_fixtures
+        .iter()
+        .flat_map(|f| scan_fixture(f, FileClass::LibraryRoot))
+        .map(|(rule, _)| rule)
+        .collect();
+    fired.sort();
+    fired.dedup();
+    let mut catalog: Vec<String> = all_rule_names().iter().map(|s| (*s).to_owned()).collect();
+    catalog.sort();
+    assert_eq!(fired, catalog, "rule catalog and fixture coverage diverged");
+}

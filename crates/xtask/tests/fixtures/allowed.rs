@@ -1,0 +1,18 @@
+//! Fixture: every would-be finding carries an `xtask-allow` directive, on
+//! the same line, the preceding line, or a multi-line comment directly
+//! above. Must scan clean.
+
+pub fn sentinel(p: f64) -> bool {
+    // xtask-allow: float-eq (degenerate sentinel, justification spills
+    // onto a continuation comment line)
+    p == 0.0
+}
+
+pub fn take(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // xtask-allow: unwrap (fixture)
+}
+
+pub fn lookup() -> usize {
+    // xtask-allow: hash-iteration, unwrap (list directive covers both)
+    std::collections::HashMap::<u32, u32>::new().get(&0).copied().unwrap() as usize
+}

@@ -1,0 +1,8 @@
+//! Bad fixture: ambient randomness. Rule `ambient-randomness` must fire
+//! on lines 5 and 6 and nowhere else.
+
+pub fn roll() -> (u64, u8) {
+    let mut rng = rand::thread_rng();
+    let x: u8 = rand::random();
+    (rng.gen(), x)
+}

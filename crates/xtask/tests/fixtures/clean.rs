@@ -1,0 +1,32 @@
+//! Clean fixture: no rule may fire anywhere in this file, even as a
+//! library root. Exercises the scanner's negative space — needles in
+//! strings, comments and doc prose, integer comparisons, ranges, and a
+//! `#[cfg(test)]` region doing everything the rules forbid.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Doc prose mentioning thread_rng, Instant::now and HashMap is fine.
+pub fn describe() -> &'static str {
+    // So is a comment saying .unwrap() or SystemTime::now.
+    "call .unwrap() or println!(...) — string literals do not count"
+}
+
+/// Integer comparisons and ranges must not trip the float-eq rule.
+pub fn compare(a: u64, b: u64) -> bool {
+    a == b && a <= 5 && a != 3 && (0..=b).contains(&a)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt_from_every_rule() {
+        let started = Instant::now();
+        let mut map = HashMap::new();
+        map.insert("k", 1.5f64);
+        println!("elapsed: {:?}", started.elapsed());
+        assert!(*map.get("k").unwrap() == 1.5);
+    }
+}

@@ -1,0 +1,8 @@
+//! Bad fixture: stdio writes in library code. Rule `debug-print` must
+//! fire on lines 5, 6 and 7.
+
+pub fn shout(x: u32) -> u32 {
+    println!("x = {x}");
+    eprintln!("still here");
+    dbg!(x)
+}

@@ -1,0 +1,14 @@
+//! Bad fixture: exact float comparison. Rule `float-eq` must fire on
+//! lines 5, 9 and 13.
+
+pub fn literal_rhs(a: f64) -> bool {
+    a == 0.3
+}
+
+pub fn literal_lhs(b: f32) -> bool {
+    1.5 != b
+}
+
+pub fn cast_operand(x: u64, y: f64) -> bool {
+    x as f64 == y
+}

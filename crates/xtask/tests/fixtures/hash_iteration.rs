@@ -1,0 +1,8 @@
+//! Bad fixture: nondeterministic hash iteration. Rule `hash-iteration`
+//! must fire on lines 5 and 6.
+
+pub fn tally() -> usize {
+    let set = std::collections::HashSet::<u32>::new();
+    let map = std::collections::HashMap::<u32, u32>::new();
+    set.len() + map.len()
+}

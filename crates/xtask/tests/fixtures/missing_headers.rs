@@ -1,0 +1,5 @@
+//! Bad fixture: a crate root without the mandatory lint headers. Rule
+//! `crate-headers` must fire twice (once per missing header) when this is
+//! scanned as a library root.
+
+pub fn noop() {}

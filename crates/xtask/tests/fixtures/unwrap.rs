@@ -1,0 +1,10 @@
+//! Bad fixture: unwrap/expect in library code. Rule `unwrap` must fire on
+//! lines 5 and 9.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("has two elements")
+}

@@ -1,0 +1,8 @@
+//! Bad fixture: wall-clock reads. Rule `wall-clock` must fire once, on
+//! line 7 (two needles on one line collapse into one finding).
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{n} agents; {s1} sources prefer 1, {s0} prefer 0 (bias {}), δ = {delta}",
         config.bias()
     );
-    println!("correct opinion (plurality): {}\n", config.correct_opinion());
+    println!(
+        "correct opinion (plurality): {}\n",
+        config.correct_opinion()
+    );
 
     // --- SF ---
     let params = SfParams::derive(&config, delta, 1.0)?;

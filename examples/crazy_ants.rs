@@ -29,7 +29,11 @@ fn run_with_sample_size(n: usize, h: usize, delta: f64, seed: u64) -> (u64, u64,
         &SourceFilter::new(params),
         config,
         &noise,
-        if h <= 8 { ChannelKind::Exact } else { ChannelKind::Aggregated },
+        if h <= 8 {
+            ChannelKind::Exact
+        } else {
+            ChannelKind::Aggregated
+        },
         seed,
     )
     .expect("alphabets match");

@@ -39,10 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 1024;
     let config = PopulationConfig::new(n, 0, 1, n)?;
     let params = SfParams::derive(&config, reduction.uniform_level(), 1.0)?;
-    let protocol = WithArtificialNoise::new(
-        SourceFilter::new(params),
-        reduction.artificial().clone(),
-    )?;
+    let protocol =
+        WithArtificialNoise::new(SourceFilter::new(params), reduction.artificial().clone())?;
     let mut world = World::new(&protocol, config, &real, ChannelKind::Aggregated, 23)?;
     world.run(params.total_rounds());
     println!(

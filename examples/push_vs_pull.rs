@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let noise = NoiseMatrix::uniform(2, delta)?;
     let mut world = PushWorld::new(&PushSpreading::new(params), config, &noise, 3)?;
     world.run(params.spreading_rounds());
-    let informed = world
-        .iter_agents()
-        .filter(|a| a.is_informed())
-        .count();
+    let informed = world.iter_agents().filter(|a| a.is_informed()).count();
     println!(
         "\nPUSH at n = {n}: {informed}/{n} agents informed after the \
          {}-round spreading stage",

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("population           : {n} agents, 1 source, h = n");
     println!("noise                : δ = {delta} (uniform binary)");
     println!("message budget m     : {}", params.m());
-    println!("schedule             : {} rounds total", params.total_rounds());
+    println!(
+        "schedule             : {} rounds total",
+        params.total_rounds()
+    );
     println!(
         "  = 2 listening phases of {} + {} boosting sub-phases of {} + final {}",
         params.phase_len(),

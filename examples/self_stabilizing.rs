@@ -19,8 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = SsfParams::derive(&config, delta, 16.0)?;
     let noise = NoiseMatrix::uniform(4, delta)?;
 
-    println!("{n} agents, 1 source, δ = {delta}, memory capacity m = {}", params.m());
-    println!("update interval: every {} rounds\n", params.update_interval());
+    println!(
+        "{n} agents, 1 source, δ = {delta}, memory capacity m = {}",
+        params.m()
+    );
+    println!(
+        "update interval: every {} rounds\n",
+        params.update_interval()
+    );
 
     for adversary in SsfAdversary::ALL {
         let mut world = World::new(
@@ -46,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "{adversary:>16}: start {before:>4}/{n} correct → FAILED ({correct_at_end}/{n} at budget)"
             ),
         }
-        assert!(outcome.converged(), "SSF must self-stabilize under {adversary}");
+        assert!(
+            outcome.converged(),
+            "SSF must self-stabilize under {adversary}"
+        );
 
         // Persistence: spot-check another three update cycles.
         for _ in 0..3 * params.update_interval() {

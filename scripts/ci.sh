@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The single CI entry point: formatting, clippy (warnings are errors), the
+# workspace's own determinism/robustness lints, the full test suite, and a
+# release-mode test pass with runtime invariant checks kept in
+# (`--features strict-invariants`). Everything here runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "### cargo fmt --check"
+cargo fmt --check
+
+echo "### cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "### cargo xtask check"
+cargo xtask check
+
+echo "### cargo build --release (tier-1)"
+cargo build --release
+
+echo "### cargo test -q (tier-1)"
+cargo test -q
+
+echo "### cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "### cargo test -p np-engine --release --features strict-invariants -q"
+cargo test -p np-engine --release --features strict-invariants -q
+
+echo "### ci.sh: all checks passed"

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Regenerates every experiment table (console + CSV under target/experiments/).
 # Set NP_QUICK=1 for a fast smoke pass.
+# Set NP_SKIP_CI=1 to skip the pre-flight checks (ci.sh) and go straight to
+# the experiment binaries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+if [[ "${NP_SKIP_CI:-0}" != "1" ]]; then
+    # Never publish tables from a tree that fails the workspace gate.
+    scripts/ci.sh
+fi
 exps=(exp_fig1 exp_logtime exp_speedup_h exp_noise_sweep exp_bias_sweep
       exp_self_stab exp_lb_tightness exp_weak_opinion exp_boosting
       exp_reduction exp_baselines exp_conflict exp_push_pull

@@ -23,8 +23,14 @@ fn successes<P: Protocol>(proto: &P, delta: f64) -> u32 {
     let noise = NoiseMatrix::uniform(proto.alphabet_size(), delta).unwrap();
     let mut wins = 0;
     for seed in 0..SEEDS {
-        let mut world =
-            World::new(proto, config, &noise, ChannelKind::Aggregated, 0xBEEF + seed).unwrap();
+        let mut world = World::new(
+            proto,
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            0xBEEF + seed,
+        )
+        .unwrap();
         if run_settled(&mut world, budget()).converged() {
             wins += 1;
         }

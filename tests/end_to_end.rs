@@ -29,7 +29,11 @@ fn sf_converges_across_population_sizes() {
         let (mut world, params) =
             sf_world(n, 0, 1, n, 0.2, 2.0, ChannelKind::Aggregated, 40 + i as u64);
         world.run(params.total_rounds());
-        assert!(world.is_consensus(), "n = {n}: {}/{n}", world.correct_count());
+        assert!(
+            world.is_consensus(),
+            "n = {n}: {}/{n}",
+            world.correct_count()
+        );
     }
 }
 
@@ -83,7 +87,11 @@ fn ssf_converges_and_persists_across_sizes() {
         )
         .unwrap();
         world.run(params.expected_convergence_rounds() + 2);
-        assert!(world.is_consensus(), "n = {n}: {}/{n}", world.correct_count());
+        assert!(
+            world.is_consensus(),
+            "n = {n}: {}/{n}",
+            world.correct_count()
+        );
         // Persistence over two more full update cycles.
         for _ in 0..2 * params.update_interval() {
             world.step();

@@ -19,8 +19,7 @@ fn sf_under_asymmetric_binary_noise() {
     let protocol =
         WithArtificialNoise::new(SourceFilter::new(params), reduction.artificial().clone())
             .unwrap();
-    let mut world =
-        World::new(&protocol, config, &real, ChannelKind::Aggregated, 31).unwrap();
+    let mut world = World::new(&protocol, config, &real, ChannelKind::Aggregated, 31).unwrap();
     world.run(params.total_rounds());
     assert!(world.is_consensus(), "{}/256", world.correct_count());
 }
@@ -49,8 +48,7 @@ fn ssf_under_asymmetric_four_symbol_noise() {
         reduction.artificial().clone(),
     )
     .unwrap();
-    let mut world =
-        World::new(&protocol, config, &real, ChannelKind::Aggregated, 33).unwrap();
+    let mut world = World::new(&protocol, config, &real, ChannelKind::Aggregated, 33).unwrap();
     world.run(params.expected_convergence_rounds() + 2);
     assert!(world.is_consensus(), "{}/256", world.correct_count());
 }
@@ -61,7 +59,9 @@ fn two_stage_channel_matches_uniform_target_empirically() {
     let reduction = real.artificial_noise().unwrap();
     let target = NoiseMatrix::uniform(2, reduction.uniform_level()).unwrap();
 
-    let n_rows: Vec<Vec<f64>> = (0..2).map(|s| real.observation_distribution(s).to_vec()).collect();
+    let n_rows: Vec<Vec<f64>> = (0..2)
+        .map(|s| real.observation_distribution(s).to_vec())
+        .collect();
     let p_rows: Vec<Vec<f64>> = (0..2)
         .map(|s| reduction.artificial().observation_distribution(s).to_vec())
         .collect();
@@ -100,8 +100,7 @@ fn reduction_preserves_weak_opinion_access_through_wrapper() {
     let protocol =
         WithArtificialNoise::new(SourceFilter::new(params), reduction.artificial().clone())
             .unwrap();
-    let mut world =
-        World::new(&protocol, config, &real, ChannelKind::Aggregated, 35).unwrap();
+    let mut world = World::new(&protocol, config, &real, ChannelKind::Aggregated, 35).unwrap();
     world.run(2 * params.phase_len());
     // The wrapped agent's weak opinion is reachable for analysis.
     let have_weak = world

@@ -73,7 +73,11 @@ fn consensus_persists_for_many_update_cycles() {
     // times).
     for _ in 0..10 * params.update_interval() {
         world.step();
-        assert!(world.is_consensus(), "lost consensus at round {}", world.round());
+        assert!(
+            world.is_consensus(),
+            "lost consensus at round {}",
+            world.round()
+        );
     }
 }
 

@@ -18,7 +18,10 @@ fn doubling_h_roughly_halves_time_in_the_h_bound_regime() {
     };
     let faster = SfSetup { h: 8, ..base };
     let t_base = summarize(&base.run_many(1, 6)).1.expect("converges").mean();
-    let t_fast = summarize(&faster.run_many(2, 6)).1.expect("converges").mean();
+    let t_fast = summarize(&faster.run_many(2, 6))
+        .1
+        .expect("converges")
+        .mean();
     let ratio = t_base / t_fast;
     assert!(
         (1.5..=2.6).contains(&ratio),
@@ -31,8 +34,14 @@ fn settle_time_at_h_equals_n_is_logarithmic_not_linear() {
     // Quadrupling n must NOT quadruple the time (it should grow ~ln n).
     let small = SfSetup::single_source_full_sample(128, 0.2, 1.0);
     let large = SfSetup::single_source_full_sample(512, 0.2, 1.0);
-    let t_small = summarize(&small.run_many(3, 6)).1.expect("converges").mean();
-    let t_large = summarize(&large.run_many(4, 6)).1.expect("converges").mean();
+    let t_small = summarize(&small.run_many(3, 6))
+        .1
+        .expect("converges")
+        .mean();
+    let t_large = summarize(&large.run_many(4, 6))
+        .1
+        .expect("converges")
+        .mean();
     let growth = t_large / t_small;
     let linear_growth = 4.0;
     assert!(
@@ -44,7 +53,10 @@ fn settle_time_at_h_equals_n_is_logarithmic_not_linear() {
 #[test]
 fn measured_time_within_log_factor_of_lower_bound() {
     let setup = SfSetup::single_source_full_sample(512, 0.2, 1.0);
-    let measured = summarize(&setup.run_many(5, 6)).1.expect("converges").mean();
+    let measured = summarize(&setup.run_many(5, 6))
+        .1
+        .expect("converges")
+        .mean();
     let lb = theory::lower_bound_rounds(512, 512, 1, 0.2, 2).unwrap();
     let ratio = measured / lb.max(1.0);
     let log_n = (512f64).ln();

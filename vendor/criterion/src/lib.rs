@@ -1,0 +1,221 @@
+//! Offline, minimal subset of the `criterion` 0.5 benchmarking API.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs batches
+//! of iterations until a ~200 ms time budget is spent, and reports the
+//! mean wall-clock time per iteration. There are no statistical analyses,
+//! plots, or saved baselines — this exists so `cargo bench` and
+//! `cargo clippy --all-targets` work without the network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (reported, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter string.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with distinct function and parameter parts.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter under the group's name.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the measured iteration loop of one benchmark.
+pub struct Bencher {
+    per_iter: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, retaining its output via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few unmeasured calls so lazy setup is excluded.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < budget && iters < 1_000_000 {
+            let batch = (iters / 2).clamp(1, 10_000);
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += batch_start.elapsed();
+            iters += batch;
+            // Bail out if a single batch already blew the budget.
+            if started.elapsed() > budget * 4 {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.per_iter = if iters > 0 {
+            elapsed / u32::try_from(iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        } else {
+            Duration::ZERO
+        };
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        per_iter: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.per_iter;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter.as_nanos() > 0 => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  {per_sec:.3e} elem/s")
+        }
+        Some(Throughput::Bytes(n)) if per_iter.as_nanos() > 0 => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  {per_sec:.3e} B/s")
+        }
+        _ => String::new(),
+    };
+    println!("{name}: {:?}/iter ({} iters){rate}", per_iter, bencher.iters);
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.throughput,
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `routine` under this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<GroupBenchName>,
+        mut routine: R,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.into().0),
+            self.throughput,
+            |b| routine(b),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A name accepted by [`BenchmarkGroup::bench_function`].
+pub struct GroupBenchName(String);
+
+impl From<&str> for GroupBenchName {
+    fn from(s: &str) -> Self {
+        GroupBenchName(s.to_owned())
+    }
+}
+
+impl From<String> for GroupBenchName {
+    fn from(s: String) -> Self {
+        GroupBenchName(s)
+    }
+}
+
+impl From<BenchmarkId> for GroupBenchName {
+    fn from(id: BenchmarkId) -> Self {
+        GroupBenchName(id.name)
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: R) {
+        run_one(name, None, |b| routine(b));
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Declares a benchmark group function, as `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,278 @@
+//! Distributions: [`Standard`] plus the uniform-range machinery backing
+//! `Rng::gen_range`, with the exact sampling algorithms of `rand` 0.8.5.
+
+use crate::Rng;
+
+/// A type that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers, `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream compares the sign bit, not the low bit.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit multiply-based sample in [0, 1), as upstream.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24-bit multiply-based sample in [0, 1), as upstream.
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! standard_int_impls {
+    ($($ty:ty => $method:ident as $cast:ty),* $(,)?) => {
+        $(impl Distribution<$ty> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$method() as $cast as $ty
+            }
+        })*
+    };
+}
+
+standard_int_impls! {
+    u8 => next_u32 as u8,
+    u16 => next_u32 as u16,
+    u32 => next_u32 as u32,
+    u64 => next_u64 as u64,
+    usize => next_u64 as usize,
+    i8 => next_u32 as u8,
+    i16 => next_u32 as u16,
+    i32 => next_u32 as u32,
+    i64 => next_u64 as u64,
+    isize => next_u64 as usize,
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges, as used by `Rng::gen_range`.
+    //!
+    //! Integers use Lemire's widening-multiply rejection method with the
+    //! same zone computation as `rand` 0.8.5's `UniformInt::sample_single`
+    //! / `sample_single_inclusive`; floats use the `[1, 2)` mantissa
+    //! construction of `UniformFloat`.
+
+    use super::{Distribution, Standard};
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that `gen_range` can sample uniformly.
+    pub trait SampleUniform: Sized {
+        /// Samples from `[low, high)`. Callers guarantee `low < high`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+        /// Samples from `[low, high]`. Callers guarantee `low <= high`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range shapes accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+
+        fn is_empty(&self) -> bool {
+            !(self.start < self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            T::sample_single_inclusive(start, end, rng)
+        }
+
+        fn is_empty(&self) -> bool {
+            !(self.start() <= self.end())
+        }
+    }
+
+    macro_rules! uniform_int_impls {
+        ($($ty:ty => $unsigned:ty),* $(,)?) => {
+            $(impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let range = high.wrapping_sub(low) as $unsigned as u64;
+                    // Lemire rejection zone, exactly as rand 0.8.5 computes
+                    // it for word-sized types.
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: u64 = Standard.sample(rng);
+                        let wide = u128::from(v) * u128::from(range);
+                        let (hi, lo) = ((wide >> 64) as u64, wide as u64);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = (high.wrapping_sub(low) as $unsigned as u64).wrapping_add(1);
+                    if range == 0 {
+                        // The full integer range: every word is valid.
+                        return Standard.sample(rng);
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: u64 = Standard.sample(rng);
+                        let wide = u128::from(v) * u128::from(range);
+                        let (hi, lo) = ((wide >> 64) as u64, wide as u64);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            })*
+        };
+    }
+
+    uniform_int_impls! {
+        u64 => u64,
+        usize => usize,
+        u32 => u32,
+        i64 => u64,
+        i32 => u32,
+        isize => usize,
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            let scale = high - low;
+            loop {
+                // Mantissa trick: uniform in [1, 2), shift to [0, 1).
+                let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + low;
+                // Rounding can land exactly on `high`; resample (upstream
+                // narrows the scale instead, a difference of one ulp).
+                if res < high {
+                    return res;
+                }
+            }
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self {
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let value0_1 = value1_2 - 1.0;
+            value0_1 * (high - low) + low
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            let scale = high - low;
+            loop {
+                let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + low;
+                if res < high {
+                    return res;
+                }
+            }
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let value0_1 = value1_2 - 1.0;
+            value0_1 * (high - low) + low
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn standard_u64_is_raw_word() {
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        let x: u64 = Standard.sample(&mut a);
+        assert_eq!(x, b.next_u64());
+    }
+
+    #[test]
+    fn bool_uses_sign_bit() {
+        let mut a = StdRng::seed_from_u64(6);
+        let mut b = StdRng::seed_from_u64(6);
+        let flag: bool = Standard.sample(&mut a);
+        assert_eq!(flag, (b.next_u32() as i32) < 0);
+    }
+
+    #[test]
+    fn small_ranges_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[usize::sample_single(0, 4, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut low_seen = false;
+        let mut high_seen = false;
+        for _ in 0..1_000 {
+            match u64::sample_single_inclusive(0, 1, &mut rng) {
+                0 => low_seen = true,
+                1 => high_seen = true,
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(low_seen && high_seen);
+    }
+
+    #[test]
+    fn float_range_stays_inside() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10_000 {
+            let x = f64::sample_single(-2.0, 3.0, &mut rng);
+            assert!((-2.0..3.0).contains(&x));
+            let y = f64::sample_single_inclusive(0.0, 0.5, &mut rng);
+            assert!((0.0..=0.5).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline, deterministic subset of the `rand` 0.8 API.
+//!
+//! This crate is vendored into the workspace (see `vendor/` in the repo
+//! root) so that builds never touch the network. It reimplements the exact
+//! algorithms of `rand` 0.8.5 and `rand_chacha` 0.3.1 for the API surface
+//! the workspace uses, so any test expectation tuned against upstream
+//! seeded streams keeps the same bit-for-bit behavior:
+//!
+//! * [`rngs::StdRng`] — ChaCha12 with the upstream 4-block buffer and
+//!   `BlockRng` word-pairing rules for `next_u64`.
+//! * [`SeedableRng::seed_from_u64`] — the upstream PCG32-based seed
+//!   expansion.
+//! * [`Rng::gen_range`] — Lemire widening-multiply rejection sampling for
+//!   integers, the `[1, 2)`-mantissa trick for floats.
+//! * [`distributions::Standard`] — sign-bit `bool`, 53-bit `f64`, 24-bit
+//!   `f32`.
+//!
+//! **Intentionally missing:** `thread_rng`, `from_entropy`, `OsRng`, and
+//! every other ambient entropy source. The workspace's determinism policy
+//! (enforced by `cargo xtask check`) requires all randomness to flow from
+//! explicit seeds; this crate makes the banned constructors unrepresentable
+//! rather than merely linted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+mod chacha;
+
+pub use distributions::uniform::{SampleRange, SampleUniform};
+pub use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: raw word and byte output.
+///
+/// Mirrors `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+///
+/// Mirrors `rand_core::SeedableRng`, including the exact PCG32-based
+/// default implementation of [`SeedableRng::seed_from_u64`].
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed, expanding it to a full seed
+    /// with the same PCG32 stream upstream `rand_core` uses.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // Identical to rand_core 0.6: one PCG32 step per 4 seed bytes.
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-level convenience methods over any [`RngCore`].
+///
+/// Mirrors the `rand::Rng` extension trait for the methods this workspace
+/// uses: [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], and
+/// [`Rng::sample`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // Same integer-threshold scheme as rand 0.8's Bernoulli.
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!((0..64).all(|_| rng.gen_bool(1.0)));
+        assert!((0..64).all(|_| !rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u64 = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let z: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample empty range")]
+    fn gen_range_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: u64 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn f64_samples_cover_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            acc += x;
+        }
+        let mean = acc / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_samples_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let ones = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&ones), "ones {ones}");
+    }
+}

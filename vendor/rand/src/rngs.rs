@@ -1,0 +1,150 @@
+//! Seedable generators. Only [`StdRng`] is provided: the workspace policy
+//! is "all randomness flows from explicit seeds", so there is no
+//! `ThreadRng` and no entropy-based constructor.
+
+use crate::chacha::{ChaCha12Core, BUFFER_WORDS};
+use crate::{RngCore, SeedableRng};
+
+/// The standard deterministic generator: ChaCha12, bit-compatible with
+/// `rand` 0.8's `StdRng` (including `rand_core`'s `BlockRng` buffering
+/// rules, which make `next_u64` consume aligned word pairs).
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let x: f64 = rng.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    core: ChaCha12Core,
+    results: [u32; BUFFER_WORDS],
+    index: usize,
+}
+
+impl StdRng {
+    fn generate_and_set(&mut self, index: usize) {
+        self.core.generate(&mut self.results);
+        self.index = index;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng {
+            core: ChaCha12Core::from_seed(seed),
+            results: [0u32; BUFFER_WORDS],
+            // Empty buffer: first use triggers a refill.
+            index: BUFFER_WORDS,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core::block::BlockRng::next_u64, verbatim logic: read two
+        // consecutive words where possible, pair the buffer's last word
+        // with the next refill's first word otherwise.
+        let len = BUFFER_WORDS;
+        let index = self.index;
+        if index < len - 1 {
+            self.index += 2;
+            (u64::from(self.results[index + 1]) << 32) | u64::from(self.results[index])
+        } else if index >= len {
+            self.generate_and_set(2);
+            (u64::from(self.results[1]) << 32) | u64::from(self.results[0])
+        } else {
+            let x = u64::from(self.results[len - 1]);
+            self.generate_and_set(1);
+            let y = u64::from(self.results[0]);
+            (y << 32) | x
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // rand_core's fill_via_u32_chunks: consume whole buffered words,
+        // little-endian; a trailing partial chunk consumes one word.
+        let mut written = 0;
+        while written < dest.len() {
+            if self.index >= BUFFER_WORDS {
+                self.generate_and_set(0);
+            }
+            let word = self.results[self.index].to_le_bytes();
+            self.index += 1;
+            let take = word.len().min(dest.len() - written);
+            dest[written..written + take].copy_from_slice(&word[..take]);
+            written += take;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_u64_pairs_words_like_block_rng() {
+        // Drawing 64 u32s then one u64 must pair the first buffer's last
+        // word (low half) with the second buffer's first word (high half).
+        let mut words = StdRng::seed_from_u64(5);
+        let mut paired = StdRng::seed_from_u64(5);
+        let mut first_buffer = [0u32; BUFFER_WORDS];
+        for slot in first_buffer.iter_mut() {
+            *slot = words.next_u32();
+        }
+        let first_of_second = words.next_u32();
+        for _ in 0..BUFFER_WORDS - 1 {
+            paired.next_u32();
+        }
+        let crossing = paired.next_u64();
+        let expected =
+            (u64::from(first_of_second) << 32) | u64::from(first_buffer[BUFFER_WORDS - 1]);
+        assert_eq!(crossing, expected);
+    }
+
+    #[test]
+    fn next_u64_from_aligned_index_reads_lo_then_hi() {
+        let mut words = StdRng::seed_from_u64(8);
+        let lo = words.next_u32();
+        let hi = words.next_u32();
+        let mut pair = StdRng::seed_from_u64(8);
+        assert_eq!(pair.next_u64(), (u64::from(hi) << 32) | u64::from(lo));
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut bytes = StdRng::seed_from_u64(21);
+        let mut words = StdRng::seed_from_u64(21);
+        let mut buf = [0u8; 10];
+        bytes.fill_bytes(&mut buf);
+        let w0 = words.next_u32().to_le_bytes();
+        let w1 = words.next_u32().to_le_bytes();
+        let w2 = words.next_u32().to_le_bytes();
+        assert_eq!(&buf[0..4], &w0);
+        assert_eq!(&buf[4..8], &w1);
+        assert_eq!(&buf[8..10], &w2[..2]);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = StdRng::seed_from_u64(99);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
