@@ -9,9 +9,12 @@
 //! *before* switching to majority amplification; this baseline is that
 //! amplification step alone.
 
+use std::ops::Range;
+
 use np_engine::opinion::Opinion;
-use np_engine::population::Role;
-use np_engine::protocol::{AgentState, Protocol};
+use np_engine::population::{PopulationConfig, Role};
+use np_engine::protocol::{AgentState, ColumnarProtocol, ColumnarState, Protocol};
+use np_engine::streams::{RoundStreams, StreamStage};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -28,9 +31,10 @@ use rand::Rng;
 ///
 /// let config = PopulationConfig::new(64, 0, 1, 64)?;
 /// let noise = NoiseMatrix::uniform(2, 0.1)?;
-/// let mut world = World::new(&HMajority, config, &noise, ChannelKind::Aggregated, 1)?;
+/// let mut world = World::new(&HMajority, config, &noise, ChannelKind::Aggregated, 2)?;
 /// world.run(50);
-/// // A single source cannot tip majority dynamics: no consensus on 1.
+/// // A single source cannot tip majority dynamics: on this seed the
+/// // initial coin flips lock in the wrong side, so no consensus on 1.
 /// assert!(!world.is_consensus());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -88,6 +92,112 @@ impl AgentState for MajorityAgent {
     }
 }
 
+/// Columnar h-majority: bit-identical to [`HMajority`] on the same world
+/// arguments (see `noisy_pull::columnar` for the equivalence contract the
+/// protocol ports share).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnarHMajority;
+
+/// Struct-of-arrays population state of the columnar h-majority baseline.
+#[derive(Debug, Clone)]
+pub struct MajorityColumns {
+    role: Vec<Role>,
+    opinion: Vec<Opinion>,
+}
+
+/// Disjoint mutable chunk view over [`MajorityColumns`].
+#[derive(Debug)]
+pub struct MajorityChunkMut<'a> {
+    role: &'a [Role],
+    opinion: &'a mut [Opinion],
+}
+
+impl ColumnarProtocol for ColumnarHMajority {
+    type State = MajorityColumns;
+
+    fn alphabet_size(&self) -> usize {
+        2
+    }
+
+    fn init_state(&self, config: &PopulationConfig, streams: &RoundStreams) -> MajorityColumns {
+        let n = config.n();
+        let mut cols = MajorityColumns {
+            role: Vec::with_capacity(n),
+            opinion: Vec::with_capacity(n),
+        };
+        for (id, role) in config.iter_roles().enumerate() {
+            // The scalar init evaluates `unwrap_or(coin)` eagerly, so the
+            // coin is drawn for sources too; replicate that.
+            let mut rng = streams.rng(id, StreamStage::Init);
+            let coin = Opinion::from_bool(rng.gen());
+            cols.role.push(role);
+            cols.opinion.push(role.preference().unwrap_or(coin));
+        }
+        cols
+    }
+}
+
+impl ColumnarState for MajorityColumns {
+    type ChunkMut<'a>
+        = MajorityChunkMut<'a>
+    where
+        Self: 'a;
+
+    fn len(&self) -> usize {
+        self.role.len()
+    }
+
+    fn display_chunk(&self, range: Range<usize>, out: &mut [usize], _streams: &RoundStreams) {
+        for (slot, id) in out.iter_mut().zip(range) {
+            *slot = self.opinion[id].as_index();
+        }
+    }
+
+    fn chunks_mut(&mut self, chunk_len: usize) -> Vec<MajorityChunkMut<'_>> {
+        let chunk_len = chunk_len.max(1);
+        self.role
+            .chunks(chunk_len)
+            .zip(self.opinion.chunks_mut(chunk_len))
+            .map(|(role, opinion)| MajorityChunkMut { role, opinion })
+            .collect()
+    }
+
+    fn step_chunk(
+        chunk: &mut MajorityChunkMut<'_>,
+        range: Range<usize>,
+        observed: &[u64],
+        d: usize,
+        streams: &RoundStreams,
+    ) {
+        debug_assert_eq!(d, 2);
+        for ((i, id), obs) in (0..chunk.role.len())
+            .zip(range)
+            .zip(observed.chunks_exact(d))
+        {
+            if let Role::Source(pref) = chunk.role[i] {
+                chunk.opinion[i] = pref;
+                continue;
+            }
+            chunk.opinion[i] = match obs[1].cmp(&obs[0]) {
+                std::cmp::Ordering::Greater => Opinion::One,
+                std::cmp::Ordering::Less => Opinion::Zero,
+                std::cmp::Ordering::Equal => {
+                    let mut rng = streams.rng(id, StreamStage::Update);
+                    Opinion::from_bool(rng.gen())
+                }
+            };
+        }
+    }
+
+    fn opinion(&self, id: usize) -> Opinion {
+        self.opinion[id]
+    }
+
+    fn count_opinion(&self, opinion: Opinion) -> usize {
+        self.opinion.iter().filter(|&&o| o == opinion).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +247,28 @@ mod tests {
         let outcome = world.run_until_consensus(100);
         assert!(outcome.converged());
         assert!(outcome.rounds().unwrap() < 20);
+    }
+
+    #[test]
+    fn columnar_matches_scalar_round_by_round() {
+        let config = PopulationConfig::new(64, 2, 5, 64).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.2).unwrap();
+        let mut scalar =
+            World::new(&HMajority, config, &noise, ChannelKind::Aggregated, 17).unwrap();
+        let mut columnar = World::new(
+            &ColumnarHMajority,
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            17,
+        )
+        .unwrap();
+        assert_eq!(scalar.opinions(), columnar.opinions(), "init");
+        for round in 0..40 {
+            scalar.step();
+            columnar.step();
+            assert_eq!(scalar.opinions(), columnar.opinions(), "round {round}");
+        }
     }
 
     #[test]

@@ -112,6 +112,11 @@ impl SfSetup {
     }
 
     /// Runs one seeded execution for the full schedule.
+    ///
+    /// The world runs single-threaded: experiment parallelism lives at
+    /// the batch level ([`Self::run_many`]), and stacking intra-round
+    /// threads on top of batch threads would only oversubscribe cores.
+    /// Outcomes are thread-count-invariant either way.
     pub fn run(&self, seed: u64) -> Measured {
         let config = self.config();
         let params = self.params();
@@ -124,6 +129,7 @@ impl SfSetup {
             seed,
         )
         .expect("alphabets match");
+        world.set_threads(1);
         run_settled(&mut world, params.total_rounds())
     }
 
@@ -209,6 +215,9 @@ impl SsfSetup {
             seed,
         )
         .expect("alphabets match");
+        // Single-threaded for the same reason as `SfSetup::run`: the
+        // batch level owns the parallelism.
+        world.set_threads(1);
         let adversary = self.adversary;
         world.corrupt_agents(|id, agent, rng| {
             adversary.corrupt(agent, correct, m, id, rng);

@@ -23,7 +23,7 @@ impl std::error::Error for ArgsError {}
 
 /// Flags that never take a value. A bare occurrence means `true`;
 /// `--flag=false` is also accepted.
-pub const BOOLEAN_SWITCHES: &[&str] = &["exact"];
+pub const BOOLEAN_SWITCHES: &[&str] = &["exact", "digest"];
 
 /// Parsed flags: a map from flag name (without dashes) to raw value
 /// (`"true"` for bare boolean flags), plus the list of positional
@@ -109,6 +109,21 @@ impl Args {
             None => Ok(default),
             Some(v) => v
                 .parse()
+                .map_err(|_| ArgsError(format!("flag --{name}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// A typed flag with no default: `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the value does not parse as `T`.
+    pub fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgsError> {
+        match self.raw(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
                 .map_err(|_| ArgsError(format!("flag --{name}: cannot parse `{v}`"))),
         }
     }
@@ -215,6 +230,17 @@ mod tests {
         let args = Args::parse(["--detla", "0.2"]).unwrap();
         let err = args.finish().unwrap_err();
         assert!(err.to_string().contains("--detla"));
+    }
+
+    #[test]
+    fn optional_flags_distinguish_absent_from_present() {
+        let args = Args::parse(["--threads", "4"]).unwrap();
+        assert_eq!(args.get_opt::<usize>("threads").unwrap(), Some(4));
+        assert_eq!(args.get_opt::<usize>("budget").unwrap(), None);
+        assert!(Args::parse(["--threads", "x"])
+            .unwrap()
+            .get_opt::<usize>("threads")
+            .is_err());
     }
 
     #[test]

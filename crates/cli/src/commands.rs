@@ -36,11 +36,24 @@ struct CommonFlags {
     delta: f64,
     seed: u64,
     exact: bool,
+    threads: Option<usize>,
+    digest: bool,
 }
 
 impl CommonFlags {
     fn from_args(args: &Args) -> Result<Self, ArgsError> {
         let n = args.get_or("n", 1024usize)?;
+        let threads = args.get_opt::<usize>("threads")?;
+        if threads == Some(0) {
+            return Err(ArgsError("flag --threads: must be at least 1".into()));
+        }
+        if let Some(t) = threads {
+            // Also export the override so every downstream consumer of
+            // NOISY_PULL_THREADS (batch runners, worlds built elsewhere)
+            // picks it up. Thread counts never change results — this is a
+            // pure performance knob.
+            std::env::set_var(np_engine::runner::THREADS_ENV_VAR, t.to_string());
+        }
         Ok(CommonFlags {
             n,
             h: args.get_or("h", n)?,
@@ -49,6 +62,8 @@ impl CommonFlags {
             delta: args.get_or("delta", 0.2f64)?,
             seed: args.get_or("seed", 42u64)?,
             exact: args.switch("exact")?,
+            threads,
+            digest: args.switch("digest")?,
         })
     }
 
@@ -63,9 +78,35 @@ impl CommonFlags {
             ChannelKind::Aggregated
         }
     }
+
+    /// Applies the `--threads` override to a freshly built world.
+    fn tune<P: np_engine::protocol::ColumnarProtocol>(&self, world: &mut World<P>) {
+        if let Some(t) = self.threads {
+            world.set_threads(t);
+        }
+    }
 }
 
-fn report_run<P: Protocol>(world: &mut World<P>, budget: u64, label: &str) {
+/// FNV-1a over the round count and the final opinion vector: a cheap
+/// fingerprint of the trajectory endpoint. CI runs the same experiment
+/// under different `NOISY_PULL_THREADS` values and diffs this line —
+/// per-agent RNG streams guarantee the digest is thread-count-invariant.
+fn outcome_digest<P: np_engine::protocol::ColumnarProtocol>(world: &World<P>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for byte in world.round().to_le_bytes() {
+        eat(byte);
+    }
+    for opinion in world.opinions() {
+        eat(opinion.as_index() as u8);
+    }
+    hash
+}
+
+fn report_run<P: Protocol>(world: &mut World<P>, budget: u64, label: &str, digest: bool) {
     let mut last_bad = 0u64;
     for r in 1..=budget {
         world.step();
@@ -85,6 +126,9 @@ fn report_run<P: Protocol>(world: &mut World<P>, budget: u64, label: &str) {
             world.correct_count(),
             n
         );
+    }
+    if digest {
+        println!("{label} digest: {:#018x}", outcome_digest(world));
     }
 }
 
@@ -114,7 +158,8 @@ pub fn run_sf(args: &Args) -> CliResult {
         common.seed,
     )
     .map_err(err)?;
-    report_run(&mut world, params.total_rounds(), "SF");
+    common.tune(&mut world);
+    report_run(&mut world, params.total_rounds(), "SF", common.digest);
     Ok(())
 }
 
@@ -157,10 +202,16 @@ pub fn run_ssf(args: &Args) -> CliResult {
         common.seed,
     )
     .map_err(err)?;
+    common.tune(&mut world);
     let correct = config.correct_opinion();
     let m = params.m();
     world.corrupt_agents(|id, agent, rng| adversary.corrupt(agent, correct, m, id, rng));
-    report_run(&mut world, intervals * params.update_interval(), "SSF");
+    report_run(
+        &mut world,
+        intervals * params.update_interval(),
+        "SSF",
+        common.digest,
+    );
     Ok(())
 }
 
@@ -176,28 +227,32 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
             let mut world =
                 World::new(&ZealotVoter, config, &noise, common.channel(), common.seed)
                     .map_err(err)?;
-            report_run(&mut world, budget, "zealot-voter");
+            common.tune(&mut world);
+            report_run(&mut world, budget, "zealot-voter", common.digest);
         }
         "majority" => {
             let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
             let mut world =
                 World::new(&HMajority, config, &noise, common.channel(), common.seed)
                     .map_err(err)?;
-            report_run(&mut world, budget, "h-majority");
+            common.tune(&mut world);
+            report_run(&mut world, budget, "h-majority", common.digest);
         }
         "trusting-copy" => {
             let noise = NoiseMatrix::uniform(4, common.delta).map_err(err)?;
             let mut world =
                 World::new(&TrustingCopy, config, &noise, common.channel(), common.seed)
                     .map_err(err)?;
-            report_run(&mut world, budget, "trusting-copy");
+            common.tune(&mut world);
+            report_run(&mut world, budget, "trusting-copy", common.digest);
         }
         "mean-estimator" => {
             let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
             let proto = MeanEstimator::new(common.delta);
             let mut world =
                 World::new(&proto, config, &noise, common.channel(), common.seed).map_err(err)?;
-            report_run(&mut world, budget, "mean-estimator");
+            common.tune(&mut world);
+            report_run(&mut world, budget, "mean-estimator", common.digest);
         }
         "push" => {
             let params = PushSpreadingParams::derive(common.n, common.h, common.delta);

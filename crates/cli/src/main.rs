@@ -33,6 +33,10 @@ COMMON FLAGS:
     --seed S        RNG seed                   (default 42)
     --c1 C          analysis constant          (default 1 for SF, 16 for SSF)
     --exact         use the literal per-sample channel
+    --threads T     worker threads for the round loop (>= 1; overrides
+                    the NOISY_PULL_THREADS environment variable)
+    --digest        print a FNV-1a digest of the final outcome (round +
+                    opinions) — identical across thread counts
     --adversary A   SSF initial corruption: none | all-wrong | poisoned-memory |
                     random-desync | split-brain | fake-consensus
     --budget R      round budget for baselines (default 1000)
@@ -119,6 +123,24 @@ mod tests {
     fn end_to_end_sf_run() {
         dispatch(&v(&[
             "run", "sf", "--n", "64", "--delta", "0.1", "--seed", "3",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn end_to_end_sf_run_with_threads_and_digest() {
+        dispatch(&v(&[
+            "run",
+            "sf",
+            "--n",
+            "64",
+            "--delta",
+            "0.1",
+            "--seed",
+            "3",
+            "--threads",
+            "2",
+            "--digest",
         ]))
         .unwrap();
     }

@@ -1,0 +1,103 @@
+//! Hand-written columnar (struct-of-arrays) ports of the paper's
+//! protocols.
+//!
+//! Every scalar protocol already runs on the parallel world through the
+//! blanket adapter in [`np_engine::protocol`]; these ports exist for the
+//! hot paths. A struct-of-arrays layout keeps each update touching a few
+//! contiguous `Vec<u64>` lanes instead of striding over a `Vec<Agent>` of
+//! fat structs, and lets the ports skip creating per-agent RNGs on rounds
+//! where the protocol provably draws nothing (most rounds: SF only draws
+//! at phase boundaries, SSF only on ties during an update round).
+//!
+//! # The equivalence contract
+//!
+//! Each port replicates its scalar counterpart's draw sequence against the
+//! same `(seed, round, agent, stage)` streams, so a
+//! `World<ColumnarSourceFilter>` and a `World<SourceFilter>` built from
+//! the same arguments produce **bit-identical trajectories** — not merely
+//! equal in distribution. Every module here carries a test pinning that
+//! equality round-by-round (including SSF's adversarially corrupted
+//! start). Since per-agent streams are independent, skipping the creation
+//! of an RNG that is never drawn from cannot shift any other draw.
+//!
+//! The ports:
+//!
+//! * [`sf::ColumnarSourceFilter`] ↔ [`crate::sf::SourceFilter`]
+//! * [`ssf::ColumnarSsf`] ↔ [`crate::ssf::SelfStabilizingSourceFilter`]
+//! * [`sf_alt::ColumnarAltSf`] ↔ [`crate::sf_alternating::AlternatingSourceFilter`]
+
+use np_engine::opinion::Opinion;
+use np_engine::streams::{RoundStreams, StreamStage};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod sf;
+pub mod sf_alt;
+pub mod ssf;
+
+/// A per-agent RNG created only if a draw actually happens. The scalar
+/// adapter hands every agent a fresh stream RNG per round; since streams
+/// are independent and the first draw from a fresh RNG is deterministic,
+/// deferring creation until the first draw is observationally identical.
+pub(crate) struct LazyRng<'a> {
+    streams: &'a RoundStreams,
+    agent: usize,
+    stage: StreamStage,
+    rng: Option<StdRng>,
+}
+
+impl<'a> LazyRng<'a> {
+    pub(crate) fn new(streams: &'a RoundStreams, agent: usize, stage: StreamStage) -> Self {
+        LazyRng {
+            streams,
+            agent,
+            stage,
+            rng: None,
+        }
+    }
+
+    /// A fair coin, drawn from the underlying stream (created on first
+    /// use). Matches `rng.gen::<bool>()` on the scalar side.
+    pub(crate) fn coin(&mut self) -> bool {
+        let (streams, agent, stage) = (self.streams, self.agent, self.stage);
+        self.rng
+            .get_or_insert_with(|| streams.rng(agent, stage))
+            .gen()
+    }
+}
+
+/// `1{ones > zeros}`, ties broken by a fair coin — the shared majority
+/// rule of SF/SSF and the baselines, drawing only on an actual tie.
+pub(crate) fn majority(ones: u64, zeros: u64, rng: &mut LazyRng<'_>) -> Opinion {
+    match ones.cmp(&zeros) {
+        std::cmp::Ordering::Greater => Opinion::One,
+        std::cmp::Ordering::Less => Opinion::Zero,
+        std::cmp::Ordering::Equal => Opinion::from_bool(rng.coin()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_rng_matches_eager_stream_rng() {
+        let streams = RoundStreams::new(11, 3);
+        let mut eager = streams.rng(5, StreamStage::Update);
+        let mut lazy = LazyRng::new(&streams, 5, StreamStage::Update);
+        for _ in 0..8 {
+            assert_eq!(lazy.coin(), eager.gen::<bool>());
+        }
+    }
+
+    #[test]
+    fn majority_breaks_ties_only() {
+        let streams = RoundStreams::new(0, 0);
+        let mut rng = LazyRng::new(&streams, 0, StreamStage::Update);
+        assert_eq!(majority(3, 1, &mut rng), Opinion::One);
+        assert_eq!(majority(1, 3, &mut rng), Opinion::Zero);
+        assert!(rng.rng.is_none(), "no draw happened on clear majorities");
+        let _ = majority(2, 2, &mut rng);
+        assert!(rng.rng.is_some(), "tie forces a draw");
+    }
+}

@@ -1,0 +1,356 @@
+//! Columnar port of Algorithm SF ([`crate::sf::SourceFilter`]).
+//!
+//! Same schedule, same draws, struct-of-arrays state: each of the agent
+//! fields of [`crate::sf::SfAgent`] becomes one `Vec` lane in
+//! [`SfColumns`]. See [`crate::columnar`] for the equivalence contract.
+
+use std::ops::Range;
+
+use np_engine::opinion::Opinion;
+use np_engine::population::{PopulationConfig, Role};
+use np_engine::protocol::{ColumnarProtocol, ColumnarState};
+use np_engine::streams::{RoundStreams, StreamStage};
+use rand::Rng;
+
+use super::{majority, LazyRng};
+use crate::params::SfParams;
+
+/// Execution stage of one SF agent (mirrors the scalar `Stage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Listen0,
+    Listen1,
+    Boost(u64),
+    Done,
+}
+
+/// Columnar Source Filter: bit-identical to
+/// [`crate::sf::SourceFilter`] on the same world arguments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnarSourceFilter {
+    params: SfParams,
+}
+
+impl ColumnarSourceFilter {
+    /// Creates the protocol from a derived schedule.
+    pub fn new(params: SfParams) -> Self {
+        ColumnarSourceFilter { params }
+    }
+
+    /// The schedule in use.
+    pub fn params(&self) -> &SfParams {
+        &self.params
+    }
+}
+
+/// Struct-of-arrays population state of columnar SF.
+#[derive(Debug, Clone)]
+pub struct SfColumns {
+    params: SfParams,
+    role: Vec<Role>,
+    stage: Vec<Stage>,
+    round_in_stage: Vec<u64>,
+    counter1: Vec<u64>,
+    counter0: Vec<u64>,
+    weak: Vec<Option<Opinion>>,
+    opinion: Vec<Opinion>,
+    mem0: Vec<u64>,
+    mem1: Vec<u64>,
+    gathered: Vec<u64>,
+}
+
+impl SfColumns {
+    /// The weak opinion of agent `id`, once Phases 0 and 1 completed.
+    pub fn weak_opinion(&self, id: usize) -> Option<Opinion> {
+        self.weak[id]
+    }
+
+    /// Returns `true` once agent `id` has completed the schedule.
+    pub fn is_done(&self, id: usize) -> bool {
+        self.stage[id] == Stage::Done
+    }
+}
+
+/// Disjoint mutable chunk view over the update-phase lanes of
+/// [`SfColumns`].
+#[derive(Debug)]
+pub struct SfChunkMut<'a> {
+    params: SfParams,
+    stage: &'a mut [Stage],
+    round_in_stage: &'a mut [u64],
+    counter1: &'a mut [u64],
+    counter0: &'a mut [u64],
+    weak: &'a mut [Option<Opinion>],
+    opinion: &'a mut [Opinion],
+    mem0: &'a mut [u64],
+    mem1: &'a mut [u64],
+    gathered: &'a mut [u64],
+}
+
+impl ColumnarProtocol for ColumnarSourceFilter {
+    type State = SfColumns;
+
+    fn alphabet_size(&self) -> usize {
+        2
+    }
+
+    fn init_state(&self, config: &PopulationConfig, streams: &RoundStreams) -> SfColumns {
+        let n = config.n();
+        let mut cols = SfColumns {
+            params: self.params,
+            role: Vec::with_capacity(n),
+            stage: vec![Stage::Listen0; n],
+            round_in_stage: vec![0; n],
+            counter1: vec![0; n],
+            counter0: vec![0; n],
+            weak: vec![None; n],
+            opinion: Vec::with_capacity(n),
+            mem0: vec![0; n],
+            mem1: vec![0; n],
+            gathered: vec![0; n],
+        };
+        for (id, role) in config.iter_roles().enumerate() {
+            // Same single draw as the scalar init: an undefined-opinion
+            // placeholder coin.
+            let mut rng = streams.rng(id, StreamStage::Init);
+            cols.role.push(role);
+            cols.opinion.push(Opinion::from_bool(rng.gen()));
+        }
+        cols
+    }
+}
+
+impl ColumnarState for SfColumns {
+    type ChunkMut<'a>
+        = SfChunkMut<'a>
+    where
+        Self: 'a;
+
+    fn len(&self) -> usize {
+        self.role.len()
+    }
+
+    fn display_chunk(&self, range: Range<usize>, out: &mut [usize], _streams: &RoundStreams) {
+        // SF displays are deterministic given the state: no draws.
+        for (slot, id) in out.iter_mut().zip(range) {
+            *slot = match self.stage[id] {
+                Stage::Listen0 => match self.role[id] {
+                    Role::Source(pref) => pref.as_index(),
+                    Role::NonSource => 0,
+                },
+                Stage::Listen1 => match self.role[id] {
+                    Role::Source(pref) => pref.as_index(),
+                    Role::NonSource => 1,
+                },
+                Stage::Boost(_) | Stage::Done => self.opinion[id].as_index(),
+            };
+        }
+    }
+
+    fn chunks_mut(&mut self, chunk_len: usize) -> Vec<SfChunkMut<'_>> {
+        let chunk_len = chunk_len.max(1);
+        let params = self.params;
+        let mut out = Vec::with_capacity(self.role.len().div_ceil(chunk_len));
+        let mut stage = self.stage.as_mut_slice();
+        let mut round_in_stage = self.round_in_stage.as_mut_slice();
+        let mut counter1 = self.counter1.as_mut_slice();
+        let mut counter0 = self.counter0.as_mut_slice();
+        let mut weak = self.weak.as_mut_slice();
+        let mut opinion = self.opinion.as_mut_slice();
+        let mut mem0 = self.mem0.as_mut_slice();
+        let mut mem1 = self.mem1.as_mut_slice();
+        let mut gathered = self.gathered.as_mut_slice();
+        while !stage.is_empty() {
+            let take = chunk_len.min(stage.len());
+            macro_rules! split {
+                ($lane:ident) => {{
+                    let (head, tail) = std::mem::take(&mut $lane).split_at_mut(take);
+                    $lane = tail;
+                    head
+                }};
+            }
+            out.push(SfChunkMut {
+                params,
+                stage: split!(stage),
+                round_in_stage: split!(round_in_stage),
+                counter1: split!(counter1),
+                counter0: split!(counter0),
+                weak: split!(weak),
+                opinion: split!(opinion),
+                mem0: split!(mem0),
+                mem1: split!(mem1),
+                gathered: split!(gathered),
+            });
+        }
+        out
+    }
+
+    fn step_chunk(
+        chunk: &mut SfChunkMut<'_>,
+        range: Range<usize>,
+        observed: &[u64],
+        d: usize,
+        streams: &RoundStreams,
+    ) {
+        debug_assert_eq!(d, 2);
+        let params = chunk.params;
+        for ((i, id), obs) in (0..chunk.stage.len())
+            .zip(range)
+            .zip(observed.chunks_exact(d))
+        {
+            let mut rng = LazyRng::new(streams, id, StreamStage::Update);
+            match chunk.stage[i] {
+                Stage::Listen0 => {
+                    chunk.counter1[i] += obs[1];
+                    chunk.round_in_stage[i] += 1;
+                    chunk.gathered[i] += obs.iter().sum::<u64>();
+                    np_engine::invariants::check_counter_bounded(
+                        "SF Counter₁",
+                        chunk.counter1[i],
+                        chunk.gathered[i],
+                    );
+                    if chunk.round_in_stage[i] >= params.phase_len() {
+                        chunk.stage[i] = Stage::Listen1;
+                        chunk.round_in_stage[i] = 0;
+                        chunk.gathered[i] = 0;
+                    }
+                }
+                Stage::Listen1 => {
+                    chunk.counter0[i] += obs[0];
+                    chunk.round_in_stage[i] += 1;
+                    chunk.gathered[i] += obs.iter().sum::<u64>();
+                    np_engine::invariants::check_counter_bounded(
+                        "SF Counter₀",
+                        chunk.counter0[i],
+                        chunk.gathered[i],
+                    );
+                    if chunk.round_in_stage[i] >= params.phase_len() {
+                        let weak = majority(chunk.counter1[i], chunk.counter0[i], &mut rng);
+                        chunk.weak[i] = Some(weak);
+                        chunk.opinion[i] = weak;
+                        chunk.stage[i] = Stage::Boost(0);
+                        chunk.round_in_stage[i] = 0;
+                        chunk.mem0[i] = 0;
+                        chunk.mem1[i] = 0;
+                        chunk.gathered[i] = 0;
+                    }
+                }
+                Stage::Boost(subphase) => {
+                    chunk.mem0[i] += obs[0];
+                    chunk.mem1[i] += obs[1];
+                    chunk.round_in_stage[i] += 1;
+                    chunk.gathered[i] += obs.iter().sum::<u64>();
+                    np_engine::invariants::check_counter_bounded(
+                        "SF boosting memory",
+                        chunk.mem0[i] + chunk.mem1[i],
+                        chunk.gathered[i],
+                    );
+                    let len = if subphase < params.num_short_subphases() {
+                        params.subphase_len()
+                    } else {
+                        params.final_subphase_len()
+                    };
+                    if chunk.round_in_stage[i] >= len {
+                        chunk.opinion[i] = majority(chunk.mem1[i], chunk.mem0[i], &mut rng);
+                        chunk.mem0[i] = 0;
+                        chunk.mem1[i] = 0;
+                        chunk.round_in_stage[i] = 0;
+                        chunk.gathered[i] = 0;
+                        chunk.stage[i] = if subphase >= params.num_short_subphases() {
+                            Stage::Done
+                        } else {
+                            Stage::Boost(subphase + 1)
+                        };
+                    }
+                }
+                Stage::Done => {}
+            }
+        }
+    }
+
+    fn opinion(&self, id: usize) -> Opinion {
+        self.opinion[id]
+    }
+
+    fn count_opinion(&self, opinion: Opinion) -> usize {
+        self.opinion.iter().filter(|&&o| o == opinion).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sf::SourceFilter;
+    use np_engine::channel::ChannelKind;
+    use np_engine::world::World;
+    use np_linalg::noise::NoiseMatrix;
+
+    fn worlds(seed: u64) -> (World<SourceFilter>, World<ColumnarSourceFilter>, SfParams) {
+        let config = PopulationConfig::new(96, 1, 2, 96).unwrap();
+        let params = SfParams::derive(&config, 0.15, 1.0).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.15).unwrap();
+        let scalar = World::new(
+            &SourceFilter::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            seed,
+        )
+        .unwrap();
+        let columnar = World::new(
+            &ColumnarSourceFilter::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            seed,
+        )
+        .unwrap();
+        (scalar, columnar, params)
+    }
+
+    #[test]
+    fn matches_scalar_sf_round_by_round() {
+        let (mut scalar, mut columnar, params) = worlds(31);
+        assert_eq!(scalar.opinions(), columnar.opinions(), "init");
+        for round in 0..params.total_rounds() {
+            scalar.step();
+            columnar.step();
+            assert_eq!(scalar.opinions(), columnar.opinions(), "round {round}");
+        }
+        for id in 0..scalar.config().n() {
+            assert_eq!(
+                scalar.agent(id).weak_opinion(),
+                columnar.state().weak_opinion(id),
+                "weak opinion of agent {id}"
+            );
+            assert!(columnar.state().is_done(id));
+        }
+    }
+
+    #[test]
+    fn matches_scalar_under_many_thread_counts() {
+        let (mut scalar, _, params) = worlds(47);
+        scalar.set_threads(1);
+        scalar.run(params.total_rounds());
+        for threads in [2, 5, 13] {
+            let (_, mut columnar, _) = worlds(47);
+            columnar.set_threads(threads);
+            columnar.run(params.total_rounds());
+            assert_eq!(scalar.opinions(), columnar.opinions(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
+        let params = SfParams::derive(&config, 0.1, 1.0).unwrap();
+        let proto = ColumnarSourceFilter::new(params);
+        assert_eq!(proto.alphabet_size(), 2);
+        assert_eq!(proto.params(), &params);
+        let state = proto.init_state(&config, &RoundStreams::new(0, 0));
+        assert_eq!(state.len(), 8);
+        assert!(!state.is_empty());
+        assert!(!state.is_done(0));
+        assert_eq!(state.weak_opinion(0), None);
+    }
+}

@@ -1,0 +1,312 @@
+//! Columnar port of SF-ALT
+//! ([`crate::sf_alternating::AlternatingSourceFilter`]).
+//!
+//! Same schedule, same draws, struct-of-arrays state. See
+//! [`crate::columnar`] for the equivalence contract.
+
+use std::ops::Range;
+
+use np_engine::opinion::Opinion;
+use np_engine::population::{PopulationConfig, Role};
+use np_engine::protocol::{ColumnarProtocol, ColumnarState};
+use np_engine::streams::{RoundStreams, StreamStage};
+use rand::Rng;
+
+use super::{majority, LazyRng};
+use crate::params::SfParams;
+
+/// Execution stage of one SF-ALT agent (mirrors the scalar `Stage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Listening,
+    Boost(u64),
+    Done,
+}
+
+/// Columnar alternating Source Filter: bit-identical to
+/// [`crate::sf_alternating::AlternatingSourceFilter`] on the same world
+/// arguments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnarAltSf {
+    params: SfParams,
+}
+
+impl ColumnarAltSf {
+    /// Creates the protocol from a derived schedule.
+    pub fn new(params: SfParams) -> Self {
+        ColumnarAltSf { params }
+    }
+
+    /// The schedule in use.
+    pub fn params(&self) -> &SfParams {
+        &self.params
+    }
+}
+
+/// Struct-of-arrays population state of columnar SF-ALT.
+#[derive(Debug, Clone)]
+pub struct AltSfColumns {
+    params: SfParams,
+    role: Vec<Role>,
+    stage: Vec<Stage>,
+    round_in_stage: Vec<u64>,
+    base_display: Vec<Opinion>,
+    diff: Vec<i64>,
+    weak: Vec<Option<Opinion>>,
+    opinion: Vec<Opinion>,
+    mem0: Vec<u64>,
+    mem1: Vec<u64>,
+}
+
+impl AltSfColumns {
+    /// The weak opinion of agent `id`, once the listening stage completed.
+    pub fn weak_opinion(&self, id: usize) -> Option<Opinion> {
+        self.weak[id]
+    }
+
+    /// The running signed evidence `#1s − #0s` of agent `id`.
+    pub fn evidence(&self, id: usize) -> i64 {
+        self.diff[id]
+    }
+
+    /// Returns `true` once agent `id` has completed the schedule.
+    pub fn is_done(&self, id: usize) -> bool {
+        self.stage[id] == Stage::Done
+    }
+}
+
+/// Disjoint mutable chunk view over the update-phase lanes of
+/// [`AltSfColumns`].
+#[derive(Debug)]
+pub struct AltSfChunkMut<'a> {
+    params: SfParams,
+    stage: &'a mut [Stage],
+    round_in_stage: &'a mut [u64],
+    diff: &'a mut [i64],
+    weak: &'a mut [Option<Opinion>],
+    opinion: &'a mut [Opinion],
+    mem0: &'a mut [u64],
+    mem1: &'a mut [u64],
+}
+
+impl ColumnarProtocol for ColumnarAltSf {
+    type State = AltSfColumns;
+
+    fn alphabet_size(&self) -> usize {
+        2
+    }
+
+    fn init_state(&self, config: &PopulationConfig, streams: &RoundStreams) -> AltSfColumns {
+        let n = config.n();
+        let mut cols = AltSfColumns {
+            params: self.params,
+            role: Vec::with_capacity(n),
+            stage: vec![Stage::Listening; n],
+            round_in_stage: vec![0; n],
+            base_display: Vec::with_capacity(n),
+            diff: vec![0; n],
+            weak: vec![None; n],
+            opinion: Vec::with_capacity(n),
+            mem0: vec![0; n],
+            mem1: vec![0; n],
+        };
+        for (id, role) in config.iter_roles().enumerate() {
+            // Same two draws, same order, as the scalar init: the display
+            // coin first, then the placeholder opinion.
+            let mut rng = streams.rng(id, StreamStage::Init);
+            cols.role.push(role);
+            cols.base_display.push(Opinion::from_bool(rng.gen()));
+            cols.opinion.push(Opinion::from_bool(rng.gen()));
+        }
+        cols
+    }
+}
+
+impl ColumnarState for AltSfColumns {
+    type ChunkMut<'a>
+        = AltSfChunkMut<'a>
+    where
+        Self: 'a;
+
+    fn len(&self) -> usize {
+        self.role.len()
+    }
+
+    fn display_chunk(&self, range: Range<usize>, out: &mut [usize], _streams: &RoundStreams) {
+        for (slot, id) in out.iter_mut().zip(range) {
+            *slot = match self.stage[id] {
+                Stage::Listening => match self.role[id] {
+                    Role::Source(pref) => pref.as_index(),
+                    Role::NonSource => {
+                        // b on even rounds, 1−b on odd rounds.
+                        if self.round_in_stage[id].is_multiple_of(2) {
+                            self.base_display[id].as_index()
+                        } else {
+                            (!self.base_display[id]).as_index()
+                        }
+                    }
+                },
+                Stage::Boost(_) | Stage::Done => self.opinion[id].as_index(),
+            };
+        }
+    }
+
+    fn chunks_mut(&mut self, chunk_len: usize) -> Vec<AltSfChunkMut<'_>> {
+        let chunk_len = chunk_len.max(1);
+        let params = self.params;
+        let mut out = Vec::with_capacity(self.role.len().div_ceil(chunk_len));
+        let mut stage = self.stage.as_mut_slice();
+        let mut round_in_stage = self.round_in_stage.as_mut_slice();
+        let mut diff = self.diff.as_mut_slice();
+        let mut weak = self.weak.as_mut_slice();
+        let mut opinion = self.opinion.as_mut_slice();
+        let mut mem0 = self.mem0.as_mut_slice();
+        let mut mem1 = self.mem1.as_mut_slice();
+        while !stage.is_empty() {
+            let take = chunk_len.min(stage.len());
+            macro_rules! split {
+                ($lane:ident) => {{
+                    let (head, tail) = std::mem::take(&mut $lane).split_at_mut(take);
+                    $lane = tail;
+                    head
+                }};
+            }
+            out.push(AltSfChunkMut {
+                params,
+                stage: split!(stage),
+                round_in_stage: split!(round_in_stage),
+                diff: split!(diff),
+                weak: split!(weak),
+                opinion: split!(opinion),
+                mem0: split!(mem0),
+                mem1: split!(mem1),
+            });
+        }
+        out
+    }
+
+    fn step_chunk(
+        chunk: &mut AltSfChunkMut<'_>,
+        range: Range<usize>,
+        observed: &[u64],
+        d: usize,
+        streams: &RoundStreams,
+    ) {
+        debug_assert_eq!(d, 2);
+        let params = chunk.params;
+        for ((i, id), obs) in (0..chunk.stage.len())
+            .zip(range)
+            .zip(observed.chunks_exact(d))
+        {
+            let mut rng = LazyRng::new(streams, id, StreamStage::Update);
+            match chunk.stage[i] {
+                Stage::Listening => {
+                    chunk.diff[i] += obs[1] as i64 - obs[0] as i64;
+                    chunk.round_in_stage[i] += 1;
+                    if chunk.round_in_stage[i] >= 2 * params.phase_len() {
+                        let weak = match chunk.diff[i].cmp(&0) {
+                            std::cmp::Ordering::Greater => Opinion::One,
+                            std::cmp::Ordering::Less => Opinion::Zero,
+                            std::cmp::Ordering::Equal => Opinion::from_bool(rng.coin()),
+                        };
+                        chunk.weak[i] = Some(weak);
+                        chunk.opinion[i] = weak;
+                        chunk.stage[i] = Stage::Boost(0);
+                        chunk.round_in_stage[i] = 0;
+                        chunk.mem0[i] = 0;
+                        chunk.mem1[i] = 0;
+                    }
+                }
+                Stage::Boost(subphase) => {
+                    chunk.mem0[i] += obs[0];
+                    chunk.mem1[i] += obs[1];
+                    chunk.round_in_stage[i] += 1;
+                    let len = if subphase < params.num_short_subphases() {
+                        params.subphase_len()
+                    } else {
+                        params.final_subphase_len()
+                    };
+                    if chunk.round_in_stage[i] >= len {
+                        chunk.opinion[i] = majority(chunk.mem1[i], chunk.mem0[i], &mut rng);
+                        chunk.mem0[i] = 0;
+                        chunk.mem1[i] = 0;
+                        chunk.round_in_stage[i] = 0;
+                        chunk.stage[i] = if subphase >= params.num_short_subphases() {
+                            Stage::Done
+                        } else {
+                            Stage::Boost(subphase + 1)
+                        };
+                    }
+                }
+                Stage::Done => {}
+            }
+        }
+    }
+
+    fn opinion(&self, id: usize) -> Opinion {
+        self.opinion[id]
+    }
+
+    fn count_opinion(&self, opinion: Opinion) -> usize {
+        self.opinion.iter().filter(|&&o| o == opinion).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sf_alternating::AlternatingSourceFilter;
+    use np_engine::channel::ChannelKind;
+    use np_engine::world::World;
+    use np_linalg::noise::NoiseMatrix;
+
+    #[test]
+    fn matches_scalar_sf_alt_round_by_round() {
+        let config = PopulationConfig::new(96, 0, 1, 96).unwrap();
+        let params = SfParams::derive(&config, 0.2, 1.0).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.2).unwrap();
+        let mut scalar = World::new(
+            &AlternatingSourceFilter::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            41,
+        )
+        .unwrap();
+        let mut columnar = World::new(
+            &ColumnarAltSf::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            41,
+        )
+        .unwrap();
+        assert_eq!(scalar.opinions(), columnar.opinions(), "init");
+        for round in 0..params.total_rounds() {
+            scalar.step();
+            columnar.step();
+            assert_eq!(scalar.opinions(), columnar.opinions(), "round {round}");
+        }
+        for id in 0..scalar.config().n() {
+            assert_eq!(
+                scalar.agent(id).weak_opinion(),
+                columnar.state().weak_opinion(id)
+            );
+            assert_eq!(scalar.agent(id).evidence(), columnar.state().evidence(id));
+            assert!(columnar.state().is_done(id));
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
+        let params = SfParams::derive(&config, 0.1, 1.0).unwrap();
+        let proto = ColumnarAltSf::new(params);
+        assert_eq!(proto.alphabet_size(), 2);
+        assert_eq!(proto.params(), &params);
+        let state = proto.init_state(&config, &RoundStreams::new(0, 0));
+        assert_eq!(state.len(), 8);
+        assert!(!state.is_done(3));
+        assert_eq!(state.evidence(3), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Columnar port of Algorithm SSF
+//! ([`crate::ssf::SelfStabilizingSourceFilter`]).
+//!
+//! Same update rule, same draws, struct-of-arrays state: the four-counter
+//! memory of [`crate::ssf::SsfAgent`] becomes four `Vec<u64>` lanes. See
+//! [`crate::columnar`] for the equivalence contract.
+
+use std::ops::Range;
+
+use np_engine::opinion::Opinion;
+use np_engine::population::{PopulationConfig, Role};
+use np_engine::protocol::{ColumnarProtocol, ColumnarState};
+use np_engine::streams::{RoundStreams, StreamStage};
+use rand::Rng;
+
+use super::{majority, LazyRng};
+use crate::params::SsfParams;
+use crate::ssf::encode;
+
+/// Columnar Self-stabilizing Source Filter: bit-identical to
+/// [`crate::ssf::SelfStabilizingSourceFilter`] on the same world
+/// arguments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnarSsf {
+    params: SsfParams,
+}
+
+impl ColumnarSsf {
+    /// Creates the protocol from derived parameters.
+    pub fn new(params: SsfParams) -> Self {
+        ColumnarSsf { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &SsfParams {
+        &self.params
+    }
+}
+
+/// Struct-of-arrays population state of columnar SSF.
+#[derive(Debug, Clone)]
+pub struct SsfColumns {
+    m: u64,
+    role: Vec<Role>,
+    /// One lane per symbol of the 2-bit alphabet (see
+    /// [`crate::ssf::encode`]).
+    mem: [Vec<u64>; 4],
+    mem_size: Vec<u64>,
+    weak: Vec<Opinion>,
+    opinion: Vec<Opinion>,
+}
+
+impl SsfColumns {
+    /// The current weak opinion of agent `id`.
+    pub fn weak_opinion(&self, id: usize) -> Opinion {
+        self.weak[id]
+    }
+
+    /// Current memory occupancy `|M|` of agent `id`.
+    pub fn memory_size(&self, id: usize) -> u64 {
+        self.mem_size[id]
+    }
+
+    /// The memory capacity `m` (protected from the adversary).
+    pub fn capacity(&self) -> u64 {
+        self.m
+    }
+
+    /// Overwrites agent `id`'s corruptible state — the columnar form of
+    /// [`crate::ssf::SsfAgent::corrupt_state`]. The role and the capacity
+    /// `m` are not corruptible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn corrupt(&mut self, id: usize, weak: Opinion, opinion: Opinion, memory: [u64; 4]) {
+        self.weak[id] = weak;
+        self.opinion[id] = opinion;
+        for (lane, count) in self.mem.iter_mut().zip(memory) {
+            lane[id] = count;
+        }
+        self.mem_size[id] = memory.iter().sum();
+    }
+}
+
+/// Disjoint mutable chunk view over the update-phase lanes of
+/// [`SsfColumns`].
+#[derive(Debug)]
+pub struct SsfChunkMut<'a> {
+    m: u64,
+    mem: [&'a mut [u64]; 4],
+    mem_size: &'a mut [u64],
+    weak: &'a mut [Opinion],
+    opinion: &'a mut [Opinion],
+}
+
+impl ColumnarProtocol for ColumnarSsf {
+    type State = SsfColumns;
+
+    fn alphabet_size(&self) -> usize {
+        4
+    }
+
+    fn init_state(&self, config: &PopulationConfig, streams: &RoundStreams) -> SsfColumns {
+        let n = config.n();
+        let mut cols = SsfColumns {
+            m: self.params.m(),
+            role: Vec::with_capacity(n),
+            mem: std::array::from_fn(|_| vec![0; n]),
+            mem_size: vec![0; n],
+            weak: Vec::with_capacity(n),
+            opinion: Vec::with_capacity(n),
+        };
+        for (id, role) in config.iter_roles().enumerate() {
+            // Same two draws, same order, as the scalar init: weak first,
+            // then opinion.
+            let mut rng = streams.rng(id, StreamStage::Init);
+            cols.role.push(role);
+            cols.weak.push(Opinion::from_bool(rng.gen()));
+            cols.opinion.push(Opinion::from_bool(rng.gen()));
+        }
+        cols
+    }
+}
+
+impl ColumnarState for SsfColumns {
+    type ChunkMut<'a>
+        = SsfChunkMut<'a>
+    where
+        Self: 'a;
+
+    fn len(&self) -> usize {
+        self.role.len()
+    }
+
+    fn display_chunk(&self, range: Range<usize>, out: &mut [usize], _streams: &RoundStreams) {
+        // SSF displays are deterministic given the state: no draws.
+        for (slot, id) in out.iter_mut().zip(range) {
+            *slot = match self.role[id] {
+                Role::Source(pref) => encode(true, pref),
+                Role::NonSource => encode(false, self.weak[id]),
+            };
+        }
+    }
+
+    fn chunks_mut(&mut self, chunk_len: usize) -> Vec<SsfChunkMut<'_>> {
+        let chunk_len = chunk_len.max(1);
+        let m = self.m;
+        let mut out = Vec::with_capacity(self.role.len().div_ceil(chunk_len));
+        let [m0, m1, m2, m3] = &mut self.mem;
+        let mut mem0 = m0.as_mut_slice();
+        let mut mem1 = m1.as_mut_slice();
+        let mut mem2 = m2.as_mut_slice();
+        let mut mem3 = m3.as_mut_slice();
+        let mut mem_size = self.mem_size.as_mut_slice();
+        let mut weak = self.weak.as_mut_slice();
+        let mut opinion = self.opinion.as_mut_slice();
+        while !mem_size.is_empty() {
+            let take = chunk_len.min(mem_size.len());
+            macro_rules! split {
+                ($lane:ident) => {{
+                    let (head, tail) = std::mem::take(&mut $lane).split_at_mut(take);
+                    $lane = tail;
+                    head
+                }};
+            }
+            out.push(SsfChunkMut {
+                m,
+                mem: [split!(mem0), split!(mem1), split!(mem2), split!(mem3)],
+                mem_size: split!(mem_size),
+                weak: split!(weak),
+                opinion: split!(opinion),
+            });
+        }
+        out
+    }
+
+    fn step_chunk(
+        chunk: &mut SsfChunkMut<'_>,
+        range: Range<usize>,
+        observed: &[u64],
+        d: usize,
+        streams: &RoundStreams,
+    ) {
+        debug_assert_eq!(d, 4);
+        for ((i, id), obs) in (0..chunk.mem_size.len())
+            .zip(range)
+            .zip(observed.chunks_exact(d))
+        {
+            for (lane, &c) in chunk.mem.iter_mut().zip(obs) {
+                lane[i] += c;
+            }
+            chunk.mem_size[i] += obs.iter().sum::<u64>();
+            np_engine::invariants::check_counter_bounded(
+                "SSF memory counters",
+                chunk.mem.iter().map(|lane| lane[i]).sum::<u64>(),
+                chunk.mem_size[i],
+            );
+            if chunk.mem_size[i] > chunk.m {
+                // One RNG per update round, weak tie first then opinion
+                // tie — the scalar draw order.
+                let mut rng = LazyRng::new(streams, id, StreamStage::Update);
+                chunk.weak[i] = majority(chunk.mem[3][i], chunk.mem[2][i], &mut rng);
+                chunk.opinion[i] = majority(
+                    chunk.mem[1][i] + chunk.mem[3][i],
+                    chunk.mem[0][i] + chunk.mem[2][i],
+                    &mut rng,
+                );
+                for lane in chunk.mem.iter_mut() {
+                    lane[i] = 0;
+                }
+                chunk.mem_size[i] = 0;
+            }
+        }
+    }
+
+    fn opinion(&self, id: usize) -> Opinion {
+        self.opinion[id]
+    }
+
+    fn count_opinion(&self, opinion: Opinion) -> usize {
+        self.opinion.iter().filter(|&&o| o == opinion).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssf::SelfStabilizingSourceFilter;
+    use np_engine::channel::ChannelKind;
+    use np_engine::world::World;
+    use np_linalg::noise::NoiseMatrix;
+
+    fn worlds(
+        seed: u64,
+    ) -> (
+        World<SelfStabilizingSourceFilter>,
+        World<ColumnarSsf>,
+        SsfParams,
+    ) {
+        let config = PopulationConfig::new(96, 0, 1, 96).unwrap();
+        let params = SsfParams::derive(&config, 0.1, 8.0).unwrap();
+        let noise = NoiseMatrix::uniform(4, 0.1).unwrap();
+        let scalar = World::new(
+            &SelfStabilizingSourceFilter::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            seed,
+        )
+        .unwrap();
+        let columnar = World::new(
+            &ColumnarSsf::new(params),
+            config,
+            &noise,
+            ChannelKind::Aggregated,
+            seed,
+        )
+        .unwrap();
+        (scalar, columnar, params)
+    }
+
+    #[test]
+    fn matches_scalar_ssf_round_by_round() {
+        let (mut scalar, mut columnar, params) = worlds(19);
+        assert_eq!(scalar.opinions(), columnar.opinions(), "init");
+        for round in 0..params.expected_convergence_rounds() + 2 {
+            scalar.step();
+            columnar.step();
+            assert_eq!(scalar.opinions(), columnar.opinions(), "round {round}");
+        }
+        for id in 0..scalar.config().n() {
+            assert_eq!(
+                scalar.agent(id).weak_opinion(),
+                columnar.state().weak_opinion(id),
+                "weak opinion of agent {id}"
+            );
+            assert_eq!(
+                scalar.agent(id).memory_size(),
+                columnar.state().memory_size(id),
+                "memory size of agent {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_scalar_from_adversarial_corrupted_start() {
+        let (mut scalar, mut columnar, params) = worlds(23);
+        let m = params.m();
+        // Adversary: every agent starts convinced of the wrong opinion
+        // with a memory stuffed with fake all-wrong source messages —
+        // the same corruption applied on both sides.
+        scalar.corrupt_agents(|_, agent, _| {
+            agent.corrupt_state(Opinion::Zero, Opinion::Zero, [0, 0, m, 0]);
+        });
+        let n = columnar.config().n();
+        for id in 0..n {
+            columnar
+                .state_mut()
+                .corrupt(id, Opinion::Zero, Opinion::Zero, [0, 0, m, 0]);
+        }
+        assert_eq!(scalar.correct_count(), 0);
+        assert_eq!(columnar.correct_count(), 0);
+        for round in 0..2 * params.expected_convergence_rounds() + 4 {
+            scalar.step();
+            columnar.step();
+            assert_eq!(scalar.opinions(), columnar.opinions(), "round {round}");
+        }
+        assert!(scalar.is_consensus());
+        assert!(columnar.is_consensus());
+    }
+
+    #[test]
+    fn accessors_and_corrupt() {
+        let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
+        let params = SsfParams::derive(&config, 0.1, 1.0).unwrap();
+        let proto = ColumnarSsf::new(params);
+        assert_eq!(proto.alphabet_size(), 4);
+        assert_eq!(proto.params(), &params);
+        let mut state = proto.init_state(&config, &RoundStreams::new(3, 0));
+        assert_eq!(state.len(), 8);
+        assert_eq!(state.capacity(), params.m());
+        state.corrupt(2, Opinion::One, Opinion::Zero, [1, 2, 3, 4]);
+        assert_eq!(state.memory_size(2), 10);
+        assert_eq!(state.weak_opinion(2), Opinion::One);
+        assert_eq!(ColumnarState::opinion(&state, 2), Opinion::Zero);
+    }
+}

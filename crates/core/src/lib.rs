@@ -32,6 +32,9 @@
 //! * [`sf_alternating`] — the "more natural" alternating-display variant
 //!   from the Remark in §2.1, implemented so its plausibility can be
 //!   tested empirically.
+//! * [`columnar`] — struct-of-arrays ports of SF, SSF and SF-ALT for the
+//!   engine's chunk-parallel hot path, bit-identical to the scalar
+//!   implementations on the same seed.
 //!
 //! # Quickstart
 //!
@@ -74,6 +77,7 @@
 mod error;
 
 pub mod adversary;
+pub mod columnar;
 pub mod memory;
 pub mod params;
 pub mod reduction;

@@ -24,11 +24,15 @@
 //! Both channels deliver observations as per-symbol counts; see
 //! [`crate::protocol`] for why this is lossless for anonymous protocols.
 
+use std::ops::Range;
+
 use np_linalg::noise::NoiseMatrix;
 use np_stats::alias::RowSamplers;
 use np_stats::{hypergeometric, multinomial};
 use rand::rngs::StdRng;
 use rand::Rng;
+
+use crate::streams::{RoundStreams, StreamStage};
 
 /// Which channel implementation to use. The two are
 /// distribution-identical; pick [`ChannelKind::Aggregated`] unless you are
@@ -87,6 +91,17 @@ pub struct Channel {
     samplers: RowSamplers,
     /// Raw noise rows (aggregated path).
     rows: Vec<Vec<f64>>,
+}
+
+/// Read-only per-round sampling context produced by
+/// [`Channel::begin_round`] and shared (by reference) across the chunk
+/// workers of one round.
+#[derive(Debug, Clone)]
+pub struct RoundContext {
+    /// Histogram of currently displayed symbols.
+    disp_counts: Vec<u64>,
+    /// `disp_counts / n` — the categorical law of one sampled display.
+    probs: Vec<f64>,
 }
 
 impl Channel {
@@ -205,6 +220,154 @@ impl Channel {
                         let observed = self.samplers.observe(rng, displays[idx[i]]);
                         out[base + observed] += 1;
                     }
+                }
+            }
+        }
+    }
+
+    /// Validates this round's displays and precomputes the shared,
+    /// read-only context (display histogram and sampling probabilities)
+    /// consumed by [`Channel::fill_observations_chunk`]. Call once per
+    /// round, then fill disjoint agent ranges from any number of threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `displays` is empty, if any displayed symbol is out of
+    /// range, or if `h > n` under [`SamplingMode::WithoutReplacement`].
+    pub fn begin_round(&self, displays: &[usize], h: usize) -> RoundContext {
+        let n = displays.len();
+        assert!(n > 0, "no agents to observe");
+        if self.mode == SamplingMode::WithoutReplacement {
+            assert!(
+                h <= n,
+                "cannot draw {h} distinct agents from {n} without replacement"
+            );
+        }
+        let mut disp_counts = vec![0u64; self.d];
+        for &s in displays {
+            assert!(s < self.d, "displayed symbol {s} out of range {}", self.d);
+            disp_counts[s] += 1;
+        }
+        let probs: Vec<f64> = disp_counts.iter().map(|&c| c as f64 / n as f64).collect();
+        RoundContext { disp_counts, probs }
+    }
+
+    /// Fills the observations of agents `range` using each agent's
+    /// [`StreamStage::Observe`] stream. `out` is the flattened
+    /// `range.len() × d` count matrix for exactly those agents; it is
+    /// zeroed and refilled. Distribution-identical to
+    /// [`Channel::fill_observations`], and — because each agent's draws
+    /// come from its own stream — the result is independent of how the
+    /// population is split into ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != range.len() * self.alphabet_size()` or if
+    /// `range` exceeds the population.
+    pub fn fill_observations_chunk(
+        &self,
+        ctx: &RoundContext,
+        displays: &[usize],
+        h: usize,
+        range: Range<usize>,
+        streams: &RoundStreams,
+        out: &mut [u64],
+    ) {
+        assert!(range.end <= displays.len(), "chunk range out of bounds");
+        assert_eq!(
+            out.len(),
+            range.len() * self.d,
+            "observation buffer has wrong size"
+        );
+        out.fill(0);
+        match self.kind {
+            ChannelKind::Exact => self.fill_exact_chunk(displays, h, range, streams, out),
+            ChannelKind::Aggregated => self.fill_aggregated_chunk(ctx, h, range, streams, out),
+        }
+    }
+
+    fn fill_exact_chunk(
+        &self,
+        displays: &[usize],
+        h: usize,
+        range: Range<usize>,
+        streams: &RoundStreams,
+        out: &mut [u64],
+    ) {
+        let n = displays.len();
+        match self.mode {
+            SamplingMode::WithReplacement => {
+                for (k, agent) in range.enumerate() {
+                    let mut rng = streams.rng(agent, StreamStage::Observe);
+                    let base = k * self.d;
+                    for _ in 0..h {
+                        let sampled = rng.gen_range(0..n);
+                        let observed = self.samplers.observe(&mut rng, displays[sampled]);
+                        out[base + observed] += 1;
+                    }
+                }
+            }
+            SamplingMode::WithoutReplacement => {
+                // Partial Fisher–Yates per agent over one buffer; the swaps
+                // are recorded and undone so every agent starts from the
+                // identity permutation — this keeps each agent's subset a
+                // pure function of its own stream, independent of chunking.
+                let mut idx: Vec<usize> = (0..n).collect();
+                let mut swaps: Vec<usize> = Vec::with_capacity(h);
+                for (k, agent) in range.enumerate() {
+                    let mut rng = streams.rng(agent, StreamStage::Observe);
+                    let base = k * self.d;
+                    swaps.clear();
+                    for i in 0..h {
+                        let j = rng.gen_range(i..n);
+                        idx.swap(i, j);
+                        swaps.push(j);
+                        let observed = self.samplers.observe(&mut rng, displays[idx[i]]);
+                        out[base + observed] += 1;
+                    }
+                    for (i, &j) in swaps.iter().enumerate().rev() {
+                        idx.swap(i, j);
+                    }
+                }
+            }
+        }
+    }
+
+    fn fill_aggregated_chunk(
+        &self,
+        ctx: &RoundContext,
+        h: usize,
+        range: Range<usize>,
+        streams: &RoundStreams,
+        out: &mut [u64],
+    ) {
+        let mut sampled = vec![0u64; self.d];
+        let mut observed = vec![0u64; self.d];
+        for (k, agent) in range.enumerate() {
+            let mut rng = streams.rng(agent, StreamStage::Observe);
+            let base = k * self.d;
+            match self.mode {
+                SamplingMode::WithReplacement => {
+                    multinomial::sample_into(&mut rng, h as u64, &ctx.probs, &mut sampled);
+                }
+                SamplingMode::WithoutReplacement => {
+                    hypergeometric::sample_multivariate_into(
+                        &mut rng,
+                        &ctx.disp_counts,
+                        h as u64,
+                        &mut sampled,
+                    );
+                }
+            }
+            #[allow(clippy::needless_range_loop)]
+            for sigma in 0..self.d {
+                let k_sigma = sampled[sigma];
+                if k_sigma == 0 {
+                    continue;
+                }
+                multinomial::sample_into(&mut rng, k_sigma, &self.rows[sigma], &mut observed);
+                for (slot, c) in out[base..base + self.d].iter_mut().zip(&observed) {
+                    *slot += c;
                 }
             }
         }
@@ -450,6 +613,130 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut out = vec![0u64; 4];
         channel.fill_observations(&[0, 1], 3, &mut rng, &mut out);
+    }
+
+    fn chunk_counts_for(
+        channel: &Channel,
+        displays: &[usize],
+        h: usize,
+        seed: u64,
+        chunk: usize,
+    ) -> Vec<u64> {
+        let streams = RoundStreams::new(seed, 0);
+        let ctx = channel.begin_round(displays, h);
+        let d = channel.alphabet_size();
+        let mut out = vec![0u64; displays.len() * d];
+        let mut start = 0;
+        while start < displays.len() {
+            let end = (start + chunk).min(displays.len());
+            channel.fill_observations_chunk(
+                &ctx,
+                displays,
+                h,
+                start..end,
+                &streams,
+                &mut out[start * d..end * d],
+            );
+            start = end;
+        }
+        out
+    }
+
+    #[test]
+    fn chunked_fill_is_chunk_size_invariant() {
+        let noise = NoiseMatrix::uniform(2, 0.15).unwrap();
+        let displays: Vec<usize> = (0..31).map(|i| usize::from(i % 3 == 0)).collect();
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            for mode in [
+                SamplingMode::WithReplacement,
+                SamplingMode::WithoutReplacement,
+            ] {
+                let channel = Channel::with_sampling(&noise, kind, mode);
+                let whole = chunk_counts_for(&channel, &displays, 9, 5, 31);
+                for chunk in [1, 4, 7, 30] {
+                    let pieces = chunk_counts_for(&channel, &displays, 9, 5, chunk);
+                    assert_eq!(whole, pieces, "{kind:?} {mode:?} chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_fill_conserves_h_per_agent() {
+        let noise = NoiseMatrix::uniform(2, 0.3).unwrap();
+        let displays: Vec<usize> = (0..20).map(|i| usize::from(i % 2 == 0)).collect();
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let channel = Channel::new(&noise, kind);
+            let out = chunk_counts_for(&channel, &displays, 6, 9, 8);
+            for agent in 0..displays.len() {
+                let total: u64 = out[agent * 2..agent * 2 + 2].iter().sum();
+                assert_eq!(total, 6, "{kind:?} agent {agent}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_fill_matches_marginal_distribution() {
+        // Same statistical check as the sequential channel: P(observe 1) =
+        // 0.3·0.9 + 0.7·0.2 = 0.41 under this asymmetric matrix.
+        let noise = NoiseMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        let displays: Vec<usize> = (0..100).map(|i| usize::from(i % 10 < 3)).collect();
+        let h = 8;
+        let reps = 300;
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let channel = Channel::new(&noise, kind);
+            let mut ones = 0u64;
+            for round in 0..reps {
+                let streams = RoundStreams::new(123, round);
+                let ctx = channel.begin_round(&displays, h);
+                let mut out = vec![0u64; displays.len() * 2];
+                channel.fill_observations_chunk(&ctx, &displays, h, 0..100, &streams, &mut out);
+                ones += (0..100).map(|a| out[a * 2 + 1]).sum::<u64>();
+            }
+            let frac = ones as f64 / (100 * h as u64 * reps) as f64;
+            assert!((frac - 0.41).abs() < 0.01, "{kind:?}: fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn chunked_without_replacement_h_equals_n_sees_everyone() {
+        let noise = NoiseMatrix::noiseless(2);
+        let displays = vec![0, 1, 1, 0, 1, 1, 0, 1]; // 3 zeros, 5 ones
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let channel = Channel::with_sampling(&noise, kind, SamplingMode::WithoutReplacement);
+            let out = chunk_counts_for(&channel, &displays, displays.len(), 3, 3);
+            for agent in 0..displays.len() {
+                assert_eq!(&out[agent * 2..agent * 2 + 2], &[3, 5], "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn begin_round_rejects_bad_symbol() {
+        let noise = NoiseMatrix::noiseless(2);
+        let channel = Channel::new(&noise, ChannelKind::Aggregated);
+        let _ = channel.begin_round(&[0, 2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn begin_round_rejects_oversampling() {
+        let noise = NoiseMatrix::noiseless(2);
+        let channel =
+            Channel::with_sampling(&noise, ChannelKind::Exact, SamplingMode::WithoutReplacement);
+        let _ = channel.begin_round(&[0, 1], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn chunked_fill_rejects_bad_buffer() {
+        let noise = NoiseMatrix::noiseless(2);
+        let channel = Channel::new(&noise, ChannelKind::Aggregated);
+        let streams = RoundStreams::new(0, 0);
+        let ctx = channel.begin_round(&[0, 1], 1);
+        let mut out = vec![0u64; 3];
+        channel.fill_observations_chunk(&ctx, &[0, 1], 1, 0..2, &streams, &mut out);
     }
 
     #[test]

@@ -60,10 +60,22 @@ pub fn check_rows_stochastic(rows: &[Vec<f64>]) {
 ///
 /// Panics (when [`ENABLED`]) naming the first offending agent.
 pub fn check_displays_in_alphabet(displays: &[usize], d: usize) {
+    check_displays_chunk(0, displays, d);
+}
+
+/// Chunked form of [`check_displays_in_alphabet`]: `displays` covers the
+/// agents starting at global id `first_agent`, so violation messages name
+/// the real agent even when the check runs on a per-thread chunk.
+///
+/// # Panics
+///
+/// Panics (when [`ENABLED`]) naming the first offending agent.
+pub fn check_displays_chunk(first_agent: usize, displays: &[usize], d: usize) {
     if !ENABLED {
         return;
     }
-    if let Some((agent, &symbol)) = displays.iter().enumerate().find(|&(_, &s)| s >= d) {
+    if let Some((offset, &symbol)) = displays.iter().enumerate().find(|&(_, &s)| s >= d) {
+        let agent = first_agent + offset;
         panic!(
             "invariant violated: agent {agent} displayed symbol {symbol} outside the \
              {d}-symbol alphabet"
@@ -82,11 +94,23 @@ pub fn check_displays_in_alphabet(displays: &[usize], d: usize) {
 ///
 /// Panics (when [`ENABLED`]) naming the first offending agent.
 pub fn check_observation_counts(observations: &[u64], d: usize, h: u64) {
+    check_observation_chunk(0, observations, d, h);
+}
+
+/// Chunked form of [`check_observation_counts`]: `observations` covers the
+/// agents starting at global id `first_agent`, so violation messages name
+/// the real agent even when the check runs on a per-thread chunk.
+///
+/// # Panics
+///
+/// Panics (when [`ENABLED`]) naming the first offending agent.
+pub fn check_observation_chunk(first_agent: usize, observations: &[u64], d: usize, h: u64) {
     if !ENABLED {
         return;
     }
-    for (agent, counts) in observations.chunks_exact(d).enumerate() {
+    for (offset, counts) in observations.chunks_exact(d).enumerate() {
         let total: u64 = counts.iter().sum();
+        let agent = first_agent + offset;
         assert!(
             total == h,
             "invariant violated: agent {agent} observed {total} messages in a round, \
@@ -196,6 +220,18 @@ mod tests {
     #[should_panic(expected = "observed 7 messages")]
     fn lost_observation_panics() {
         check_observation_counts(&[3, 5, 3, 4], 2, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "agent 12 displayed symbol 3")]
+    fn chunked_display_check_names_global_agent() {
+        check_displays_chunk(10, &[0, 1, 3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "agent 21 observed 5 messages")]
+    fn chunked_observation_check_names_global_agent() {
+        check_observation_chunk(20, &[4, 4, 2, 3], 2, 8);
     }
 
     #[test]

@@ -33,7 +33,11 @@
 //! * [`metrics`] — time series of correct-opinion counts, convergence
 //!   records.
 //! * [`runner`] — a scoped-thread multi-seed batch runner with
-//!   deterministic seed fan-out.
+//!   deterministic seed fan-out, plus the chunk scatter helper behind the
+//!   world's intra-round parallelism.
+//! * [`streams`] — per-agent RNG streams addressed by
+//!   `(seed, round, agent, stage)`; the determinism contract that makes a
+//!   single round parallelizable with thread-count-invariant results.
 //! * [`invariants`] — debug-assertion checks of engine-level structural
 //!   properties, compiled into debug builds and into any build with the
 //!   `strict-invariants` feature.
@@ -124,6 +128,7 @@ pub mod population;
 pub mod protocol;
 pub mod push;
 pub mod runner;
+pub mod streams;
 pub mod world;
 
 pub use error::EngineError;

@@ -1,10 +1,28 @@
 //! The protocol abstraction: what a spreading algorithm must provide to run
 //! on the engine.
 //!
-//! A [`Protocol`] is a factory for per-agent state machines
-//! ([`AgentState`]). Each round the world calls [`AgentState::display`] on
-//! every agent, routes the displayed symbols through the noisy channel, and
-//! then calls [`AgentState::update`] with the agent's observation counts.
+//! Two levels exist:
+//!
+//! * The **scalar** level — [`Protocol`] / [`AgentState`] — one state
+//!   machine per agent, the natural way to write a protocol. Each round the
+//!   world calls [`AgentState::display`] on every agent, routes the
+//!   displayed symbols through the noisy channel, and then calls
+//!   [`AgentState::update`] with the agent's observation counts.
+//!
+//! * The **columnar** level — [`ColumnarProtocol`] / [`ColumnarState`] —
+//!   one struct-of-arrays state for the whole population, processed in
+//!   agent *chunks*. This is what [`crate::world::World`] actually runs:
+//!   chunks go to scoped threads, and per-agent RNG streams
+//!   ([`crate::streams`]) keep the result bit-identical for any thread
+//!   count or chunk size.
+//!
+//! Every scalar protocol is automatically a columnar one through the
+//! blanket adapter (`impl<P: Protocol> ColumnarProtocol for P`), whose
+//! state is a [`ScalarState`] (a plain `Vec` of agents chunked by
+//! sub-slices). Hand-written columnar ports — new types, since the blanket
+//! impl owns the trait for every `Protocol` — replicate the scalar draw
+//! sequence against the same streams and therefore agree bit-for-bit with
+//! their scalar counterparts (tested in the `noisy-pull` crate).
 //!
 //! # Why observations are count vectors
 //!
@@ -16,10 +34,13 @@
 //! therefore lossless, and it is what allows the aggregated channel to skip
 //! materializing individual messages.
 
+use std::ops::Range;
+
 use rand::rngs::StdRng;
 
 use crate::opinion::Opinion;
-use crate::population::Role;
+use crate::population::{PopulationConfig, Role};
+use crate::streams::{RoundStreams, StreamStage};
 
 /// A spreading algorithm: a factory of per-agent state machines plus static
 /// protocol metadata.
@@ -33,24 +54,194 @@ pub trait Protocol {
     /// Creates the initial state for an agent with the given role.
     ///
     /// `rng` may be used for randomized initialization; the engine passes
-    /// its own deterministic generator.
+    /// the agent's [`StreamStage::Init`] stream.
     fn init_agent(&self, role: Role, rng: &mut StdRng) -> Self::Agent;
 }
 
 /// The per-agent, per-round behaviour of a protocol.
-pub trait AgentState {
+///
+/// `Send + Sync` is required because the world shares agent state across
+/// chunk workers; agent states are plain data, so the bounds are free.
+pub trait AgentState: Send + Sync {
     /// The symbol (index into `Σ`) this agent displays this round.
     ///
     /// Called exactly once per round, *before* any observations are
-    /// delivered, matching step 1 of the model.
+    /// delivered, matching step 1 of the model. `rng` is the agent's
+    /// [`StreamStage::Display`] stream for the round.
     fn display(&self, rng: &mut StdRng) -> usize;
 
     /// Consumes this round's observations: `observed[σ]` is how many of the
-    /// agent's `h` samples arrived (post-noise) as symbol `σ`.
+    /// agent's `h` samples arrived (post-noise) as symbol `σ`. `rng` is the
+    /// agent's [`StreamStage::Update`] stream for the round.
     fn update(&mut self, observed: &[u64], rng: &mut StdRng);
 
     /// The agent's current opinion `Y ∈ {0, 1}`.
     fn opinion(&self) -> Opinion;
+}
+
+/// A spreading algorithm in columnar form: a factory for one
+/// struct-of-arrays population state.
+///
+/// Implemented automatically for every [`Protocol`] (via [`ScalarState`]);
+/// implement it directly on a *new* type to provide a hand-tuned columnar
+/// port.
+pub trait ColumnarProtocol {
+    /// The whole-population state type.
+    type State: ColumnarState;
+
+    /// Size of the communication alphabet `|Σ|`.
+    fn alphabet_size(&self) -> usize;
+
+    /// Builds the initial population state. Implementations must draw each
+    /// agent's initialization randomness from
+    /// `streams.rng(id, StreamStage::Init)` so scalar and columnar forms of
+    /// the same protocol initialize identically.
+    fn init_state(&self, config: &PopulationConfig, streams: &RoundStreams) -> Self::State;
+}
+
+/// Whole-population protocol state, processable in agent chunks.
+///
+/// The world drives one round as: [`ColumnarState::display_chunk`] over
+/// disjoint ranges (shared `&self`), then the channel fills observations,
+/// then [`ColumnarState::step_chunk`] over the disjoint mutable views
+/// produced by [`ColumnarState::chunks_mut`]. All randomness comes from the
+/// per-agent streams passed in, never from shared state — that is the
+/// whole-engine invariant making results independent of chunking.
+pub trait ColumnarState: Send + Sync {
+    /// A mutable view of one contiguous agent chunk, safe to hand to a
+    /// worker thread.
+    type ChunkMut<'a>: Send
+    where
+        Self: 'a;
+
+    /// Number of agents.
+    fn len(&self) -> usize;
+
+    /// Returns `true` for an empty population (never built by the world;
+    /// provided for completeness).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the displayed symbols of agents `range` into `out` (indexed
+    /// from the start of the range). Implementations needing display
+    /// randomness must use `streams.rng(id, StreamStage::Display)` per
+    /// agent.
+    fn display_chunk(&self, range: Range<usize>, out: &mut [usize], streams: &RoundStreams);
+
+    /// Splits the population into disjoint mutable chunk views of
+    /// `chunk_len` agents each (the last may be shorter), in agent order.
+    fn chunks_mut(&mut self, chunk_len: usize) -> Vec<Self::ChunkMut<'_>>;
+
+    /// Updates the agents of one chunk. `range` holds the global agent ids
+    /// covered by `chunk`; `observed` is the flattened
+    /// `range.len() × d` observation-count matrix for exactly those
+    /// agents. Update randomness comes from
+    /// `streams.rng(id, StreamStage::Update)` per agent.
+    ///
+    /// An associated function (no `&self`) so the world needs no protocol
+    /// reference after initialization.
+    fn step_chunk(
+        chunk: &mut Self::ChunkMut<'_>,
+        range: Range<usize>,
+        observed: &[u64],
+        d: usize,
+        streams: &RoundStreams,
+    );
+
+    /// The current opinion of agent `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.len()`.
+    fn opinion(&self, id: usize) -> Opinion;
+
+    /// Number of agents currently holding `opinion`. The default scans
+    /// [`ColumnarState::opinion`]; columnar ports may override with a
+    /// column sweep.
+    fn count_opinion(&self, opinion: Opinion) -> usize {
+        (0..self.len())
+            .filter(|&i| self.opinion(i) == opinion)
+            .count()
+    }
+}
+
+/// The adapter state behind the blanket `Protocol → ColumnarProtocol`
+/// impl: a plain vector of scalar agents, chunked by sub-slices.
+#[derive(Debug, Clone)]
+pub struct ScalarState<A> {
+    agents: Vec<A>,
+}
+
+impl<A> ScalarState<A> {
+    /// Read access to the underlying agents, in id order.
+    pub fn agents(&self) -> &[A] {
+        &self.agents
+    }
+
+    /// Mutable access to the underlying agents, in id order.
+    pub fn agents_mut(&mut self) -> &mut [A] {
+        &mut self.agents
+    }
+}
+
+impl<A: AgentState> ColumnarState for ScalarState<A> {
+    type ChunkMut<'a>
+        = &'a mut [A]
+    where
+        Self: 'a;
+
+    fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    fn display_chunk(&self, range: Range<usize>, out: &mut [usize], streams: &RoundStreams) {
+        for (slot, id) in out.iter_mut().zip(range) {
+            let mut rng = streams.rng(id, StreamStage::Display);
+            *slot = self.agents[id].display(&mut rng);
+        }
+    }
+
+    fn chunks_mut(&mut self, chunk_len: usize) -> Vec<Self::ChunkMut<'_>> {
+        self.agents.chunks_mut(chunk_len.max(1)).collect()
+    }
+
+    fn step_chunk(
+        chunk: &mut Self::ChunkMut<'_>,
+        range: Range<usize>,
+        observed: &[u64],
+        d: usize,
+        streams: &RoundStreams,
+    ) {
+        for ((agent, id), obs) in chunk.iter_mut().zip(range).zip(observed.chunks_exact(d)) {
+            let mut rng = streams.rng(id, StreamStage::Update);
+            agent.update(obs, &mut rng);
+        }
+    }
+
+    fn opinion(&self, id: usize) -> Opinion {
+        self.agents[id].opinion()
+    }
+}
+
+impl<P: Protocol> ColumnarProtocol for P {
+    type State = ScalarState<P::Agent>;
+
+    fn alphabet_size(&self) -> usize {
+        Protocol::alphabet_size(self)
+    }
+
+    fn init_state(&self, config: &PopulationConfig, streams: &RoundStreams) -> Self::State {
+        let agents = config
+            .iter_roles()
+            .enumerate()
+            .map(|(id, role)| {
+                let mut rng = streams.rng(id, StreamStage::Init);
+                self.init_agent(role, &mut rng)
+            })
+            .collect();
+        ScalarState { agents }
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +287,42 @@ mod tests {
         assert_eq!(agents[2].opinion(), Opinion::Zero);
         assert_eq!(agents[3].opinion(), Opinion::Zero);
         assert_eq!(agents[0].display(&mut rng), 1);
-        assert_eq!(Stubborn.alphabet_size(), 2);
+        assert_eq!(Protocol::alphabet_size(&Stubborn), 2);
+    }
+
+    #[test]
+    fn blanket_adapter_builds_scalar_state() {
+        let cfg = PopulationConfig::new(5, 1, 2, 1).unwrap();
+        let streams = RoundStreams::new(9, 0);
+        let state = ColumnarProtocol::init_state(&Stubborn, &cfg, &streams);
+        assert_eq!(state.len(), 5);
+        assert!(!state.is_empty());
+        assert_eq!(state.opinion(0), Opinion::One);
+        assert_eq!(state.count_opinion(Opinion::One), 2);
+        assert_eq!(state.count_opinion(Opinion::Zero), 3);
+        assert_eq!(ColumnarProtocol::alphabet_size(&Stubborn), 2);
+    }
+
+    #[test]
+    fn scalar_state_chunks_cover_population_in_order() {
+        let cfg = PopulationConfig::new(7, 0, 3, 1).unwrap();
+        let streams = RoundStreams::new(1, 0);
+        let mut state = ColumnarProtocol::init_state(&Stubborn, &cfg, &streams);
+        let chunks = state.chunks_mut(3);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn display_chunk_is_chunking_invariant() {
+        let cfg = PopulationConfig::new(6, 2, 3, 1).unwrap();
+        let streams = RoundStreams::new(4, 0);
+        let state = ColumnarProtocol::init_state(&Stubborn, &cfg, &streams);
+        let mut whole = vec![0usize; 6];
+        state.display_chunk(0..6, &mut whole, &streams);
+        let mut pieces = vec![0usize; 6];
+        state.display_chunk(0..2, &mut pieces[0..2], &streams);
+        state.display_chunk(2..6, &mut pieces[2..6], &streams);
+        assert_eq!(whole, pieces);
     }
 }

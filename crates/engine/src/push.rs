@@ -96,6 +96,8 @@ impl<P: PushProtocol> PushWorld<P> {
                 noise: noise.dim(),
             });
         }
+        // xtask-allow: raw-stdrng (the PUSH reference model is a sequential
+        // single-threaded comparison baseline, outside the chunked round loop)
         let mut rng = StdRng::seed_from_u64(seed);
         let agents: Vec<P::Agent> = config
             .iter_roles()

@@ -3,11 +3,71 @@
 //! Experiments estimate convergence-time distributions by repeating a run
 //! over many seeds. [`run_batch`] fans a seed sequence out over worker
 //! threads (std scoped threads; results land in seed order, so output is
-//! independent of thread scheduling).
+//! independent of thread scheduling). [`scatter`] is the lower-level
+//! primitive behind the world's intra-round chunk parallelism: it runs a
+//! fixed set of independent jobs across scoped workers and re-raises the
+//! original panic payload if one fails.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use np_stats::seeds::SeedSequence;
+
+/// Runs every job in `jobs` exactly once across at most `threads` scoped
+/// worker threads, in unspecified order. Jobs must be independent: the
+/// caller guarantees correctness does not depend on execution order
+/// (the world achieves this with per-agent RNG streams and disjoint
+/// chunk views).
+///
+/// `threads` is clamped to `[1, jobs.len()]`; with one thread the jobs run
+/// inline on the caller with no thread machinery.
+///
+/// # Panics
+///
+/// If a job panics, the original panic payload is re-raised on the calling
+/// thread once all workers have stopped — so invariant-violation messages
+/// survive the thread boundary intact.
+pub fn scatter<J, F>(threads: usize, jobs: Vec<J>, run: F)
+where
+    J: Send,
+    F: Fn(J) + Sync,
+{
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads == 1 {
+        for job in jobs {
+            run(job);
+        }
+        return;
+    }
+    // Round-robin assignment: with one chunk per thread (the world's
+    // layout) every worker gets exactly one job; results never depend on
+    // the assignment either way.
+    let mut queues: Vec<Vec<J>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        queues[i % threads].push(job);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .map(|queue| {
+                let run = &run;
+                scope.spawn(move || {
+                    for job in queue {
+                        run(job);
+                    }
+                })
+            })
+            .collect();
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
 
 /// Runs `job` once per derived seed, in parallel, returning results in seed
 /// order.
@@ -71,7 +131,12 @@ where
                             break;
                         }
                         claimed.store(i, Ordering::Relaxed);
-                        local.push((i, job(seeds.seed_at(i as u64))));
+                        let value = job(seeds.seed_at(i as u64));
+                        // Clear the claim once the job returns, so a panic
+                        // raised between claims (however unlikely) is not
+                        // pinned on the previously finished run.
+                        claimed.store(usize::MAX, Ordering::Relaxed);
+                        local.push((i, value));
                     }
                     local
                 })
@@ -89,6 +154,12 @@ where
                         .map(|s| (*s).to_owned())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    if index == usize::MAX {
+                        panic!(
+                            "run_batch worker {worker} panicked between runs \
+                             (no job claimed): {detail}"
+                        );
+                    }
                     panic!(
                         "run_batch worker {worker} panicked on run index {index} \
                          (seed {}): {detail}",
@@ -192,6 +263,35 @@ mod tests {
     #[test]
     fn suggested_threads_is_positive() {
         assert!(suggested_threads() >= 1);
+    }
+
+    #[test]
+    fn scatter_runs_every_job_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        for threads in [1, 2, 3, 7, 16] {
+            let hits: Vec<AtomicU64> = (0..10).map(|_| AtomicU64::new(0)).collect();
+            let jobs: Vec<usize> = (0..10).collect();
+            scatter(threads, jobs, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, hit) in hits.iter().enumerate() {
+                assert_eq!(hit.load(Ordering::Relaxed), 1, "job {i}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_handles_empty_job_list() {
+        scatter(4, Vec::<usize>::new(), |_| unreachable!("no jobs"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk 3 exploded")]
+    fn scatter_preserves_panic_payload_across_threads() {
+        let jobs: Vec<usize> = (0..8).collect();
+        scatter(4, jobs, |i| {
+            assert!(i != 3, "chunk {i} exploded");
+        });
     }
 
     #[test]

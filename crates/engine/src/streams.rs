@@ -1,0 +1,121 @@
+//! The engine's view of per-agent RNG streams.
+//!
+//! Every random decision in a [`crate::world::World`] round is drawn from
+//! an independent generator addressed by `(seed, round, agent, stage)` —
+//! see [`np_stats::streams`] for the derivation. The round loop hands a
+//! [`RoundStreams`] (the `(seed, round)` prefix) to each execution phase,
+//! and the phase derives per-agent generators for its [`StreamStage`].
+//!
+//! This is the determinism contract of the parallel engine: because an
+//! agent's randomness is a pure function of its coordinate, the execution
+//! is bit-identical no matter how agents are grouped into chunks or how
+//! chunks are scheduled onto threads. It also means scalar
+//! [`crate::protocol::Protocol`] implementations and their columnar ports
+//! agree exactly — both consume the same streams at the same coordinates.
+
+use rand::rngs::StdRng;
+
+/// The stage axis of a stream coordinate: which model step (or hook) the
+/// generator feeds. Distinct stages of the same `(round, agent)` are
+/// independent, so a stage that draws nothing costs nothing downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamStage {
+    /// Agent-state initialization (used with round 0).
+    Init,
+    /// Step 1 — choosing the displayed symbol.
+    Display,
+    /// Steps 2+3 — sampling and channel noise.
+    Observe,
+    /// Step 4 — the state update (tie-breaking coins live here).
+    Update,
+    /// The adversarial corruption hook
+    /// ([`crate::world::World::corrupt_agents`]).
+    Corrupt,
+}
+
+impl StreamStage {
+    fn tag(self) -> u64 {
+        match self {
+            StreamStage::Init => 0,
+            StreamStage::Display => 1,
+            StreamStage::Observe => 2,
+            StreamStage::Update => 3,
+            StreamStage::Corrupt => 4,
+        }
+    }
+}
+
+/// The per-round stream family: a `(seed, round)` prefix from which any
+/// agent's generator for any [`StreamStage`] can be derived without
+/// coordination. `Copy`, cheap, and freely shareable across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RoundStreams {
+    master: u64,
+    round: u64,
+}
+
+impl RoundStreams {
+    /// The stream family for `round` of the world seeded with `master`.
+    pub fn new(master: u64, round: u64) -> Self {
+        RoundStreams { master, round }
+    }
+
+    /// The round this family belongs to.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The independent generator for `agent` at `stage` this round.
+    pub fn rng(&self, agent: usize, stage: StreamStage) -> StdRng {
+        np_stats::streams::stream_rng(self.master, self.round, agent as u64, stage.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_coordinate_same_stream() {
+        let s = RoundStreams::new(42, 7);
+        let mut a = s.rng(3, StreamStage::Update);
+        let mut b = s.rng(3, StreamStage::Update);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn stages_are_independent() {
+        let s = RoundStreams::new(42, 7);
+        let stages = [
+            StreamStage::Init,
+            StreamStage::Display,
+            StreamStage::Observe,
+            StreamStage::Update,
+            StreamStage::Corrupt,
+        ];
+        let firsts: Vec<u64> = stages.iter().map(|&st| s.rng(3, st).gen()).collect();
+        for i in 0..firsts.len() {
+            for j in i + 1..firsts.len() {
+                assert_ne!(firsts[i], firsts[j], "stages {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_and_agents_are_independent() {
+        let a: u64 = RoundStreams::new(1, 0).rng(0, StreamStage::Display).gen();
+        let b: u64 = RoundStreams::new(1, 1).rng(0, StreamStage::Display).gen();
+        let c: u64 = RoundStreams::new(1, 0).rng(1, StreamStage::Display).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = RoundStreams::new(5, 9);
+        assert_eq!(s.round(), 9);
+        assert_eq!(s, RoundStreams::new(5, 9));
+    }
+}

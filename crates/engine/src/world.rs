@@ -1,40 +1,63 @@
 //! The round loop: wires a protocol, a population, and a noisy channel
 //! together and runs the system to consensus.
+//!
+//! # Execution model
+//!
+//! The world holds a [`ColumnarState`] — one struct-of-arrays state for the
+//! whole population — and runs each round in three chunked phases
+//! (display → observe → update). Chunks are fanned out over scoped worker
+//! threads with [`crate::runner::scatter`]; every piece of randomness comes
+//! from a per-agent stream addressed by `(seed, round, agent, stage)`
+//! ([`crate::streams`]), so the trajectory is **bit-identical for any
+//! thread count and any chunk size**. `NOISY_PULL_THREADS` (or
+//! [`World::set_threads`]) only changes wall-clock time, never results.
 
 use np_linalg::noise::NoiseMatrix;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::channel::{Channel, ChannelKind};
 use crate::metrics::{OpinionSeries, RunOutcome};
 use crate::opinion::Opinion;
 use crate::population::PopulationConfig;
-use crate::protocol::{AgentState, Protocol};
+use crate::protocol::{ColumnarProtocol, ColumnarState, Protocol};
+use crate::runner;
+use crate::streams::{RoundStreams, StreamStage};
 use crate::{EngineError, Result};
 
 /// A running instance of the noisy PULL model: one population, one
-/// protocol, one noise matrix, one RNG.
+/// protocol state, one noise matrix, one master seed.
 ///
 /// Construction is deterministic given the seed: two worlds built with the
-/// same arguments produce identical executions.
+/// same arguments produce identical executions, regardless of the thread
+/// count either one uses.
+///
+/// Scalar protocols ([`Protocol`]) run through the blanket columnar
+/// adapter; the extra methods [`World::agent`], [`World::iter_agents`] and
+/// [`World::corrupt_agents`] are available for them.
 ///
 /// # Example
 ///
 /// See the crate-level example in [`crate`].
-pub struct World<P: Protocol> {
+pub struct World<P: ColumnarProtocol> {
     config: PopulationConfig,
     channel: Channel,
-    agents: Vec<P::Agent>,
+    state: P::State,
     displays: Vec<usize>,
     observations: Vec<u64>,
-    rng: StdRng,
+    seed: u64,
+    threads: usize,
     round: u64,
     series: Option<OpinionSeries>,
 }
 
-impl<P: Protocol> World<P> {
+impl<P: ColumnarProtocol> World<P> {
     /// Builds a world: initializes one agent per role in the canonical
-    /// layout of [`PopulationConfig::role_of`].
+    /// layout of [`PopulationConfig::role_of`], each from its own
+    /// [`StreamStage::Init`] stream.
+    ///
+    /// The worker-thread count defaults to
+    /// [`runner::suggested_threads`]`()`; override with
+    /// [`World::set_threads`]. Results never depend on it.
     ///
     /// # Errors
     ///
@@ -76,20 +99,17 @@ impl<P: Protocol> World<P> {
             });
         }
         crate::invariants::check_population(&config);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let agents: Vec<P::Agent> = config
-            .iter_roles()
-            .map(|role| protocol.init_agent(role, &mut rng))
-            .collect();
+        let state = protocol.init_state(&config, &RoundStreams::new(seed, 0));
         let n = config.n();
         let d = channel.alphabet_size();
         Ok(World {
             config,
             channel,
-            agents,
+            state,
             displays: vec![0; n],
             observations: vec![0; n * d],
-            rng,
+            seed,
+            threads: runner::suggested_threads(),
             round: 0,
             series: None,
         })
@@ -97,16 +117,47 @@ impl<P: Protocol> World<P> {
 
     /// The population configuration.
     pub fn config(&self) -> &PopulationConfig {
-        self.config_ref()
-    }
-
-    fn config_ref(&self) -> &PopulationConfig {
         &self.config
     }
 
     /// Number of completed rounds.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// The master seed this world was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker-thread count used for intra-round chunk parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    /// A pure performance knob: the trajectory is identical for every
+    /// value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Read access to the whole-population protocol state.
+    pub fn state(&self) -> &P::State {
+        &self.state
+    }
+
+    /// Mutable access to the whole-population protocol state (columnar
+    /// adversary hooks go through here).
+    pub fn state_mut(&mut self) -> &mut P::State {
+        &mut self.state
+    }
+
+    /// The current opinion vector, in agent-id order.
+    pub fn opinions(&self) -> Vec<Opinion> {
+        (0..self.state.len())
+            .map(|id| self.state.opinion(id))
+            .collect()
     }
 
     /// Enables per-round recording of opinion counts (see
@@ -122,68 +173,81 @@ impl<P: Protocol> World<P> {
         self.series.as_ref()
     }
 
-    /// Applies an arbitrary mutation to every agent's state *before* the
-    /// run starts — the self-stabilization adversary of Section 1.3. The
-    /// closure receives the agent id, a mutable reference to its state, and
-    /// the world RNG.
-    ///
-    /// Roles are not passed: the model forbids the adversary from changing
-    /// them (it may only corrupt internal state).
-    pub fn corrupt_agents<F>(&mut self, mut corrupt: F)
-    where
-        F: FnMut(usize, &mut P::Agent, &mut StdRng),
-    {
-        for (id, agent) in self.agents.iter_mut().enumerate() {
-            corrupt(id, agent, &mut self.rng);
-        }
-    }
-
-    /// Read access to an agent's state (experiments inspect weak opinions).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is out of range.
-    pub fn agent(&self, id: usize) -> &P::Agent {
-        &self.agents[id]
-    }
-
-    /// Iterates over all agent states in id order.
-    pub fn iter_agents(&self) -> impl Iterator<Item = &P::Agent> {
-        self.agents.iter()
-    }
-
     /// Executes one synchronous round: display → sample+noise → update.
+    ///
+    /// Each phase is chunked over [`World::threads`] scoped workers; the
+    /// per-chunk invariant checks name global agent ids, and a panic in any
+    /// worker is re-raised on the caller with its original message.
     pub fn step(&mut self) {
-        // Step 1: displays.
-        for (slot, agent) in self.displays.iter_mut().zip(&self.agents) {
-            *slot = agent.display(&mut self.rng);
-        }
-        crate::invariants::check_displays_in_alphabet(&self.displays, self.channel.alphabet_size());
-        // Steps 2+3: noisy observations.
-        self.channel.fill_observations(
-            &self.displays,
-            self.config.h(),
-            &mut self.rng,
-            &mut self.observations,
-        );
+        let n = self.config.n();
         let d = self.channel.alphabet_size();
-        crate::invariants::check_observation_counts(&self.observations, d, self.config.h() as u64);
-        // Step 4: updates.
-        for (agent, obs) in self
-            .agents
-            .iter_mut()
-            .zip(self.observations.chunks_exact(d))
+        let h = self.config.h();
+        let streams = RoundStreams::new(self.seed, self.round);
+        let threads = self.threads.clamp(1, n);
+        let chunk = n.div_ceil(threads);
+
+        // Phase 1: displays.
         {
-            agent.update(obs, &mut self.rng);
+            let state = &self.state;
+            let jobs: Vec<(usize, &mut [usize])> = self
+                .displays
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, slice)| (i * chunk, slice))
+                .collect();
+            runner::scatter(threads, jobs, |(start, out)| {
+                state.display_chunk(start..start + out.len(), out, &streams);
+                crate::invariants::check_displays_chunk(start, out, d);
+            });
         }
+
+        // Phases 2+3 of the model: noisy observations. The histogram of
+        // displays is shared; each chunk samples its agents from their own
+        // Observe streams.
+        {
+            let ctx = self.channel.begin_round(&self.displays, h);
+            let channel = &self.channel;
+            let displays = &self.displays;
+            let jobs: Vec<(usize, &mut [u64])> = self
+                .observations
+                .chunks_mut(chunk * d)
+                .enumerate()
+                .map(|(i, slice)| (i * chunk, slice))
+                .collect();
+            runner::scatter(threads, jobs, |(start, out)| {
+                let agents = out.len() / d;
+                channel.fill_observations_chunk(
+                    &ctx,
+                    displays,
+                    h,
+                    start..start + agents,
+                    &streams,
+                    out,
+                );
+                crate::invariants::check_observation_chunk(start, out, d, h as u64);
+            });
+        }
+
+        // Phase 4: updates, on disjoint mutable chunk views.
+        {
+            let observations = &self.observations;
+            let jobs: Vec<(usize, <P::State as ColumnarState>::ChunkMut<'_>)> = self
+                .state
+                .chunks_mut(chunk)
+                .into_iter()
+                .enumerate()
+                .map(|(i, view)| (i * chunk, view))
+                .collect();
+            runner::scatter(threads, jobs, |(start, mut view)| {
+                let end = (start + chunk).min(n);
+                let obs = &observations[start * d..end * d];
+                <P::State as ColumnarState>::step_chunk(&mut view, start..end, obs, d, &streams);
+            });
+        }
+
         self.round += 1;
         if let Some(series) = self.series.as_mut() {
-            let ones = self
-                .agents
-                .iter()
-                .filter(|a| a.opinion() == Opinion::One)
-                .count();
-            series.push(ones);
+            series.push(self.state.count_opinion(Opinion::One));
         }
     }
 
@@ -196,11 +260,7 @@ impl<P: Protocol> World<P> {
 
     /// Number of agents currently holding the correct opinion.
     pub fn correct_count(&self) -> usize {
-        let correct = self.config.correct_opinion();
-        self.agents
-            .iter()
-            .filter(|a| a.opinion() == correct)
-            .count()
+        self.state.count_opinion(self.config.correct_opinion())
     }
 
     /// Returns `true` if every agent (sources included) holds the correct
@@ -254,11 +314,48 @@ impl<P: Protocol> World<P> {
     }
 }
 
-impl<P: Protocol> std::fmt::Debug for World<P> {
+/// Scalar conveniences, available when the protocol runs through the
+/// blanket adapter (its state is a [`crate::protocol::ScalarState`]).
+impl<P: Protocol> World<P> {
+    /// Read access to an agent's state (experiments inspect weak opinions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn agent(&self, id: usize) -> &P::Agent {
+        &self.state.agents()[id]
+    }
+
+    /// Iterates over all agent states in id order.
+    pub fn iter_agents(&self) -> impl Iterator<Item = &P::Agent> {
+        self.state.agents().iter()
+    }
+
+    /// Applies an arbitrary mutation to every agent's state *before* the
+    /// run starts — the self-stabilization adversary of Section 1.3. The
+    /// closure receives the agent id, a mutable reference to its state, and
+    /// the agent's [`StreamStage::Corrupt`] stream for the current round.
+    ///
+    /// Roles are not passed: the model forbids the adversary from changing
+    /// them (it may only corrupt internal state).
+    pub fn corrupt_agents<F>(&mut self, mut corrupt: F)
+    where
+        F: FnMut(usize, &mut P::Agent, &mut StdRng),
+    {
+        let streams = RoundStreams::new(self.seed, self.round);
+        for (id, agent) in self.state.agents_mut().iter_mut().enumerate() {
+            let mut rng = streams.rng(id, StreamStage::Corrupt);
+            corrupt(id, agent, &mut rng);
+        }
+    }
+}
+
+impl<P: ColumnarProtocol> std::fmt::Debug for World<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("config", &self.config)
             .field("round", &self.round)
+            .field("threads", &self.threads)
             .field("correct_count", &self.correct_count())
             .finish_non_exhaustive()
     }
@@ -268,6 +365,7 @@ impl<P: Protocol> std::fmt::Debug for World<P> {
 mod tests {
     use super::*;
     use crate::population::Role;
+    use crate::protocol::AgentState;
     use rand::Rng;
 
     /// Copy-the-majority test protocol; sources stubbornly display and hold
@@ -348,9 +446,27 @@ mod tests {
         a.run(20);
         b.run(20);
         assert_eq!(a.correct_count(), b.correct_count());
-        let ops_a: Vec<Opinion> = a.iter_agents().map(|x| x.opinion()).collect();
-        let ops_b: Vec<Opinion> = b.iter_agents().map(|x| x.opinion()).collect();
-        assert_eq!(ops_a, ops_b);
+        assert_eq!(a.opinions(), b.opinions());
+    }
+
+    #[test]
+    fn trajectory_is_thread_count_invariant() {
+        let mut reference = world(13);
+        reference.set_threads(1);
+        reference.record_series();
+        reference.run(15);
+        for threads in [2, 3, 7, 32] {
+            let mut w = world(13);
+            w.set_threads(threads);
+            w.record_series();
+            w.run(15);
+            assert_eq!(w.opinions(), reference.opinions(), "threads = {threads}");
+            assert_eq!(
+                w.series().unwrap().counts(Opinion::One),
+                reference.series().unwrap().counts(Opinion::One),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]
@@ -359,11 +475,9 @@ mod tests {
         let mut b = noisy_world(2);
         a.run(1);
         b.run(1);
-        let ops_a: Vec<Opinion> = a.iter_agents().map(|x| x.opinion()).collect();
-        let ops_b: Vec<Opinion> = b.iter_agents().map(|x| x.opinion()).collect();
         // Under pure noise each of the 28 non-source opinions is a fair
         // coin, so identical vectors across seeds are (2^-28)-unlikely.
-        assert_ne!(ops_a, ops_b);
+        assert_ne!(a.opinions(), b.opinions());
     }
 
     #[test]
@@ -423,11 +537,37 @@ mod tests {
         assert!(w.correct_count() >= 4);
     }
 
+    #[test]
+    fn corrupt_agents_is_deterministic_per_agent() {
+        // The corruption rng is a per-agent stream, so the corrupted state
+        // does not depend on iteration side effects or thread settings.
+        let snapshot = |w: &mut World<Majority>| {
+            w.corrupt_agents(|_, agent, rng| {
+                agent.opinion = Opinion::from_bool(rng.gen());
+            });
+            w.opinions()
+        };
+        let a = snapshot(&mut world(21));
+        let b = snapshot(&mut world(21));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threads_accessor_round_trips() {
+        let mut w = world(2);
+        w.set_threads(5);
+        assert_eq!(w.threads(), 5);
+        w.set_threads(0);
+        assert_eq!(w.threads(), 1, "clamped to at least one worker");
+        assert_eq!(w.seed(), 2);
+    }
+
     /// A protocol that displays a symbol outside its declared alphabet —
     /// the class of bug `invariants::check_displays_in_alphabet` exists to
     /// catch at the point of violation rather than as a downstream index
     /// panic. Only live when the checks are compiled in (debug builds and
-    /// `--features strict-invariants`).
+    /// `--features strict-invariants`). The panic is raised inside a chunk
+    /// worker and must survive the thread boundary with its message intact.
     #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     #[test]
     #[should_panic(expected = "outside the 2-symbol alphabet")]
@@ -455,6 +595,7 @@ mod tests {
         let config = PopulationConfig::new(4, 0, 1, 4).unwrap();
         let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
         let mut w = World::new(&Rogue, config, &noise, ChannelKind::Aggregated, 0).unwrap();
+        w.set_threads(2);
         w.step();
     }
 

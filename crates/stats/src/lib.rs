@@ -25,6 +25,9 @@
 //!   against exact cdfs.
 //! * [`seeds`] — a splitmix64-based seed sequence for reproducible
 //!   fan-out of parallel simulation batches.
+//! * [`streams`] — counter-based per-agent RNG streams, one independent
+//!   generator per `(seed, round, agent, stage)` coordinate, the basis of
+//!   the engine's thread-count-invariant parallel round execution.
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@ pub mod ks;
 pub mod multinomial;
 pub mod rademacher;
 pub mod seeds;
+pub mod streams;
 
 pub use error::StatsError;
 

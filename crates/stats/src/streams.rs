@@ -1,0 +1,130 @@
+//! Counter-based per-agent RNG streams.
+//!
+//! The engine derives one independent generator per `(seed, round, agent,
+//! stage)` coordinate instead of threading a single sequential `StdRng`
+//! through the round loop. Each coordinate is folded into a seed through a
+//! chain of splitmix64 rounds (each round is a bijective, well-mixed
+//! `u64 → u64` map, so distinct coordinates collide only with probability
+//! `≈ 2⁻⁶⁴` per pair), and the seed initializes a fresh [`StdRng`].
+//!
+//! Because a stream is a *pure function* of its coordinate, any worker can
+//! derive any agent's generator without coordination — this is what makes
+//! chunked round execution bit-identical across thread counts and chunk
+//! sizes. Deriving a generator is cheap (a few multiplies plus the
+//! `seed_from_u64` expansion; the underlying ChaCha block is only produced
+//! on first use), so it is fine to derive streams that end up drawing
+//! nothing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::seeds::splitmix64;
+
+/// Domain-separation constant mixed into the master seed, so stream seeds
+/// never coincide with the raw [`crate::seeds::SeedSequence`] values derived
+/// from the same master.
+const STREAM_DOMAIN: u64 = 0xA076_1D64_78BD_642F;
+
+/// Derives the seed of the stream at `(master, round, agent, stage)`.
+///
+/// Pure and order-free: any caller computes the same value for the same
+/// coordinate, in any order, on any thread.
+///
+/// # Example
+///
+/// ```
+/// use np_stats::streams::stream_seed;
+///
+/// assert_eq!(stream_seed(7, 0, 3, 1), stream_seed(7, 0, 3, 1));
+/// assert_ne!(stream_seed(7, 0, 3, 1), stream_seed(7, 0, 4, 1));
+/// assert_ne!(stream_seed(7, 0, 3, 1), stream_seed(7, 1, 3, 1));
+/// ```
+pub fn stream_seed(master: u64, round: u64, agent: u64, stage: u64) -> u64 {
+    let mut s = splitmix64(master ^ STREAM_DOMAIN);
+    s = splitmix64(s ^ round);
+    s = splitmix64(s ^ agent);
+    splitmix64(s ^ stage)
+}
+
+/// The ready-to-use generator of the stream at `(master, round, agent,
+/// stage)`.
+pub fn stream_rng(master: u64, round: u64, agent: u64, stage: u64) -> StdRng {
+    StdRng::seed_from_u64(stream_seed(master, round, agent, stage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::SeedSequence;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = stream_rng(42, 3, 17, 2);
+        let mut b = stream_rng(42, 3, 17, 2);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn coordinates_are_independent_axes() {
+        let base = stream_seed(1, 2, 3, 4);
+        assert_ne!(base, stream_seed(9, 2, 3, 4), "master must matter");
+        assert_ne!(base, stream_seed(1, 9, 3, 4), "round must matter");
+        assert_ne!(base, stream_seed(1, 2, 9, 4), "agent must matter");
+        assert_ne!(base, stream_seed(1, 2, 3, 9), "stage must matter");
+    }
+
+    #[test]
+    fn no_trivial_cross_axis_collisions() {
+        // Swapping small values between axes must not collide: the chain
+        // mixes between injections precisely to prevent (round=1, agent=0)
+        // from aliasing (round=0, agent=1).
+        assert_ne!(stream_seed(5, 1, 0, 0), stream_seed(5, 0, 1, 0));
+        assert_ne!(stream_seed(5, 0, 1, 0), stream_seed(5, 0, 0, 1));
+        assert_ne!(stream_seed(5, 1, 0, 0), stream_seed(5, 0, 0, 1));
+    }
+
+    #[test]
+    fn dense_coordinate_grid_has_no_collisions() {
+        let mut all = HashSet::new();
+        for round in 0..20 {
+            for agent in 0..50 {
+                for stage in 0..5 {
+                    all.insert(stream_seed(123, round, agent, stage));
+                }
+            }
+        }
+        assert_eq!(all.len(), 20 * 50 * 5);
+    }
+
+    #[test]
+    fn disjoint_from_seed_sequence_of_same_master() {
+        // Batch-run seeds and stream seeds derive from the same master;
+        // the domain constant keeps the two families apart.
+        let seq = SeedSequence::new(77);
+        let batch: HashSet<u64> = (0..1000).map(|i| seq.seed_at(i)).collect();
+        for round in 0..10 {
+            for agent in 0..10 {
+                assert!(!batch.contains(&stream_seed(77, round, agent, 0)));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_streams_decorrelated() {
+        // Crude avalanche check: first outputs of adjacent agent streams
+        // differ in roughly half their bits on average.
+        let mut total = 0u32;
+        let pairs = 200;
+        for agent in 0..pairs {
+            let a = stream_rng(9, 0, agent, 0).gen::<u64>();
+            let b = stream_rng(9, 0, agent + 1, 0).gen::<u64>();
+            total += (a ^ b).count_ones();
+        }
+        let mean = f64::from(total) / f64::from(u32::try_from(pairs).unwrap());
+        assert!((20.0..44.0).contains(&mean), "mean bit diff {mean}");
+    }
+}

@@ -9,8 +9,8 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::rules::CRATE_HEADERS;
-use xtask::{scan_source, FileClass, Finding};
+use xtask::rules::{CRATE_HEADERS, HOT_PATH_RULES};
+use xtask::{scan_source_with, FileClass, Finding};
 
 /// Library crates held to the full rule set: these implement the protocol
 /// (Theorems 4/5) and the experiment engine, where determinism is a
@@ -32,6 +32,17 @@ const HEADER_ONLY_ROOTS: &[&str] = &[
     "crates/xtask/src/lib.rs",
     "src/lib.rs",
 ];
+
+/// Crates additionally held to [`HOT_PATH_RULES`]: code here runs inside a
+/// `World` round, where a hand-built sequential `StdRng` would break the
+/// thread-count-invariance contract.
+const HOT_PATH_CRATES: &[&str] = &["crates/engine", "crates/core"];
+
+/// Whether a source file gets the hot-path rule set: anything in a
+/// hot-path crate except the stream-derivation modules themselves.
+fn is_hot_path(krate: &str, file: &Path) -> bool {
+    HOT_PATH_CRATES.contains(&krate) && file.file_name().is_none_or(|n| n != "streams.rs")
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +80,12 @@ fn run_check() -> ExitCode {
             } else {
                 FileClass::LibrarySource
             };
-            for finding in scan_file(&file, class) {
+            let extra = if is_hot_path(krate, &file) {
+                HOT_PATH_RULES
+            } else {
+                &[]
+            };
+            for finding in scan_file(&file, class, extra) {
                 all.push((file.clone(), finding));
             }
             files_scanned += 1;
@@ -78,7 +94,7 @@ fn run_check() -> ExitCode {
 
     for rel in HEADER_ONLY_ROOTS {
         let file = root.join(rel);
-        let headers_only = scan_file(&file, FileClass::LibraryRoot)
+        let headers_only = scan_file(&file, FileClass::LibraryRoot, &[])
             .into_iter()
             .filter(|f| f.rule == CRATE_HEADERS);
         for finding in headers_only {
@@ -111,9 +127,9 @@ fn run_check() -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn scan_file(path: &Path, class: FileClass) -> Vec<Finding> {
+fn scan_file(path: &Path, class: FileClass, extra: &[xtask::Rule]) -> Vec<Finding> {
     match std::fs::read_to_string(path) {
-        Ok(text) => scan_source(class, &text),
+        Ok(text) => scan_source_with(class, &text, extra),
         Err(err) => {
             // A missing/unreadable source file is itself a finding: the
             // gate must not silently shrink its coverage.

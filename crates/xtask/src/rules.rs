@@ -59,15 +59,31 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
+/// Extra token rules for the *hot path*: the crates whose code runs
+/// inside a `World` round (`crates/engine`, `crates/core`), excluding the
+/// stream-derivation modules themselves (`streams.rs`), which are the one
+/// sanctioned place a `StdRng` may be built.
+pub const HOT_PATH_RULES: &[Rule] = &[Rule {
+    name: "raw-stdrng",
+    needles: &[
+        "StdRng::seed_from_u64",
+        "StdRng::from_seed",
+        "StdRng::from_rng",
+    ],
+    message: "hot-path code must derive randomness from (seed, round, agent, stage) \
+              streams (RoundStreams / np_stats::streams), never build a StdRng by hand \
+              — a sequential stream reintroduces thread-count-dependent trajectories",
+}];
+
 /// Returns the token rule with the given name, if any.
 pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
-    RULES.iter().find(|r| r.name == name)
+    RULES.iter().chain(HOT_PATH_RULES).find(|r| r.name == name)
 }
 
 /// All rule names, token and structural, for `--list` style output and
 /// directive validation.
 pub fn all_rule_names() -> Vec<&'static str> {
-    let mut names: Vec<&'static str> = RULES.iter().map(|r| r.name).collect();
+    let mut names: Vec<&'static str> = RULES.iter().chain(HOT_PATH_RULES).map(|r| r.name).collect();
     names.push(FLOAT_EQ);
     names.push(CRATE_HEADERS);
     names

@@ -14,7 +14,7 @@
 //!   exact comparisons (IEEE sentinels like `delta == 0.0`) should carry
 //!   an `// xtask-allow: float-eq` directive with a justifying comment.
 
-use crate::rules::{CRATE_HEADERS, FLOAT_EQ, RULES};
+use crate::rules::{Rule, CRATE_HEADERS, FLOAT_EQ, RULES};
 
 /// How a file participates in the lint pass.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,8 +56,16 @@ struct ScanState {
     in_block_comment: bool,
 }
 
-/// Scans one file's source text, returning all findings in line order.
+/// Scans one file's source text against the base rule catalog, returning
+/// all findings in line order.
 pub fn scan_source(class: FileClass, text: &str) -> Vec<Finding> {
+    scan_source_with(class, text, &[])
+}
+
+/// Like [`scan_source`], but also applies `extra_rules` — the mechanism
+/// behind scoped rule sets such as [`crate::rules::HOT_PATH_RULES`],
+/// which only apply to files the caller selects.
+pub fn scan_source_with(class: FileClass, text: &str, extra_rules: &[Rule]) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut state = ScanState {
         depth: 0,
@@ -84,7 +92,7 @@ pub fn scan_source(class: FileClass, text: &str) -> Vec<Finding> {
 
         let in_test = state.test_end_depth.is_some();
         if !in_test && !state.pending_cfg_test {
-            check_token_rules(code, raw_line, line_no, &allows, &mut findings);
+            check_token_rules(code, raw_line, line_no, &allows, extra_rules, &mut findings);
             check_float_eq(code, raw_line, line_no, &allows, &mut findings);
         }
 
@@ -143,9 +151,10 @@ fn check_token_rules(
     raw_line: &str,
     line_no: usize,
     allows: &[String],
+    extra_rules: &[Rule],
     findings: &mut Vec<Finding>,
 ) {
-    for rule in RULES {
+    for rule in RULES.iter().chain(extra_rules) {
         if allows.iter().any(|a| a == rule.name) {
             continue;
         }

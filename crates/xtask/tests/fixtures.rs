@@ -4,20 +4,26 @@
 //! `tests/fixtures/` (a subdirectory, so cargo does not compile them as
 //! test targets).
 
-use xtask::rules::all_rule_names;
-use xtask::{scan_source, FileClass};
+use xtask::rules::{all_rule_names, HOT_PATH_RULES};
+use xtask::{scan_source_with, FileClass, Rule};
 
-/// Scans a fixture file, returning `(rule, line)` pairs in file order.
-fn scan_fixture(name: &str, class: FileClass) -> Vec<(String, usize)> {
+/// Scans a fixture file with extra rules, returning `(rule, line)` pairs
+/// in file order.
+fn scan_fixture_with(name: &str, class: FileClass, extra: &[Rule]) -> Vec<(String, usize)> {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|err| panic!("fixture {} unreadable: {err}", path.display()));
-    scan_source(class, &text)
+    scan_source_with(class, &text, extra)
         .into_iter()
         .map(|f| (f.rule.to_owned(), f.line))
         .collect()
+}
+
+/// Scans a fixture file against the base catalog only.
+fn scan_fixture(name: &str, class: FileClass) -> Vec<(String, usize)> {
+    scan_fixture_with(name, class, &[])
 }
 
 fn expect(rule: &str, lines: &[usize]) -> Vec<(String, usize)> {
@@ -61,6 +67,16 @@ fn float_eq_fires_exactly_where_expected() {
 }
 
 #[test]
+fn raw_stdrng_fires_only_under_hot_path_rules() {
+    let hot = scan_fixture_with("raw_stdrng.rs", FileClass::LibrarySource, HOT_PATH_RULES);
+    assert_eq!(hot, expect("raw-stdrng", &[5, 6]));
+    // Outside the hot-path scope the same file is clean: the rule is
+    // scoped, not global.
+    let base = scan_fixture("raw_stdrng.rs", FileClass::LibrarySource);
+    assert!(base.is_empty(), "{base:?}");
+}
+
+#[test]
 fn crate_headers_fires_on_library_roots_only() {
     let as_root = scan_fixture("missing_headers.rs", FileClass::LibraryRoot);
     assert_eq!(as_root, expect("crate-headers", &[1, 1]));
@@ -97,6 +113,11 @@ fn every_rule_has_a_bad_fixture() {
     let mut fired: Vec<String> = bad_fixtures
         .iter()
         .flat_map(|f| scan_fixture(f, FileClass::LibraryRoot))
+        .chain(scan_fixture_with(
+            "raw_stdrng.rs",
+            FileClass::LibrarySource,
+            HOT_PATH_RULES,
+        ))
         .map(|(rule, _)| rule)
         .collect();
     fired.sort();

@@ -1,0 +1,25 @@
+//! Bad fixture for the `raw-stdrng` hot-path rule: hand-built sequential
+//! generators where stream-derived ones are required.
+
+pub fn bad(seed: u64) {
+    let _a = StdRng::seed_from_u64(seed);
+    let _b = StdRng::from_seed([0u8; 32]);
+}
+
+pub fn fine(streams: &RoundStreams) {
+    // Stream-derived generators are the sanctioned path.
+    let _rng = streams.rng(0, StreamStage::Update);
+}
+
+pub fn allowed(seed: u64) {
+    // xtask-allow: raw-stdrng (an annotated construction is exempt)
+    let _c = StdRng::seed_from_u64(seed);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_build_rngs() {
+        let _ = StdRng::seed_from_u64(7);
+    }
+}

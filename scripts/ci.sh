@@ -18,7 +18,13 @@ cargo xtask check
 echo "### cargo build --release (tier-1)"
 cargo build --release
 
-echo "### cargo test -q (tier-1)"
+# Tier-1 runs twice: single-threaded and at the ambient default. The
+# engine's contract is that the thread count cannot change any outcome,
+# so both passes must see identical results.
+echo "### cargo test -q (tier-1, NOISY_PULL_THREADS=1)"
+NOISY_PULL_THREADS=1 cargo test -q
+
+echo "### cargo test -q (tier-1, default threads)"
 cargo test -q
 
 echo "### cargo test --workspace -q"
@@ -26,5 +32,20 @@ cargo test --workspace -q
 
 echo "### cargo test -p np-engine --release --features strict-invariants -q"
 cargo test -p np-engine --release --features strict-invariants -q
+
+# Cross-thread-count digest check: the same fixed-seed run must print a
+# byte-identical outcome digest at 1 and 4 worker threads.
+echo "### thread-count digest diff (1 vs 4 threads)"
+digest_run() {
+  NOISY_PULL_THREADS="$1" cargo run -q --release -p np-cli -- \
+    run sf --n 256 --seed 7 --digest | grep 'digest:'
+}
+d1="$(digest_run 1)"
+d4="$(digest_run 4)"
+if [ "$d1" != "$d4" ]; then
+  echo "digest mismatch: 1 thread -> $d1, 4 threads -> $d4" >&2
+  exit 1
+fi
+echo "digests agree: $d1"
 
 echo "### ci.sh: all checks passed"

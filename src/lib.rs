@@ -50,6 +50,9 @@ pub use np_stats as stats;
 /// One-stop imports for examples and downstream quickstarts.
 pub mod prelude {
     pub use noisy_pull::adversary::SsfAdversary;
+    pub use noisy_pull::columnar::sf::ColumnarSourceFilter;
+    pub use noisy_pull::columnar::sf_alt::ColumnarAltSf;
+    pub use noisy_pull::columnar::ssf::ColumnarSsf;
     pub use noisy_pull::params::{SfParams, SsfParams};
     pub use noisy_pull::reduction::WithArtificialNoise;
     pub use noisy_pull::sf::SourceFilter;
@@ -60,7 +63,8 @@ pub mod prelude {
     pub use np_engine::metrics::RunOutcome;
     pub use np_engine::opinion::Opinion;
     pub use np_engine::population::{PopulationConfig, Role};
-    pub use np_engine::protocol::{AgentState, Protocol};
+    pub use np_engine::protocol::{AgentState, ColumnarProtocol, ColumnarState, Protocol};
+    pub use np_engine::streams::{RoundStreams, StreamStage};
     pub use np_engine::world::World;
     pub use np_linalg::noise::NoiseMatrix;
 }
