@@ -90,6 +90,13 @@ impl AgentState for MajorityAgent {
     fn opinion(&self) -> Opinion {
         self.opinion
     }
+
+    /// Memoryless dynamics: every agent is always in the single stage 0.
+    /// Stated explicitly (the trait default is the same) so the baseline
+    /// documents its lack of phase structure next to SF's schedule.
+    fn stage_id(&self) -> u32 {
+        0
+    }
 }
 
 /// Columnar h-majority: bit-identical to [`HMajority`] on the same world
@@ -195,6 +202,12 @@ impl ColumnarState for MajorityColumns {
 
     fn count_opinion(&self, opinion: Opinion) -> usize {
         self.opinion.iter().filter(|&&o| o == opinion).count()
+    }
+
+    /// Memoryless dynamics: every agent is always in the single stage 0
+    /// (explicit for the same reason as [`MajorityAgent`]'s impl).
+    fn stage_id(&self, _id: usize) -> u32 {
+        0
     }
 }
 

@@ -5,23 +5,25 @@
 //! At `n = 131072` and `h = n`, one round of the literal model is ~17
 //! billion noisy messages; the aggregated channel simulates it exactly
 //! (same joint distribution) in `O(n)` work. This binary runs SF
-//! end-to-end at increasing scales and reports wall-clock time per run —
-//! demonstrating that the `O(log n)` convergence claim is measurable at
-//! six-figure populations on a laptop.
+//! end-to-end at increasing scales across a seed batch and reports both
+//! a human-readable table and the machine-readable perf trajectory
+//! (`BENCH_scale.json` at the workspace root) — demonstrating that the
+//! `O(log n)` convergence claim is measurable at six-figure populations
+//! on a laptop.
 
 use noisy_pull::sf::SourceFilter;
-use np_bench::harness::SfSetup;
-use np_bench::report::{fmt_f64, Table};
+use np_bench::harness::{perf_point, run_outcomes, SfSetup};
+use np_bench::report::{fmt_f64, save_bench_json, Table};
 use np_engine::channel::ChannelKind;
 use np_engine::world::World;
 use np_linalg::noise::NoiseMatrix;
 
 fn main() {
     let quick = std::env::var("NP_QUICK").is_ok();
-    let sizes: &[usize] = if quick {
-        &[1 << 14]
+    let (sizes, runs): (&[usize], usize) = if quick {
+        (&[1 << 14], 2)
     } else {
-        &[1 << 14, 1 << 15, 1 << 16, 1 << 17]
+        (&[1 << 14, 1 << 15, 1 << 16, 1 << 17], 4)
     };
     let delta = 0.2;
 
@@ -31,47 +33,51 @@ fn main() {
             "n",
             "messages/round",
             "schedule_len",
-            "consensus",
-            "settle_round",
-            "wall_ms",
+            "runs",
+            "converged",
+            "mean_settle",
+            "mean_wall_ms",
         ],
     );
+    let mut points = Vec::with_capacity(sizes.len());
     for &n in sizes {
         let setup = SfSetup::single_source_full_sample(n, delta, 1.0);
-        let config = setup.config();
         let params = setup.params();
-        let noise = NoiseMatrix::uniform(2, delta).expect("grid");
-        let start = std::time::Instant::now();
-        let mut world = World::new(
-            &SourceFilter::new(params),
-            config,
-            &noise,
-            ChannelKind::Aggregated,
-            0x5CA1E,
-        )
-        .expect("alphabets match");
-        let mut last_bad = 0u64;
-        for r in 1..=params.total_rounds() {
-            world.step();
-            if !world.is_consensus() {
-                last_bad = r;
-            }
-        }
-        let wall = start.elapsed().as_millis();
-        let consensus = world.is_consensus();
+        let records = run_outcomes(0x5CA1E, runs, |seed| {
+            let config = setup.config();
+            let noise = NoiseMatrix::uniform(2, delta).expect("grid");
+            let mut world = World::new(
+                &SourceFilter::new(params),
+                config,
+                &noise,
+                ChannelKind::Aggregated,
+                seed,
+            )
+            .expect("alphabets match");
+            // Batch-level parallelism owns the cores (see `SfSetup::run`).
+            world.set_threads(1);
+            world.run_until_stable_consensus(params.total_rounds(), 1)
+        });
+        let point = perf_point(&format!("n={n}"), n, &records);
         table.push_row(&[
             &n,
             &format!("{:.1e}", (n as f64) * (n as f64)),
             &params.total_rounds(),
-            &consensus,
-            &(last_bad + 1),
-            &fmt_f64(wall as f64),
+            &point.runs,
+            &point.converged,
+            &point.mean_rounds.map_or_else(|| "-".to_string(), fmt_f64),
+            &fmt_f64(point.mean_wall_ms),
         ]);
+        points.push(point);
     }
     table.emit("scale");
+    match save_bench_json("scale", &points) {
+        Ok(path) => println!("[bench] {}", path.display()),
+        Err(e) => println!("[bench] write failed: {e}"),
+    }
     println!(
-        "expected: consensus = true at every size; settle grows ~logarithmically \
-         while messages/round grows quadratically — the aggregated channel \
-         makes the h = n regime a laptop workload."
+        "expected: every run converges at every size; settle grows \
+         ~logarithmically while messages/round grows quadratically — the \
+         aggregated channel makes the h = n regime a laptop workload."
     );
 }

@@ -1,13 +1,26 @@
-//! Aligned console tables and CSV files for experiment output.
+//! Aligned console tables, CSV files, and hand-rolled JSON writers for
+//! experiment output.
 //!
 //! Every experiment binary prints one or more [`Table`]s and mirrors them
 //! as CSV under `target/experiments/` so plots can be regenerated without
-//! re-running simulations. (Hand-rolled: no serialization crate is in the
-//! approved offline dependency set — see DESIGN.md §2.)
+//! re-running simulations. The observability layer adds three JSON
+//! artifacts: per-round JSONL traces ([`trace_jsonl`]), end-of-run
+//! summaries ([`RunSummary`]), and the repo's perf-trajectory files
+//! ([`save_bench_json`] → `BENCH_<name>.json` at the workspace root).
+//! (All hand-rolled: no serialization crate is in the approved offline
+//! dependency set — see DESIGN.md §2.)
+//!
+//! Traces and summaries are built from [`RoundMetrics`] only — pure
+//! trajectory data — so their bytes are identical across thread counts.
+//! Wall-clock numbers are allowed only in the bench perf points, which are
+//! never byte-compared.
 
 use std::fmt::Display;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+
+use np_engine::metrics::RoundMetrics;
+use np_engine::population::PopulationConfig;
 
 /// A simple column-aligned table.
 ///
@@ -186,6 +199,250 @@ pub fn experiments_dir() -> PathBuf {
     root.join("target").join("experiments")
 }
 
+/// The workspace root (two levels above `crates/bench`); the home of the
+/// committed `BENCH_*.json` perf-trajectory files.
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number. Rust's shortest-roundtrip `Display`
+/// is deterministic, so equal values render to equal bytes; non-finite
+/// values (not representable in JSON) become `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders one round's metrics as a single JSON object — one line of the
+/// JSONL trace, without the trailing newline.
+///
+/// Schema (stable field order):
+/// `{"round":…,"correct":…,"margin":…,"stages":[[id,count],…],`
+/// `"weak_formed":…,"weak_correct":…}` — stages sorted by id, empty
+/// stages omitted.
+pub fn round_json(m: &RoundMetrics) -> String {
+    let stages: Vec<String> = m
+        .stages
+        .iter()
+        .map(|&(id, count)| format!("[{id},{count}]"))
+        .collect();
+    format!(
+        "{{\"round\":{},\"correct\":{},\"margin\":{},\"stages\":[{}],\
+         \"weak_formed\":{},\"weak_correct\":{}}}",
+        m.round,
+        m.correct,
+        json_f64(m.margin()),
+        stages.join(","),
+        m.weak_formed,
+        m.weak_correct
+    )
+}
+
+/// Renders a recorded trace as JSONL: one [`round_json`] line per round,
+/// each newline-terminated. Trajectory data only, so the bytes are
+/// identical for every thread count.
+pub fn trace_jsonl(rounds: &[RoundMetrics]) -> String {
+    let mut out = String::new();
+    for m in rounds {
+        out.push_str(&round_json(m));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a recorded trace to `path` as JSONL, creating parent
+/// directories if needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn save_trace_jsonl(path: &Path, rounds: &[RoundMetrics]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, trace_jsonl(rounds))
+}
+
+/// End-of-run summary: the machine-readable counterpart of a CLI run's
+/// console report. Trajectory data only — no thread count, no timings —
+/// so two runs of the same seed produce byte-identical summaries
+/// regardless of parallelism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Protocol label (e.g. `"sf"`, `"ssf"`).
+    pub protocol: String,
+    /// Population size.
+    pub n: usize,
+    /// Sample size.
+    pub h: usize,
+    /// Sources preferring 0.
+    pub s0: usize,
+    /// Sources preferring 1.
+    pub s1: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Completed rounds.
+    pub rounds: u64,
+    /// Whether the run ended in correct consensus.
+    pub consensus: bool,
+    /// Agents holding the correct opinion at the end.
+    pub final_correct: usize,
+    /// Final margin over `n/2` (the paper's `A_ℓ`).
+    pub final_margin: f64,
+    /// Agents whose weak opinion had formed at the end.
+    pub weak_formed: usize,
+    /// Of those, how many weak opinions were correct.
+    pub weak_correct: usize,
+}
+
+impl RunSummary {
+    /// Builds a summary from the run's final [`RoundMetrics`] snapshot.
+    pub fn from_final_metrics(
+        protocol: &str,
+        config: &PopulationConfig,
+        seed: u64,
+        last: &RoundMetrics,
+    ) -> Self {
+        RunSummary {
+            protocol: protocol.to_string(),
+            n: config.n(),
+            h: config.h(),
+            s0: config.s0(),
+            s1: config.s1(),
+            seed,
+            rounds: last.round,
+            consensus: last.correct == last.n,
+            final_correct: last.correct,
+            final_margin: last.margin(),
+            weak_formed: last.weak_formed,
+            weak_correct: last.weak_correct,
+        }
+    }
+
+    /// Renders the summary as a single pretty-printed JSON object with a
+    /// schema tag, newline-terminated.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"np-run-summary/v1\",\n  \"protocol\": {},\n  \
+             \"n\": {},\n  \"h\": {},\n  \"s0\": {},\n  \"s1\": {},\n  \
+             \"seed\": {},\n  \"rounds\": {},\n  \"consensus\": {},\n  \
+             \"final_correct\": {},\n  \"final_margin\": {},\n  \
+             \"weak_formed\": {},\n  \"weak_correct\": {}\n}}\n",
+            json_string(&self.protocol),
+            self.n,
+            self.h,
+            self.s0,
+            self.s1,
+            self.seed,
+            self.rounds,
+            self.consensus,
+            self.final_correct,
+            json_f64(self.final_margin),
+            self.weak_formed,
+            self.weak_correct
+        )
+    }
+
+    /// Writes the JSON rendering to `path`, creating parent directories
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the write.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// One point of a perf trajectory: a batch of seeded runs at one
+/// configuration, aggregated. Wall-clock means are allowed here — bench
+/// artifacts record performance and are never byte-compared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// Point label (e.g. `"n=16384"`).
+    pub label: String,
+    /// Population size at this point.
+    pub n: usize,
+    /// Seeded runs at this point.
+    pub runs: usize,
+    /// How many of them converged.
+    pub converged: usize,
+    /// Mean rounds-to-settle over converged runs (`null` if none).
+    pub mean_rounds: Option<f64>,
+    /// Mean wall-clock per run, milliseconds.
+    pub mean_wall_ms: f64,
+}
+
+impl PerfPoint {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"label\": {}, \"n\": {}, \"runs\": {}, \"converged\": {}, \
+             \"mean_rounds\": {}, \"mean_wall_ms\": {}}}",
+            json_string(&self.label),
+            self.n,
+            self.runs,
+            self.converged,
+            self.mean_rounds.map_or("null".to_string(), json_f64),
+            json_f64(self.mean_wall_ms)
+        )
+    }
+}
+
+/// Renders a perf trajectory as the `BENCH_*.json` document.
+pub fn bench_json(bench: &str, points: &[PerfPoint]) -> String {
+    let body: Vec<String> = points.iter().map(PerfPoint::to_json).collect();
+    format!(
+        "{{\n  \"schema\": \"np-bench/v1\",\n  \"bench\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        json_string(bench),
+        body.join(",\n")
+    )
+}
+
+/// Writes the perf trajectory to `BENCH_<name>.json` at the workspace
+/// root (the committed bench-history location) and returns the path.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the write.
+pub fn save_bench_json(name: &str, points: &[PerfPoint]) -> std::io::Result<PathBuf> {
+    let path = workspace_root().join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, bench_json(name, points))?;
+    Ok(path)
+}
+
 /// Formats an `f64` with a sensible number of digits for tables.
 pub fn fmt_f64(x: f64) -> String {
     if x == 0.0 {
@@ -268,5 +525,130 @@ mod tests {
     fn experiments_dir_ends_correctly() {
         let d = experiments_dir();
         assert!(d.ends_with("target/experiments"));
+    }
+
+    fn metrics() -> RoundMetrics {
+        RoundMetrics {
+            round: 3,
+            n: 8,
+            correct: 5,
+            stages: vec![(0, 7), (u32::MAX, 1)],
+            weak_formed: 6,
+            weak_correct: 4,
+        }
+    }
+
+    #[test]
+    fn round_json_matches_schema() {
+        assert_eq!(
+            round_json(&metrics()),
+            "{\"round\":3,\"correct\":5,\"margin\":1,\
+             \"stages\":[[0,7],[4294967295,1]],\
+             \"weak_formed\":6,\"weak_correct\":4}"
+        );
+    }
+
+    #[test]
+    fn trace_jsonl_is_one_line_per_round() {
+        let text = trace_jsonl(&[metrics(), metrics()]);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(trace_jsonl(&[]).is_empty());
+    }
+
+    #[test]
+    fn fractional_margin_renders_with_decimal() {
+        let mut m = metrics();
+        m.n = 9;
+        assert!(round_json(&m).contains("\"margin\":0.5"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn run_summary_round_trips_fields() {
+        let config = PopulationConfig::new(8, 1, 2, 4).unwrap();
+        let summary = RunSummary::from_final_metrics("sf", &config, 42, &metrics());
+        assert_eq!(summary.n, 8);
+        assert_eq!(summary.h, 4);
+        assert_eq!(summary.s0, 1);
+        assert_eq!(summary.s1, 2);
+        assert!(!summary.consensus);
+        let json = summary.to_json();
+        assert!(json.contains("\"schema\": \"np-run-summary/v1\""));
+        assert!(json.contains("\"protocol\": \"sf\""));
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"consensus\": false"));
+        assert!(json.contains("\"final_margin\": 1"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn summary_reports_consensus_when_all_correct() {
+        let config = PopulationConfig::new(8, 0, 1, 4).unwrap();
+        let mut m = metrics();
+        m.correct = 8;
+        let summary = RunSummary::from_final_metrics("ssf", &config, 1, &m);
+        assert!(summary.consensus);
+        assert!(summary.to_json().contains("\"consensus\": true"));
+    }
+
+    #[test]
+    fn trace_and_summary_files_round_trip() {
+        let dir = std::env::temp_dir().join("np_bench_json_test");
+        let trace_path = dir.join("t.jsonl");
+        save_trace_jsonl(&trace_path, &[metrics()]).unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert_eq!(trace, round_json(&metrics()) + "\n");
+        let config = PopulationConfig::new(8, 1, 2, 4).unwrap();
+        let summary = RunSummary::from_final_metrics("sf", &config, 7, &metrics());
+        let summary_path = dir.join("s.json");
+        summary.save(&summary_path).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&summary_path).unwrap(),
+            summary.to_json()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_json_document_shape() {
+        let points = vec![
+            PerfPoint {
+                label: "n=64".to_string(),
+                n: 64,
+                runs: 4,
+                converged: 4,
+                mean_rounds: Some(12.5),
+                mean_wall_ms: 3.25,
+            },
+            PerfPoint {
+                label: "n=128".to_string(),
+                n: 128,
+                runs: 4,
+                converged: 0,
+                mean_rounds: None,
+                mean_wall_ms: 6.5,
+            },
+        ];
+        let doc = bench_json("scale", &points);
+        assert!(doc.contains("\"schema\": \"np-bench/v1\""));
+        assert!(doc.contains("\"bench\": \"scale\""));
+        assert!(doc.contains("\"mean_rounds\": 12.5"));
+        assert!(doc.contains("\"mean_rounds\": null"));
+        assert_eq!(doc.matches("\"label\"").count(), 2);
+    }
+
+    #[test]
+    fn workspace_root_contains_bench_crate() {
+        assert!(workspace_root().join("crates").join("bench").is_dir());
     }
 }

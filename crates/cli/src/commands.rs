@@ -1,5 +1,7 @@
 //! Subcommand implementations for the `noisy-pull` CLI.
 
+use std::path::PathBuf;
+
 use noisy_pull::adversary::SsfAdversary;
 use noisy_pull::params::{SfParams, SsfParams};
 use noisy_pull::sf::SourceFilter;
@@ -10,6 +12,7 @@ use np_baselines::mean_estimator::MeanEstimator;
 use np_baselines::push_spreading::{PushSpreading, PushSpreadingParams};
 use np_baselines::trusting_copy::TrustingCopy;
 use np_baselines::voter::ZealotVoter;
+use np_bench::report::{save_trace_jsonl, RunSummary};
 use np_engine::channel::ChannelKind;
 use np_engine::opinion::Opinion;
 use np_engine::population::PopulationConfig;
@@ -38,6 +41,10 @@ struct CommonFlags {
     exact: bool,
     threads: Option<usize>,
     digest: bool,
+    /// Write the per-round JSONL trace here after the run.
+    trace: Option<PathBuf>,
+    /// Write the end-of-run summary JSON here after the run.
+    metrics_out: Option<PathBuf>,
 }
 
 impl CommonFlags {
@@ -64,7 +71,14 @@ impl CommonFlags {
             exact: args.switch("exact")?,
             threads,
             digest: args.switch("digest")?,
+            trace: args.get_opt("trace")?,
+            metrics_out: args.get_opt("metrics-out")?,
         })
+    }
+
+    /// Returns `true` if any run-observability output was requested.
+    fn observing(&self) -> bool {
+        self.trace.is_some() || self.metrics_out.is_some()
     }
 
     fn config(&self) -> Result<PopulationConfig, String> {
@@ -106,7 +120,15 @@ fn outcome_digest<P: np_engine::protocol::ColumnarProtocol>(world: &World<P>) ->
     hash
 }
 
-fn report_run<P: Protocol>(world: &mut World<P>, budget: u64, label: &str, digest: bool) {
+fn report_run<P: Protocol>(
+    world: &mut World<P>,
+    budget: u64,
+    label: &str,
+    common: &CommonFlags,
+) -> CliResult {
+    if common.observing() {
+        world.record_trace();
+    }
     let mut last_bad = 0u64;
     for r in 1..=budget {
         world.step();
@@ -127,9 +149,35 @@ fn report_run<P: Protocol>(world: &mut World<P>, budget: u64, label: &str, diges
             n
         );
     }
-    if digest {
+    if common.digest {
         println!("{label} digest: {:#018x}", outcome_digest(world));
     }
+    if common.observing() {
+        let trace = world
+            .take_trace()
+            .expect("record_trace was called before the run");
+        // Timing goes to stdout only: the trace and summary files must be
+        // byte-identical across thread counts, and wall clocks are not.
+        let t = trace.timings();
+        println!(
+            "{label} stage wall-clock: display {:.3?}, observe {:.3?}, update {:.3?}, collect {:.3?}",
+            t.display, t.observe, t.update, t.collect
+        );
+        if let Some(path) = &common.trace {
+            save_trace_jsonl(path, trace.rounds()).map_err(err)?;
+            println!("{label} trace: {}", path.display());
+        }
+        if let Some(path) = &common.metrics_out {
+            let last = trace
+                .last()
+                .ok_or("--metrics-out: no rounds were executed (budget 0?)")?;
+            RunSummary::from_final_metrics(label, world.config(), common.seed, last)
+                .save(path)
+                .map_err(err)?;
+            println!("{label} summary: {}", path.display());
+        }
+    }
+    Ok(())
 }
 
 /// `run sf` — run Algorithm SF.
@@ -159,8 +207,7 @@ pub fn run_sf(args: &Args) -> CliResult {
     )
     .map_err(err)?;
     common.tune(&mut world);
-    report_run(&mut world, params.total_rounds(), "SF", common.digest);
-    Ok(())
+    report_run(&mut world, params.total_rounds(), "SF", &common)
 }
 
 /// `run ssf` — run Algorithm SSF, optionally under an adversary.
@@ -210,9 +257,8 @@ pub fn run_ssf(args: &Args) -> CliResult {
         &mut world,
         intervals * params.update_interval(),
         "SSF",
-        common.digest,
-    );
-    Ok(())
+        &common,
+    )
 }
 
 /// `run baseline <name>` — run one of the comparison protocols.
@@ -228,7 +274,7 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
                 World::new(&ZealotVoter, config, &noise, common.channel(), common.seed)
                     .map_err(err)?;
             common.tune(&mut world);
-            report_run(&mut world, budget, "zealot-voter", common.digest);
+            report_run(&mut world, budget, "zealot-voter", &common)?;
         }
         "majority" => {
             let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
@@ -236,7 +282,7 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
                 World::new(&HMajority, config, &noise, common.channel(), common.seed)
                     .map_err(err)?;
             common.tune(&mut world);
-            report_run(&mut world, budget, "h-majority", common.digest);
+            report_run(&mut world, budget, "h-majority", &common)?;
         }
         "trusting-copy" => {
             let noise = NoiseMatrix::uniform(4, common.delta).map_err(err)?;
@@ -244,7 +290,7 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
                 World::new(&TrustingCopy, config, &noise, common.channel(), common.seed)
                     .map_err(err)?;
             common.tune(&mut world);
-            report_run(&mut world, budget, "trusting-copy", common.digest);
+            report_run(&mut world, budget, "trusting-copy", &common)?;
         }
         "mean-estimator" => {
             let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
@@ -252,9 +298,16 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
             let mut world =
                 World::new(&proto, config, &noise, common.channel(), common.seed).map_err(err)?;
             common.tune(&mut world);
-            report_run(&mut world, budget, "mean-estimator", common.digest);
+            report_run(&mut world, budget, "mean-estimator", &common)?;
         }
         "push" => {
+            if common.observing() {
+                return Err(
+                    "--trace/--metrics-out are not supported for the push baseline: it runs \
+                     in the PUSH world, which has no run-observer hook"
+                        .into(),
+                );
+            }
             let params = PushSpreadingParams::derive(common.n, common.h, common.delta);
             let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
             let mut world =
@@ -413,6 +466,44 @@ mod tests {
         }
         run_baseline("push", &args(&["--n", "32", "--h", "1", "--delta", "0.1"])).unwrap();
         assert!(run_baseline("nope", &args(&[])).is_err());
+    }
+
+    #[test]
+    fn sf_writes_trace_and_summary_files() {
+        let dir = std::env::temp_dir().join("np_cli_observability_test");
+        let trace = dir.join("t.jsonl");
+        let summary = dir.join("s.json");
+        run_sf(&args(&[
+            "--n",
+            "64",
+            "--delta",
+            "0.1",
+            "--seed",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            summary.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.lines().count() > 1);
+        assert!(trace_text.starts_with("{\"round\":1,"));
+        let summary_text = std::fs::read_to_string(&summary).unwrap();
+        assert!(summary_text.contains("\"schema\": \"np-run-summary/v1\""));
+        assert!(summary_text.contains("\"protocol\": \"SF\""));
+        std::fs::remove_file(trace).ok();
+        std::fs::remove_file(summary).ok();
+    }
+
+    #[test]
+    fn trace_flags_rejected_for_push_baseline() {
+        let e = run_baseline(
+            "push",
+            &args(&["--n", "32", "--h", "1", "--trace", "t.jsonl"]),
+        )
+        .unwrap_err();
+        assert!(e.contains("push"), "{e}");
     }
 
     #[test]

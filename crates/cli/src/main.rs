@@ -37,6 +37,10 @@ COMMON FLAGS:
                     the NOISY_PULL_THREADS environment variable)
     --digest        print a FNV-1a digest of the final outcome (round +
                     opinions) — identical across thread counts
+    --trace PATH    write a per-round JSONL trace (correct count, margin,
+                    stage occupancy, weak-opinion accuracy) — identical
+                    across thread counts
+    --metrics-out PATH   write an end-of-run summary JSON (np-run-summary/v1)
     --adversary A   SSF initial corruption: none | all-wrong | poisoned-memory |
                     random-desync | split-brain | fake-consensus
     --budget R      round budget for baselines (default 1000)

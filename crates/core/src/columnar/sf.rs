@@ -275,6 +275,23 @@ impl ColumnarState for SfColumns {
     fn count_opinion(&self, opinion: Opinion) -> usize {
         self.opinion.iter().filter(|&&o| o == opinion).count()
     }
+
+    /// Same numbering as scalar SF: Listen₀ = 0, Listen₁ = 1,
+    /// Boost(k) = 2 + k, Done = `u32::MAX`.
+    fn stage_id(&self, id: usize) -> u32 {
+        match self.stage[id] {
+            Stage::Listen0 => 0,
+            Stage::Listen1 => 1,
+            Stage::Boost(k) => u32::try_from(k.saturating_add(2))
+                .unwrap_or(u32::MAX)
+                .min(u32::MAX - 1),
+            Stage::Done => u32::MAX,
+        }
+    }
+
+    fn weak_opinion(&self, id: usize) -> Option<Opinion> {
+        self.weak[id]
+    }
 }
 
 #[cfg(test)]

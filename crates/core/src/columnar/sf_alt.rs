@@ -250,6 +250,22 @@ impl ColumnarState for AltSfColumns {
     fn count_opinion(&self, opinion: Opinion) -> usize {
         self.opinion.iter().filter(|&&o| o == opinion).count()
     }
+
+    /// Same numbering as scalar SF-ALT: Listening = 0, Boost(k) = 2 + k,
+    /// Done = `u32::MAX` (stage 1 unused, mirroring plain SF's boosts).
+    fn stage_id(&self, id: usize) -> u32 {
+        match self.stage[id] {
+            Stage::Listening => 0,
+            Stage::Boost(k) => u32::try_from(k.saturating_add(2))
+                .unwrap_or(u32::MAX)
+                .min(u32::MAX - 1),
+            Stage::Done => u32::MAX,
+        }
+    }
+
+    fn weak_opinion(&self, id: usize) -> Option<Opinion> {
+        self.weak[id]
+    }
 }
 
 #[cfg(test)]

@@ -48,12 +48,21 @@ pub struct SsfColumns {
     mem_size: Vec<u64>,
     weak: Vec<Opinion>,
     opinion: Vec<Opinion>,
+    /// Completed update rounds per agent — observability bookkeeping only
+    /// (the trace stage), mirroring [`crate::ssf::SsfAgent::updates`]. Not
+    /// corruptible.
+    updates: Vec<u64>,
 }
 
 impl SsfColumns {
     /// The current weak opinion of agent `id`.
     pub fn weak_opinion(&self, id: usize) -> Opinion {
         self.weak[id]
+    }
+
+    /// Number of completed update rounds (memory flushes) of agent `id`.
+    pub fn updates(&self, id: usize) -> u64 {
+        self.updates[id]
     }
 
     /// Current memory occupancy `|M|` of agent `id`.
@@ -92,6 +101,7 @@ pub struct SsfChunkMut<'a> {
     mem_size: &'a mut [u64],
     weak: &'a mut [Opinion],
     opinion: &'a mut [Opinion],
+    updates: &'a mut [u64],
 }
 
 impl ColumnarProtocol for ColumnarSsf {
@@ -110,6 +120,7 @@ impl ColumnarProtocol for ColumnarSsf {
             mem_size: vec![0; n],
             weak: Vec::with_capacity(n),
             opinion: Vec::with_capacity(n),
+            updates: vec![0; n],
         };
         for (id, role) in config.iter_roles().enumerate() {
             // Same two draws, same order, as the scalar init: weak first,
@@ -155,6 +166,7 @@ impl ColumnarState for SsfColumns {
         let mut mem_size = self.mem_size.as_mut_slice();
         let mut weak = self.weak.as_mut_slice();
         let mut opinion = self.opinion.as_mut_slice();
+        let mut updates = self.updates.as_mut_slice();
         while !mem_size.is_empty() {
             let take = chunk_len.min(mem_size.len());
             macro_rules! split {
@@ -170,6 +182,7 @@ impl ColumnarState for SsfColumns {
                 mem_size: split!(mem_size),
                 weak: split!(weak),
                 opinion: split!(opinion),
+                updates: split!(updates),
             });
         }
         out
@@ -210,6 +223,7 @@ impl ColumnarState for SsfColumns {
                     lane[i] = 0;
                 }
                 chunk.mem_size[i] = 0;
+                chunk.updates[i] = chunk.updates[i].saturating_add(1);
             }
         }
     }
@@ -220,6 +234,15 @@ impl ColumnarState for SsfColumns {
 
     fn count_opinion(&self, opinion: Opinion) -> usize {
         self.opinion.iter().filter(|&&o| o == opinion).count()
+    }
+
+    /// Same stage notion as scalar SSF: the completed-update count.
+    fn stage_id(&self, id: usize) -> u32 {
+        u32::try_from(self.updates[id]).unwrap_or(u32::MAX)
+    }
+
+    fn weak_opinion(&self, id: usize) -> Option<Opinion> {
+        Some(self.weak[id])
     }
 }
 
@@ -279,6 +302,11 @@ mod tests {
                 scalar.agent(id).memory_size(),
                 columnar.state().memory_size(id),
                 "memory size of agent {id}"
+            );
+            assert_eq!(
+                scalar.agent(id).updates(),
+                columnar.state().updates(id),
+                "update count of agent {id}"
             );
         }
     }

@@ -280,6 +280,25 @@ impl AgentState for SfAgent {
     fn opinion(&self) -> Opinion {
         self.opinion
     }
+
+    /// Stage numbering for traces: Listen₀ = 0, Listen₁ = 1,
+    /// Boost(k) = 2 + k, Done = `u32::MAX`.
+    fn stage_id(&self) -> u32 {
+        match self.stage {
+            Stage::Listen0 => 0,
+            Stage::Listen1 => 1,
+            // Saturates below Done so an (impossibly) deep boost index can
+            // never masquerade as completion.
+            Stage::Boost(k) => u32::try_from(k.saturating_add(2))
+                .unwrap_or(u32::MAX)
+                .min(u32::MAX - 1),
+            Stage::Done => u32::MAX,
+        }
+    }
+
+    fn weak_opinion(&self) -> Option<Opinion> {
+        self.weak
+    }
 }
 
 #[cfg(test)]

@@ -191,6 +191,23 @@ impl AgentState for AltSfAgent {
     fn opinion(&self) -> Opinion {
         self.opinion
     }
+
+    /// Stage numbering for traces: Listening = 0, Boost(k) = 2 + k,
+    /// Done = `u32::MAX`. Stage 1 is left unused so boost stages line up
+    /// with plain SF's numbering.
+    fn stage_id(&self) -> u32 {
+        match self.stage {
+            Stage::Listening => 0,
+            Stage::Boost(k) => u32::try_from(k.saturating_add(2))
+                .unwrap_or(u32::MAX)
+                .min(u32::MAX - 1),
+            Stage::Done => u32::MAX,
+        }
+    }
+
+    fn weak_opinion(&self) -> Option<Opinion> {
+        self.weak
+    }
 }
 
 #[cfg(test)]

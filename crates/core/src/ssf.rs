@@ -114,12 +114,22 @@ pub struct SsfAgent {
     mem_size: u64,
     weak: Opinion,
     opinion: Opinion,
+    /// Completed update rounds (memory flushes) — pure observability
+    /// bookkeeping for traces; SSF has no phase schedule, so the flush
+    /// count is its stage. Not corruptible (the adversary rewrites
+    /// opinions and memory, not the trace clock).
+    updates: u64,
 }
 
 impl SsfAgent {
     /// The current weak opinion `Ỹ`.
     pub fn weak_opinion(&self) -> Opinion {
         self.weak
+    }
+
+    /// Number of completed update rounds (memory flushes) so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
     }
 
     /// The agent's role.
@@ -174,6 +184,7 @@ impl Protocol for SelfStabilizingSourceFilter {
             mem_size: 0,
             weak: Opinion::from_bool(rng.gen()),
             opinion: Opinion::from_bool(rng.gen()),
+            updates: 0,
         }
     }
 }
@@ -206,11 +217,23 @@ impl AgentState for SsfAgent {
                 SsfAgent::majority(self.mem[1] + self.mem[3], self.mem[0] + self.mem[2], rng);
             self.mem = [0; 4];
             self.mem_size = 0;
+            self.updates = self.updates.saturating_add(1);
         }
     }
 
     fn opinion(&self) -> Opinion {
         self.opinion
+    }
+
+    /// SSF has no phase schedule; the trace stage is the number of
+    /// completed update rounds (saturated into `u32`), so stage
+    /// transitions show the `m`-sample cadence of Theorem 5.
+    fn stage_id(&self) -> u32 {
+        u32::try_from(self.updates).unwrap_or(u32::MAX)
+    }
+
+    fn weak_opinion(&self) -> Option<Opinion> {
+        Some(self.weak)
     }
 }
 

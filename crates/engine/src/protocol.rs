@@ -77,6 +77,23 @@ pub trait AgentState: Send + Sync {
 
     /// The agent's current opinion `Y ∈ {0, 1}`.
     fn opinion(&self) -> Opinion;
+
+    /// A small integer naming the agent's current phase/stage, for
+    /// observability only (stage-occupancy counts in
+    /// [`crate::metrics::RoundMetrics`]). Protocols with phase structure
+    /// override this (e.g. SF reports Listen₀ → Listen₁ → Boost(k) → Done);
+    /// the default reports a single stage `0`. Must not consume randomness
+    /// or mutate state.
+    fn stage_id(&self) -> u32 {
+        0
+    }
+
+    /// The agent's weak opinion `Y_w`, once formed — `None` before it
+    /// exists or for protocols without one. Observability only; the
+    /// default reports `None`.
+    fn weak_opinion(&self) -> Option<Opinion> {
+        None
+    }
 }
 
 /// A spreading algorithm in columnar form: a factory for one
@@ -164,6 +181,28 @@ pub trait ColumnarState: Send + Sync {
             .filter(|&i| self.opinion(i) == opinion)
             .count()
     }
+
+    /// The stage id of agent `id` — the columnar form of
+    /// [`AgentState::stage_id`]. Observability only; the default reports a
+    /// single stage `0`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `id >= self.len()`.
+    fn stage_id(&self, _id: usize) -> u32 {
+        0
+    }
+
+    /// The weak opinion of agent `id`, once formed — the columnar form of
+    /// [`AgentState::weak_opinion`]. Observability only; the default
+    /// reports `None`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `id >= self.len()`.
+    fn weak_opinion(&self, _id: usize) -> Option<Opinion> {
+        None
+    }
 }
 
 /// The adapter state behind the blanket `Protocol → ColumnarProtocol`
@@ -221,6 +260,14 @@ impl<A: AgentState> ColumnarState for ScalarState<A> {
 
     fn opinion(&self, id: usize) -> Opinion {
         self.agents[id].opinion()
+    }
+
+    fn stage_id(&self, id: usize) -> u32 {
+        self.agents[id].stage_id()
+    }
+
+    fn weak_opinion(&self, id: usize) -> Option<Opinion> {
+        self.agents[id].weak_opinion()
     }
 }
 
@@ -301,6 +348,19 @@ mod tests {
         assert_eq!(state.count_opinion(Opinion::One), 2);
         assert_eq!(state.count_opinion(Opinion::Zero), 3);
         assert_eq!(ColumnarProtocol::alphabet_size(&Stubborn), 2);
+    }
+
+    #[test]
+    fn observability_defaults_report_single_stage() {
+        let cfg = PopulationConfig::new(3, 1, 2, 1).unwrap();
+        let streams = RoundStreams::new(2, 0);
+        let state = ColumnarProtocol::init_state(&Stubborn, &cfg, &streams);
+        // Stubborn does not override the observability hooks, so every
+        // agent sits in the default single stage with no weak opinion.
+        for id in 0..state.len() {
+            assert_eq!(ColumnarState::stage_id(&state, id), 0);
+            assert_eq!(ColumnarState::weak_opinion(&state, id), None);
+        }
     }
 
     #[test]

@@ -16,7 +16,9 @@ use np_linalg::noise::NoiseMatrix;
 use rand::rngs::StdRng;
 
 use crate::channel::{Channel, ChannelKind};
-use crate::metrics::{OpinionSeries, RunOutcome};
+use crate::metrics::{
+    OpinionSeries, RoundMetrics, RunObserver, RunOutcome, StageClock, StageTimings, TraceRecorder,
+};
 use crate::opinion::Opinion;
 use crate::population::PopulationConfig;
 use crate::protocol::{ColumnarProtocol, ColumnarState, Protocol};
@@ -48,6 +50,8 @@ pub struct World<P: ColumnarProtocol> {
     threads: usize,
     round: u64,
     series: Option<OpinionSeries>,
+    trace: Option<TraceRecorder>,
+    observer: Option<Box<dyn RunObserver>>,
 }
 
 impl<P: ColumnarProtocol> World<P> {
@@ -112,6 +116,8 @@ impl<P: ColumnarProtocol> World<P> {
             threads: runner::suggested_threads(),
             round: 0,
             series: None,
+            trace: None,
+            observer: None,
         })
     }
 
@@ -173,6 +179,45 @@ impl<P: ColumnarProtocol> World<P> {
         self.series.as_ref()
     }
 
+    /// Enables the built-in per-round trace: every subsequent
+    /// [`World::step`] appends one [`RoundMetrics`] snapshot (and that
+    /// round's [`StageTimings`]) to an internal [`TraceRecorder`].
+    ///
+    /// The metrics are a pure function of the trajectory, so recorded
+    /// traces are identical for every thread count; only the timings vary.
+    /// When neither this nor [`World::set_observer`] is active, `step`
+    /// performs no extra work and no clock reads.
+    pub fn record_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(TraceRecorder::new());
+        }
+    }
+
+    /// The recorded trace, if [`World::record_trace`] was called.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref()
+    }
+
+    /// Removes and returns the recorded trace, disabling further
+    /// recording (callers that want to keep tracing call
+    /// [`World::record_trace`] again).
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.trace.take()
+    }
+
+    /// Attaches a custom [`RunObserver`] that receives every round's
+    /// metrics and timings. Replaces any previous observer; independent of
+    /// the built-in trace (both may be active, and both receive identical
+    /// snapshots).
+    pub fn set_observer(&mut self, observer: Box<dyn RunObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches the custom observer, returning it.
+    pub fn take_observer(&mut self) -> Option<Box<dyn RunObserver>> {
+        self.observer.take()
+    }
+
     /// Executes one synchronous round: display → sample+noise → update.
     ///
     /// Each phase is chunked over [`World::threads`] scoped workers; the
@@ -185,6 +230,16 @@ impl<P: ColumnarProtocol> World<P> {
         let streams = RoundStreams::new(self.seed, self.round);
         let threads = self.threads.clamp(1, n);
         let chunk = n.div_ceil(threads);
+
+        // Observability is pay-for-what-you-use: with no trace and no
+        // observer attached there are no clock reads and no metrics sweep.
+        let observing = self.trace.is_some() || self.observer.is_some();
+        let mut clock = if observing {
+            Some(StageClock::start())
+        } else {
+            None
+        };
+        let mut timings = StageTimings::default();
 
         // Phase 1: displays.
         {
@@ -199,6 +254,9 @@ impl<P: ColumnarProtocol> World<P> {
                 state.display_chunk(start..start + out.len(), out, &streams);
                 crate::invariants::check_displays_chunk(start, out, d);
             });
+        }
+        if let Some(clock) = clock.as_mut() {
+            timings.display = clock.lap();
         }
 
         // Phases 2+3 of the model: noisy observations. The histogram of
@@ -227,6 +285,9 @@ impl<P: ColumnarProtocol> World<P> {
                 crate::invariants::check_observation_chunk(start, out, d, h as u64);
             });
         }
+        if let Some(clock) = clock.as_mut() {
+            timings.observe = clock.lap();
+        }
 
         // Phase 4: updates, on disjoint mutable chunk views.
         {
@@ -245,9 +306,56 @@ impl<P: ColumnarProtocol> World<P> {
             });
         }
 
+        if let Some(clock) = clock.as_mut() {
+            timings.update = clock.lap();
+        }
+
         self.round += 1;
         if let Some(series) = self.series.as_mut() {
             series.push(self.state.count_opinion(Opinion::One));
+        }
+        if observing {
+            let metrics = self.collect_round_metrics();
+            if let Some(clock) = clock.as_mut() {
+                timings.collect = clock.lap();
+            }
+            if let Some(trace) = self.trace.as_mut() {
+                trace.on_round(&metrics, &timings);
+            }
+            if let Some(observer) = self.observer.as_mut() {
+                observer.on_round(&metrics, &timings);
+            }
+        }
+    }
+
+    /// One O(n) sweep over the population collecting the round snapshot:
+    /// correct count, stage occupancy, and weak-opinion accuracy.
+    fn collect_round_metrics(&self) -> RoundMetrics {
+        let n = self.state.len();
+        let correct_opinion = self.config.correct_opinion();
+        let mut correct = 0usize;
+        let mut stages: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+        let mut weak_formed = 0usize;
+        let mut weak_correct = 0usize;
+        for id in 0..n {
+            if self.state.opinion(id) == correct_opinion {
+                correct += 1;
+            }
+            *stages.entry(self.state.stage_id(id)).or_insert(0) += 1;
+            if let Some(weak) = self.state.weak_opinion(id) {
+                weak_formed += 1;
+                if weak == correct_opinion {
+                    weak_correct += 1;
+                }
+            }
+        }
+        RoundMetrics {
+            round: self.round,
+            n,
+            correct,
+            stages: stages.into_iter().collect(),
+            weak_formed,
+            weak_correct,
         }
     }
 
@@ -270,8 +378,12 @@ impl<P: ColumnarProtocol> World<P> {
     }
 
     /// Steps until consensus on the correct opinion or until `budget`
-    /// rounds have run.
+    /// rounds have run. A world already in consensus converges in 0 rounds
+    /// without stepping, even at `budget = 0`.
     pub fn run_until_consensus(&mut self, budget: u64) -> RunOutcome {
+        if self.is_consensus() {
+            return RunOutcome::Converged { rounds: 0 };
+        }
         let start = self.round;
         while self.round - start < budget {
             self.step();
@@ -291,7 +403,18 @@ impl<P: ColumnarProtocol> World<P> {
     /// (or the budget runs out), returning the round at which the stable
     /// window began. Used by the self-stabilization persistence experiment:
     /// Definition 2 requires consensus to be reached *and kept*.
+    ///
+    /// `window = 0` is saturated to 1 (a zero-length persistence
+    /// requirement is the same as observing consensus once; the raw value
+    /// would underflow the round arithmetic). Consensus is checked before
+    /// the first step, so a world already in consensus — e.g. a resumed
+    /// persistence run — converges in 0 rounds rather than timing out at
+    /// `budget = 0`.
     pub fn run_until_stable_consensus(&mut self, budget: u64, window: u64) -> RunOutcome {
+        let window = window.max(1);
+        if self.is_consensus() {
+            return RunOutcome::Converged { rounds: 0 };
+        }
         let start = self.round;
         let mut streak: u64 = 0;
         while self.round - start < budget {
@@ -300,7 +423,7 @@ impl<P: ColumnarProtocol> World<P> {
                 streak += 1;
                 if streak >= window {
                     return RunOutcome::Converged {
-                        rounds: self.round - start - (window - 1),
+                        rounds: (self.round - start).saturating_sub(window - 1),
                     };
                 }
             } else {
@@ -525,6 +648,107 @@ mod tests {
         assert!(outcome.converged());
         // After the stable window, the system is (still) in consensus.
         assert!(w.is_consensus());
+    }
+
+    #[test]
+    fn stable_consensus_window_zero_does_not_underflow() {
+        // Regression: window = 0 underflowed `rounds - (window - 1)`.
+        let mut w = world(8);
+        let outcome = w.run_until_stable_consensus(1000, 0);
+        assert!(outcome.converged(), "outcome: {outcome:?}");
+        let mut v = world(8);
+        let with_one = v.run_until_stable_consensus(1000, 1);
+        assert_eq!(outcome, with_one, "window 0 behaves as window 1");
+    }
+
+    #[test]
+    fn already_converged_world_reports_converged_at_zero_budget() {
+        // Regression: both runners stepped before checking consensus, so
+        // an already-converged world timed out at budget = 0.
+        let mut w = world(8);
+        assert!(w.run_until_consensus(1000).converged());
+        let round = w.round();
+        assert_eq!(
+            w.run_until_consensus(0),
+            RunOutcome::Converged { rounds: 0 }
+        );
+        assert_eq!(
+            w.run_until_stable_consensus(0, 5),
+            RunOutcome::Converged { rounds: 0 }
+        );
+        assert_eq!(w.round(), round, "no steps were taken");
+    }
+
+    #[test]
+    fn trace_records_rounds_and_margin() {
+        let mut w = world(6);
+        assert!(w.trace().is_none());
+        w.record_trace();
+        w.run(4);
+        let trace = w.trace().unwrap();
+        assert_eq!(trace.len(), 4);
+        for (i, m) in trace.rounds().iter().enumerate() {
+            assert_eq!(m.round, i as u64 + 1);
+            assert_eq!(m.n, 32);
+            // Majority has no phase structure: everyone in default stage 0.
+            assert_eq!(m.stages, vec![(0, 32)]);
+            assert_eq!(m.weak_formed, 0);
+            let occupancy: usize = m.stages.iter().map(|&(_, c)| c).sum();
+            assert_eq!(occupancy, 32);
+        }
+        let last = trace.last().unwrap();
+        assert_eq!(last.correct, w.correct_count());
+        assert_eq!(last.margin(), w.correct_count() as f64 - 16.0);
+        let taken = w.take_trace().unwrap();
+        assert_eq!(taken.len(), 4);
+        assert!(w.trace().is_none());
+    }
+
+    #[test]
+    fn trace_metrics_are_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut w = world(17);
+            w.set_threads(threads);
+            w.record_trace();
+            w.run(10);
+            w.take_trace().unwrap()
+        };
+        let reference = run(1);
+        for threads in [2, 7] {
+            let got = run(threads);
+            assert_eq!(
+                reference.rounds(),
+                got.rounds(),
+                "trace differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_observer_receives_every_round() {
+        use std::sync::{Arc, Mutex};
+        struct CountRounds(Arc<Mutex<Vec<u64>>>);
+        impl crate::metrics::RunObserver for CountRounds {
+            fn on_round(
+                &mut self,
+                metrics: &RoundMetrics,
+                _timings: &crate::metrics::StageTimings,
+            ) {
+                self.0.lock().unwrap().push(metrics.round);
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut w = world(4);
+        w.set_observer(Box::new(CountRounds(Arc::clone(&seen))));
+        w.run(3);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3]);
+        assert!(w.take_observer().is_some());
+        w.run(1);
+        assert_eq!(
+            seen.lock().unwrap().len(),
+            3,
+            "detached observer no longer fires"
+        );
     }
 
     #[test]

@@ -21,13 +21,22 @@ use crate::{Result, StatsError};
 /// assert!((r.population_variance()? - 4.0).abs() < 1e-12);
 /// # Ok::<(), np_stats::StatsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Running {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Same as [`Running::new`]. A derived `Default` would zero-fill `min` /
+/// `max`, silently reporting a spurious minimum of `0.0` for all-positive
+/// streams; the empty accumulator needs the `±∞` sentinels.
+impl Default for Running {
+    fn default() -> Self {
+        Running::new()
+    }
 }
 
 impl Running {
@@ -303,6 +312,21 @@ mod tests {
         assert_eq!(r.min(), Err(StatsError::Empty));
         assert_eq!(r.max(), Err(StatsError::Empty));
         assert_eq!(r.sample_variance(), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn running_default_is_empty_accumulator() {
+        // Regression: a derived Default zero-filled min/max, so an
+        // all-positive stream reported min() == 0.0.
+        let mut r = Running::default();
+        assert_eq!(r, Running::new());
+        assert_eq!(r.min(), Err(StatsError::Empty));
+        r.push(5.0);
+        assert_eq!(r.min().unwrap(), 5.0);
+        assert_eq!(r.max().unwrap(), 5.0);
+        let mut neg = Running::default();
+        neg.push(-5.0);
+        assert_eq!(neg.max().unwrap(), -5.0);
     }
 
     #[test]

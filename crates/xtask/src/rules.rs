@@ -63,17 +63,30 @@ pub const RULES: &[Rule] = &[
 /// inside a `World` round (`crates/engine`, `crates/core`), excluding the
 /// stream-derivation modules themselves (`streams.rs`), which are the one
 /// sanctioned place a `StdRng` may be built.
-pub const HOT_PATH_RULES: &[Rule] = &[Rule {
-    name: "raw-stdrng",
-    needles: &[
-        "StdRng::seed_from_u64",
-        "StdRng::from_seed",
-        "StdRng::from_rng",
-    ],
-    message: "hot-path code must derive randomness from (seed, round, agent, stage) \
-              streams (RoundStreams / np_stats::streams), never build a StdRng by hand \
-              — a sequential stream reintroduces thread-count-dependent trajectories",
-}];
+pub const HOT_PATH_RULES: &[Rule] = &[
+    Rule {
+        name: "raw-stdrng",
+        needles: &[
+            "StdRng::seed_from_u64",
+            "StdRng::from_seed",
+            "StdRng::from_rng",
+        ],
+        message: "hot-path code must derive randomness from (seed, round, agent, stage) \
+                  streams (RoundStreams / np_stats::streams), never build a StdRng by hand \
+                  — a sequential stream reintroduces thread-count-dependent trajectories",
+    },
+    Rule {
+        // Catches `use std::time::Instant;` and fully-qualified mentions.
+        // (Grouped imports like `use std::time::{..., Instant}` would dodge
+        // the needle; engine code therefore spells the import out — the one
+        // sanctioned site, metrics::StageClock, carries allow directives.)
+        name: "protocol-instant",
+        needles: &["time::Instant"],
+        message: "protocol update paths must not name std::time::Instant: timing belongs \
+                  in the observer layer (np_engine::metrics::StageClock) or np-bench, \
+                  never inside display/update code where it could leak into trajectories",
+    },
+];
 
 /// Returns the token rule with the given name, if any.
 pub fn rule_by_name(name: &str) -> Option<&'static Rule> {

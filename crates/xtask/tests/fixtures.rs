@@ -77,6 +77,26 @@ fn raw_stdrng_fires_only_under_hot_path_rules() {
 }
 
 #[test]
+fn protocol_instant_fires_only_under_hot_path_rules() {
+    let mut hot = scan_fixture_with(
+        "protocol_instant.rs",
+        FileClass::LibrarySource,
+        HOT_PATH_RULES,
+    );
+    hot.sort();
+    // Line 8 (`Instant::now()`) also trips the generic wall-clock rule;
+    // line 5 (the bare import) is visible to the hot-path rule alone.
+    let mut want = expect("protocol-instant", &[5, 8]);
+    want.extend(expect("wall-clock", &[8]));
+    want.sort();
+    assert_eq!(hot, want);
+    // Outside the hot-path scope only the generic wall-clock rule applies:
+    // naming the type (as the import does) is legal there.
+    let base = scan_fixture("protocol_instant.rs", FileClass::LibrarySource);
+    assert_eq!(base, expect("wall-clock", &[8]));
+}
+
+#[test]
 fn crate_headers_fires_on_library_roots_only() {
     let as_root = scan_fixture("missing_headers.rs", FileClass::LibraryRoot);
     assert_eq!(as_root, expect("crate-headers", &[1, 1]));
@@ -115,6 +135,11 @@ fn every_rule_has_a_bad_fixture() {
         .flat_map(|f| scan_fixture(f, FileClass::LibraryRoot))
         .chain(scan_fixture_with(
             "raw_stdrng.rs",
+            FileClass::LibrarySource,
+            HOT_PATH_RULES,
+        ))
+        .chain(scan_fixture_with(
+            "protocol_instant.rs",
             FileClass::LibrarySource,
             HOT_PATH_RULES,
         ))

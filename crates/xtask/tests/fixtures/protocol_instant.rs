@@ -1,0 +1,28 @@
+//! Bad fixture for the `protocol-instant` hot-path rule: naming
+//! `std::time::Instant` inside protocol code, where timing must never
+//! live.
+
+use std::time::Instant;
+
+pub fn bad_inline_timer() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn fine(observed: &[u64]) -> u64 {
+    // Pure update logic: no clocks anywhere near the trajectory.
+    observed.iter().sum()
+}
+
+pub fn allowed() {
+    // xtask-allow: protocol-instant, wall-clock (sanctioned observer clock)
+    let _clock = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_things() {
+        let _ = std::time::Instant::now();
+    }
+}

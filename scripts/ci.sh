@@ -48,4 +48,24 @@ if [ "$d1" != "$d4" ]; then
 fi
 echo "digests agree: $d1"
 
+# Cross-thread-count trace diff: the observability artifacts (per-round
+# JSONL trace + end-of-run summary JSON) are pure trajectory data, so the
+# same fixed-seed run must write byte-identical files at 1 and 4 worker
+# threads. (Stage wall-clock timings go to stdout only, never into the
+# files — that is what keeps this diff meaningful.)
+echo "### thread-count trace diff (1 vs 4 threads)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+traced_run() {
+  cargo run -q --release -p np-cli -- \
+    run sf --n 256 --seed 7 --threads "$1" \
+    --trace "$trace_dir/t$1.jsonl" --metrics-out "$trace_dir/s$1.json" \
+    > /dev/null
+}
+traced_run 1
+traced_run 4
+diff "$trace_dir/t1.jsonl" "$trace_dir/t4.jsonl"
+diff "$trace_dir/s1.json" "$trace_dir/s4.json"
+echo "traces agree: $(wc -l < "$trace_dir/t1.jsonl") rounds"
+
 echo "### ci.sh: all checks passed"

@@ -60,7 +60,9 @@ pub mod prelude {
     pub use noisy_pull::ssf::SelfStabilizingSourceFilter;
     pub use noisy_pull::theory;
     pub use np_engine::channel::{Channel, ChannelKind, SamplingMode};
-    pub use np_engine::metrics::RunOutcome;
+    pub use np_engine::metrics::{
+        RoundMetrics, RunObserver, RunOutcome, StageTimings, TraceRecorder,
+    };
     pub use np_engine::opinion::Opinion;
     pub use np_engine::population::{PopulationConfig, Role};
     pub use np_engine::protocol::{AgentState, ColumnarProtocol, ColumnarState, Protocol};
