@@ -175,12 +175,16 @@ impl ColumnarState for MajorityColumns {
         observed: &[u64],
         d: usize,
         streams: &RoundStreams,
+        awake: Option<&[bool]>,
     ) {
         debug_assert_eq!(d, 2);
         for ((i, id), obs) in (0..chunk.role.len())
             .zip(range)
             .zip(observed.chunks_exact(d))
         {
+            if awake.is_some_and(|mask| !mask[i]) {
+                continue;
+            }
             if let Role::Source(pref) = chunk.role[i] {
                 chunk.opinion[i] = pref;
                 continue;

@@ -19,6 +19,7 @@ use std::fmt::Display;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use np_engine::faults::FaultRecovery;
 use np_engine::metrics::RoundMetrics;
 use np_engine::population::PopulationConfig;
 
@@ -245,22 +246,31 @@ fn json_f64(x: f64) -> String {
 /// Schema (stable field order):
 /// `{"round":…,"correct":…,"margin":…,"stages":[[id,count],…],`
 /// `"weak_formed":…,"weak_correct":…}` — stages sorted by id, empty
-/// stages omitted.
+/// stages omitted. Rounds where fault events were injected carry one
+/// extra trailing field, `"faults":["label",…]`; fault-free rounds
+/// render byte-identically to the pre-fault schema.
 pub fn round_json(m: &RoundMetrics) -> String {
     let stages: Vec<String> = m
         .stages
         .iter()
         .map(|&(id, count)| format!("[{id},{count}]"))
         .collect();
+    let faults = if m.faults.is_empty() {
+        String::new()
+    } else {
+        let labels: Vec<String> = m.faults.iter().map(|l| json_string(l)).collect();
+        format!(",\"faults\":[{}]", labels.join(","))
+    };
     format!(
         "{{\"round\":{},\"correct\":{},\"margin\":{},\"stages\":[{}],\
-         \"weak_formed\":{},\"weak_correct\":{}}}",
+         \"weak_formed\":{},\"weak_correct\":{}{}}}",
         m.round,
         m.correct,
         json_f64(m.margin()),
         stages.join(","),
         m.weak_formed,
-        m.weak_correct
+        m.weak_correct,
+        faults
     )
 }
 
@@ -321,6 +331,10 @@ pub struct RunSummary {
     pub weak_formed: usize,
     /// Of those, how many weak opinions were correct.
     pub weak_correct: usize,
+    /// Per-event fault recovery results (empty for fault-free runs, in
+    /// which case the JSON rendering is unchanged from the pre-fault
+    /// schema).
+    pub faults: Vec<FaultRecovery>,
 }
 
 impl RunSummary {
@@ -344,18 +358,50 @@ impl RunSummary {
             final_margin: last.margin(),
             weak_formed: last.weak_formed,
             weak_correct: last.weak_correct,
+            faults: Vec::new(),
         }
     }
 
+    /// Attaches per-event fault recovery results (from
+    /// [`np_engine::faults::recovery_times`]) to the summary.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Vec<FaultRecovery>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Renders the summary as a single pretty-printed JSON object with a
-    /// schema tag, newline-terminated.
+    /// schema tag, newline-terminated. Runs with fault events gain a
+    /// `"faults"` array of per-event recovery records; fault-free
+    /// summaries render byte-identically to the pre-fault schema.
     pub fn to_json(&self) -> String {
+        let faults = if self.faults.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> = self
+                .faults
+                .iter()
+                .map(|f| {
+                    format!(
+                        "    {{\"round\": {}, \"label\": {}, \
+                         \"recovered_round\": {}, \"recovery_rounds\": {}}}",
+                        f.round,
+                        json_string(&f.label),
+                        f.recovered_round
+                            .map_or("null".to_string(), |r| r.to_string()),
+                        f.recovery_rounds()
+                            .map_or("null".to_string(), |r| r.to_string())
+                    )
+                })
+                .collect();
+            format!(",\n  \"faults\": [\n{}\n  ]", entries.join(",\n"))
+        };
         format!(
             "{{\n  \"schema\": \"np-run-summary/v1\",\n  \"protocol\": {},\n  \
              \"n\": {},\n  \"h\": {},\n  \"s0\": {},\n  \"s1\": {},\n  \
              \"seed\": {},\n  \"rounds\": {},\n  \"consensus\": {},\n  \
              \"final_correct\": {},\n  \"final_margin\": {},\n  \
-             \"weak_formed\": {},\n  \"weak_correct\": {}\n}}\n",
+             \"weak_formed\": {},\n  \"weak_correct\": {}{}\n}}\n",
             json_string(&self.protocol),
             self.n,
             self.h,
@@ -367,7 +413,8 @@ impl RunSummary {
             self.final_correct,
             json_f64(self.final_margin),
             self.weak_formed,
-            self.weak_correct
+            self.weak_correct,
+            faults
         )
     }
 
@@ -535,6 +582,7 @@ mod tests {
             stages: vec![(0, 7), (u32::MAX, 1)],
             weak_formed: 6,
             weak_correct: 4,
+            faults: Vec::new(),
         }
     }
 
@@ -546,6 +594,53 @@ mod tests {
              \"stages\":[[0,7],[4294967295,1]],\
              \"weak_formed\":6,\"weak_correct\":4}"
         );
+    }
+
+    #[test]
+    fn round_json_appends_fault_labels_only_when_present() {
+        let mut m = metrics();
+        m.faults = vec![
+            "split-brain:4".to_string(),
+            "ramp-noise:0.1->0.3/5".to_string(),
+        ];
+        assert_eq!(
+            round_json(&m),
+            "{\"round\":3,\"correct\":5,\"margin\":1,\
+             \"stages\":[[0,7],[4294967295,1]],\
+             \"weak_formed\":6,\"weak_correct\":4,\
+             \"faults\":[\"split-brain:4\",\"ramp-noise:0.1->0.3/5\"]}"
+        );
+        // Fault-free rounds must keep the pre-fault bytes.
+        assert!(!round_json(&metrics()).contains("faults"));
+    }
+
+    #[test]
+    fn summary_faults_render_and_stay_absent_when_empty() {
+        let config = PopulationConfig::new(8, 1, 2, 4).unwrap();
+        let base = RunSummary::from_final_metrics("ssf", &config, 3, &metrics());
+        assert!(!base.to_json().contains("\"faults\""));
+        let summary = base.with_faults(vec![
+            FaultRecovery {
+                round: 5,
+                label: "flip-sources:1".to_string(),
+                recovered_round: Some(12),
+            },
+            FaultRecovery {
+                round: 20,
+                label: "sleep:3/4r".to_string(),
+                recovered_round: None,
+            },
+        ]);
+        let json = summary.to_json();
+        assert!(json.contains(
+            "{\"round\": 5, \"label\": \"flip-sources:1\", \
+             \"recovered_round\": 12, \"recovery_rounds\": 7}"
+        ));
+        assert!(json.contains(
+            "{\"round\": 20, \"label\": \"sleep:3/4r\", \
+             \"recovered_round\": null, \"recovery_rounds\": null}"
+        ));
+        assert!(json.ends_with("  ]\n}\n"));
     }
 
     #[test]

@@ -25,12 +25,14 @@ impl std::error::Error for ArgsError {}
 /// `--flag=false` is also accepted.
 pub const BOOLEAN_SWITCHES: &[&str] = &["exact", "digest"];
 
-/// Parsed flags: a map from flag name (without dashes) to raw value
-/// (`"true"` for bare boolean flags), plus the list of positional
-/// arguments.
+/// Parsed flags: a map from flag name (without dashes) to the raw values
+/// it was given, in order (`"true"` for bare boolean flags), plus the
+/// list of positional arguments. Single-value accessors read the *last*
+/// occurrence; repeatable flags (e.g. `--fault`) read them all with
+/// [`Args::get_all`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
-    flags: BTreeMap<String, String>,
+    flags: BTreeMap<String, Vec<String>>,
     positional: Vec<String>,
     consumed: std::cell::RefCell<std::collections::BTreeSet<String>>,
 }
@@ -59,15 +61,24 @@ impl Args {
                     return Err(ArgsError(format!("malformed flag `{t}`")));
                 }
                 if let Some((k, v)) = body.split_once('=') {
-                    flags.insert(k.to_string(), v.to_string());
+                    flags
+                        .entry(k.to_string())
+                        .or_insert_with(Vec::new)
+                        .push(v.to_string());
                 } else if !BOOLEAN_SWITCHES.contains(&body)
                     && i + 1 < tokens.len()
                     && !tokens[i + 1].starts_with("--")
                 {
-                    flags.insert(body.to_string(), tokens[i + 1].clone());
+                    flags
+                        .entry(body.to_string())
+                        .or_insert_with(Vec::new)
+                        .push(tokens[i + 1].clone());
                     i += 1;
                 } else {
-                    flags.insert(body.to_string(), "true".to_string());
+                    flags
+                        .entry(body.to_string())
+                        .or_insert_with(Vec::new)
+                        .push("true".to_string());
                 }
             } else {
                 positional.push(t.clone());
@@ -87,11 +98,27 @@ impl Args {
     }
 
     fn raw(&self, name: &str) -> Option<&str> {
-        let v = self.flags.get(name).map(String::as_str);
+        let v = self
+            .flags
+            .get(name)
+            .and_then(|vals| vals.last())
+            .map(String::as_str);
         if v.is_some() {
             self.consumed.borrow_mut().insert(name.to_string());
         }
         v
+    }
+
+    /// Every value a repeatable flag was given, in command-line order
+    /// (empty when the flag is absent).
+    pub fn get_all(&self, name: &str) -> Vec<String> {
+        match self.flags.get(name) {
+            None => Vec::new(),
+            Some(vals) => {
+                self.consumed.borrow_mut().insert(name.to_string());
+                vals.clone()
+            }
+        }
     }
 
     /// A string flag with a default.
@@ -247,5 +274,30 @@ mod tests {
     fn negative_numbers_as_values() {
         let args = Args::parse(["--x", "-3"]).unwrap();
         assert_eq!(args.get_or("x", 0i64).unwrap(), -3);
+    }
+
+    #[test]
+    fn repeated_flags_accumulate_in_order() {
+        let args = Args::parse([
+            "--fault",
+            "5:flip",
+            "--fault=9:sleep:0.5:3",
+            "--fault",
+            "2:noise:0.4",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.get_all("fault"),
+            vec!["5:flip", "9:sleep:0.5:3", "2:noise:0.4"]
+        );
+        assert!(args.get_all("missing").is_empty());
+        args.finish().unwrap();
+    }
+
+    #[test]
+    fn single_value_accessors_read_the_last_occurrence() {
+        let args = Args::parse(["--n", "8", "--n", "16"]).unwrap();
+        assert_eq!(args.get_or("n", 0usize).unwrap(), 16);
+        args.finish().unwrap();
     }
 }

@@ -1,11 +1,12 @@
 //! Subcommand implementations for the `noisy-pull` CLI.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use noisy_pull::adversary::SsfAdversary;
 use noisy_pull::params::{SfParams, SsfParams};
 use noisy_pull::sf::SourceFilter;
-use noisy_pull::ssf::SelfStabilizingSourceFilter;
+use noisy_pull::ssf::{SelfStabilizingSourceFilter, SsfAgent};
 use noisy_pull::theory;
 use np_baselines::majority::HMajority;
 use np_baselines::mean_estimator::MeanEstimator;
@@ -14,12 +15,14 @@ use np_baselines::trusting_copy::TrustingCopy;
 use np_baselines::voter::ZealotVoter;
 use np_bench::report::{save_trace_jsonl, RunSummary};
 use np_engine::channel::ChannelKind;
+use np_engine::faults::{recovery_times, FaultEvent, FaultPlan};
 use np_engine::opinion::Opinion;
 use np_engine::population::PopulationConfig;
-use np_engine::protocol::Protocol;
+use np_engine::protocol::{Protocol, ScalarState};
 use np_engine::push::PushWorld;
 use np_engine::world::World;
 use np_linalg::noise::NoiseMatrix;
+use rand::rngs::StdRng;
 
 use crate::args::{Args, ArgsError};
 
@@ -45,6 +48,8 @@ struct CommonFlags {
     trace: Option<PathBuf>,
     /// Write the end-of-run summary JSON here after the run.
     metrics_out: Option<PathBuf>,
+    /// Raw repeatable `--fault round:kind[:args]` specs.
+    faults: Vec<String>,
 }
 
 impl CommonFlags {
@@ -73,6 +78,7 @@ impl CommonFlags {
             digest: args.switch("digest")?,
             trace: args.get_opt("trace")?,
             metrics_out: args.get_opt("metrics-out")?,
+            faults: args.get_all("fault"),
         })
     }
 
@@ -120,13 +126,83 @@ fn outcome_digest<P: np_engine::protocol::ColumnarProtocol>(world: &World<P>) ->
     hash
 }
 
+/// Parses the repeatable `--fault round:kind[:args]` specs into a
+/// [`FaultPlan`].
+///
+/// Grammar (one spec per flag, `R` is the 1-based injection round):
+/// `R:flip` · `R:noise:δ` · `R:ramp:δ:rounds` (ramps from the run's base
+/// δ) · `R:sleep:frac:rounds` · anything else is handed to `corrupt`,
+/// the protocol-specific adversary builder (`R:kind[:frac]`, frac
+/// defaulting to 1).
+fn parse_faults<S>(
+    specs: &[String],
+    d: usize,
+    base_delta: f64,
+    corrupt: impl Fn(&str, f64) -> Result<FaultEvent<S>, String>,
+) -> Result<FaultPlan<S>, String> {
+    let mut plan = FaultPlan::new();
+    for spec in specs {
+        let bad = |why: String| format!("--fault {spec}: {why}");
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() < 2 {
+            return Err(bad("expected round:kind[:args]".into()));
+        }
+        let round: u64 = parts[0]
+            .parse()
+            .map_err(|_| bad(format!("bad round `{}`", parts[0])))?;
+        let num = |x: &str| -> Result<f64, String> {
+            x.parse()
+                .map_err(|_| bad(format!("cannot parse `{x}` as a number")))
+        };
+        let span = |x: &str| -> Result<u64, String> {
+            x.parse()
+                .map_err(|_| bad(format!("cannot parse `{x}` as a round count")))
+        };
+        let event = match (parts[1], parts.len()) {
+            ("flip", 2) => FaultEvent::FlipSources,
+            ("noise", 3) => FaultEvent::SetNoise {
+                noise: NoiseMatrix::uniform(d, num(parts[2])?).map_err(|e| bad(e.to_string()))?,
+            },
+            ("ramp", 4) => FaultEvent::RampNoise {
+                from: base_delta,
+                to: num(parts[2])?,
+                over: span(parts[3])?,
+            },
+            ("sleep", 4) => FaultEvent::Sleep {
+                frac: num(parts[2])?,
+                rounds: span(parts[3])?,
+            },
+            ("flip" | "noise" | "ramp" | "sleep", _) => {
+                return Err(bad(
+                    "wrong arity; expected R:flip, R:noise:δ, R:ramp:δ:rounds or \
+                     R:sleep:frac:rounds"
+                        .into(),
+                ))
+            }
+            (kind, 2) => corrupt(kind, 1.0).map_err(bad)?,
+            (kind, 3) => corrupt(kind, num(parts[2])?).map_err(bad)?,
+            _ => return Err(bad("expected round:kind[:args]".into())),
+        };
+        plan = plan.at(round, event);
+    }
+    Ok(plan)
+}
+
+/// The adversary builder for protocols without corruption strategies:
+/// only the generic fault kinds are accepted.
+fn no_corrupt_kinds<S>(kind: &str, _frac: f64) -> Result<FaultEvent<S>, String> {
+    Err(format!(
+        "unknown kind `{kind}`; this protocol supports flip, noise, ramp and sleep"
+    ))
+}
+
 fn report_run<P: Protocol>(
     world: &mut World<P>,
     budget: u64,
     label: &str,
     common: &CommonFlags,
 ) -> CliResult {
-    if common.observing() {
+    if common.observing() || world.has_fault_plan() {
         world.record_trace();
     }
     let mut last_bad = 0u64;
@@ -152,10 +228,31 @@ fn report_run<P: Protocol>(
     if common.digest {
         println!("{label} digest: {:#018x}", outcome_digest(world));
     }
-    if common.observing() {
+    if common.observing() || world.has_fault_plan() {
         let trace = world
             .take_trace()
             .expect("record_trace was called before the run");
+        let recoveries = if world.has_fault_plan() {
+            recovery_times(trace.rounds())
+        } else {
+            Vec::new()
+        };
+        for r in &recoveries {
+            match r.recovery_rounds() {
+                Some(0) => println!(
+                    "{label} fault @{} [{}]: consensus never broke",
+                    r.round, r.label
+                ),
+                Some(rounds) => println!(
+                    "{label} fault @{} [{}]: re-converged after {rounds} rounds",
+                    r.round, r.label
+                ),
+                None => println!(
+                    "{label} fault @{} [{}]: NOT recovered by end of run",
+                    r.round, r.label
+                ),
+            }
+        }
         // Timing goes to stdout only: the trace and summary files must be
         // byte-identical across thread counts, and wall clocks are not.
         let t = trace.timings();
@@ -172,6 +269,7 @@ fn report_run<P: Protocol>(
                 .last()
                 .ok_or("--metrics-out: no rounds were executed (budget 0?)")?;
             RunSummary::from_final_metrics(label, world.config(), common.seed, last)
+                .with_faults(recoveries)
                 .save(path)
                 .map_err(err)?;
             println!("{label} summary: {}", path.display());
@@ -207,6 +305,10 @@ pub fn run_sf(args: &Args) -> CliResult {
     )
     .map_err(err)?;
     common.tune(&mut world);
+    if !common.faults.is_empty() {
+        let plan = parse_faults(&common.faults, 2, common.delta, no_corrupt_kinds)?;
+        world.set_fault_plan(plan).map_err(err)?;
+    }
     report_run(&mut world, params.total_rounds(), "SF", &common)
 }
 
@@ -253,6 +355,33 @@ pub fn run_ssf(args: &Args) -> CliResult {
     let correct = config.correct_opinion();
     let m = params.m();
     world.corrupt_agents(|id, agent, rng| adversary.corrupt(agent, correct, m, id, rng));
+    if !common.faults.is_empty() {
+        let plan = parse_faults(&common.faults, 4, common.delta, |kind, frac| {
+            let adv = SsfAdversary::ALL
+                .into_iter()
+                .find(|a| a.name() == kind)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown kind `{kind}`; known: flip, noise, ramp, sleep, {}",
+                        SsfAdversary::ALL
+                            .iter()
+                            .map(|a| a.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
+            Ok(FaultEvent::Corrupt {
+                frac,
+                label: kind.to_string(),
+                fault: Arc::new(
+                    move |state: &mut ScalarState<SsfAgent>, id: usize, rng: &mut StdRng| {
+                        adv.corrupt(&mut state.agents_mut()[id], correct, m, id, rng);
+                    },
+                ),
+            })
+        })?;
+        world.set_fault_plan(plan).map_err(err)?;
+    }
     report_run(
         &mut world,
         intervals * params.update_interval(),
@@ -266,6 +395,9 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
     let common = CommonFlags::from_args(args).map_err(err)?;
     let budget = args.get_or("budget", 1000u64).map_err(err)?;
     args.finish().map_err(err)?;
+    if !common.faults.is_empty() {
+        return Err("--fault is only supported for the sf and ssf subcommands".into());
+    }
     let config = common.config()?;
     match name {
         "voter" => {
@@ -494,6 +626,84 @@ mod tests {
         assert!(summary_text.contains("\"protocol\": \"SF\""));
         std::fs::remove_file(trace).ok();
         std::fs::remove_file(summary).ok();
+    }
+
+    #[test]
+    fn parse_faults_accepts_the_full_grammar() {
+        let specs: Vec<String> = ["3:flip", "5:noise:0.2", "7:ramp:0.24:10", "9:sleep:0.5:4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let plan: FaultPlan<ScalarState<SsfAgent>> =
+            parse_faults(&specs, 4, 0.1, no_corrupt_kinds).unwrap();
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn parse_faults_rejects_malformed_specs() {
+        let check = |spec: &str, needle: &str| {
+            let e = parse_faults::<ScalarState<SsfAgent>>(
+                &[spec.to_string()],
+                4,
+                0.1,
+                no_corrupt_kinds,
+            )
+            .unwrap_err();
+            assert!(e.contains(needle), "`{spec}` → {e}");
+        };
+        check("nope", "round:kind");
+        check("x:flip", "bad round");
+        check("3:flip:extra", "arity");
+        check("3:noise", "arity");
+        check("3:noise:zzz", "number");
+        check("3:sleep:0.5", "arity");
+        check("3:ramp:0.3:q", "round count");
+        check("3:gremlin", "unknown kind");
+        // δ beyond the d=4 bound is caught while building the matrix.
+        check("3:noise:0.9", "--fault 3:noise:0.9");
+    }
+
+    #[test]
+    fn ssf_run_with_faults_reports_recovery() {
+        let dir = std::env::temp_dir().join("np_cli_fault_test");
+        let summary = dir.join("s.json");
+        run_ssf(&args(&[
+            "--n",
+            "64",
+            "--delta",
+            "0.1",
+            "--c1",
+            "8",
+            "--fault",
+            "40:all-wrong",
+            "--fault=60:sleep:0.5:3",
+            "--metrics-out",
+            summary.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&summary).unwrap();
+        assert!(text.contains("\"faults\""), "{text}");
+        assert!(text.contains("\"label\": \"all-wrong:"), "{text}");
+        assert!(text.contains("\"label\": \"sleep:"), "{text}");
+        std::fs::remove_file(summary).ok();
+    }
+
+    #[test]
+    fn sf_rejects_adversary_fault_kinds() {
+        let e = run_sf(&args(&["--n", "64", "--fault", "5:all-wrong"])).unwrap_err();
+        assert!(e.contains("flip, noise, ramp and sleep"), "{e}");
+    }
+
+    #[test]
+    fn fault_scheduled_at_round_zero_is_rejected() {
+        let e = run_sf(&args(&["--n", "64", "--fault", "0:flip"])).unwrap_err();
+        assert!(e.contains("bad fault plan"), "{e}");
+    }
+
+    #[test]
+    fn baselines_reject_fault_flags() {
+        let e = run_baseline("voter", &args(&["--n", "32", "--fault", "3:flip"])).unwrap_err();
+        assert!(e.contains("sf and ssf"), "{e}");
     }
 
     #[test]

@@ -40,9 +40,18 @@ COMMON FLAGS:
     --trace PATH    write a per-round JSONL trace (correct count, margin,
                     stage occupancy, weak-opinion accuracy) — identical
                     across thread counts
-    --metrics-out PATH   write an end-of-run summary JSON (np-run-summary/v1)
+    --metrics-out PATH   write an end-of-run summary JSON (np-run-summary/v1);
+                    faulted runs gain a per-event recovery section
     --adversary A   SSF initial corruption: none | all-wrong | poisoned-memory |
                     random-desync | split-brain | fake-consensus
+    --fault SPEC    (sf/ssf, repeatable) inject a fault just before round R:
+                      R:flip               flip every source's preference
+                      R:noise:D            switch to uniform noise level D
+                      R:ramp:D:ROUNDS      ramp noise from --delta to D
+                      R:sleep:FRAC:ROUNDS  put a FRAC of agents to sleep
+                      R:ADVERSARY[:FRAC]   (ssf) re-apply an --adversary
+                                           strategy to a FRAC of agents
+                    e.g. --fault 40:all-wrong:0.5 --fault 60:ramp:0.2:10
     --budget R      round budget for baselines (default 1000)
     --budget-intervals I   SSF budget in update intervals (default 10)
     --rows \"a,b;c,d\"       reduce: the channel matrix, row-major
@@ -145,6 +154,25 @@ mod tests {
             "--threads",
             "2",
             "--digest",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn end_to_end_faulted_ssf_run() {
+        dispatch(&v(&[
+            "run",
+            "ssf",
+            "--n",
+            "64",
+            "--delta",
+            "0.1",
+            "--c1",
+            "8",
+            "--fault",
+            "20:split-brain:0.5",
+            "--fault",
+            "40:sleep:0.25:2",
         ]))
         .unwrap();
     }

@@ -96,23 +96,16 @@ impl SsfAdversary {
                 let weak = Opinion::from_bool(rng.gen());
                 let opinion = Opinion::from_bool(rng.gen());
                 let size = rng.gen_range(0..=m);
+                // Uniform composition: each of the `size` fake messages
+                // lands in one of the 4 symbol slots independently. (A
+                // sequential `gen_range(0..=left)` split is *not* uniform —
+                // it gives slot 0 half the remaining mass in expectation.)
                 let mut mem = [0u64; 4];
-                let mut left = size;
-                for slot in mem.iter_mut().take(3) {
-                    let take = rng.gen_range(0..=left);
-                    *slot = take;
-                    left -= take;
-                }
-                mem[3] = left;
+                np_stats::multinomial::sample_into(rng, size, &[0.25; 4], &mut mem);
                 agent.corrupt_state(weak, opinion, mem);
             }
             SsfAdversary::SplitBrain => {
-                let (mine, other) = if id.is_multiple_of(2) {
-                    (wrong, correct)
-                } else {
-                    (correct, wrong)
-                };
-                let _ = other;
+                let mine = if id.is_multiple_of(2) { wrong } else { correct };
                 let mut mem = [0u64; 4];
                 mem[crate::ssf::encode(true, mine)] = m / 2;
                 mem[crate::ssf::encode(false, mine)] = m / 2;
@@ -206,6 +199,33 @@ mod tests {
             sizes.insert(agent.memory_size());
         }
         assert!(sizes.len() > 10, "sizes not varied: {sizes:?}");
+    }
+
+    #[test]
+    fn random_desync_split_is_unbiased_across_slots() {
+        // Regression: the old sequential `gen_range(0..=left)` split gave
+        // slot 0 half the remaining mass in expectation. Under the uniform
+        // composition each slot must carry ~1/4 of the total mass.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut totals = [0u64; 4];
+        let mut grand = 0u64;
+        for id in 0..2000 {
+            let mut agent = fresh_agent(1000);
+            SsfAdversary::RandomDesync.corrupt(&mut agent, Opinion::One, 1000, id, &mut rng);
+            let mem = agent.memory();
+            assert_eq!(mem.iter().sum::<u64>(), agent.memory_size());
+            for (total, count) in totals.iter_mut().zip(mem) {
+                *total += count;
+            }
+            grand += agent.memory_size();
+        }
+        for (slot, &total) in totals.iter().enumerate() {
+            let share = total as f64 / grand as f64;
+            assert!(
+                (0.23..0.27).contains(&share),
+                "slot {slot} holds {share:.3} of the mass: {totals:?}"
+            );
+        }
     }
 
     #[test]

@@ -191,6 +191,7 @@ impl ColumnarState for SfColumns {
         observed: &[u64],
         d: usize,
         streams: &RoundStreams,
+        awake: Option<&[bool]>,
     ) {
         debug_assert_eq!(d, 2);
         let params = chunk.params;
@@ -198,6 +199,9 @@ impl ColumnarState for SfColumns {
             .zip(range)
             .zip(observed.chunks_exact(d))
         {
+            if awake.is_some_and(|mask| !mask[i]) {
+                continue;
+            }
             let mut rng = LazyRng::new(streams, id, StreamStage::Update);
             match chunk.stage[i] {
                 Stage::Listen0 => {
@@ -291,6 +295,19 @@ impl ColumnarState for SfColumns {
 
     fn weak_opinion(&self, id: usize) -> Option<Opinion> {
         self.weak[id]
+    }
+
+    /// Mirrors the scalar trend-change hook
+    /// ([`crate::sf::SfAgent`]'s `flip_source_preference`).
+    fn flip_source_preferences(&mut self) -> usize {
+        let mut flipped = 0;
+        for role in self.role.iter_mut() {
+            if let Role::Source(pref) = *role {
+                *role = Role::Source(!pref);
+                flipped += 1;
+            }
+        }
+        flipped
     }
 }
 

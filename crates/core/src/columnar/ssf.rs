@@ -194,12 +194,16 @@ impl ColumnarState for SsfColumns {
         observed: &[u64],
         d: usize,
         streams: &RoundStreams,
+        awake: Option<&[bool]>,
     ) {
         debug_assert_eq!(d, 4);
         for ((i, id), obs) in (0..chunk.mem_size.len())
             .zip(range)
             .zip(observed.chunks_exact(d))
         {
+            if awake.is_some_and(|mask| !mask[i]) {
+                continue;
+            }
             for (lane, &c) in chunk.mem.iter_mut().zip(obs) {
                 lane[i] += c;
             }
@@ -209,7 +213,7 @@ impl ColumnarState for SsfColumns {
                 chunk.mem.iter().map(|lane| lane[i]).sum::<u64>(),
                 chunk.mem_size[i],
             );
-            if chunk.mem_size[i] > chunk.m {
+            if chunk.mem_size[i] >= chunk.m {
                 // One RNG per update round, weak tie first then opinion
                 // tie — the scalar draw order.
                 let mut rng = LazyRng::new(streams, id, StreamStage::Update);
@@ -243,6 +247,19 @@ impl ColumnarState for SsfColumns {
 
     fn weak_opinion(&self, id: usize) -> Option<Opinion> {
         Some(self.weak[id])
+    }
+
+    /// Mirrors the scalar trend-change hook
+    /// ([`crate::ssf::SsfAgent`]'s `flip_source_preference`).
+    fn flip_source_preferences(&mut self) -> usize {
+        let mut flipped = 0;
+        for role in self.role.iter_mut() {
+            if let Role::Source(pref) = *role {
+                *role = Role::Source(!pref);
+                flipped += 1;
+            }
+        }
+        flipped
     }
 }
 

@@ -299,6 +299,17 @@ impl AgentState for SfAgent {
     fn weak_opinion(&self) -> Option<Opinion> {
         self.weak
     }
+
+    /// Trend-change fault hook: the environment revises the ground truth
+    /// (only sources carry a preference to flip).
+    fn flip_source_preference(&mut self) -> bool {
+        if let Role::Source(pref) = self.role {
+            self.role = Role::Source(!pref);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 #[cfg(test)]

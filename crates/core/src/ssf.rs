@@ -8,8 +8,8 @@
 //! * non-sources display `(0, weak_opinion)`.
 //!
 //! Every agent accumulates received messages in a bounded multiset `M`.
-//! Whenever `|M|` exceeds the capacity `m`, the agent performs an *update
-//! round*:
+//! As soon as `|M|` reaches the capacity `m` — the agent has accumulated
+//! `m` messages — it performs an *update round*:
 //!
 //! * the new **weak opinion** is the majority of the second bits among
 //!   messages whose first bit is 1 (ties random) — messages that *claim* to
@@ -208,7 +208,7 @@ impl AgentState for SsfAgent {
             self.mem.iter().sum::<u64>(),
             self.mem_size,
         );
-        if self.mem_size > self.m {
+        if self.mem_size >= self.m {
             // Weak opinion: majority of second bits among source-tagged
             // messages — (1,1) vs (1,0).
             self.weak = SsfAgent::majority(self.mem[3], self.mem[2], rng);
@@ -234,6 +234,18 @@ impl AgentState for SsfAgent {
 
     fn weak_opinion(&self) -> Option<Opinion> {
         Some(self.weak)
+    }
+
+    /// The role is protected from the *adversary*, but the trend-change
+    /// fault is the environment itself revising the ground truth — only
+    /// this engine hook may touch the preference.
+    fn flip_source_preference(&mut self) -> bool {
+        if let Role::Source(pref) = self.role {
+            self.role = Role::Source(!pref);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -303,7 +315,10 @@ mod tests {
     }
 
     #[test]
-    fn update_round_fires_when_memory_exceeds_m() {
+    fn update_round_fires_exactly_at_m() {
+        // Regression: the trigger used to be `mem_size > m`, silently
+        // making the cadence m+1 per cycle. The paper accumulates exactly
+        // `m` messages, then updates.
         let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
         let params = SsfParams::derive(&config, 0.0, 1.0)
             .unwrap()
@@ -312,12 +327,15 @@ mod tests {
         let proto = SelfStabilizingSourceFilter::new(params);
         let mut rng = StdRng::seed_from_u64(2);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
-        // 8 messages: below m = 10, no update.
-        agent.update(&[0, 0, 0, 8], &mut rng);
-        assert_eq!(agent.memory_size(), 8);
-        // 8 more: 16 > 10 → update, memory flushed, weak from (1,1) vs (1,0).
-        agent.update(&[0, 0, 0, 8], &mut rng);
+        // 9 messages: still below m = 10, no update.
+        agent.update(&[0, 0, 0, 9], &mut rng);
+        assert_eq!(agent.memory_size(), 9);
+        assert_eq!(agent.updates(), 0);
+        // The m-th message triggers the update: memory flushed, weak from
+        // (1,1) vs (1,0).
+        agent.update(&[0, 0, 0, 1], &mut rng);
         assert_eq!(agent.memory_size(), 0);
+        assert_eq!(agent.updates(), 1);
         assert_eq!(agent.weak_opinion(), Opinion::One);
         assert_eq!(agent.opinion(), Opinion::One);
     }

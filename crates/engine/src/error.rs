@@ -24,6 +24,13 @@ pub enum EngineError {
         /// Alphabet size of the supplied noise matrix.
         noise: usize,
     },
+    /// A [`crate::faults::FaultPlan`] is inconsistent with the world it
+    /// was attached to (past rounds, out-of-range fractions, mismatched
+    /// noise dimensions, …).
+    BadFaultPlan {
+        /// Description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -42,6 +49,9 @@ impl fmt::Display for EngineError {
                 f,
                 "alphabet mismatch: protocol uses {protocol} symbols, noise matrix has {noise}"
             ),
+            EngineError::BadFaultPlan { detail } => {
+                write!(f, "bad fault plan: {detail}")
+            }
         }
     }
 }
@@ -61,6 +71,7 @@ mod tests {
                 protocol: 2,
                 noise: 4,
             },
+            EngineError::BadFaultPlan { detail: "y".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -30,6 +30,9 @@
 //!   `h = n` experiments of the paper tractable.
 //! * [`world`] — the round loop, consensus detection, and the adversarial
 //!   state-corruption hook for self-stabilization experiments.
+//! * [`faults`] — deterministic *mid-run* fault injection: scheduled
+//!   re-corruption, source-preference flips (trend changes), noise
+//!   swaps/ramps, and agent sleep, with per-event recovery metrics.
 //! * [`metrics`] — time series of correct-opinion counts, convergence
 //!   records.
 //! * [`runner`] — a scoped-thread multi-seed batch runner with
@@ -121,6 +124,7 @@
 mod error;
 
 pub mod channel;
+pub mod faults;
 pub mod invariants;
 pub mod metrics;
 pub mod opinion;

@@ -135,6 +135,11 @@ pub struct RoundMetrics {
     pub weak_formed: usize,
     /// Of those, how many weak opinions are correct.
     pub weak_correct: usize,
+    /// Labels of the fault events injected just before this round executed
+    /// ([`crate::faults`]); empty for fault-free rounds. Part of the
+    /// deterministic trajectory (a pure function of the fault plan), so it
+    /// may flow into byte-compared artifacts.
+    pub faults: Vec<String>,
 }
 
 impl RoundMetrics {
@@ -296,6 +301,7 @@ mod tests {
             stages: vec![(0, 4), (1, 6)],
             weak_formed: 6,
             weak_correct: 5,
+            faults: Vec::new(),
         }
     }
 

@@ -94,6 +94,15 @@ pub trait AgentState: Send + Sync {
     fn weak_opinion(&self) -> Option<Opinion> {
         None
     }
+
+    /// Inverts this agent's source preference, if it has one — the
+    /// "trend change" fault of [`crate::faults`] (the environment's
+    /// ground truth flips mid-run). Returns `true` if a preference was
+    /// flipped. The default is a no-op: protocols whose roles carry a
+    /// preference opt in.
+    fn flip_source_preference(&mut self) -> bool {
+        false
+    }
 }
 
 /// A spreading algorithm in columnar form: a factory for one
@@ -156,6 +165,12 @@ pub trait ColumnarState: Send + Sync {
     /// agents. Update randomness comes from
     /// `streams.rng(id, StreamStage::Update)` per agent.
     ///
+    /// `awake`, when present, is the chunk-local sleep mask of the fault
+    /// subsystem ([`crate::faults`]): agents with `awake[i] == false` are
+    /// asleep this round — they displayed, but their update is skipped
+    /// entirely (state untouched, no update randomness drawn). `None`
+    /// means everyone is awake (the fault-free fast path).
+    ///
     /// An associated function (no `&self`) so the world needs no protocol
     /// reference after initialization.
     fn step_chunk(
@@ -164,7 +179,15 @@ pub trait ColumnarState: Send + Sync {
         observed: &[u64],
         d: usize,
         streams: &RoundStreams,
+        awake: Option<&[bool]>,
     );
+
+    /// Inverts the source preference of every agent that has one — the
+    /// columnar form of [`AgentState::flip_source_preference`]. Returns
+    /// how many preferences were flipped. The default is a no-op.
+    fn flip_source_preferences(&mut self) -> usize {
+        0
+    }
 
     /// The current opinion of agent `id`.
     ///
@@ -251,11 +274,30 @@ impl<A: AgentState> ColumnarState for ScalarState<A> {
         observed: &[u64],
         d: usize,
         streams: &RoundStreams,
+        awake: Option<&[bool]>,
     ) {
-        for ((agent, id), obs) in chunk.iter_mut().zip(range).zip(observed.chunks_exact(d)) {
+        for (i, ((agent, id), obs)) in chunk
+            .iter_mut()
+            .zip(range)
+            .zip(observed.chunks_exact(d))
+            .enumerate()
+        {
+            if awake.is_some_and(|mask| !mask[i]) {
+                continue;
+            }
             let mut rng = streams.rng(id, StreamStage::Update);
             agent.update(obs, &mut rng);
         }
+    }
+
+    fn flip_source_preferences(&mut self) -> usize {
+        let mut flipped = 0;
+        for agent in self.agents.iter_mut() {
+            if agent.flip_source_preference() {
+                flipped += 1;
+            }
+        }
+        flipped
     }
 
     fn opinion(&self, id: usize) -> Opinion {

@@ -31,6 +31,11 @@ pub enum StreamStage {
     /// The adversarial corruption hook
     /// ([`crate::world::World::corrupt_agents`]).
     Corrupt,
+    /// The mid-run fault-injection hook ([`crate::faults`]). The payload
+    /// is the index of the event in its [`crate::faults::FaultPlan`], so
+    /// distinct events scheduled for the same round draw from independent
+    /// streams.
+    Fault(u32),
 }
 
 impl StreamStage {
@@ -41,6 +46,9 @@ impl StreamStage {
             StreamStage::Observe => 2,
             StreamStage::Update => 3,
             StreamStage::Corrupt => 4,
+            // Tags 5..16 are reserved for future fixed stages; fault
+            // events are open-ended so they get the tail of the space.
+            StreamStage::Fault(event) => 16 + u64::from(event),
         }
     }
 }
@@ -93,6 +101,9 @@ mod tests {
             StreamStage::Observe,
             StreamStage::Update,
             StreamStage::Corrupt,
+            StreamStage::Fault(0),
+            StreamStage::Fault(1),
+            StreamStage::Fault(11),
         ];
         let firsts: Vec<u64> = stages.iter().map(|&st| s.rng(3, st).gen()).collect();
         for i in 0..firsts.len() {

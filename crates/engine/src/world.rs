@@ -14,8 +14,10 @@
 
 use np_linalg::noise::NoiseMatrix;
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::channel::{Channel, ChannelKind};
+use crate::faults::{FaultEvent, FaultPlan, ScheduledFault};
 use crate::metrics::{
     OpinionSeries, RoundMetrics, RunObserver, RunOutcome, StageClock, StageTimings, TraceRecorder,
 };
@@ -25,6 +27,16 @@ use crate::protocol::{ColumnarProtocol, ColumnarState, Protocol};
 use crate::runner;
 use crate::streams::{RoundStreams, StreamStage};
 use crate::{EngineError, Result};
+
+/// A noise ramp in flight: the channel is rebuilt each round at the
+/// linearly interpolated uniform level until `over` rounds have passed.
+#[derive(Debug, Clone, Copy)]
+struct ActiveRamp {
+    from: f64,
+    to: f64,
+    over: u64,
+    start: u64,
+}
 
 /// A running instance of the noisy PULL model: one population, one
 /// protocol state, one noise matrix, one master seed.
@@ -52,6 +64,18 @@ pub struct World<P: ColumnarProtocol> {
     series: Option<OpinionSeries>,
     trace: Option<TraceRecorder>,
     observer: Option<Box<dyn RunObserver>>,
+    /// The opinion currently counted as correct. Starts as the
+    /// configuration's majority preference and flips with
+    /// [`FaultEvent::FlipSources`] (the environment's trend change).
+    correct_opinion: Opinion,
+    /// Scheduled fault events, sorted by round; `next_fault` indexes the
+    /// first not-yet-applied one.
+    faults: Vec<ScheduledFault<P::State>>,
+    next_fault: usize,
+    ramp: Option<ActiveRamp>,
+    /// Per-agent sleep horizon: agent `id` skips its update in every
+    /// round `r < asleep_until[id]`. Empty until a sleep event fires.
+    asleep_until: Vec<u64>,
 }
 
 impl<P: ColumnarProtocol> World<P> {
@@ -106,6 +130,7 @@ impl<P: ColumnarProtocol> World<P> {
         let state = protocol.init_state(&config, &RoundStreams::new(seed, 0));
         let n = config.n();
         let d = channel.alphabet_size();
+        let correct_opinion = config.correct_opinion();
         Ok(World {
             config,
             channel,
@@ -118,6 +143,11 @@ impl<P: ColumnarProtocol> World<P> {
             series: None,
             trace: None,
             observer: None,
+            correct_opinion,
+            faults: Vec::new(),
+            next_fault: 0,
+            ramp: None,
+            asleep_until: Vec::new(),
         })
     }
 
@@ -218,6 +248,136 @@ impl<P: ColumnarProtocol> World<P> {
         self.observer.take()
     }
 
+    /// Attaches a mid-run fault-injection schedule ([`crate::faults`]).
+    /// Replaces any previously scheduled events; effects already applied
+    /// (a ramp in flight, sleeping agents, a flipped trend) persist.
+    ///
+    /// Events fire just before their round executes and draw all
+    /// randomness from the per-agent fault streams, so faulted
+    /// trajectories remain byte-identical across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadFaultPlan`] if any event is scheduled at
+    /// or before the current round, or has out-of-range parameters (see
+    /// [`FaultPlan::validate`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan<P::State>) -> Result<()> {
+        plan.validate(self.round, self.channel.alphabet_size())?;
+        self.faults = plan.into_events();
+        self.next_fault = 0;
+        Ok(())
+    }
+
+    /// Returns `true` if a nonempty fault plan is attached.
+    pub fn has_fault_plan(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// The opinion currently counted as correct — the configuration's
+    /// majority preference, unless a [`FaultEvent::FlipSources`] event
+    /// flipped the trend.
+    pub fn correct_opinion(&self) -> Opinion {
+        self.correct_opinion
+    }
+
+    /// Applies every event scheduled for the round about to execute,
+    /// returning their trace labels. Label counts (agents hit, agents
+    /// slept) are deterministic: they derive from the fault streams.
+    fn apply_due_faults(&mut self, streams: &RoundStreams) -> Vec<String> {
+        let cur = self.round + 1;
+        let mut labels = Vec::new();
+        while self
+            .faults
+            .get(self.next_fault)
+            .is_some_and(|f| f.round == cur)
+        {
+            let idx = self.next_fault;
+            let event = self.faults[idx].event.clone();
+            self.next_fault += 1;
+            // Stream index = position in the plan: distinct events are
+            // independent even when they share an injection round.
+            let stage = StreamStage::Fault(u32::try_from(idx).unwrap_or(u32::MAX));
+            match event {
+                FaultEvent::Corrupt { frac, label, fault } => {
+                    let mut hit = 0usize;
+                    for id in 0..self.state.len() {
+                        let mut rng = streams.rng(id, stage);
+                        // The selection coin is always drawn, so an
+                        // agent's corruption never depends on the others.
+                        if rng.gen::<f64>() < frac {
+                            fault.apply(&mut self.state, id, &mut rng);
+                            hit += 1;
+                        }
+                    }
+                    labels.push(format!("{label}:{hit}"));
+                }
+                FaultEvent::FlipSources => {
+                    let flipped = self.state.flip_source_preferences();
+                    if flipped > 0 {
+                        self.correct_opinion = !self.correct_opinion;
+                    }
+                    labels.push(format!("flip-sources:{flipped}"));
+                }
+                FaultEvent::SetNoise { noise } => {
+                    self.ramp = None;
+                    self.channel = Channel::with_sampling(
+                        &noise,
+                        self.channel.kind(),
+                        self.channel.sampling_mode(),
+                    );
+                    labels.push(match noise.uniform_level() {
+                        Some(level) => format!("set-noise:{level}"),
+                        None => "set-noise".to_string(),
+                    });
+                }
+                FaultEvent::RampNoise { from, to, over } => {
+                    self.ramp = Some(ActiveRamp {
+                        from,
+                        to,
+                        over,
+                        start: cur,
+                    });
+                    labels.push(format!("ramp-noise:{from}->{to}/{over}"));
+                }
+                FaultEvent::Sleep { frac, rounds } => {
+                    if self.asleep_until.len() != self.state.len() {
+                        self.asleep_until = vec![0; self.state.len()];
+                    }
+                    let mut slept = 0usize;
+                    for (id, until) in self.asleep_until.iter_mut().enumerate() {
+                        let mut rng = streams.rng(id, stage);
+                        if rng.gen::<f64>() < frac {
+                            *until = (*until).max(cur + rounds);
+                            slept += 1;
+                        }
+                    }
+                    labels.push(format!("sleep:{slept}/{rounds}r"));
+                }
+            }
+        }
+        labels
+    }
+
+    /// Rebuilds the channel at the interpolated uniform noise level while
+    /// a [`FaultEvent::RampNoise`] is in flight. Runs after
+    /// [`World::apply_due_faults`], so the injection round executes at
+    /// the ramp's `from` level.
+    fn advance_ramp(&mut self) {
+        let Some(ramp) = self.ramp else { return };
+        let cur = self.round + 1;
+        let t = cur.saturating_sub(ramp.start).min(ramp.over);
+        let level = ramp.from + (ramp.to - ramp.from) * (t as f64 / ramp.over as f64);
+        // Endpoints were validated when the plan was attached, and the
+        // lerp stays between them, so construction cannot fail.
+        if let Ok(noise) = NoiseMatrix::uniform(self.channel.alphabet_size(), level) {
+            self.channel =
+                Channel::with_sampling(&noise, self.channel.kind(), self.channel.sampling_mode());
+        }
+        if t >= ramp.over {
+            self.ramp = None;
+        }
+    }
+
     /// Executes one synchronous round: display → sample+noise → update.
     ///
     /// Each phase is chunked over [`World::threads`] scoped workers; the
@@ -225,11 +385,18 @@ impl<P: ColumnarProtocol> World<P> {
     /// worker is re-raised on the caller with its original message.
     pub fn step(&mut self) {
         let n = self.config.n();
-        let d = self.channel.alphabet_size();
         let h = self.config.h();
         let streams = RoundStreams::new(self.seed, self.round);
         let threads = self.threads.clamp(1, n);
         let chunk = n.div_ceil(threads);
+
+        // Mid-run faults: events scheduled for the round about to execute
+        // are applied first (from the per-agent fault streams), then an
+        // in-flight noise ramp moves the channel one lerp step. `d` is
+        // read after, since SetNoise/RampNoise rebuild the channel.
+        let fault_labels = self.apply_due_faults(&streams);
+        self.advance_ramp();
+        let d = self.channel.alphabet_size();
 
         // Observability is pay-for-what-you-use: with no trace and no
         // observer attached there are no clock reads and no metrics sweep.
@@ -289,8 +456,21 @@ impl<P: ColumnarProtocol> World<P> {
             timings.observe = clock.lap();
         }
 
-        // Phase 4: updates, on disjoint mutable chunk views.
+        // Phase 4: updates, on disjoint mutable chunk views. Sleeping
+        // agents (fault subsystem) are masked out; the mask is `None` on
+        // the fault-free fast path.
         {
+            let cur = self.round + 1;
+            let awake: Option<Vec<bool>> = if self.asleep_until.iter().any(|&until| cur < until) {
+                Some(
+                    self.asleep_until
+                        .iter()
+                        .map(|&until| cur >= until)
+                        .collect(),
+                )
+            } else {
+                None
+            };
             let observations = &self.observations;
             let jobs: Vec<(usize, <P::State as ColumnarState>::ChunkMut<'_>)> = self
                 .state
@@ -302,7 +482,15 @@ impl<P: ColumnarProtocol> World<P> {
             runner::scatter(threads, jobs, |(start, mut view)| {
                 let end = (start + chunk).min(n);
                 let obs = &observations[start * d..end * d];
-                <P::State as ColumnarState>::step_chunk(&mut view, start..end, obs, d, &streams);
+                let mask = awake.as_deref().map(|mask| &mask[start..end]);
+                <P::State as ColumnarState>::step_chunk(
+                    &mut view,
+                    start..end,
+                    obs,
+                    d,
+                    &streams,
+                    mask,
+                );
             });
         }
 
@@ -315,7 +503,7 @@ impl<P: ColumnarProtocol> World<P> {
             series.push(self.state.count_opinion(Opinion::One));
         }
         if observing {
-            let metrics = self.collect_round_metrics();
+            let metrics = self.collect_round_metrics(fault_labels);
             if let Some(clock) = clock.as_mut() {
                 timings.collect = clock.lap();
             }
@@ -330,9 +518,9 @@ impl<P: ColumnarProtocol> World<P> {
 
     /// One O(n) sweep over the population collecting the round snapshot:
     /// correct count, stage occupancy, and weak-opinion accuracy.
-    fn collect_round_metrics(&self) -> RoundMetrics {
+    fn collect_round_metrics(&self, faults: Vec<String>) -> RoundMetrics {
         let n = self.state.len();
-        let correct_opinion = self.config.correct_opinion();
+        let correct_opinion = self.correct_opinion;
         let mut correct = 0usize;
         let mut stages: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
         let mut weak_formed = 0usize;
@@ -356,6 +544,7 @@ impl<P: ColumnarProtocol> World<P> {
             stages: stages.into_iter().collect(),
             weak_formed,
             weak_correct,
+            faults,
         }
     }
 
@@ -366,9 +555,10 @@ impl<P: ColumnarProtocol> World<P> {
         }
     }
 
-    /// Number of agents currently holding the correct opinion.
+    /// Number of agents currently holding the correct opinion (see
+    /// [`World::correct_opinion`]).
     pub fn correct_count(&self) -> usize {
-        self.state.count_opinion(self.config.correct_opinion())
+        self.state.count_opinion(self.correct_opinion)
     }
 
     /// Returns `true` if every agent (sources included) holds the correct
@@ -527,6 +717,14 @@ mod tests {
         }
         fn opinion(&self) -> Opinion {
             self.opinion
+        }
+        fn flip_source_preference(&mut self) -> bool {
+            if let Role::Source(p) = self.role {
+                self.role = Role::Source(!p);
+                true
+            } else {
+                false
+            }
         }
     }
 
@@ -827,5 +1025,199 @@ mod tests {
     fn debug_output_mentions_round() {
         let w = world(1);
         assert!(format!("{w:?}").contains("round"));
+    }
+
+    // ---- mid-run fault injection -------------------------------------
+
+    use crate::faults::{recovery_times, FaultEvent, FaultPlan};
+    use crate::protocol::ScalarState;
+    use std::sync::Arc;
+
+    type MajState = ScalarState<MajorityAgent>;
+
+    /// A corruption that forces the wrong opinion onto the selected agent.
+    fn zero_out(frac: f64) -> FaultEvent<MajState> {
+        FaultEvent::Corrupt {
+            frac,
+            label: "zero-out".to_string(),
+            fault: Arc::new(|state: &mut MajState, id: usize, _rng: &mut StdRng| {
+                state.agents_mut()[id].opinion = Opinion::Zero;
+            }),
+        }
+    }
+
+    #[test]
+    fn fault_plan_rejects_rounds_already_executed() {
+        let mut w = world(11);
+        w.run(3);
+        let err = w
+            .set_fault_plan(FaultPlan::new().at(3, FaultEvent::FlipSources))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadFaultPlan { .. }), "{err}");
+        assert!(!w.has_fault_plan());
+        assert!(w
+            .set_fault_plan(FaultPlan::new().at(4, FaultEvent::FlipSources))
+            .is_ok());
+        assert!(w.has_fault_plan());
+    }
+
+    #[test]
+    fn corrupt_event_fires_at_its_round_and_marks_the_trace() {
+        let mut w = world(12);
+        w.record_trace();
+        w.set_fault_plan(FaultPlan::new().at(5, zero_out(1.0)))
+            .unwrap();
+        w.run(6);
+        let trace = w.take_trace().unwrap();
+        let rounds = trace.rounds();
+        for m in &rounds[..4] {
+            assert!(m.faults.is_empty(), "round {} marked early", m.round);
+        }
+        // frac = 1.0 selects every agent (the selection coin is < 1.0
+        // with probability one), so the label counts all 32.
+        assert_eq!(rounds[4].faults, vec!["zero-out:32".to_string()]);
+        // All 12 sources re-assert their preference within the faulted
+        // round's own update, but the 20 coerced non-sources can only
+        // have recovered partially.
+        assert!(
+            rounds[4].correct < rounds[3].correct,
+            "corruption did not dent consensus: {} -> {}",
+            rounds[3].correct,
+            rounds[4].correct
+        );
+        assert!(rounds[5].faults.is_empty());
+    }
+
+    #[test]
+    fn flip_sources_flips_the_trend_and_reconverges() {
+        let mut w = world(13);
+        assert!(w.run_until_consensus(200).converged());
+        assert_eq!(w.correct_opinion(), Opinion::One);
+        let flip_round = w.round() + 1;
+        w.set_fault_plan(FaultPlan::new().at(flip_round, FaultEvent::FlipSources))
+            .unwrap();
+        w.step();
+        assert_eq!(w.correct_opinion(), Opinion::Zero, "trend flipped");
+        assert!(
+            !w.is_consensus(),
+            "old consensus must now count as incorrect"
+        );
+        let outcome = w.run_until_consensus(500);
+        assert!(outcome.converged(), "never re-converged: {outcome:?}");
+        assert_eq!(w.correct_count(), 32);
+        assert!(w.iter_agents().all(|a| a.opinion() == Opinion::Zero));
+    }
+
+    #[test]
+    fn sleeping_agents_freeze_while_the_world_churns() {
+        // δ = ½ re-randomizes every awake non-source each round, so a
+        // frozen opinion vector proves the updates really were skipped.
+        let mut w = noisy_world(14);
+        w.run(2);
+        w.set_fault_plan(FaultPlan::new().at(
+            3,
+            FaultEvent::Sleep {
+                frac: 1.0,
+                rounds: 3,
+            },
+        ))
+        .unwrap();
+        let before = w.opinions();
+        w.run(3);
+        assert_eq!(w.opinions(), before, "asleep agents must not update");
+        w.step();
+        assert_ne!(w.opinions(), before, "agents woke up frozen");
+    }
+
+    #[test]
+    fn set_noise_rebuilds_the_channel_mid_run() {
+        let mut w = world(15);
+        assert!(w.run_until_consensus(200).converged());
+        let round = w.round();
+        w.set_fault_plan(FaultPlan::new().at(
+            round + 1,
+            FaultEvent::SetNoise {
+                noise: NoiseMatrix::uniform(2, 0.5).unwrap(),
+            },
+        ))
+        .unwrap();
+        w.record_trace();
+        w.run(4);
+        let trace = w.take_trace().unwrap();
+        assert_eq!(trace.rounds()[0].faults, vec!["set-noise:0.5".to_string()]);
+        // Under fair-coin observations the 20 non-sources cannot all stay
+        // correct for 4 consecutive rounds (probability 2^-80).
+        assert!(
+            trace.rounds().iter().any(|m| m.correct < 32),
+            "δ = ½ noise left consensus untouched"
+        );
+    }
+
+    #[test]
+    fn faulted_trajectory_is_thread_count_invariant() {
+        let plan = || {
+            FaultPlan::new()
+                .at(2, zero_out(0.4))
+                .at(
+                    4,
+                    FaultEvent::Sleep {
+                        frac: 0.3,
+                        rounds: 2,
+                    },
+                )
+                .at(
+                    4,
+                    FaultEvent::RampNoise {
+                        from: 0.05,
+                        to: 0.3,
+                        over: 3,
+                    },
+                )
+                .at(9, FaultEvent::FlipSources)
+        };
+        let run = |threads: usize| {
+            let mut w = world(16);
+            w.set_threads(threads);
+            w.record_trace();
+            w.set_fault_plan(plan()).unwrap();
+            w.run(12);
+            (w.opinions(), w.take_trace().unwrap())
+        };
+        let (ref_opinions, ref_trace) = run(1);
+        assert_eq!(
+            ref_trace.rounds()[3].faults,
+            vec![
+                "sleep:7/2r".to_string(),
+                "ramp-noise:0.05->0.3/3".to_string()
+            ],
+            "same-round events keep plan order"
+        );
+        for threads in [2, 7] {
+            let (opinions, trace) = run(threads);
+            assert_eq!(opinions, ref_opinions, "threads = {threads}");
+            assert_eq!(
+                trace.rounds(),
+                ref_trace.rounds(),
+                "faulted trace differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_times_flow_from_a_faulted_trace() {
+        let mut w = world(17);
+        w.record_trace();
+        w.set_fault_plan(FaultPlan::new().at(4, zero_out(1.0)))
+            .unwrap();
+        assert!(w.run_until_stable_consensus(300, 5).converged());
+        let trace = w.take_trace().unwrap();
+        let recoveries = recovery_times(trace.rounds());
+        assert_eq!(recoveries.len(), 1);
+        assert_eq!(recoveries[0].round, 4);
+        assert_eq!(recoveries[0].label, "zero-out:32");
+        let rounds = recoveries[0]
+            .recovery_rounds()
+            .expect("the run re-converged");
+        assert!(rounds > 0, "full corruption must break consensus");
     }
 }

@@ -33,6 +33,13 @@ cargo test --workspace -q
 echo "### cargo test -p np-engine --release --features strict-invariants -q"
 cargo test -p np-engine --release --features strict-invariants -q
 
+# The fault-injection integration suites re-run with runtime invariant
+# checks kept in: mid-run corruption, noise ramps and sleep spans must
+# not be able to smuggle an inconsistent state past the engine.
+echo "### fault-injection tests under strict-invariants"
+cargo test --release --features strict-invariants -q \
+  --test self_stabilization --test observability
+
 # Cross-thread-count digest check: the same fixed-seed run must print a
 # byte-identical outcome digest at 1 and 4 worker threads.
 echo "### thread-count digest diff (1 vs 4 threads)"
@@ -67,5 +74,25 @@ traced_run 4
 diff "$trace_dir/t1.jsonl" "$trace_dir/t4.jsonl"
 diff "$trace_dir/s1.json" "$trace_dir/s4.json"
 echo "traces agree: $(wc -l < "$trace_dir/t1.jsonl") rounds"
+
+# Same diff under a nontrivial fault plan: fault randomness is drawn from
+# the per-agent streams, so mid-run corruption, a noise ramp and sleep
+# spans must not break the byte-identity of the artifacts either.
+echo "### thread-count faulted-trace diff (1 vs 4 threads)"
+faulted_run() {
+  cargo run -q --release -p np-cli -- \
+    run ssf --n 128 --delta 0.1 --c1 8 --seed 7 --threads "$1" \
+    --budget-intervals 20 \
+    --fault 20:all-wrong:0.5 --fault 30:ramp:0.15:8 --fault 30:sleep:0.25:3 \
+    --trace "$trace_dir/ft$1.jsonl" --metrics-out "$trace_dir/fs$1.json" \
+    > /dev/null
+}
+faulted_run 1
+faulted_run 4
+diff "$trace_dir/ft1.jsonl" "$trace_dir/ft4.jsonl"
+diff "$trace_dir/fs1.json" "$trace_dir/fs4.json"
+grep -q '"faults"' "$trace_dir/fs1.json" \
+  || { echo "faulted summary carries no recovery records" >&2; exit 1; }
+echo "faulted traces agree: $(wc -l < "$trace_dir/ft1.jsonl") rounds"
 
 echo "### ci.sh: all checks passed"

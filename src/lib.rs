@@ -60,12 +60,15 @@ pub mod prelude {
     pub use noisy_pull::ssf::SelfStabilizingSourceFilter;
     pub use noisy_pull::theory;
     pub use np_engine::channel::{Channel, ChannelKind, SamplingMode};
+    pub use np_engine::faults::{recovery_times, FaultEvent, FaultPlan, FaultRecovery, StateFault};
     pub use np_engine::metrics::{
         RoundMetrics, RunObserver, RunOutcome, StageTimings, TraceRecorder,
     };
     pub use np_engine::opinion::Opinion;
     pub use np_engine::population::{PopulationConfig, Role};
-    pub use np_engine::protocol::{AgentState, ColumnarProtocol, ColumnarState, Protocol};
+    pub use np_engine::protocol::{
+        AgentState, ColumnarProtocol, ColumnarState, Protocol, ScalarState,
+    };
     pub use np_engine::streams::{RoundStreams, StreamStage};
     pub use np_engine::world::World;
     pub use np_linalg::noise::NoiseMatrix;

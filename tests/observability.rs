@@ -181,6 +181,98 @@ fn columnar_sf_trace_matches_scalar() {
     assert_eq!(scalar_trace, columnar_trace);
 }
 
+/// A nontrivial fault plan — corruption, a noise ramp, sleepers and a
+/// trend change — must leave the serialized artifacts byte-identical
+/// across worker thread counts: fault randomness comes from the
+/// per-agent streams, never from the split of work across threads.
+#[test]
+fn faulted_trace_bytes_are_thread_count_invariant() {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::sync::Arc;
+
+    let plan = || {
+        FaultPlan::new()
+            .at(
+                3,
+                FaultEvent::Corrupt {
+                    frac: 0.5,
+                    label: "scramble".to_string(),
+                    fault: Arc::new(
+                        |state: &mut ScalarState<noisy_pull::ssf::SsfAgent>,
+                         id: usize,
+                         rng: &mut StdRng| {
+                            let opinion = Opinion::from_bool(rng.gen());
+                            state.agents_mut()[id].corrupt_state(opinion, opinion, [0; 4]);
+                        },
+                    ),
+                },
+            )
+            .at(
+                5,
+                FaultEvent::RampNoise {
+                    from: 0.1,
+                    to: 0.2,
+                    over: 4,
+                },
+            )
+            .at(
+                5,
+                FaultEvent::Sleep {
+                    frac: 0.25,
+                    rounds: 3,
+                },
+            )
+            .at(8, FaultEvent::FlipSources)
+    };
+    let mut reference: Option<(String, String)> = None;
+    for threads in THREADS {
+        let (mut world, params) = ssf_world(55);
+        world.set_threads(threads);
+        world.set_fault_plan(plan()).unwrap();
+        world.record_trace();
+        world.run(2 * params.update_interval());
+        let trace = world.take_trace().unwrap();
+        let jsonl = trace_jsonl(trace.rounds());
+        let summary =
+            RunSummary::from_final_metrics("ssf", world.config(), 55, trace.last().unwrap())
+                .with_faults(np_engine::faults::recovery_times(trace.rounds()))
+                .to_json();
+        match &reference {
+            None => reference = Some((jsonl, summary)),
+            Some((want_jsonl, want_summary)) => {
+                assert_eq!(
+                    want_jsonl, &jsonl,
+                    "faulted trace JSONL differs at {threads} threads"
+                );
+                assert_eq!(
+                    want_summary, &summary,
+                    "faulted summary differs at {threads} threads"
+                );
+            }
+        }
+    }
+    let (jsonl, summary) = reference.unwrap();
+    // Fault markers appear on exactly the injection rounds…
+    let marked: Vec<bool> = jsonl.lines().map(|l| l.contains("\"faults\":")).collect();
+    for (i, has_marker) in marked.iter().enumerate() {
+        let expected = matches!(i + 1, 3 | 5 | 8);
+        assert_eq!(
+            *has_marker,
+            expected,
+            "round {}: fault marker mismatch",
+            i + 1
+        );
+    }
+    // …with labels carrying the deterministic per-event counts.
+    assert!(jsonl.contains("\"scramble:"), "{jsonl}");
+    assert!(jsonl.contains("\"ramp-noise:0.1->0.2/4\""), "{jsonl}");
+    assert!(jsonl.contains("\"sleep:"), "{jsonl}");
+    assert!(jsonl.contains("\"flip-sources:1\""), "{jsonl}");
+    // …and the summary reports one recovery record per event.
+    assert_eq!(summary.matches("\"label\":").count(), 4, "{summary}");
+}
+
 #[test]
 fn round_json_stays_stable_for_golden_round() {
     let (mut world, _) = sf_world();

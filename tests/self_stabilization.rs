@@ -95,6 +95,93 @@ fn desynchronized_updates_still_converge() {
     assert!(outcome.converged());
 }
 
+/// Builds a mid-run corruption event that re-applies `adversary` to every
+/// agent (frac = 1) from the per-agent fault streams.
+fn mid_run_corruption(
+    adversary: SsfAdversary,
+    correct: Opinion,
+    m: u64,
+) -> FaultEvent<ScalarState<noisy_pull::ssf::SsfAgent>> {
+    use rand::rngs::StdRng;
+    use std::sync::Arc;
+    FaultEvent::Corrupt {
+        frac: 1.0,
+        label: adversary.name().to_string(),
+        fault: Arc::new(
+            move |state: &mut ScalarState<noisy_pull::ssf::SsfAgent>,
+                  id: usize,
+                  rng: &mut StdRng| {
+                adversary.corrupt(&mut state.agents_mut()[id], correct, m, id, rng);
+            },
+        ),
+    }
+}
+
+#[test]
+fn recovers_from_every_adversary_injected_mid_run() {
+    // Theorem 5 again, but with the corruption striking a *settled*
+    // system instead of the initial configuration: every strategy must
+    // re-converge within a few update intervals of the injection.
+    for adversary in SsfAdversary::ALL {
+        let (mut world, params) = corrupted_world(SsfAdversary::None, 256, 0xB2);
+        let interval = params.update_interval();
+        let inject = 4 * interval;
+        let correct = world.correct_opinion();
+        world
+            .set_fault_plan(
+                FaultPlan::new().at(inject, mid_run_corruption(adversary, correct, params.m())),
+            )
+            .unwrap();
+        world.record_trace();
+        // A fixed budget (not an early-exit runner): the run must pass
+        // through the injection round for the fault to fire at all.
+        world.run(12 * interval);
+        assert!(
+            world.is_consensus(),
+            "{adversary}: {}/256 at budget",
+            world.correct_count()
+        );
+        let trace = world.take_trace().unwrap();
+        let recoveries = recovery_times(trace.rounds());
+        assert_eq!(recoveries.len(), 1, "{adversary}: one event, one window");
+        assert_eq!(recoveries[0].round, inject);
+        let recovery = recoveries[0]
+            .recovery_rounds()
+            .unwrap_or_else(|| panic!("{adversary}: no recovery in trace window"));
+        assert!(
+            recovery <= 4 * interval,
+            "{adversary}: recovery took {recovery} rounds (> 4 intervals of {interval})"
+        );
+    }
+}
+
+#[test]
+fn trend_change_flips_the_target_and_ssf_follows() {
+    // The "trend change" scenario: mid-run, the environment inverts every
+    // source's preference. SSF must abandon the old consensus and settle
+    // on the new trend — self-stabilization against a moving target.
+    let (mut world, params) = corrupted_world(SsfAdversary::None, 256, 0xB3);
+    let interval = params.update_interval();
+    assert!(world
+        .run_until_stable_consensus(8 * interval, interval)
+        .converged());
+    assert_eq!(world.correct_opinion(), Opinion::One);
+    let flip_round = world.round() + 1;
+    world
+        .set_fault_plan(FaultPlan::new().at(flip_round, FaultEvent::FlipSources))
+        .unwrap();
+    // One explicit step: the stable-consensus runner would otherwise
+    // return before executing the flip round (it checks consensus first).
+    world.step();
+    assert_eq!(world.correct_opinion(), Opinion::Zero, "trend flipped");
+    let outcome = world.run_until_stable_consensus(12 * interval, interval);
+    assert!(
+        outcome.converged(),
+        "never adopted the new trend: {}/256 agree",
+        world.correct_count()
+    );
+}
+
 #[test]
 fn sf_is_not_self_stabilizing_motivating_ssf() {
     // Contrast test: corrupt SF's *clock* analog by scrambling opinions
