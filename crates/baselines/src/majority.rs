@@ -215,6 +215,51 @@ impl ColumnarState for MajorityColumns {
     }
 }
 
+impl np_engine::snapshot::SnapshotAgent for MajorityAgent {
+    const SNAP_TAG: &'static str = "majority-agent/v1";
+
+    fn encode_agent(&self, w: &mut np_engine::snapshot::SnapWriter) {
+        w.put_role(self.role);
+        w.put_opinion(self.opinion);
+    }
+
+    fn decode_agent(r: &mut np_engine::snapshot::SnapReader<'_>) -> np_engine::Result<Self> {
+        Ok(MajorityAgent {
+            role: r.take_role()?,
+            opinion: r.take_opinion()?,
+        })
+    }
+}
+
+impl np_engine::snapshot::SnapshotState for MajorityColumns {
+    const SNAP_TAG: &'static str = "majority-columns/v1";
+
+    fn encode_state(&self, w: &mut np_engine::snapshot::SnapWriter) {
+        let n = self.role.len();
+        w.put_usize(n);
+        for &role in &self.role {
+            w.put_role(role);
+        }
+        for &opinion in &self.opinion {
+            w.put_opinion(opinion);
+        }
+    }
+
+    fn decode_state(r: &mut np_engine::snapshot::SnapReader<'_>) -> np_engine::Result<Self> {
+        let n = r.take_usize()?;
+        let cap = n.min(r.remaining());
+        let mut role = Vec::with_capacity(cap);
+        for _ in 0..n {
+            role.push(r.take_role()?);
+        }
+        let mut opinion = Vec::with_capacity(cap);
+        for _ in 0..n {
+            opinion.push(r.take_opinion()?);
+        }
+        Ok(MajorityColumns { role, opinion })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,7 @@ impl std::error::Error for ArgsError {}
 
 /// Flags that never take a value. A bare occurrence means `true`;
 /// `--flag=false` is also accepted.
-pub const BOOLEAN_SWITCHES: &[&str] = &["exact", "digest"];
+pub const BOOLEAN_SWITCHES: &[&str] = &["exact", "digest", "resume"];
 
 /// Parsed flags: a map from flag name (without dashes) to the raw values
 /// it was given, in order (`"true"` for bare boolean flags), plus the

@@ -50,6 +50,13 @@ struct CommonFlags {
     metrics_out: Option<PathBuf>,
     /// Raw repeatable `--fault round:kind[:args]` specs.
     faults: Vec<String>,
+    /// Restore the world from this `np-snap/v1` file instead of a fresh
+    /// init (sf/ssf only).
+    restore: Option<PathBuf>,
+    /// Write periodic `np-snap/v1` checkpoints here (sf/ssf only).
+    checkpoint: Option<PathBuf>,
+    /// Checkpoint cadence in rounds (with `--checkpoint`).
+    checkpoint_every: u64,
 }
 
 impl CommonFlags {
@@ -66,6 +73,19 @@ impl CommonFlags {
             // pure performance knob.
             std::env::set_var(np_engine::runner::THREADS_ENV_VAR, t.to_string());
         }
+        let checkpoint: Option<PathBuf> = args.get_opt("checkpoint")?;
+        let every: Option<u64> = args.get_opt("checkpoint-every")?;
+        if every == Some(0) {
+            return Err(ArgsError(
+                "flag --checkpoint-every: must be at least 1".into(),
+            ));
+        }
+        if every.is_some() && checkpoint.is_none() {
+            return Err(ArgsError(
+                "flag --checkpoint-every: requires --checkpoint PATH".into(),
+            ));
+        }
+        let checkpoint_every = every.unwrap_or(32);
         Ok(CommonFlags {
             n,
             h: args.get_or("h", n)?,
@@ -79,6 +99,9 @@ impl CommonFlags {
             trace: args.get_opt("trace")?,
             metrics_out: args.get_opt("metrics-out")?,
             faults: args.get_all("fault"),
+            restore: args.get_opt("restore")?,
+            checkpoint,
+            checkpoint_every,
         })
     }
 
@@ -196,21 +219,65 @@ fn no_corrupt_kinds<S>(kind: &str, _frac: f64) -> Result<FaultEvent<S>, String> 
     ))
 }
 
+/// Writes an `np-snap/v1` blob atomically (temp file + rename), creating
+/// parent directories if needed.
+fn save_snapshot(path: &std::path::Path, bytes: &[u8]) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(err)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(err)?;
+    std::fs::rename(&tmp, path).map_err(err)
+}
+
+/// The per-round hook sf/ssf use to write `--checkpoint` snapshots.
+/// Snapshots are never taken of a consensus or end-of-budget state: a
+/// checkpoint always has live work after it.
+fn checkpoint_hook<P>(
+    common: &CommonFlags,
+    budget: u64,
+) -> impl FnMut(&World<P>) -> Result<(), String> + '_
+where
+    P: np_engine::protocol::ColumnarProtocol,
+    P::State: np_engine::snapshot::SnapshotState,
+{
+    move |world: &World<P>| {
+        let Some(path) = &common.checkpoint else {
+            return Ok(());
+        };
+        if world.round().is_multiple_of(common.checkpoint_every)
+            && world.round() < budget
+            && !world.is_consensus()
+        {
+            save_snapshot(path, &world.snapshot())?;
+        }
+        Ok(())
+    }
+}
+
 fn report_run<P: Protocol>(
     world: &mut World<P>,
     budget: u64,
     label: &str,
     common: &CommonFlags,
+    mut on_round: impl FnMut(&World<P>) -> Result<(), String>,
 ) -> CliResult {
     if common.observing() || world.has_fault_plan() {
         world.record_trace();
     }
-    let mut last_bad = 0u64;
-    for r in 1..=budget {
+    // `while round < budget` (not `for 1..=budget`): a `--restore`d world
+    // starts mid-run and must only execute the remaining rounds.
+    let mut last_bad = world.round();
+    while world.round() < budget {
         world.step();
         if !world.is_consensus() {
-            last_bad = r;
+            last_bad = world.round();
         }
+        on_round(world)?;
     }
     let n = world.config().n();
     if world.is_consensus() {
@@ -268,7 +335,9 @@ fn report_run<P: Protocol>(
             let last = trace
                 .last()
                 .ok_or("--metrics-out: no rounds were executed (budget 0?)")?;
-            RunSummary::from_final_metrics(label, world.config(), common.seed, last)
+            // The world's own seed, not the flag: a `--restore`d world
+            // keeps the seed of the run that produced the snapshot.
+            RunSummary::from_final_metrics(label, world.config(), world.seed(), last)
                 .with_faults(recoveries)
                 .save(path)
                 .map_err(err)?;
@@ -296,20 +365,45 @@ pub fn run_sf(args: &Args) -> CliResult {
         params.m(),
         params.total_rounds()
     );
-    let mut world = World::new(
-        &SourceFilter::new(params),
-        config,
-        &noise,
-        common.channel(),
-        common.seed,
-    )
-    .map_err(err)?;
+    let protocol = SourceFilter::new(params);
+    let mut world = match &common.restore {
+        Some(path) => restore_world(&protocol, path)?,
+        None => {
+            World::new(&protocol, config, &noise, common.channel(), common.seed).map_err(err)?
+        }
+    };
     common.tune(&mut world);
     if !common.faults.is_empty() {
         let plan = parse_faults(&common.faults, 2, common.delta, no_corrupt_kinds)?;
-        world.set_fault_plan(plan).map_err(err)?;
+        if common.restore.is_some() {
+            // The snapshot carries the fault *cursor*; re-supply the full
+            // plan so pending events keep their stream coordinates.
+            world.reattach_fault_plan(plan).map_err(err)?;
+        } else {
+            world.set_fault_plan(plan).map_err(err)?;
+        }
     }
-    report_run(&mut world, params.total_rounds(), "SF", &common)
+    let budget = params.total_rounds();
+    let hook = checkpoint_hook(&common, budget);
+    report_run(&mut world, budget, "SF", &common, hook)
+}
+
+/// Reads and restores an `np-snap/v1` world for `--restore`.
+fn restore_world<P>(protocol: &P, path: &std::path::Path) -> Result<World<P>, String>
+where
+    P: np_engine::protocol::ColumnarProtocol,
+    P::State: np_engine::snapshot::SnapshotState,
+{
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
+    let world = World::restore(protocol, &bytes).map_err(err)?;
+    println!(
+        "restored {} from round {} (seed {})",
+        path.display(),
+        world.round(),
+        world.seed()
+    );
+    Ok(world)
 }
 
 /// `run ssf` — run Algorithm SSF, optionally under an adversary.
@@ -343,18 +437,21 @@ pub fn run_ssf(args: &Args) -> CliResult {
         params.m(),
         params.update_interval()
     );
-    let mut world = World::new(
-        &SelfStabilizingSourceFilter::new(params),
-        config,
-        &noise,
-        common.channel(),
-        common.seed,
-    )
-    .map_err(err)?;
+    let protocol = SelfStabilizingSourceFilter::new(params);
+    let mut world = match &common.restore {
+        Some(path) => restore_world(&protocol, path)?,
+        None => {
+            World::new(&protocol, config, &noise, common.channel(), common.seed).map_err(err)?
+        }
+    };
     common.tune(&mut world);
     let correct = config.correct_opinion();
     let m = params.m();
-    world.corrupt_agents(|id, agent, rng| adversary.corrupt(agent, correct, m, id, rng));
+    if common.restore.is_none() {
+        // Initial adversarial corruption is part of round 0; a restored
+        // world already carries its effects in the snapshot.
+        world.corrupt_agents(|id, agent, rng| adversary.corrupt(agent, correct, m, id, rng));
+    }
     if !common.faults.is_empty() {
         let plan = parse_faults(&common.faults, 4, common.delta, |kind, frac| {
             let adv = SsfAdversary::ALL
@@ -380,14 +477,15 @@ pub fn run_ssf(args: &Args) -> CliResult {
                 ),
             })
         })?;
-        world.set_fault_plan(plan).map_err(err)?;
+        if common.restore.is_some() {
+            world.reattach_fault_plan(plan).map_err(err)?;
+        } else {
+            world.set_fault_plan(plan).map_err(err)?;
+        }
     }
-    report_run(
-        &mut world,
-        intervals * params.update_interval(),
-        "SSF",
-        &common,
-    )
+    let budget = intervals * params.update_interval();
+    let hook = checkpoint_hook(&common, budget);
+    report_run(&mut world, budget, "SSF", &common, hook)
 }
 
 /// `run baseline <name>` — run one of the comparison protocols.
@@ -398,6 +496,11 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
     if !common.faults.is_empty() {
         return Err("--fault is only supported for the sf and ssf subcommands".into());
     }
+    if common.restore.is_some() || common.checkpoint.is_some() {
+        return Err(
+            "--restore/--checkpoint are only supported for the sf and ssf subcommands".into(),
+        );
+    }
     let config = common.config()?;
     match name {
         "voter" => {
@@ -406,7 +509,7 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
                 World::new(&ZealotVoter, config, &noise, common.channel(), common.seed)
                     .map_err(err)?;
             common.tune(&mut world);
-            report_run(&mut world, budget, "zealot-voter", &common)?;
+            report_run(&mut world, budget, "zealot-voter", &common, |_| Ok(()))?;
         }
         "majority" => {
             let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
@@ -414,7 +517,7 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
                 World::new(&HMajority, config, &noise, common.channel(), common.seed)
                     .map_err(err)?;
             common.tune(&mut world);
-            report_run(&mut world, budget, "h-majority", &common)?;
+            report_run(&mut world, budget, "h-majority", &common, |_| Ok(()))?;
         }
         "trusting-copy" => {
             let noise = NoiseMatrix::uniform(4, common.delta).map_err(err)?;
@@ -422,7 +525,7 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
                 World::new(&TrustingCopy, config, &noise, common.channel(), common.seed)
                     .map_err(err)?;
             common.tune(&mut world);
-            report_run(&mut world, budget, "trusting-copy", &common)?;
+            report_run(&mut world, budget, "trusting-copy", &common, |_| Ok(()))?;
         }
         "mean-estimator" => {
             let noise = NoiseMatrix::uniform(2, common.delta).map_err(err)?;
@@ -430,7 +533,7 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
             let mut world =
                 World::new(&proto, config, &noise, common.channel(), common.seed).map_err(err)?;
             common.tune(&mut world);
-            report_run(&mut world, budget, "mean-estimator", &common)?;
+            report_run(&mut world, budget, "mean-estimator", &common, |_| Ok(()))?;
         }
         "push" => {
             if common.observing() {
@@ -536,6 +639,86 @@ pub fn reduce_cmd(args: &Args) -> CliResult {
     let composed = noise.compose(reduction.artificial()).map_err(err)?;
     println!("composed N·P (exactly δ'-uniform):");
     println!("{:?}", composed.as_matrix());
+    Ok(())
+}
+
+/// `sweep run SPEC --out DIR` — run (or `--resume`) a checkpointed
+/// parameter sweep described by a spec file.
+pub fn sweep_run(args: &Args) -> CliResult {
+    let out: PathBuf = args
+        .get_opt("out")
+        .map_err(err)?
+        .ok_or("sweep run: missing --out DIR")?;
+    let checkpoint_every = args.get_or("checkpoint-every", 16u64).map_err(err)?;
+    let stop_after = args.get_opt("stop-after").map_err(err)?;
+    let threads = args
+        .get_or("threads", np_engine::runner::suggested_threads())
+        .map_err(err)?;
+    let resume = args.switch("resume").map_err(err)?;
+    args.finish().map_err(err)?;
+    let spec_path = match args.positional() {
+        [path] => PathBuf::from(path),
+        [] => return Err("sweep run: missing SPEC file".into()),
+        more => {
+            return Err(format!(
+                "sweep run: expected one SPEC file, got {}",
+                more.len()
+            ))
+        }
+    };
+    let spec = np_sweep::spec::SweepSpec::load(&spec_path).map_err(err)?;
+    let jobs = spec.jobs().len();
+    println!(
+        "sweep: {jobs} job(s) from {} → {}",
+        spec_path.display(),
+        out.display()
+    );
+    let opts = np_sweep::scheduler::SweepOptions {
+        out,
+        checkpoint_every,
+        stop_after,
+        threads,
+        resume,
+    };
+    let outcome = np_sweep::scheduler::run_sweep(&spec, &opts).map_err(err)?;
+    if outcome.stopped_early {
+        println!("sweep: stopped after --stop-after checkpoint budget; continue with --resume");
+    } else {
+        println!(
+            "sweep: {} job(s) run, {} already done; report: {}",
+            outcome.completed,
+            outcome.skipped,
+            outcome
+                .report
+                .as_deref()
+                .map_or_else(|| "-".to_string(), |p| p.display().to_string())
+        );
+    }
+    Ok(())
+}
+
+/// `sweep throughput` — measure wall-clock SF rounds/sec at engine thread
+/// counts 1 and 4 and record the perf point in `BENCH_throughput.json`.
+pub fn sweep_throughput(args: &Args) -> CliResult {
+    let spec = np_sweep::scheduler::ThroughputSpec {
+        n: args.get_or("n", 4096usize).map_err(err)?,
+        rounds: args.get_or("rounds", 200u64).map_err(err)?,
+        delta: args.get_or("delta", 0.2f64).map_err(err)?,
+        seed: args.get_or("seed", 42u64).map_err(err)?,
+    };
+    args.finish().map_err(err)?;
+    let points = np_sweep::scheduler::measure_throughput(&spec).map_err(err)?;
+    for p in &points {
+        println!(
+            "{}: {:.0} rounds/sec ({:.2} ms for {} rounds)",
+            p.label,
+            np_sweep::scheduler::rounds_per_sec(p),
+            p.mean_wall_ms,
+            spec.rounds
+        );
+    }
+    let path = np_bench::report::save_bench_json("throughput", &points).map_err(err)?;
+    println!("throughput bench: {}", path.display());
     Ok(())
 }
 
@@ -714,6 +897,109 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.contains("push"), "{e}");
+    }
+
+    #[test]
+    fn sf_checkpoint_restore_reproduces_the_straight_trace() {
+        let dir = std::env::temp_dir().join("np_cli_checkpoint_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let snap = dir.join("sf.snap");
+        let straight = dir.join("straight.jsonl");
+        let resumed = dir.join("resumed.jsonl");
+        let base = ["--n", "64", "--delta", "0.1", "--seed", "9"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            args(&v)
+        };
+        // Straight run, tracing; also drops checkpoints along the way.
+        run_sf(&with(&[
+            "--trace",
+            straight.to_str().unwrap(),
+            "--checkpoint",
+            snap.to_str().unwrap(),
+            "--checkpoint-every",
+            "8",
+        ]))
+        .unwrap();
+        // Restore the last checkpoint and finish the run: the full trace
+        // must be byte-identical to the straight run's.
+        run_sf(&with(&[
+            "--restore",
+            snap.to_str().unwrap(),
+            "--trace",
+            resumed.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&straight).unwrap(),
+            std::fs::read(&resumed).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        let e = run_sf(&args(&["--n", "64", "--checkpoint-every", "8"])).unwrap_err();
+        assert!(e.contains("requires --checkpoint"), "{e}");
+        let e = run_sf(&args(&[
+            "--n",
+            "64",
+            "--checkpoint",
+            "x.snap",
+            "--checkpoint-every",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = run_baseline("voter", &args(&["--n", "32", "--restore", "x.snap"])).unwrap_err();
+        assert!(e.contains("sf and ssf"), "{e}");
+        let e = run_sf(&args(&["--n", "64", "--restore", "/no/such/file.snap"])).unwrap_err();
+        assert!(e.contains("cannot read snapshot"), "{e}");
+    }
+
+    #[test]
+    fn sweep_run_and_resume_via_cli() {
+        let dir = std::env::temp_dir().join("np_cli_sweep_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.txt");
+        std::fs::write(
+            &spec,
+            "protocol = sf\nn = 32\ndelta = 0.1\nruns = 2\nseed = 3\n",
+        )
+        .unwrap();
+        let out = dir.join("out");
+        sweep_run(&args(&[
+            spec.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--checkpoint-every",
+            "8",
+        ]))
+        .unwrap();
+        let report = std::fs::read_to_string(out.join("report.json")).unwrap();
+        assert!(report.contains("\"schema\": \"np-bench/v1\""));
+        // Re-running without --resume refuses; with --resume it skips.
+        let e = sweep_run(&args(&[
+            spec.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--resume"), "{e}");
+        sweep_run(&args(&[
+            spec.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--resume",
+        ]))
+        .unwrap();
+        let e = sweep_run(&args(&["--out", out.to_str().unwrap()])).unwrap_err();
+        assert!(e.contains("missing SPEC"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

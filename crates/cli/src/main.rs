@@ -21,6 +21,8 @@ COMMANDS:
     run sf          run Algorithm SF (Source Filter)
     run ssf         run Algorithm SSF (Self-stabilizing Source Filter)
     run baseline X  run a baseline: voter | majority | trusting-copy | mean-estimator | push
+    sweep run SPEC  run a checkpointed parameter sweep from a spec file
+    sweep throughput  measure SF rounds/sec (threads 1/4) into BENCH_throughput.json
     theory          evaluate the Theorem 3/4/5 closed-form bounds
     reduce          derive the Theorem 8 artificial-noise matrix
     help            show this message
@@ -55,6 +57,25 @@ COMMON FLAGS:
     --budget R      round budget for baselines (default 1000)
     --budget-intervals I   SSF budget in update intervals (default 10)
     --rows \"a,b;c,d\"       reduce: the channel matrix, row-major
+
+SNAPSHOTS (sf/ssf):
+    --checkpoint PATH      write an np-snap/v1 snapshot every K rounds
+    --checkpoint-every K   snapshot cadence (default 32; needs --checkpoint)
+    --restore PATH         resume a run from a snapshot; pass the same
+                           flags as the original run (--fault plans are
+                           re-attached at the saved cursor)
+
+SWEEPS:
+    sweep run SPEC --out DIR [--resume] [--threads T]
+                   [--checkpoint-every K] [--stop-after N]
+        SPEC is `key = value[, value...]` lines (# comments):
+        protocol/n/delta accept comma grids; h, s0, s1, c1, runs, seed,
+        budget-intervals are scalars. Progress lives in DIR/manifest.jsonl
+        (np-manifest/v1); finished sweeps aggregate to DIR/report.json
+        (np-bench/v1), byte-identical however the sweep was interrupted,
+        resumed or threaded. --stop-after N exits after N checkpoint
+        writes (the CI kill switch).
+    sweep throughput [--n N] [--rounds R] [--delta D] [--seed S]
 ";
 
 fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -86,6 +107,19 @@ fn dispatch(argv: &[String]) -> Result<(), String> {
                         }
                     }
                     [] => Err("run: missing protocol (sf | ssf | baseline <name>)".into()),
+                },
+                "sweep" => match rest {
+                    [what, flags @ ..] => {
+                        let args = Args::parse(flags.iter().cloned()).map_err(|e| e.to_string())?;
+                        match what.as_str() {
+                            "run" => commands::sweep_run(&args),
+                            "throughput" => commands::sweep_throughput(&args),
+                            other => Err(format!(
+                                "unknown sweep subcommand `{other}`; try run, throughput"
+                            )),
+                        }
+                    }
+                    [] => Err("sweep: missing subcommand (run SPEC | throughput)".into()),
                 },
                 "theory" => {
                     let args = Args::parse(rest.iter().cloned()).map_err(|e| e.to_string())?;

@@ -285,6 +285,107 @@ impl ColumnarState for AltSfColumns {
     }
 }
 
+impl np_engine::snapshot::SnapshotState for AltSfColumns {
+    const SNAP_TAG: &'static str = "sf-alt-columns/v1";
+
+    fn encode_state(&self, w: &mut np_engine::snapshot::SnapWriter) {
+        let n = self.role.len();
+        w.put_usize(n);
+        self.params.encode_snap(w);
+        for &role in &self.role {
+            w.put_role(role);
+        }
+        for &stage in &self.stage {
+            match stage {
+                Stage::Listening => w.put_u8(0),
+                Stage::Boost(k) => {
+                    w.put_u8(1);
+                    w.put_u64(k);
+                }
+                Stage::Done => w.put_u8(2),
+            }
+        }
+        for lane in [&self.round_in_stage, &self.mem0, &self.mem1] {
+            for &x in lane {
+                w.put_u64(x);
+            }
+        }
+        for &base in &self.base_display {
+            w.put_opinion(base);
+        }
+        for &d in &self.diff {
+            w.put_i64(d);
+        }
+        for &weak in &self.weak {
+            w.put_opt_opinion(weak);
+        }
+        for &opinion in &self.opinion {
+            w.put_opinion(opinion);
+        }
+    }
+
+    fn decode_state(r: &mut np_engine::snapshot::SnapReader<'_>) -> np_engine::Result<Self> {
+        let n = r.take_usize()?;
+        let params = SfParams::decode_snap(r)?;
+        let cap = n.min(r.remaining());
+        let mut role = Vec::with_capacity(cap);
+        for _ in 0..n {
+            role.push(r.take_role()?);
+        }
+        let mut stage = Vec::with_capacity(cap);
+        for _ in 0..n {
+            stage.push(match r.take_u8()? {
+                0 => Stage::Listening,
+                1 => Stage::Boost(r.take_u64()?),
+                2 => Stage::Done,
+                x => {
+                    return Err(np_engine::EngineError::BadSnapshot {
+                        detail: format!("invalid SF-ALT stage byte {x}"),
+                    })
+                }
+            });
+        }
+        let mut u64_lane = || -> np_engine::Result<Vec<u64>> {
+            let mut lane = Vec::with_capacity(cap);
+            for _ in 0..n {
+                lane.push(r.take_u64()?);
+            }
+            Ok(lane)
+        };
+        let round_in_stage = u64_lane()?;
+        let mem0 = u64_lane()?;
+        let mem1 = u64_lane()?;
+        let mut base_display = Vec::with_capacity(cap);
+        for _ in 0..n {
+            base_display.push(r.take_opinion()?);
+        }
+        let mut diff = Vec::with_capacity(cap);
+        for _ in 0..n {
+            diff.push(r.take_i64()?);
+        }
+        let mut weak = Vec::with_capacity(cap);
+        for _ in 0..n {
+            weak.push(r.take_opt_opinion()?);
+        }
+        let mut opinion = Vec::with_capacity(cap);
+        for _ in 0..n {
+            opinion.push(r.take_opinion()?);
+        }
+        Ok(AltSfColumns {
+            params,
+            role,
+            stage,
+            round_in_stage,
+            base_display,
+            diff,
+            weak,
+            opinion,
+            mem0,
+            mem1,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

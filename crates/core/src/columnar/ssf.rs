@@ -263,6 +263,72 @@ impl ColumnarState for SsfColumns {
     }
 }
 
+impl np_engine::snapshot::SnapshotState for SsfColumns {
+    const SNAP_TAG: &'static str = "ssf-columns/v1";
+
+    fn encode_state(&self, w: &mut np_engine::snapshot::SnapWriter) {
+        let n = self.role.len();
+        w.put_usize(n);
+        w.put_u64(self.m);
+        for &role in &self.role {
+            w.put_role(role);
+        }
+        for lane in &self.mem {
+            for &x in lane {
+                w.put_u64(x);
+            }
+        }
+        for lane in [&self.mem_size, &self.updates] {
+            for &x in lane {
+                w.put_u64(x);
+            }
+        }
+        for &weak in &self.weak {
+            w.put_opinion(weak);
+        }
+        for &opinion in &self.opinion {
+            w.put_opinion(opinion);
+        }
+    }
+
+    fn decode_state(r: &mut np_engine::snapshot::SnapReader<'_>) -> np_engine::Result<Self> {
+        let n = r.take_usize()?;
+        let m = r.take_u64()?;
+        let cap = n.min(r.remaining());
+        let mut role = Vec::with_capacity(cap);
+        for _ in 0..n {
+            role.push(r.take_role()?);
+        }
+        let mut u64_lane = || -> np_engine::Result<Vec<u64>> {
+            let mut lane = Vec::with_capacity(cap);
+            for _ in 0..n {
+                lane.push(r.take_u64()?);
+            }
+            Ok(lane)
+        };
+        let mem = [u64_lane()?, u64_lane()?, u64_lane()?, u64_lane()?];
+        let mem_size = u64_lane()?;
+        let updates = u64_lane()?;
+        let mut weak = Vec::with_capacity(cap);
+        for _ in 0..n {
+            weak.push(r.take_opinion()?);
+        }
+        let mut opinion = Vec::with_capacity(cap);
+        for _ in 0..n {
+            opinion.push(r.take_opinion()?);
+        }
+        Ok(SsfColumns {
+            m,
+            role,
+            mem,
+            mem_size,
+            weak,
+            opinion,
+            updates,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -175,6 +175,38 @@ impl SfParams {
     pub fn total_rounds(&self) -> u64 {
         2 * self.phase_len + self.num_short_subphases * self.subphase_len + self.final_subphase_len
     }
+
+    /// Appends the full schedule to an `np-snap/v1` writer. The derived
+    /// values are persisted verbatim — a restored run must use *exactly*
+    /// the schedule it started with, not a re-derivation.
+    pub(crate) fn encode_snap(&self, out: &mut np_engine::snapshot::SnapWriter) {
+        out.put_usize(self.n);
+        out.put_usize(self.h);
+        out.put_f64(self.delta);
+        out.put_u64(self.m);
+        out.put_u64(self.w);
+        out.put_u64(self.phase_len);
+        out.put_u64(self.subphase_len);
+        out.put_u64(self.final_subphase_len);
+        out.put_u64(self.num_short_subphases);
+    }
+
+    /// Decodes a schedule written by [`SfParams::encode_snap`].
+    pub(crate) fn decode_snap(
+        r: &mut np_engine::snapshot::SnapReader<'_>,
+    ) -> np_engine::Result<Self> {
+        Ok(SfParams {
+            n: r.take_usize()?,
+            h: r.take_usize()?,
+            delta: r.take_f64()?,
+            m: r.take_u64()?,
+            w: r.take_u64()?,
+            phase_len: r.take_u64()?,
+            subphase_len: r.take_u64()?,
+            final_subphase_len: r.take_u64()?,
+            num_short_subphases: r.take_u64()?,
+        })
+    }
 }
 
 /// Derived parameters for Algorithm SSF (Self-stabilizing Source Filter).

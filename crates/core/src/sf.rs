@@ -312,6 +312,60 @@ impl AgentState for SfAgent {
     }
 }
 
+impl np_engine::snapshot::SnapshotAgent for SfAgent {
+    const SNAP_TAG: &'static str = "sf-agent/v1";
+
+    fn encode_agent(&self, w: &mut np_engine::snapshot::SnapWriter) {
+        w.put_role(self.role);
+        self.params.encode_snap(w);
+        match self.stage {
+            Stage::Listen0 => w.put_u8(0),
+            Stage::Listen1 => w.put_u8(1),
+            Stage::Boost(k) => {
+                w.put_u8(2);
+                w.put_u64(k);
+            }
+            Stage::Done => w.put_u8(3),
+        }
+        w.put_u64(self.round_in_stage);
+        w.put_u64(self.counter1);
+        w.put_u64(self.counter0);
+        w.put_opt_opinion(self.weak);
+        w.put_opinion(self.opinion);
+        w.put_u64(self.mem[0]);
+        w.put_u64(self.mem[1]);
+        w.put_u64(self.gathered);
+    }
+
+    fn decode_agent(r: &mut np_engine::snapshot::SnapReader<'_>) -> np_engine::Result<Self> {
+        let role = r.take_role()?;
+        let params = SfParams::decode_snap(r)?;
+        let stage = match r.take_u8()? {
+            0 => Stage::Listen0,
+            1 => Stage::Listen1,
+            2 => Stage::Boost(r.take_u64()?),
+            3 => Stage::Done,
+            x => {
+                return Err(np_engine::EngineError::BadSnapshot {
+                    detail: format!("invalid SF stage byte {x}"),
+                })
+            }
+        };
+        Ok(SfAgent {
+            role,
+            params,
+            stage,
+            round_in_stage: r.take_u64()?,
+            counter1: r.take_u64()?,
+            counter0: r.take_u64()?,
+            weak: r.take_opt_opinion()?,
+            opinion: r.take_opinion()?,
+            mem: [r.take_u64()?, r.take_u64()?],
+            gathered: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

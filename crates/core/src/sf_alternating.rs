@@ -221,6 +221,56 @@ impl AgentState for AltSfAgent {
     }
 }
 
+impl np_engine::snapshot::SnapshotAgent for AltSfAgent {
+    const SNAP_TAG: &'static str = "sf-alt-agent/v1";
+
+    fn encode_agent(&self, w: &mut np_engine::snapshot::SnapWriter) {
+        w.put_role(self.role);
+        self.params.encode_snap(w);
+        match self.stage {
+            Stage::Listening => w.put_u8(0),
+            Stage::Boost(k) => {
+                w.put_u8(1);
+                w.put_u64(k);
+            }
+            Stage::Done => w.put_u8(2),
+        }
+        w.put_u64(self.round_in_stage);
+        w.put_opinion(self.base_display);
+        w.put_i64(self.diff);
+        w.put_opt_opinion(self.weak);
+        w.put_opinion(self.opinion);
+        w.put_u64(self.mem[0]);
+        w.put_u64(self.mem[1]);
+    }
+
+    fn decode_agent(r: &mut np_engine::snapshot::SnapReader<'_>) -> np_engine::Result<Self> {
+        let role = r.take_role()?;
+        let params = SfParams::decode_snap(r)?;
+        let stage = match r.take_u8()? {
+            0 => Stage::Listening,
+            1 => Stage::Boost(r.take_u64()?),
+            2 => Stage::Done,
+            x => {
+                return Err(np_engine::EngineError::BadSnapshot {
+                    detail: format!("invalid SF-ALT stage byte {x}"),
+                })
+            }
+        };
+        Ok(AltSfAgent {
+            role,
+            params,
+            stage,
+            round_in_stage: r.take_u64()?,
+            base_display: r.take_opinion()?,
+            diff: r.take_i64()?,
+            weak: r.take_opt_opinion()?,
+            opinion: r.take_opinion()?,
+            mem: [r.take_u64()?, r.take_u64()?],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

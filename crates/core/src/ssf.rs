@@ -249,6 +249,34 @@ impl AgentState for SsfAgent {
     }
 }
 
+impl np_engine::snapshot::SnapshotAgent for SsfAgent {
+    const SNAP_TAG: &'static str = "ssf-agent/v1";
+
+    fn encode_agent(&self, w: &mut np_engine::snapshot::SnapWriter) {
+        w.put_role(self.role);
+        w.put_u64(self.m);
+        for &count in &self.mem {
+            w.put_u64(count);
+        }
+        w.put_u64(self.mem_size);
+        w.put_opinion(self.weak);
+        w.put_opinion(self.opinion);
+        w.put_u64(self.updates);
+    }
+
+    fn decode_agent(r: &mut np_engine::snapshot::SnapReader<'_>) -> np_engine::Result<Self> {
+        Ok(SsfAgent {
+            role: r.take_role()?,
+            m: r.take_u64()?,
+            mem: [r.take_u64()?, r.take_u64()?, r.take_u64()?, r.take_u64()?],
+            mem_size: r.take_u64()?,
+            weak: r.take_opinion()?,
+            opinion: r.take_opinion()?,
+            updates: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

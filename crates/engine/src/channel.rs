@@ -148,6 +148,13 @@ impl Channel {
         self.mode
     }
 
+    /// The raw noise rows (`rows[displayed][observed]`), for snapshot
+    /// serialization — together with [`Channel::kind`] and
+    /// [`Channel::sampling_mode`] they reconstruct the channel exactly.
+    pub(crate) fn noise_rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
     /// Applies the channel noise to a single displayed symbol, returning
     /// the observed symbol.
     ///

@@ -31,6 +31,13 @@ pub enum EngineError {
         /// Description of the violation.
         detail: String,
     },
+    /// An `np-snap/v1` snapshot could not be decoded: truncated bytes,
+    /// wrong magic or state tag, or contents inconsistent with the
+    /// protocol being restored.
+    BadSnapshot {
+        /// Description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -52,6 +59,9 @@ impl fmt::Display for EngineError {
             EngineError::BadFaultPlan { detail } => {
                 write!(f, "bad fault plan: {detail}")
             }
+            EngineError::BadSnapshot { detail } => {
+                write!(f, "bad snapshot: {detail}")
+            }
         }
     }
 }
@@ -72,6 +82,7 @@ mod tests {
                 noise: 4,
             },
             EngineError::BadFaultPlan { detail: "y".into() },
+            EngineError::BadSnapshot { detail: "z".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -246,8 +246,16 @@ impl<S> FaultPlan<S> {
     /// fractions must be probabilities, spans must be ≥ 1 round, and
     /// noise levels must yield valid `d`-symbol matrices.
     pub fn validate(&self, current_round: u64, d: usize) -> crate::Result<()> {
+        self.validate_from(0, current_round, d)
+    }
+
+    /// Like [`FaultPlan::validate`], but only checks events from index
+    /// `cursor` on. Used when re-attaching a plan to a restored world:
+    /// events before the snapshot's fault cursor have already fired, so
+    /// their rounds legitimately lie in the past.
+    pub fn validate_from(&self, cursor: usize, current_round: u64, d: usize) -> crate::Result<()> {
         let bad = |detail: String| Err(EngineError::BadFaultPlan { detail });
-        for (idx, scheduled) in self.events.iter().enumerate() {
+        for (idx, scheduled) in self.events.iter().enumerate().skip(cursor) {
             if scheduled.round <= current_round {
                 return bad(format!(
                     "event {idx} scheduled for round {} but the world is already at round \

@@ -47,6 +47,10 @@
 //! * [`push`] — the noisy PUSH(h) model (the paper's §1.5 contrast class,
 //!   where reception is reliable even though content is noisy), used to
 //!   measure the PULL/PUSH separation.
+//! * [`snapshot`] — the versioned `np-snap/v1` binary encoding behind
+//!   [`world::World::snapshot`] / [`world::World::restore`]: crash-safe
+//!   mid-run persistence with a byte-identical-continuation guarantee
+//!   (the stream design means no RNG state is ever serialized).
 //!
 //! # Example
 //!
@@ -132,6 +136,7 @@ pub mod population;
 pub mod protocol;
 pub mod push;
 pub mod runner;
+pub mod snapshot;
 pub mod streams;
 pub mod world;
 

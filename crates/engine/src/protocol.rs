@@ -245,6 +245,11 @@ impl<A> ScalarState<A> {
     pub fn agents_mut(&mut self) -> &mut [A] {
         &mut self.agents
     }
+
+    /// Rebuilds a state from decoded agents (snapshot restore path).
+    pub(crate) fn from_agents(agents: Vec<A>) -> Self {
+        ScalarState { agents }
+    }
 }
 
 impl<A: AgentState> ColumnarState for ScalarState<A> {

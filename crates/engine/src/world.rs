@@ -16,7 +16,7 @@ use np_linalg::noise::NoiseMatrix;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::channel::{Channel, ChannelKind};
+use crate::channel::{Channel, ChannelKind, SamplingMode};
 use crate::faults::{FaultEvent, FaultPlan, ScheduledFault};
 use crate::metrics::{
     OpinionSeries, RoundMetrics, RunObserver, RunOutcome, StageClock, StageTimings, TraceRecorder,
@@ -25,6 +25,7 @@ use crate::opinion::Opinion;
 use crate::population::PopulationConfig;
 use crate::protocol::{ColumnarProtocol, ColumnarState, Protocol};
 use crate::runner;
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotState, SNAP_MAGIC};
 use crate::streams::{RoundStreams, StreamStage};
 use crate::{EngineError, Result};
 
@@ -271,6 +272,44 @@ impl<P: ColumnarProtocol> World<P> {
     /// Returns `true` if a nonempty fault plan is attached.
     pub fn has_fault_plan(&self) -> bool {
         !self.faults.is_empty()
+    }
+
+    /// Number of fault-plan events that have already fired — the fault
+    /// cursor persisted by [`World::snapshot`].
+    pub fn fault_cursor(&self) -> usize {
+        self.next_fault
+    }
+
+    /// Re-attaches a fault plan to a restored world *without* resetting
+    /// the fault cursor. Corruption closures are code
+    /// (`Arc<dyn StateFault>`), not data, so snapshots persist only the
+    /// cursor; after [`World::restore`] the caller supplies the same plan
+    /// again and the world continues from the first pending event.
+    ///
+    /// Fault randomness is addressed by the event's *position in the
+    /// plan* ([`crate::streams::StreamStage::Fault`]), which re-attaching
+    /// the full plan preserves — so a restored faulted run stays
+    /// byte-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadFaultPlan`] if the plan has fewer events
+    /// than have already fired, or if any *pending* event is invalid
+    /// (scheduled at or before the current round, out-of-range
+    /// parameters — see [`FaultPlan::validate_from`]).
+    pub fn reattach_fault_plan(&mut self, plan: FaultPlan<P::State>) -> Result<()> {
+        if plan.len() < self.next_fault {
+            return Err(EngineError::BadFaultPlan {
+                detail: format!(
+                    "plan has {} events but the restored world has already fired {}",
+                    plan.len(),
+                    self.next_fault
+                ),
+            });
+        }
+        plan.validate_from(self.next_fault, self.round, self.channel.alphabet_size())?;
+        self.faults = plan.into_events();
+        Ok(())
     }
 
     /// The opinion currently counted as correct — the configuration's
@@ -624,6 +663,231 @@ impl<P: ColumnarProtocol> World<P> {
             budget,
             correct_at_end: self.correct_count(),
         }
+    }
+}
+
+/// Mid-run persistence: available when the protocol's state implements
+/// [`SnapshotState`]. See [`crate::snapshot`] for the format and the
+/// byte-identical-continuation contract.
+impl<P: ColumnarProtocol> World<P>
+where
+    P::State: SnapshotState,
+{
+    /// Serializes the world's full trajectory-relevant state as an
+    /// `np-snap/v1` byte buffer.
+    ///
+    /// Captured: the round counter, population configuration, seed,
+    /// channel (kind, sampling mode, exact noise rows), the current
+    /// correct opinion, the fault cursor and in-flight fault effects
+    /// (active ramp, sleep horizons), the recorded series/trace (metrics
+    /// only — never wall-clock timings), and the whole protocol state.
+    /// Not captured: the thread count (pure perf knob), any custom
+    /// observer (code, not data), and pending fault *events* (also code —
+    /// see [`World::reattach_fault_plan`]).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_str(SNAP_MAGIC);
+        w.put_str(<P::State as SnapshotState>::SNAP_TAG);
+        w.put_usize(self.config.n());
+        w.put_usize(self.config.s0());
+        w.put_usize(self.config.s1());
+        w.put_usize(self.config.h());
+        w.put_u64(self.seed);
+        w.put_u64(self.round);
+        w.put_opinion(self.correct_opinion);
+        w.put_u8(match self.channel.kind() {
+            ChannelKind::Exact => 0,
+            ChannelKind::Aggregated => 1,
+        });
+        w.put_u8(match self.channel.sampling_mode() {
+            SamplingMode::WithReplacement => 0,
+            SamplingMode::WithoutReplacement => 1,
+        });
+        let rows = self.channel.noise_rows();
+        w.put_usize(rows.len());
+        for row in rows {
+            for &p in row {
+                w.put_f64(p);
+            }
+        }
+        w.put_usize(self.next_fault);
+        match self.ramp {
+            None => w.put_bool(false),
+            Some(ramp) => {
+                w.put_bool(true);
+                w.put_f64(ramp.from);
+                w.put_f64(ramp.to);
+                w.put_u64(ramp.over);
+                w.put_u64(ramp.start);
+            }
+        }
+        w.put_usize(self.asleep_until.len());
+        for &until in &self.asleep_until {
+            w.put_u64(until);
+        }
+        match &self.series {
+            None => w.put_bool(false),
+            Some(series) => {
+                w.put_bool(true);
+                let ones = series.counts(Opinion::One);
+                w.put_usize(ones.len());
+                for count in ones {
+                    w.put_usize(count);
+                }
+            }
+        }
+        match &self.trace {
+            None => w.put_bool(false),
+            Some(trace) => {
+                w.put_bool(true);
+                w.put_usize(trace.len());
+                for m in trace.rounds() {
+                    crate::snapshot::encode_round_metrics(m, &mut w);
+                }
+            }
+        }
+        self.state.encode_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a world from an `np-snap/v1` buffer produced by
+    /// [`World::snapshot`], ready to continue from the recorded round.
+    ///
+    /// The restored world uses [`runner::suggested_threads`]`()` (override
+    /// with [`World::set_threads`] — the trajectory never depends on it)
+    /// and has no observer attached. If the original run had a fault plan
+    /// with pending events, re-attach it with
+    /// [`World::reattach_fault_plan`] before stepping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadSnapshot`] on truncated or malformed
+    /// bytes, a magic/state-tag mismatch, or contents inconsistent with
+    /// `protocol` (alphabet size, agent count).
+    pub fn restore(protocol: &P, bytes: &[u8]) -> Result<Self> {
+        let bad = |detail: String| EngineError::BadSnapshot { detail };
+        let mut r = SnapReader::new(bytes);
+        let magic = r.take_str()?;
+        if magic != SNAP_MAGIC {
+            return Err(bad(format!(
+                "expected magic `{SNAP_MAGIC}`, found `{magic}`"
+            )));
+        }
+        let tag = r.take_str()?;
+        let want = <P::State as SnapshotState>::SNAP_TAG;
+        if tag != want {
+            return Err(bad(format!(
+                "state tag mismatch: snapshot holds `{tag}`, protocol expects `{want}`"
+            )));
+        }
+        let n = r.take_usize()?;
+        let s0 = r.take_usize()?;
+        let s1 = r.take_usize()?;
+        let h = r.take_usize()?;
+        let config = PopulationConfig::new(n, s0, s1, h)?;
+        let seed = r.take_u64()?;
+        let round = r.take_u64()?;
+        let correct_opinion = r.take_opinion()?;
+        let kind = match r.take_u8()? {
+            0 => ChannelKind::Exact,
+            1 => ChannelKind::Aggregated,
+            x => return Err(bad(format!("invalid channel-kind byte {x}"))),
+        };
+        let mode = match r.take_u8()? {
+            0 => SamplingMode::WithReplacement,
+            1 => SamplingMode::WithoutReplacement,
+            x => return Err(bad(format!("invalid sampling-mode byte {x}"))),
+        };
+        let d = r.take_usize()?;
+        if d != protocol.alphabet_size() {
+            return Err(bad(format!(
+                "snapshot alphabet has {d} symbols, protocol uses {}",
+                protocol.alphabet_size()
+            )));
+        }
+        let mut rows = Vec::with_capacity(d);
+        for _ in 0..d {
+            let mut row = Vec::with_capacity(d);
+            for _ in 0..d {
+                row.push(r.take_f64()?);
+            }
+            rows.push(row);
+        }
+        let noise = NoiseMatrix::from_rows(rows)
+            .map_err(|e| bad(format!("snapshot noise rows rejected: {e}")))?;
+        let channel = Channel::with_sampling(&noise, kind, mode);
+        let next_fault = r.take_usize()?;
+        let ramp = if r.take_bool()? {
+            Some(ActiveRamp {
+                from: r.take_f64()?,
+                to: r.take_f64()?,
+                over: r.take_u64()?,
+                start: r.take_u64()?,
+            })
+        } else {
+            None
+        };
+        let asleep_len = r.take_usize()?;
+        if asleep_len != 0 && asleep_len != n {
+            return Err(bad(format!(
+                "sleep horizons cover {asleep_len} agents, population has {n}"
+            )));
+        }
+        let mut asleep_until = Vec::with_capacity(asleep_len);
+        for _ in 0..asleep_len {
+            asleep_until.push(r.take_u64()?);
+        }
+        let series = if r.take_bool()? {
+            let len = r.take_usize()?;
+            let mut series = OpinionSeries::new(config.n());
+            for _ in 0..len {
+                let ones = r.take_usize()?;
+                if ones > n {
+                    return Err(bad(format!("series count {ones} exceeds population {n}")));
+                }
+                series.push(ones);
+            }
+            Some(series)
+        } else {
+            None
+        };
+        let trace = if r.take_bool()? {
+            let len = r.take_usize()?;
+            let mut trace = TraceRecorder::new();
+            for _ in 0..len {
+                let m = crate::snapshot::decode_round_metrics(&mut r)?;
+                trace.on_round(&m, &StageTimings::default());
+            }
+            Some(trace)
+        } else {
+            None
+        };
+        let state = <P::State as SnapshotState>::decode_state(&mut r)?;
+        if state.len() != n {
+            return Err(bad(format!(
+                "state holds {} agents, configuration says {n}",
+                state.len()
+            )));
+        }
+        r.finish()?;
+        Ok(World {
+            config,
+            channel,
+            state,
+            displays: vec![0; n],
+            observations: vec![0; n * d],
+            seed,
+            threads: runner::suggested_threads(),
+            round,
+            series,
+            trace,
+            observer: None,
+            correct_opinion,
+            faults: Vec::new(),
+            next_fault,
+            ramp,
+            asleep_until,
+        })
     }
 }
 
@@ -1201,6 +1465,167 @@ mod tests {
                 "faulted trace differs at {threads} threads"
             );
         }
+    }
+
+    // ---- snapshot / restore ------------------------------------------
+
+    use crate::snapshot::{SnapshotAgent, SNAP_MAGIC};
+
+    impl SnapshotAgent for MajorityAgent {
+        const SNAP_TAG: &'static str = "test-majority/v1";
+        fn encode_agent(&self, w: &mut SnapWriter) {
+            w.put_role(self.role);
+            w.put_opinion(self.opinion);
+        }
+        fn decode_agent(r: &mut SnapReader<'_>) -> Result<Self> {
+            Ok(MajorityAgent {
+                role: r.take_role()?,
+                opinion: r.take_opinion()?,
+            })
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_continues_byte_identically() {
+        // Straight run 0..15 vs snapshot at 5 + restore + run 5..15, at a
+        // different thread count: same opinions, series, and trace.
+        let mut reference = noisy_world(23);
+        reference.set_threads(1);
+        reference.record_series();
+        reference.record_trace();
+        reference.run(5);
+        let bytes = reference.snapshot();
+        reference.run(10);
+
+        let mut restored: World<Majority> = World::restore(&Majority, &bytes).unwrap();
+        assert_eq!(restored.round(), 5);
+        assert_eq!(restored.seed(), 23);
+        restored.set_threads(7);
+        restored.run(10);
+
+        assert_eq!(restored.opinions(), reference.opinions());
+        assert_eq!(
+            restored.series().unwrap().counts(Opinion::One),
+            reference.series().unwrap().counts(Opinion::One)
+        );
+        assert_eq!(
+            restored.trace().unwrap().rounds(),
+            reference.trace().unwrap().rounds()
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_without_optional_recorders() {
+        let mut w = noisy_world(3);
+        w.run(2);
+        let bytes = w.snapshot();
+        let restored: World<Majority> = World::restore(&Majority, &bytes).unwrap();
+        assert!(restored.series().is_none());
+        assert!(restored.trace().is_none());
+        assert_eq!(restored.opinions(), w.opinions());
+        // Re-encoding the restored world reproduces the bytes exactly.
+        assert_eq!(restored.snapshot(), bytes);
+    }
+
+    #[test]
+    fn faulted_run_restores_mid_plan_with_reattachment() {
+        let plan = || {
+            FaultPlan::new()
+                .at(2, zero_out(0.5))
+                .at(
+                    4,
+                    FaultEvent::RampNoise {
+                        from: 0.05,
+                        to: 0.4,
+                        over: 6,
+                    },
+                )
+                .at(
+                    5,
+                    FaultEvent::Sleep {
+                        frac: 0.3,
+                        rounds: 4,
+                    },
+                )
+                .at(9, FaultEvent::FlipSources)
+        };
+        let mut reference = world(31);
+        reference.record_trace();
+        reference.set_fault_plan(plan()).unwrap();
+        // Snapshot at round 6: corrupt + ramp + sleep have fired (cursor
+        // 3), the ramp is still in flight, sleep horizons are live, and
+        // the flip is pending.
+        reference.run(6);
+        let bytes = reference.snapshot();
+        reference.run(6);
+
+        let mut restored: World<Majority> = World::restore(&Majority, &bytes).unwrap();
+        assert_eq!(restored.fault_cursor(), 3);
+        // A plain set_fault_plan must reject the already-fired rounds…
+        let err = restored.set_fault_plan(plan()).unwrap_err();
+        assert!(matches!(err, EngineError::BadFaultPlan { .. }), "{err}");
+        // …but reattachment validates only the pending suffix.
+        restored.reattach_fault_plan(plan()).unwrap();
+        restored.set_threads(2);
+        restored.run(6);
+
+        assert_eq!(restored.opinions(), reference.opinions());
+        assert_eq!(restored.correct_opinion(), reference.correct_opinion());
+        assert_eq!(
+            restored.trace().unwrap().rounds(),
+            reference.trace().unwrap().rounds()
+        );
+    }
+
+    #[test]
+    fn reattach_rejects_plans_shorter_than_the_cursor() {
+        let mut w = world(32);
+        w.set_fault_plan(FaultPlan::new().at(1, FaultEvent::FlipSources).at(
+            2,
+            FaultEvent::Sleep {
+                frac: 0.1,
+                rounds: 1,
+            },
+        ))
+        .unwrap();
+        w.run(3);
+        let bytes = w.snapshot();
+        let mut restored: World<Majority> = World::restore(&Majority, &bytes).unwrap();
+        assert_eq!(restored.fault_cursor(), 2);
+        let err = restored
+            .reattach_fault_plan(FaultPlan::new().at(1, FaultEvent::FlipSources))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadFaultPlan { .. }), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let mut w = world(33);
+        w.run(1);
+        let bytes = w.snapshot();
+
+        // Truncation anywhere fails loudly.
+        let err = World::<Majority>::restore(&Majority, &bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err, EngineError::BadSnapshot { .. }), "{err}");
+
+        // Trailing garbage is rejected by the full-consumption check.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let err = World::<Majority>::restore(&Majority, &padded).unwrap_err();
+        assert!(matches!(err, EngineError::BadSnapshot { .. }), "{err}");
+
+        // Wrong magic.
+        let mut wrong = SnapWriter::new();
+        wrong.put_str("np-snap/v0");
+        let err = World::<Majority>::restore(&Majority, &wrong.into_bytes()).unwrap_err();
+        assert!(err.to_string().contains(SNAP_MAGIC), "{err}");
+
+        // Wrong state tag.
+        let mut wrong = SnapWriter::new();
+        wrong.put_str(SNAP_MAGIC);
+        wrong.put_str("other-protocol/v1");
+        let err = World::<Majority>::restore(&Majority, &wrong.into_bytes()).unwrap_err();
+        assert!(err.to_string().contains("test-majority/v1"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Property tests: an `np-manifest/v1` record must decode back to itself
+//! and re-encode to the exact bytes it came from. The manifest is an
+//! append-only journal that resumed sweeps replay, so encoding has to be
+//! a pure, byte-stable function of the record.
+
+use np_sweep::manifest::{JobRecord, JobStatus};
+use proptest::prelude::*;
+
+/// Characters that exercise every escaping path in the encoder: quotes,
+/// backslashes, named escapes, raw control characters, multi-byte and
+/// astral-plane code points.
+const PALETTE: &[char] = &[
+    'a',
+    'Z',
+    '0',
+    '-',
+    ' ',
+    '"',
+    '\\',
+    '\n',
+    '\r',
+    '\t',
+    '\u{1}',
+    '\u{1f}',
+    'é',
+    'δ',
+    '→',
+    '\u{1d6c5}',
+];
+
+fn text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..PALETTE.len(), 0..16)
+        .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+proptest! {
+    #[test]
+    fn record_encode_decode_encode_is_byte_identical(
+        job in text(),
+        protocol in text(),
+        n in 1usize..1_000_000,
+        h in 0usize..1_000_000,
+        s0 in 0usize..1_000,
+        s1 in 0usize..1_000,
+        delta in 0.0f64..0.5,
+        c1 in 0.0f64..64.0,
+        seed in any::<u64>(),
+        budget in any::<u64>(),
+        status_ix in 0usize..3,
+        with_checkpoint in any::<bool>(),
+        checkpoint in text(),
+        round in any::<u64>(),
+        consensus in any::<bool>(),
+        correct in any::<usize>(),
+    ) {
+        let rec = JobRecord {
+            job,
+            protocol,
+            n,
+            h,
+            s0,
+            s1,
+            delta,
+            c1,
+            seed,
+            budget,
+            status: [JobStatus::Pending, JobStatus::Checkpointed, JobStatus::Done][status_ix],
+            checkpoint: with_checkpoint.then_some(checkpoint),
+            round,
+            consensus,
+            correct,
+        };
+        let line = rec.to_json_line();
+        let decoded = JobRecord::parse(&line).unwrap();
+        prop_assert_eq!(&decoded, &rec);
+        prop_assert_eq!(decoded.to_json_line(), line);
+    }
+}

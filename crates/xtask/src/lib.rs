@@ -22,5 +22,5 @@
 pub mod rules;
 pub mod scanner;
 
-pub use rules::{Rule, HOT_PATH_RULES, RULES};
+pub use rules::{Rule, HOT_PATH_RULES, RULES, SNAPSHOT_PATH_RULES};
 pub use scanner::{scan_source, scan_source_with, FileClass, Finding};

@@ -9,8 +9,8 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::rules::{CRATE_HEADERS, HOT_PATH_RULES};
-use xtask::{scan_source_with, FileClass, Finding};
+use xtask::rules::{CRATE_HEADERS, HOT_PATH_RULES, SNAPSHOT_PATH_RULES};
+use xtask::{scan_source_with, FileClass, Finding, Rule};
 
 /// Library crates held to the full rule set: these implement the protocol
 /// (Theorems 4/5) and the experiment engine, where determinism is a
@@ -21,6 +21,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/linalg",
     "crates/stats",
     "crates/baselines",
+    "crates/sweep",
 ];
 
 /// Crate roots only held to the header rule (`#![forbid(unsafe_code)]`,
@@ -42,6 +43,22 @@ const HOT_PATH_CRATES: &[&str] = &["crates/engine", "crates/core"];
 /// hot-path crate except the stream-derivation modules themselves.
 fn is_hot_path(krate: &str, file: &Path) -> bool {
     HOT_PATH_CRATES.contains(&krate) && file.file_name().is_none_or(|n| n != "streams.rs")
+}
+
+/// Files additionally held to [`SNAPSHOT_PATH_RULES`]: the encode paths
+/// behind `np-snap/v1` and `np-manifest/v1`, whose output bytes the
+/// resume contract compares across interrupted/resumed/re-threaded runs.
+const SNAPSHOT_PATH_FILES: &[&str] = &[
+    "crates/engine/src/snapshot.rs",
+    "crates/engine/src/world.rs",
+    "crates/sweep/src/manifest.rs",
+    "crates/sweep/src/spec.rs",
+];
+
+/// Whether a source file is part of a byte-stable encode path.
+fn is_snapshot_path(root: &Path, file: &Path) -> bool {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    SNAPSHOT_PATH_FILES.iter().any(|p| rel == Path::new(p))
 }
 
 fn main() -> ExitCode {
@@ -80,12 +97,14 @@ fn run_check() -> ExitCode {
             } else {
                 FileClass::LibrarySource
             };
-            let extra = if is_hot_path(krate, &file) {
-                HOT_PATH_RULES
-            } else {
-                &[]
-            };
-            for finding in scan_file(&file, class, extra) {
+            let mut extra: Vec<Rule> = Vec::new();
+            if is_hot_path(krate, &file) {
+                extra.extend_from_slice(HOT_PATH_RULES);
+            }
+            if is_snapshot_path(&root, &file) {
+                extra.extend_from_slice(SNAPSHOT_PATH_RULES);
+            }
+            for finding in scan_file(&file, class, &extra) {
                 all.push((file.clone(), finding));
             }
             files_scanned += 1;

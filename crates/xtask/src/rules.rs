@@ -88,15 +88,40 @@ pub const HOT_PATH_RULES: &[Rule] = &[
     },
 ];
 
+/// Extra token rules for *byte-stable encode paths*: the files that
+/// produce `np-snap/v1` snapshot bytes and `np-manifest/v1` manifest
+/// lines (see `SNAPSHOT_PATH_FILES` in `src/main.rs`). The resume
+/// contract byte-compares those artifacts across interrupted, resumed
+/// and re-threaded runs, so the bytes must be a pure function of logical
+/// state. Here even *naming* a clock or hashed-container type is a
+/// finding — stricter than the base rules, which only catch clock reads
+/// (`Instant::now`) and container construction.
+pub const SNAPSHOT_PATH_RULES: &[Rule] = &[Rule {
+    name: "snapshot-bytes",
+    needles: &["HashMap", "HashSet", "SystemTime", "Instant"],
+    message: "snapshot/manifest encode paths must emit bytes that are a pure function \
+              of logical state; hashed-container iteration order and wall clocks both \
+              leak nondeterminism into artifacts the resume contract byte-compares",
+}];
+
 /// Returns the token rule with the given name, if any.
 pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
-    RULES.iter().chain(HOT_PATH_RULES).find(|r| r.name == name)
+    RULES
+        .iter()
+        .chain(HOT_PATH_RULES)
+        .chain(SNAPSHOT_PATH_RULES)
+        .find(|r| r.name == name)
 }
 
 /// All rule names, token and structural, for `--list` style output and
 /// directive validation.
 pub fn all_rule_names() -> Vec<&'static str> {
-    let mut names: Vec<&'static str> = RULES.iter().chain(HOT_PATH_RULES).map(|r| r.name).collect();
+    let mut names: Vec<&'static str> = RULES
+        .iter()
+        .chain(HOT_PATH_RULES)
+        .chain(SNAPSHOT_PATH_RULES)
+        .map(|r| r.name)
+        .collect();
     names.push(FLOAT_EQ);
     names.push(CRATE_HEADERS);
     names

@@ -4,7 +4,7 @@
 //! `tests/fixtures/` (a subdirectory, so cargo does not compile them as
 //! test targets).
 
-use xtask::rules::{all_rule_names, HOT_PATH_RULES};
+use xtask::rules::{all_rule_names, HOT_PATH_RULES, SNAPSHOT_PATH_RULES};
 use xtask::{scan_source_with, FileClass, Rule};
 
 /// Scans a fixture file with extra rules, returning `(rule, line)` pairs
@@ -97,6 +97,27 @@ fn protocol_instant_fires_only_under_hot_path_rules() {
 }
 
 #[test]
+fn snapshot_bytes_fires_only_under_snapshot_path_rules() {
+    let mut got = scan_fixture_with(
+        "snapshot_bytes.rs",
+        FileClass::LibrarySource,
+        SNAPSHOT_PATH_RULES,
+    );
+    got.sort();
+    // Line 10 (`HashMap`) also trips the base hash-iteration rule; the
+    // bare type mentions on lines 5 and 7 are visible to the encode-path
+    // rule alone.
+    let mut want = expect("snapshot-bytes", &[5, 7, 10]);
+    want.extend(expect("hash-iteration", &[10]));
+    want.sort();
+    assert_eq!(got, want);
+    // Outside the encode-path scope only construction/iteration is
+    // caught: naming the types (as the import does) is legal there.
+    let base = scan_fixture("snapshot_bytes.rs", FileClass::LibrarySource);
+    assert_eq!(base, expect("hash-iteration", &[10]));
+}
+
+#[test]
 fn crate_headers_fires_on_library_roots_only() {
     let as_root = scan_fixture("missing_headers.rs", FileClass::LibraryRoot);
     assert_eq!(as_root, expect("crate-headers", &[1, 1]));
@@ -142,6 +163,11 @@ fn every_rule_has_a_bad_fixture() {
             "protocol_instant.rs",
             FileClass::LibrarySource,
             HOT_PATH_RULES,
+        ))
+        .chain(scan_fixture_with(
+            "snapshot_bytes.rs",
+            FileClass::LibrarySource,
+            SNAPSHOT_PATH_RULES,
         ))
         .map(|(rule, _)| rule)
         .collect();

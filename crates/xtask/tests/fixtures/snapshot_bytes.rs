@@ -1,0 +1,30 @@
+//! Bad fixture for the `snapshot-bytes` encode-path rule: merely naming
+//! a clock or hashed-container type inside a byte-stable encode path
+//! (np-snap/v1 / np-manifest/v1 serialization) is a finding.
+
+use std::time::Instant;
+
+pub struct Stamped(pub std::time::SystemTime);
+
+pub fn encode() -> usize {
+    let map = std::collections::HashMap::<u32, u32>::new();
+    map.len()
+}
+
+pub fn fine(fields: &[u64]) -> u64 {
+    // Deterministic bytes: fixed field order, no clocks, no hashing.
+    fields.iter().sum()
+}
+
+pub fn allowed() {
+    // xtask-allow: snapshot-bytes, wall-clock (observer-side timing only)
+    let _t = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_hashed_containers() {
+        let _ = std::collections::HashSet::<u32>::new();
+    }
+}

@@ -18,6 +18,9 @@ cargo xtask check
 echo "### cargo build --release (tier-1)"
 cargo build --release
 
+echo "### cargo build --examples"
+cargo build --examples
+
 # Tier-1 runs twice: single-threaded and at the ambient default. The
 # engine's contract is that the thread count cannot change any outcome,
 # so both passes must see identical results.
@@ -94,5 +97,45 @@ diff "$trace_dir/fs1.json" "$trace_dir/fs4.json"
 grep -q '"faults"' "$trace_dir/fs1.json" \
   || { echo "faulted summary carries no recovery records" >&2; exit 1; }
 echo "faulted traces agree: $(wc -l < "$trace_dir/ft1.jsonl") rounds"
+
+# Snapshot continuation diff: a run checkpointed mid-flight and restored
+# in a fresh process (at a different thread count) must write the same
+# per-round trace as the uninterrupted run.
+echo "### snapshot restore diff (straight @1 thread vs restored @4 threads)"
+cargo run -q --release -p np-cli -- \
+  run sf --n 256 --seed 7 --threads 1 \
+  --trace "$trace_dir/straight.jsonl" \
+  --checkpoint "$trace_dir/ckpt.snap" --checkpoint-every 8 > /dev/null
+cargo run -q --release -p np-cli -- \
+  run sf --n 256 --seed 7 --threads 4 \
+  --restore "$trace_dir/ckpt.snap" \
+  --trace "$trace_dir/restored.jsonl" > /dev/null
+diff "$trace_dir/straight.jsonl" "$trace_dir/restored.jsonl"
+echo "restored trace agrees: $(wc -l < "$trace_dir/straight.jsonl") rounds"
+
+# Sweep interrupt/resume gate: a 3-job sweep killed after its first
+# checkpoint write (--stop-after 1) and resumed must aggregate a report
+# byte-identical to the uninterrupted sweep, across thread counts.
+echo "### sweep resume diff (uninterrupted @1 thread vs killed+resumed @4 threads)"
+sweep_dir="$trace_dir/sweep"
+mkdir -p "$sweep_dir"
+cat > "$sweep_dir/spec.txt" <<'SPEC'
+protocol = sf
+n = 64
+delta = 0.1
+runs = 3
+seed = 11
+SPEC
+cargo run -q --release -p np-cli -- \
+  sweep run "$sweep_dir/spec.txt" --out "$sweep_dir/straight" \
+  --checkpoint-every 4 --threads 1 > /dev/null
+cargo run -q --release -p np-cli -- \
+  sweep run "$sweep_dir/spec.txt" --out "$sweep_dir/resumed" \
+  --checkpoint-every 4 --threads 4 --stop-after 1 > /dev/null
+cargo run -q --release -p np-cli -- \
+  sweep run "$sweep_dir/spec.txt" --out "$sweep_dir/resumed" \
+  --checkpoint-every 4 --threads 4 --resume > /dev/null
+diff "$sweep_dir/straight/report.json" "$sweep_dir/resumed/report.json"
+echo "sweep reports agree"
 
 echo "### ci.sh: all checks passed"
