@@ -191,7 +191,6 @@ impl StageTimings {
 /// syscalls.
 #[derive(Debug, Clone, Copy)]
 pub struct StageClock {
-    // xtask-allow: protocol-instant (the sanctioned observer clock)
     last: std::time::Instant,
 }
 
@@ -199,16 +198,16 @@ impl StageClock {
     /// Starts the clock.
     pub fn start() -> Self {
         StageClock {
-            // xtask-allow: wall-clock, protocol-instant (sanctioned
-            // observer clock; runs only when an observer is attached)
+            // xtask-allow: wall-clock (sanctioned observer clock; runs
+            // only when an observer is attached)
             last: std::time::Instant::now(),
         }
     }
 
     /// Time since the previous lap (or since `start`), and restarts.
     pub fn lap(&mut self) -> Duration {
-        // xtask-allow: wall-clock, protocol-instant (sanctioned observer
-        // clock; runs only when an observer is attached)
+        // xtask-allow: wall-clock (sanctioned observer clock; runs only
+        // when an observer is attached)
         let now = std::time::Instant::now();
         let elapsed = now - self.last;
         self.last = now;

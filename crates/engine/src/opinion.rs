@@ -35,6 +35,15 @@ impl Opinion {
         }
     }
 
+    /// The opinion as a single byte (`Zero → 0`, `One → 1`), for
+    /// byte-stable encoders that must not narrow through `as` casts.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            Opinion::Zero => 0,
+            Opinion::One => 1,
+        }
+    }
+
     /// Parses a symbol index; returns `None` for indices other than 0/1.
     pub fn from_index(i: usize) -> Option<Opinion> {
         match i {

@@ -130,14 +130,14 @@ impl SnapWriter {
 
     /// Writes an [`Opinion`] as its symbol index.
     pub fn put_opinion(&mut self, o: Opinion) {
-        self.put_u8(o.as_index() as u8);
+        self.put_u8(o.as_byte());
     }
 
     /// Writes an optional [`Opinion`]: 0 = none, 1 = zero, 2 = one.
     pub fn put_opt_opinion(&mut self, o: Option<Opinion>) {
         match o {
             None => self.put_u8(0),
-            Some(o) => self.put_u8(1 + o.as_index() as u8),
+            Some(o) => self.put_u8(1 + o.as_byte()),
         }
     }
 
@@ -145,7 +145,7 @@ impl SnapWriter {
     pub fn put_role(&mut self, r: Role) {
         match r {
             Role::NonSource => self.put_u8(0),
-            Role::Source(p) => self.put_u8(1 + p.as_index() as u8),
+            Role::Source(p) => self.put_u8(1 + p.as_byte()),
         }
     }
 }

@@ -511,17 +511,24 @@ impl<P: ColumnarProtocol> World<P> {
                 None
             };
             let observations = &self.observations;
-            let jobs: Vec<(usize, <P::State as ColumnarState>::ChunkMut<'_>)> = self
+            // Pair every state chunk with its observation (and mask)
+            // chunk up front: the worker closure receives pre-sliced
+            // views and never indexes, so out-of-range access is
+            // unrepresentable in the hot loop (panic-path lint).
+            let mut mask_chunks = awake.as_deref().map(|mask| mask.chunks(chunk));
+            let jobs: Vec<_> = self
                 .state
                 .chunks_mut(chunk)
                 .into_iter()
+                .zip(observations.chunks((chunk * d).max(1)))
                 .enumerate()
-                .map(|(i, view)| (i * chunk, view))
+                .map(|(i, (view, obs))| {
+                    let mask = mask_chunks.as_mut().and_then(Iterator::next);
+                    (i * chunk, view, obs, mask)
+                })
                 .collect();
-            runner::scatter(threads, jobs, |(start, mut view)| {
-                let end = (start + chunk).min(n);
-                let obs = &observations[start * d..end * d];
-                let mask = awake.as_deref().map(|mask| &mask[start..end]);
+            runner::scatter(threads, jobs, |(start, mut view, obs, mask)| {
+                let end = start + obs.len() / d.max(1);
                 <P::State as ColumnarState>::step_chunk(
                     &mut view,
                     start..end,

@@ -1,0 +1,181 @@
+//! The retired line-and-needle scanner, preserved as a *test oracle*.
+//!
+//! Nothing in the lint driver calls this module. It exists so the test
+//! suite can (a) pin the new lexer's string/comment stripping against the
+//! old sanitizer over the whole workspace corpus (see
+//! `tests/lexer_corpus.rs`), and (b) prove — not just claim — that the
+//! grouped-import and renamed-import regression fixtures dodge the old
+//! needle scanner while firing under the token analyzer.
+//!
+//! The code below is the legacy implementation verbatim (sanitizer,
+//! directive parser, and the needle tables for the rules whose false
+//! negatives motivated the rewrite). Do not "improve" it: its value is
+//! being exactly as blind as it used to be.
+
+/// A line split into sanitized code (strings/chars blanked) and the body
+/// of its `//` comment, if any.
+#[derive(Debug)]
+pub struct SplitLine {
+    /// The code portion with string/char literals blanked.
+    pub code: String,
+    /// The `//` comment text (including the slashes), if any.
+    pub comment: String,
+}
+
+/// The legacy `protocol-instant` needles. `use std::time::{.., Instant}`
+/// and `use std::time::Instant as Clock` never contain this substring on
+/// the line that names or uses `Instant` — the documented false negative.
+pub const PROTOCOL_INSTANT_NEEDLES: &[&str] = &["time::Instant"];
+
+/// The legacy `wall-clock` needles; `Clock::now()` behind a rename
+/// contains neither.
+pub const WALL_CLOCK_NEEDLES: &[&str] = &["SystemTime::now", "Instant::now"];
+
+/// Sanitizes every line of a file the way the old scanner did: strings
+/// blanked to `""`, chars to `' '`, `//` comments split off, `/* */`
+/// comments removed with state carried across lines.
+pub fn sanitize_file(text: &str) -> Vec<String> {
+    let mut in_block_comment = false;
+    text.lines()
+        .map(|line| sanitize(line, &mut in_block_comment).code)
+        .collect()
+}
+
+/// The legacy needle scan: returns the 1-based lines whose sanitized code
+/// contains any of `needles`. No test-region or allow handling — this is
+/// the raw substring matcher the fixtures must provably dodge.
+pub fn needle_lines(text: &str, needles: &[&str]) -> Vec<usize> {
+    sanitize_file(text)
+        .iter()
+        .enumerate()
+        .filter(|(_, code)| needles.iter().any(|n| code.contains(n)))
+        .map(|(idx, _)| idx + 1)
+        .collect()
+}
+
+/// Parses `xtask-allow: a, b` directives out of a comment body (legacy
+/// behavior, kept for parity tests against the new directive parser).
+pub fn parse_allows(comment: &str) -> Vec<String> {
+    let Some(pos) = comment.find("xtask-allow:") else {
+        return Vec::new();
+    };
+    comment[pos + "xtask-allow:".len()..]
+        .split(',')
+        .map(|part| {
+            // Keep the leading rule-name token; anything after it (e.g. a
+            // parenthesized justification) is free-form commentary.
+            let trimmed = part.trim();
+            let end = trimmed
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+                .unwrap_or(trimmed.len());
+            trimmed[..end].to_owned()
+        })
+        .filter(|name| !name.is_empty())
+        .collect()
+}
+
+/// Blanks string/char literals, splits off `//` comments, and tracks
+/// `/* */` block comments across lines — the legacy sanitizer, verbatim.
+pub fn sanitize(line: &str, in_block_comment: &mut bool) -> SplitLine {
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if *in_block_comment {
+            if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        let c = chars[i];
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                comment = chars[i..].iter().collect();
+                break;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            '"' => {
+                // Skip the string literal's body (escapes handled; raw
+                // strings degrade to best-effort).
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                code.push('"');
+                code.push('"');
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // chars; a lifetime never has a closing quote.
+                let close = if chars.get(i + 1) == Some(&'\\') {
+                    chars.get(i + 3) == Some(&'\'')
+                } else {
+                    chars.get(i + 2) == Some(&'\'')
+                };
+                if close {
+                    let skip = if chars.get(i + 1) == Some(&'\\') {
+                        4
+                    } else {
+                        3
+                    };
+                    code.push_str("' '");
+                    i += skip;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    SplitLine { code, comment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_blanks_strings_and_chars() {
+        let mut blk = false;
+        let s = sanitize("let s = \"thread_rng\"; let c = 'x'; // note", &mut blk);
+        assert_eq!(s.code, "let s = \"\"; let c = ' '; ");
+        assert_eq!(s.comment, "// note");
+    }
+
+    #[test]
+    fn needle_scan_misses_grouped_imports() {
+        // The documented false negative this module exists to demonstrate.
+        let text = "use std::time::{Duration, Instant};\n";
+        assert!(needle_lines(text, PROTOCOL_INSTANT_NEEDLES).is_empty());
+    }
+
+    #[test]
+    fn needle_scan_catches_spelled_out_import() {
+        let text = "use std::time::Instant;\n";
+        assert_eq!(needle_lines(text, PROTOCOL_INSTANT_NEEDLES), vec![1]);
+    }
+
+    #[test]
+    fn directive_parsing_handles_lists() {
+        let allows = parse_allows("// xtask-allow: unwrap, float-eq (sentinel)");
+        assert_eq!(allows, vec!["unwrap".to_owned(), "float-eq".to_owned()]);
+    }
+}

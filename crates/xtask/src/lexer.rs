@@ -1,0 +1,753 @@
+//! A small hand-rolled Rust lexer — the token stream every lint rule in
+//! [`crate::rules`] is expressed over.
+//!
+//! No `syn`, no proc-macro machinery: the workspace's zero-dependency
+//! vendor policy applies to its own tooling, and the subset of Rust this
+//! workspace uses lexes cleanly with ~300 lines of code. The lexer is
+//! deliberately a *lexer*, not a parser: it produces raw tokens (idents,
+//! punctuation, literal and comment spans) plus two structural overlays
+//! computed in a second pass ([`Regions`]): `#[cfg(test)]` membership and
+//! enclosing-function names, both tracked by brace depth.
+//!
+//! Compared to the needle scanner it replaced, the token stream closes the
+//! documented false negatives: grouped imports
+//! (`use std::time::{Duration, Instant}`), renamed imports
+//! (`use std::time::Instant as Clock`), and alias indirection are all
+//! visible here (the import-graph half lives in [`crate::resolve`]).
+//!
+//! [`sanitize_lines`] reconstructs the comment- and literal-stripped view
+//! the legacy line scanner operated on; the corpus/proptest suite pins
+//! the two against each other (see [`crate::legacy`]).
+
+/// What kind of token a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `use`, `as`, names, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal, raw text preserved (`1.5`, `0xFF`, `3f64`).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `'\n'`, `b'x'`).
+    Char,
+    /// `// …` comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` comment, possibly spanning lines.
+    BlockComment,
+    /// Punctuation; multi-char operators (`::`, `==`, `..=`, …) are one
+    /// token.
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// Byte offset of the token start.
+    pub lo: usize,
+    /// Byte offset one past the token end.
+    pub hi: usize,
+}
+
+/// A fully lexed file.
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    /// All tokens in source order (comments included).
+    pub toks: Vec<Tok>,
+    /// Whether the legacy line sanitizer is well-defined on this source:
+    /// `false` when the file uses constructs the old scanner misparsed
+    /// (multi-line or escaped raw strings, nested block comments, exotic
+    /// char escapes). The corpus comparison test skips those files.
+    pub legacy_comparable: bool,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `text` into tokens. Never fails: malformed input degrades to
+/// single-character punctuation tokens rather than an error, because a
+/// lint driver must keep scanning whatever it is pointed at.
+pub fn lex(text: &str) -> Lexed {
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let end = text.len();
+    let byte_at = |i: usize| -> usize {
+        if i < chars.len() {
+            chars[i].0
+        } else {
+            end
+        }
+    };
+    let mut toks = Vec::new();
+    let mut comparable = true;
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let (lo, c) = chars[i];
+        let tok_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if matches!(chars.get(i + 1), Some((_, '/'))) => {
+                let mut j = i;
+                while j < chars.len() && chars[j].1 != '\n' {
+                    j += 1;
+                }
+                push(
+                    &mut toks,
+                    TokKind::LineComment,
+                    text,
+                    lo,
+                    byte_at(j),
+                    tok_line,
+                );
+                i = j;
+            }
+            '/' if matches!(chars.get(i + 1), Some((_, '*'))) => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    match chars[j].1 {
+                        '\n' => line += 1,
+                        '/' if matches!(chars.get(j + 1), Some((_, '*'))) => {
+                            depth += 1;
+                            comparable = false; // nested: legacy ends at first `*/`
+                            j += 1;
+                        }
+                        '*' if matches!(chars.get(j + 1), Some((_, '/'))) => {
+                            depth -= 1;
+                            j += 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                push(
+                    &mut toks,
+                    TokKind::BlockComment,
+                    text,
+                    lo,
+                    byte_at(j),
+                    tok_line,
+                );
+                i = j;
+            }
+            '"' => {
+                let (j, multiline, terminated) = scan_string(&chars, i + 1, &mut line);
+                comparable &= terminated && !multiline;
+                push(&mut toks, TokKind::Str, text, lo, byte_at(j), tok_line);
+                i = j;
+            }
+            '\'' => {
+                i = scan_quote(&chars, text, i, &mut toks, &mut comparable, tok_line);
+            }
+            _ if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j].1) {
+                    j += 1;
+                }
+                let ident: String = chars[i..j].iter().map(|&(_, ch)| ch).collect();
+                // Literal prefixes: r"…", b"…", br"…", r#"…"#, b'…', r#ident.
+                let next = chars.get(j).map(|&(_, ch)| ch);
+                let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
+                if is_str_prefix && (next == Some('"') || next == Some('#')) {
+                    if let Some((k, raw_ident)) =
+                        scan_prefixed(&chars, j, &ident, &mut line, &mut comparable)
+                    {
+                        if raw_ident {
+                            push(&mut toks, TokKind::Ident, text, lo, byte_at(k), tok_line);
+                        } else {
+                            push(&mut toks, TokKind::Str, text, lo, byte_at(k), tok_line);
+                        }
+                        i = k;
+                        continue;
+                    }
+                }
+                if ident == "b" && next == Some('\'') {
+                    // Byte-char literal: lex the quote part, then widen the
+                    // token span to include the `b` prefix.
+                    let before = toks.len();
+                    let k = scan_quote(&chars, text, j, &mut toks, &mut comparable, tok_line);
+                    if toks.len() > before {
+                        let t = &mut toks[before];
+                        t.lo = lo;
+                        t.text = text[lo..t.hi].to_string();
+                    }
+                    i = k;
+                    continue;
+                }
+                push(&mut toks, TokKind::Ident, text, lo, byte_at(j), tok_line);
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let j = scan_number(&chars, i);
+                push(&mut toks, TokKind::Num, text, lo, byte_at(j), tok_line);
+                i = j;
+            }
+            _ => {
+                let mut matched = 0usize;
+                'ops: for op in MULTI_PUNCT {
+                    let olen = op.chars().count();
+                    if chars.len() - i < olen {
+                        continue;
+                    }
+                    for (k, oc) in op.chars().enumerate() {
+                        if chars[i + k].1 != oc {
+                            continue 'ops;
+                        }
+                    }
+                    matched = olen;
+                    break;
+                }
+                let j = i + matched.max(1);
+                push(&mut toks, TokKind::Punct, text, lo, byte_at(j), tok_line);
+                i = j;
+            }
+        }
+    }
+    Lexed {
+        toks,
+        legacy_comparable: comparable,
+    }
+}
+
+fn push(toks: &mut Vec<Tok>, kind: TokKind, text: &str, lo: usize, hi: usize, line: usize) {
+    toks.push(Tok {
+        kind,
+        text: text[lo..hi].to_string(),
+        line,
+        lo,
+        hi,
+    });
+}
+
+/// Scans a normal (escaped) string body starting just after the opening
+/// quote; returns `(index past closing quote, crossed a newline,
+/// terminated)`.
+fn scan_string(chars: &[(usize, char)], mut j: usize, line: &mut usize) -> (usize, bool, bool) {
+    let mut multiline = false;
+    while j < chars.len() {
+        match chars[j].1 {
+            // The escaped char may itself be a newline (`\` line
+            // continuation) — it still has to advance the line counter.
+            '\\' => {
+                if matches!(chars.get(j + 1), Some((_, '\n'))) {
+                    *line += 1;
+                    multiline = true;
+                }
+                j += 2;
+            }
+            '"' => return (j + 1, multiline, true),
+            '\n' => {
+                *line += 1;
+                multiline = true;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, multiline, false)
+}
+
+/// Scans a raw/byte string (or raw identifier) after its prefix ident.
+/// `j` points at the `#` or `"` following the prefix. Returns
+/// `Some((index past end, is_raw_ident))`, or `None` if this is not
+/// actually a literal (e.g. `b # x`).
+fn scan_prefixed(
+    chars: &[(usize, char)],
+    mut j: usize,
+    prefix: &str,
+    line: &mut usize,
+    comparable: &mut bool,
+) -> Option<(usize, bool)> {
+    let raw = prefix.contains('r');
+    let mut hashes = 0usize;
+    while matches!(chars.get(j), Some((_, '#'))) {
+        hashes += 1;
+        j += 1;
+    }
+    match chars.get(j) {
+        Some((_, '"')) => {}
+        Some(&(_, c)) if prefix == "r" && hashes == 1 && is_ident_start(c) => {
+            // Raw identifier `r#foo`.
+            let mut k = j;
+            while k < chars.len() && is_ident_continue(chars[k].1) {
+                k += 1;
+            }
+            return Some((k, true));
+        }
+        _ => return None,
+    }
+    j += 1; // past the opening quote
+    if raw {
+        // Raw string: ends at `"` followed by `hashes` hashes; no escapes.
+        while j < chars.len() {
+            let c = chars[j].1;
+            if c == '\n' {
+                *line += 1;
+                *comparable = false;
+            }
+            if c == '\\' {
+                // Legacy treated this as an escape; raw strings have none.
+                *comparable = false;
+            }
+            if c == '"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && matches!(chars.get(k), Some((_, '#'))) {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return Some((k, false));
+                }
+                // Inner quote: legacy would have closed the string here.
+                *comparable = false;
+            }
+            j += 1;
+        }
+        *comparable = false;
+        Some((j, false))
+    } else {
+        let (k, multiline, terminated) = scan_string(chars, j, line);
+        *comparable &= terminated && !multiline;
+        Some((k, false))
+    }
+}
+
+/// Scans a `'`-introduced token: char literal or lifetime.
+fn scan_quote(
+    chars: &[(usize, char)],
+    text: &str,
+    i: usize,
+    toks: &mut Vec<Tok>,
+    comparable: &mut bool,
+    tok_line: usize,
+) -> usize {
+    let lo = chars[i].0;
+    let end = text.len();
+    let byte_at = |k: usize| -> usize {
+        if k < chars.len() {
+            chars[k].0
+        } else {
+            end
+        }
+    };
+    match chars.get(i + 1) {
+        Some((_, '\\')) => {
+            // Escaped char literal: consume the escape, then to the quote.
+            let mut j = i + 3; // past `'\x`
+            if matches!(chars.get(i + 2), Some((_, 'u'))) {
+                while j < chars.len() && chars[j].1 != '\'' && chars[j].1 != '\n' {
+                    j += 1;
+                }
+            }
+            while j < chars.len() && chars[j].1 != '\'' && chars[j].1 != '\n' {
+                j += 1;
+            }
+            let closed = matches!(chars.get(j), Some((_, '\'')));
+            let j = if closed { j + 1 } else { j };
+            // Legacy only understood the 4-char form `'\n'`.
+            if !closed || j - i != 4 {
+                *comparable = false;
+            }
+            push(toks, TokKind::Char, text, lo, byte_at(j), tok_line);
+            j
+        }
+        Some(&(_, c2)) if matches!(chars.get(i + 2), Some((_, '\''))) && c2 != '\'' => {
+            // Plain char literal `'x'`.
+            push(toks, TokKind::Char, text, lo, byte_at(i + 3), tok_line);
+            i + 3
+        }
+        Some(&(_, c2)) if is_ident_start(c2) => {
+            // Lifetime.
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j].1) {
+                j += 1;
+            }
+            push(toks, TokKind::Lifetime, text, lo, byte_at(j), tok_line);
+            j
+        }
+        _ => {
+            push(toks, TokKind::Punct, text, lo, byte_at(i + 1), tok_line);
+            i + 1
+        }
+    }
+}
+
+/// Scans a numeric literal starting at `i`; returns the index past it.
+fn scan_number(chars: &[(usize, char)], i: usize) -> usize {
+    let mut j = i;
+    let radix_prefix = chars[i].1 == '0'
+        && matches!(
+            chars.get(i + 1),
+            Some((_, 'x' | 'X' | 'o' | 'O' | 'b' | 'B'))
+        );
+    if radix_prefix {
+        j = i + 2;
+        while j < chars.len() && (chars[j].1.is_ascii_alphanumeric() || chars[j].1 == '_') {
+            j += 1;
+        }
+        return j;
+    }
+    while j < chars.len() && (chars[j].1.is_ascii_digit() || chars[j].1 == '_') {
+        j += 1;
+    }
+    // Fractional part: `.` not followed by another `.` or an identifier
+    // (so `0..n` and `1.max(2)` stay integer + punct).
+    if matches!(chars.get(j), Some((_, '.'))) {
+        let after = chars.get(j + 1).map(|&(_, c)| c);
+        let take = match after {
+            Some(c) if c.is_ascii_digit() => true,
+            Some('.') => false,
+            Some(c) if is_ident_start(c) => false,
+            _ => true, // `1.` at end of expression
+        };
+        if take {
+            j += 1;
+            while j < chars.len() && (chars[j].1.is_ascii_digit() || chars[j].1 == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if matches!(chars.get(j), Some((_, 'e' | 'E'))) {
+        let mut k = j + 1;
+        if matches!(chars.get(k), Some((_, '+' | '-'))) {
+            k += 1;
+        }
+        if matches!(chars.get(k), Some((_, c)) if c.is_ascii_digit()) {
+            j = k;
+            while j < chars.len() && (chars[j].1.is_ascii_digit() || chars[j].1 == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    while j < chars.len() && is_ident_continue(chars[j].1) {
+        j += 1;
+    }
+    j
+}
+
+/// Structural overlays over a token stream: brace depth, `#[cfg(test)]`
+/// membership, and the innermost enclosing `fn` name — all the context
+/// the scoped rules in [`crate::rules`] need.
+#[derive(Clone, Debug)]
+pub struct Regions {
+    /// Per token: inside a `#[cfg(test)]` item (attribute tokens
+    /// included, matching the legacy scanner's line semantics)?
+    pub in_test: Vec<bool>,
+    /// Per token: index into [`Regions::fn_names`] of the innermost
+    /// enclosing function, if any.
+    pub fn_of: Vec<Option<usize>>,
+    /// Names of the functions referenced by [`Regions::fn_of`].
+    pub fn_names: Vec<String>,
+}
+
+/// Computes [`Regions`] for a token stream (comments are transparent).
+pub fn regions(toks: &[Tok]) -> Regions {
+    let mut in_test = vec![false; toks.len()];
+    let mut fn_of = vec![None; toks.len()];
+    let mut fn_names: Vec<String> = Vec::new();
+    let mut fn_stack: Vec<(usize, i64)> = Vec::new(); // (name idx, depth at `{`)
+    let mut depth: i64 = 0;
+    let mut inner: i64 = 0; // paren/bracket nesting, so `[u8; 4]` ≠ item end
+    let mut test_end_depth: Option<i64> = None;
+    let mut pending_test: Option<usize> = None; // token idx of the `#`
+    let mut pending_fn: Option<usize> = None; // name idx awaiting `{`
+
+    // Significant (non-comment) tokens drive the state machine.
+    let sig: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+
+    let is = |si: Option<&usize>, kind: TokKind, text: &str| -> bool {
+        si.is_some_and(|&i| toks[i].kind == kind && toks[i].text == text)
+    };
+
+    for (s, &ti) in sig.iter().enumerate() {
+        let tok = &toks[ti];
+        // Mark membership first (attribute + signature tokens included).
+        if test_end_depth.is_some() || pending_test.is_some() {
+            in_test[ti] = true;
+        }
+        if let Some((name_idx, _)) = fn_stack.last() {
+            fn_of[ti] = Some(*name_idx);
+        }
+
+        match (tok.kind, tok.text.as_str()) {
+            (TokKind::Punct, "#")
+                if test_end_depth.is_none()
+                    && pending_test.is_none()
+                    && is(sig.get(s + 1), TokKind::Punct, "[")
+                    && is(sig.get(s + 2), TokKind::Ident, "cfg")
+                    && is(sig.get(s + 3), TokKind::Punct, "(")
+                    && is(sig.get(s + 4), TokKind::Ident, "test")
+                    && is(sig.get(s + 5), TokKind::Punct, ")")
+                    && is(sig.get(s + 6), TokKind::Punct, "]") =>
+            {
+                pending_test = Some(ti);
+                in_test[ti] = true;
+            }
+            (TokKind::Ident, "fn")
+                if sig
+                    .get(s + 1)
+                    .is_some_and(|&n| toks[n].kind == TokKind::Ident) =>
+            {
+                let name = toks[sig[s + 1]].text.clone();
+                fn_names.push(name);
+                pending_fn = Some(fn_names.len() - 1);
+            }
+            (TokKind::Punct, "{") => {
+                if pending_test.is_some() && test_end_depth.is_none() {
+                    test_end_depth = Some(depth);
+                    pending_test = None;
+                }
+                if let Some(name_idx) = pending_fn.take() {
+                    fn_stack.push((name_idx, depth));
+                }
+                depth += 1;
+            }
+            (TokKind::Punct, "}") => {
+                depth -= 1;
+                if let Some(end) = test_end_depth {
+                    if depth <= end {
+                        test_end_depth = None;
+                    }
+                }
+                while fn_stack.last().is_some_and(|&(_, fd)| depth <= fd) {
+                    fn_stack.pop();
+                }
+            }
+            (TokKind::Punct, "(" | "[") => inner += 1,
+            (TokKind::Punct, ")" | "]") => inner -= 1,
+            (TokKind::Punct, ";") if inner == 0 => {
+                // Braceless item ends any pending attribute/fn signature.
+                if test_end_depth.is_none() {
+                    pending_test = None;
+                }
+                pending_fn = None;
+            }
+            _ => {}
+        }
+    }
+
+    Regions {
+        in_test,
+        fn_of,
+        fn_names,
+    }
+}
+
+/// Reconstructs the legacy sanitizer's view from the token stream: one
+/// string per source line with comments removed, string literals blanked
+/// to `""` (literal prefixes like `r#` preserved around the quotes), and
+/// char literals blanked to `' '`.
+pub fn sanitize_lines(text: &str, lexed: &Lexed) -> Vec<String> {
+    let mut out = String::with_capacity(text.len());
+    let mut cursor = 0usize;
+    for tok in &lexed.toks {
+        match tok.kind {
+            TokKind::Str | TokKind::Char | TokKind::LineComment | TokKind::BlockComment => {
+                out.push_str(&text[cursor..tok.lo]);
+                match tok.kind {
+                    TokKind::Str => {
+                        let first = tok.text.find('"').unwrap_or(0);
+                        let last = tok.text.rfind('"').unwrap_or(tok.text.len() - 1);
+                        out.push_str(&tok.text[..first]);
+                        out.push_str("\"\"");
+                        if last > first {
+                            out.push_str(&tok.text[last + 1..]);
+                        }
+                    }
+                    TokKind::Char => {
+                        let first = tok.text.find('\'').unwrap_or(0);
+                        out.push_str(&tok.text[..first]);
+                        out.push_str("' '");
+                    }
+                    _ => {
+                        // Comments vanish; keep interior newlines so line
+                        // numbering survives multi-line block comments.
+                        out.extend(tok.text.chars().filter(|&c| c == '\n'));
+                    }
+                }
+                cursor = tok.hi;
+            }
+            _ => {}
+        }
+    }
+    out.push_str(&text[cursor..]);
+    out.lines().map(str::to_owned).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(TokKind, String)> {
+        lex(text)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_ops() {
+        let got = kinds("a::b != c");
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "b".into()),
+                (TokKind::Punct, "!=".into()),
+                (TokKind::Ident, "c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_are_single_tokens() {
+        let got = kinds(r##"f("a\"b", 'x', b'\n', r#"raw"#)"##);
+        let texts: Vec<&str> = got.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"\"a\\\"b\""));
+        assert!(texts.contains(&"'x'"));
+        assert!(texts.contains(&"b'\\n'"));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.starts_with("r#")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let got = kinds("fn f<'a>(x: &'a str) {}");
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(!got.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn numbers_floats_and_ranges() {
+        assert_eq!(
+            kinds("1.5 0..n 0x1F 2f64 1e-3"),
+            vec![
+                (TokKind::Num, "1.5".into()),
+                (TokKind::Num, "0".into()),
+                (TokKind::Punct, "..".into()),
+                (TokKind::Ident, "n".into()),
+                (TokKind::Num, "0x1F".into()),
+                (TokKind::Num, "2f64".into()),
+                (TokKind::Num, "1e-3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_keep_text_and_lines() {
+        let lexed = lex("x // trailing\n/* block\nspans */ y");
+        let comments: Vec<&Tok> = lexed
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].text, "// trailing");
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].line, 2);
+        let y = lexed.toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn sanitize_matches_expectations() {
+        let text = "let s = \"thread_rng\"; // note\nlet c = 'x';\n";
+        let lexed = lex(text);
+        let lines = sanitize_lines(text, &lexed);
+        assert_eq!(lines[0], "let s = \"\"; ");
+        assert_eq!(lines[1], "let c = ' ';");
+    }
+
+    #[test]
+    fn regions_track_cfg_test() {
+        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lexed = lex(text);
+        let r = regions(&lexed.toks);
+        let tok_named = |name: &str| {
+            lexed
+                .toks
+                .iter()
+                .position(|t| t.text == name)
+                .unwrap_or_else(|| panic!("{name} not found"))
+        };
+        assert!(!r.in_test[tok_named("lib")]);
+        assert!(r.in_test[tok_named("tests")]);
+        assert!(r.in_test[tok_named("t")]);
+        assert!(!r.in_test[tok_named("after")]);
+    }
+
+    #[test]
+    fn regions_track_fn_names_through_closures() {
+        let text = "fn step(xs: &[u64]) {\n    let f = |i| xs[i];\n}\nfn other() {}\n";
+        let lexed = lex(text);
+        let r = regions(&lexed.toks);
+        let idx = lexed.toks.iter().position(|t| t.text == "i").unwrap();
+        assert_eq!(r.fn_of[idx].map(|k| r.fn_names[k].as_str()), Some("step"));
+        let other = lexed.toks.iter().position(|t| t.text == "other").unwrap();
+        assert_eq!(r.fn_of[other], None, "fn name token precedes the body");
+    }
+
+    #[test]
+    fn braceless_cfg_test_does_not_open_region() {
+        let text = "#[cfg(test)]\nuse helper::x;\nfn f() { y.unwrap(); }\n";
+        let lexed = lex(text);
+        let r = regions(&lexed.toks);
+        let unwrap_idx = lexed.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(!r.in_test[unwrap_idx]);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_junk() {
+        for text in ["\"unterminated", "'", "/* open", "r#\"open", "'\\", "b'"] {
+            let _ = lex(text);
+        }
+    }
+
+    #[test]
+    fn line_numbers_survive_string_continuations() {
+        // A `\` at end-of-line inside a string escapes the newline; the
+        // line counter must still advance (regression: findings after a
+        // continuation string were reported two lines early).
+        let text = "let s = \"a\\\n   b\\\n   c\";\nlet t = x as u32;\n";
+        let lexed = lex(text);
+        for t in &lexed.toks {
+            let actual = text[..t.lo].bytes().filter(|&b| b == b'\n').count() + 1;
+            assert_eq!(t.line, actual, "token {:?}", t.text);
+        }
+        assert!(!lexed.legacy_comparable, "legacy misparses continuations");
+    }
+}

@@ -1,5 +1,6 @@
 //! Static analysis for the noisy-PULL workspace: determinism and
-//! robustness lints beyond what rustc/clippy check.
+//! robustness lints beyond what rustc/clippy check, plus schema
+//! validation for the workspace's JSON artifacts.
 //!
 //! The paper's guarantees (Theorems 4 and 5) are probability statements
 //! over *seeded* randomness, and `np_engine::runner::run_batch` promises
@@ -8,19 +9,34 @@
 //! hot path silently breaks reproducibility of every experiment. These
 //! lints make that class of bug a CI failure instead of a silent drift.
 //!
-//! The scanner is a line-and-token pass, not a parser: it strips strings
-//! and comments, tracks `#[cfg(test)]` regions by brace depth, and matches
-//! per-rule token lists. False positives are silenced inline with
-//! `// xtask-allow: <rule>` on the offending or preceding line — an
-//! auditable escape hatch (`grep xtask-allow` lists every exemption).
+//! The analyzer is token-level, not line-level: [`lexer`] produces a
+//! string/comment-aware token stream, [`resolve`] builds the file's import
+//! graph (so grouped, nested and renamed `use` declarations all resolve),
+//! and [`scanner`] runs the declarative rule catalog in [`rules`] over the
+//! resolved stream. Findings render through [`report`] as the byte-stable
+//! `np-lint/v1` JSONL format; [`artifacts`] validates the workspace's
+//! emitted JSON artifacts (`np-bench/v1`, `np-run-summary/v1`,
+//! `np-manifest/v1`, `np-lint/v1`) against their schemas.
 //!
-//! Run as `cargo xtask check` (see `src/main.rs` for file selection).
+//! False positives are silenced inline with an `xtask-allow` line comment
+//! naming the rule, on the offending or preceding line — an auditable
+//! escape hatch, and an *accountable* one: a directive that suppresses
+//! nothing is itself a `stale-allow` finding.
+//!
+//! Run as `cargo xtask lint` (see `src/main.rs` for the CLI and file
+//! selection; the scope table lives in [`rules::SCOPES`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
+pub mod json;
+pub mod legacy;
+pub mod lexer;
+pub mod report;
+pub mod resolve;
 pub mod rules;
 pub mod scanner;
 
-pub use rules::{Rule, HOT_PATH_RULES, RULES, SNAPSHOT_PATH_RULES};
-pub use scanner::{scan_source, scan_source_with, FileClass, Finding};
+pub use rules::{RuleDef, Severity, BASE_RULES, HOT_PATH_RULES, SCOPES, SNAPSHOT_PATH_RULES};
+pub use scanner::{analyze_source, FileClass, Finding, RuleSet};

@@ -1,0 +1,219 @@
+//! The `np-lint/v1` report: a byte-stable JSONL rendering of lint
+//! findings, plus the text renderer and the baseline differ behind
+//! `cargo xtask lint --baseline`.
+//!
+//! Format, hand-rolled like the other np-* artifact writers:
+//!
+//! ```text
+//! {"schema":"np-lint/v1","files":27,"findings":2}
+//! {"file":"crates/engine/src/world.rs","line":443,"rule":"panic-path",...}
+//! ```
+//!
+//! One header line, then one line per finding, sorted by
+//! `(file, line, rule)` — the report for a given workspace state is
+//! byte-identical across runs and machines, so CI can `diff` two runs or
+//! a committed baseline directly.
+
+use std::collections::BTreeSet;
+
+use crate::json::{self, Json};
+use crate::scanner::Finding;
+
+/// The report schema name/version.
+pub const SCHEMA: &str = "np-lint/v1";
+
+/// One finding attributed to a workspace-relative file.
+pub type Entry = (String, Finding);
+
+/// Sorts entries into the canonical report order: file, line, rule.
+pub fn sort_entries(entries: &mut [Entry]) {
+    entries.sort_by(|(fa, a), (fb, b)| {
+        (fa.as_str(), a.line, a.rule).cmp(&(fb.as_str(), b.line, b.rule))
+    });
+}
+
+/// Renders the canonical JSONL report. Callers must pass entries already
+/// sorted with [`sort_entries`] (the renderer asserts nothing and writes
+/// what it is given — sorting is the caller's contract).
+pub fn render_jsonl(entries: &[Entry], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":{},\"files\":{},\"findings\":{}}}\n",
+        json::escape(SCHEMA),
+        files_scanned,
+        entries.len()
+    ));
+    for (file, f) in entries {
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"severity\":{},\"scope\":{},\"message\":{},\"excerpt\":{}}}\n",
+            json::escape(file),
+            f.line,
+            json::escape(f.rule),
+            json::escape(f.severity.name()),
+            json::escape(f.scope),
+            json::escape(f.message),
+            json::escape(&f.excerpt),
+        ));
+    }
+    out
+}
+
+/// Renders the human-readable report.
+pub fn render_text(entries: &[Entry], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for (file, f) in entries {
+        out.push_str(&format!(
+            "{}:{}: [{}] {} ({}): {}\n    {}\n",
+            file,
+            f.line,
+            f.severity.name(),
+            f.rule,
+            f.scope,
+            f.message,
+            f.excerpt
+        ));
+    }
+    if entries.is_empty() {
+        out.push_str(&format!("xtask lint: {files_scanned} files clean\n"));
+    } else {
+        let denies = entries
+            .iter()
+            .filter(|(_, f)| f.severity == crate::rules::Severity::Deny)
+            .count();
+        out.push_str(&format!(
+            "xtask lint: {} finding(s) ({} deny, {} warn) in {} files \
+             (suppress intentional ones with `// xtask-allow: <rule>`)\n",
+            entries.len(),
+            denies,
+            entries.len() - denies,
+            files_scanned
+        ));
+    }
+    out
+}
+
+/// A baseline: the identity of every finding a previous report recorded.
+/// Identity is `(file, rule, excerpt)` — *not* the line number, so pure
+/// line drift (code added above a known finding) does not churn the
+/// baseline.
+pub type Baseline = BTreeSet<(String, String, String)>;
+
+/// Parses an np-lint/v1 JSONL report into a [`Baseline`]. An empty (or
+/// whitespace-only) file is a valid empty baseline.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut set = Baseline::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("baseline line {}: {e}", idx + 1))?;
+        if idx == 0 {
+            match v.get("schema").and_then(Json::as_str) {
+                Some(SCHEMA) => continue,
+                Some(other) => {
+                    return Err(format!(
+                        "baseline line 1: schema {other:?}, expected {SCHEMA:?}"
+                    ))
+                }
+                None => return Err("baseline line 1: missing schema header".to_owned()),
+            }
+        }
+        let field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("baseline line {}: missing {key:?}", idx + 1))
+        };
+        set.insert((field("file")?, field("rule")?, field("excerpt")?));
+    }
+    Ok(set)
+}
+
+/// The entries not present in `baseline` — the findings that would be new
+/// if the current report were committed.
+pub fn new_since<'a>(entries: &'a [Entry], baseline: &Baseline) -> Vec<&'a Entry> {
+    entries
+        .iter()
+        .filter(|(file, f)| {
+            !baseline.contains(&(file.clone(), f.rule.to_owned(), f.excerpt.clone()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn entry(file: &str, line: usize, rule: &'static str) -> Entry {
+        (
+            file.to_owned(),
+            Finding {
+                rule,
+                severity: Severity::Deny,
+                scope: "library",
+                line,
+                excerpt: format!("offending line {line}"),
+                message: "msg",
+            },
+        )
+    }
+
+    #[test]
+    fn jsonl_is_sorted_and_stable() {
+        let mut entries = vec![
+            entry("b.rs", 2, "unwrap"),
+            entry("a.rs", 9, "wall-clock"),
+            entry("a.rs", 9, "protocol-instant"),
+        ];
+        sort_entries(&mut entries);
+        let one = render_jsonl(&entries, 3);
+        let two = render_jsonl(&entries, 3);
+        assert_eq!(one, two);
+        let lines: Vec<&str> = one.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"schema\":\"np-lint/v1\""));
+        assert!(lines[1].contains("\"file\":\"a.rs\""));
+        assert!(lines[1].contains("\"rule\":\"protocol-instant\""));
+        assert!(lines[2].contains("\"rule\":\"wall-clock\""));
+        assert!(lines[3].contains("\"file\":\"b.rs\""));
+    }
+
+    #[test]
+    fn report_round_trips_through_baseline() {
+        let mut entries = vec![entry("a.rs", 1, "unwrap"), entry("b.rs", 7, "float-eq")];
+        sort_entries(&mut entries);
+        let report = render_jsonl(&entries, 2);
+        let baseline = parse_baseline(&report).expect("parse");
+        assert!(new_since(&entries, &baseline).is_empty());
+        let extra = entry("c.rs", 3, "unwrap");
+        let mut more = entries.clone();
+        more.push(extra.clone());
+        let fresh = new_since(&more, &baseline);
+        assert_eq!(fresh, vec![&extra]);
+    }
+
+    #[test]
+    fn baseline_ignores_line_drift() {
+        let mut entries = vec![entry("a.rs", 1, "unwrap")];
+        sort_entries(&mut entries);
+        let baseline = parse_baseline(&render_jsonl(&entries, 1)).expect("parse");
+        // Same finding, shifted — but the excerpt moved with it, so it
+        // must still match the baseline identity.
+        let mut shifted = entries.clone();
+        shifted[0].1.line = 41;
+        shifted[0].1.excerpt = "offending line 1".to_owned();
+        assert!(new_since(&shifted, &baseline).is_empty());
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert!(parse_baseline("").expect("empty").is_empty());
+        assert!(parse_baseline("\n\n").expect("blank").is_empty());
+    }
+
+    #[test]
+    fn bad_schema_is_rejected() {
+        assert!(parse_baseline("{\"schema\":\"np-bench/v1\"}\n").is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! The import-graph resolver: follows `use` declarations — grouped,
+//! nested, renamed — so path-based rules see through alias indirection.
+//!
+//! The legacy needle scanner's documented false negatives were all import
+//! shapes: `use std::time::{Duration, Instant}` never contains the
+//! substring `time::Instant` on the line that *uses* `Instant`, and
+//! `use std::time::Instant as Clock` hides the name entirely. This module
+//! parses every `use` tree out of the token stream into an alias → full
+//! path map, so `Clock::now()` resolves to `std::time::Instant::now` and
+//! the rule fires where the old scanner went blind.
+//!
+//! Resolution is deliberately an over-approximation: alias maps are
+//! file-global (Rust's per-module scoping is ignored) and a name imported
+//! twice matches if *any* of its imports matches. For a determinism
+//! linter, strict-but-noisy beats lenient-but-blind; intentional hits are
+//! silenced with `// xtask-allow`, and stale silences are themselves
+//! findings.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Regions, Tok, TokKind};
+
+/// One name brought into scope by a `use` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Import {
+    /// The local name (the rename after `as`, else the last segment).
+    pub alias: String,
+    /// The full imported path, segment by segment.
+    pub path: Vec<String>,
+    /// 1-based line of the segment naming this import.
+    pub line: usize,
+}
+
+/// All imports of a file, indexed for alias resolution.
+#[derive(Clone, Debug, Default)]
+pub struct ImportMap {
+    /// Every import, in declaration order.
+    pub imports: Vec<Import>,
+    by_alias: BTreeMap<String, Vec<usize>>,
+    /// Token-index ranges `[lo, hi)` covered by `use` declarations, so
+    /// the scanner can skip their path chains (imports are checked once,
+    /// as declarations, not re-matched as expressions).
+    pub use_ranges: Vec<(usize, usize)>,
+}
+
+impl ImportMap {
+    /// The full paths the local name `alias` may refer to.
+    pub fn resolve(&self, alias: &str) -> impl Iterator<Item = &Import> {
+        self.by_alias
+            .get(alias)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.imports[i])
+    }
+
+    /// Whether token index `ti` lies inside a `use` declaration.
+    pub fn in_use_decl(&self, ti: usize) -> bool {
+        self.use_ranges.iter().any(|&(lo, hi)| lo <= ti && ti < hi)
+    }
+}
+
+/// Collects the import map from a token stream. Imports inside
+/// `#[cfg(test)]` regions are skipped — test code is exempt from every
+/// rule, and its aliases must not leak findings into library code.
+pub fn collect(toks: &[Tok], regions: &Regions) -> ImportMap {
+    let mut map = ImportMap::default();
+    let sig: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut s = 0usize;
+    while s < sig.len() {
+        let ti = sig[s];
+        if toks[ti].kind == TokKind::Ident && toks[ti].text == "use" && !regions.in_test[ti] {
+            let start = ti;
+            let mut t = s + 1;
+            let mut prefix: Vec<String> = Vec::new();
+            parse_tree(toks, &sig, &mut t, &mut prefix, &mut map.imports);
+            // Consume through the terminating `;` (parse_tree stops at it
+            // or at anything it cannot read).
+            while t < sig.len()
+                && !(toks[sig[t]].kind == TokKind::Punct && toks[sig[t]].text == ";")
+            {
+                t += 1;
+            }
+            let end = if t < sig.len() {
+                sig[t] + 1
+            } else {
+                toks.len()
+            };
+            map.use_ranges.push((start, end));
+            s = t + 1;
+        } else {
+            s += 1;
+        }
+    }
+    for (i, imp) in map.imports.iter().enumerate() {
+        map.by_alias.entry(imp.alias.clone()).or_default().push(i);
+    }
+    map
+}
+
+/// Recursive-descent parser for one `use` tree level. `t` indexes into
+/// `sig`; `prefix` is the path accumulated so far.
+fn parse_tree(
+    toks: &[Tok],
+    sig: &[usize],
+    t: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<Import>,
+) {
+    let depth_at_entry = prefix.len();
+    loop {
+        let Some(&ti) = sig.get(*t) else { return };
+        let tok = &toks[ti];
+        match (tok.kind, tok.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                *t += 1;
+                loop {
+                    parse_tree(toks, sig, t, prefix, out);
+                    match sig.get(*t).map(|&i| toks[i].text.as_str()) {
+                        Some(",") => *t += 1,
+                        Some("}") => {
+                            *t += 1;
+                            break;
+                        }
+                        _ => return, // malformed or end of stream
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                return;
+            }
+            (TokKind::Punct, "*") => {
+                // Glob import: nothing nameable to record.
+                *t += 1;
+                prefix.truncate(depth_at_entry);
+                return;
+            }
+            (TokKind::Ident, "self") if !prefix.is_empty() => {
+                // `a::b::{self, c}` imports `b` itself.
+                record(prefix, prefix.last().cloned(), tok.line, out);
+                *t += 1;
+                prefix.truncate(depth_at_entry);
+                return;
+            }
+            (TokKind::Ident, seg) if seg != "as" => {
+                prefix.push(seg.to_owned());
+                *t += 1;
+                match sig.get(*t).map(|&i| (toks[i].kind, toks[i].text.as_str())) {
+                    Some((TokKind::Punct, "::")) => {
+                        *t += 1;
+                        continue;
+                    }
+                    Some((TokKind::Ident, "as")) => {
+                        *t += 1;
+                        if let Some(&ni) = sig.get(*t) {
+                            if toks[ni].kind == TokKind::Ident {
+                                record(prefix, Some(toks[ni].text.clone()), toks[ni].line, out);
+                                *t += 1;
+                            }
+                        }
+                        prefix.truncate(depth_at_entry);
+                        return;
+                    }
+                    _ => {
+                        record(prefix, Some(seg.to_owned()), tok.line, out);
+                        prefix.truncate(depth_at_entry);
+                        return;
+                    }
+                }
+            }
+            _ => {
+                prefix.truncate(depth_at_entry);
+                return;
+            }
+        }
+    }
+}
+
+fn record(path: &[String], alias: Option<String>, line: usize, out: &mut Vec<Import>) {
+    let Some(alias) = alias else { return };
+    if path.is_empty() {
+        return;
+    }
+    out.push(Import {
+        alias,
+        path: path.to_vec(),
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, regions};
+
+    fn imports(text: &str) -> Vec<(String, String)> {
+        let lexed = lex(text);
+        let r = regions(&lexed.toks);
+        collect(&lexed.toks, &r)
+            .imports
+            .into_iter()
+            .map(|i| (i.alias, i.path.join("::")))
+            .collect()
+    }
+
+    #[test]
+    fn plain_import() {
+        assert_eq!(
+            imports("use std::time::Instant;\n"),
+            vec![("Instant".into(), "std::time::Instant".into())]
+        );
+    }
+
+    #[test]
+    fn grouped_import() {
+        assert_eq!(
+            imports("use std::time::{Duration, Instant};\n"),
+            vec![
+                ("Duration".into(), "std::time::Duration".into()),
+                ("Instant".into(), "std::time::Instant".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn renamed_import() {
+        assert_eq!(
+            imports("use std::time::Instant as Clock;\n"),
+            vec![("Clock".into(), "std::time::Instant".into())]
+        );
+    }
+
+    #[test]
+    fn nested_groups_and_self() {
+        assert_eq!(
+            imports("use a::{b::{self, c, d as e}, f};\n"),
+            vec![
+                ("b".into(), "a::b".into()),
+                ("c".into(), "a::b::c".into()),
+                ("e".into(), "a::b::d".into()),
+                ("f".into(), "a::f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn glob_is_ignored() {
+        assert_eq!(imports("use super::*;\n"), Vec::new());
+    }
+
+    #[test]
+    fn cfg_test_imports_are_skipped() {
+        let text = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert_eq!(imports(text), Vec::new());
+    }
+
+    #[test]
+    fn use_ranges_cover_declarations() {
+        let text = "use a::b;\nfn f() { b::c(); }\n";
+        let lexed = lex(text);
+        let r = regions(&lexed.toks);
+        let map = collect(&lexed.toks, &r);
+        let b_decl = lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "b")
+            .expect("b in use");
+        assert!(map.in_use_decl(b_decl));
+        let b_expr = lexed.toks.iter().rposition(|t| t.text == "b").expect("b");
+        assert!(!map.in_use_decl(b_expr));
+    }
+
+    #[test]
+    fn resolve_follows_alias() {
+        let lexed = lex("use std::time::Instant as Clock;\n");
+        let r = regions(&lexed.toks);
+        let map = collect(&lexed.toks, &r);
+        let paths: Vec<String> = map.resolve("Clock").map(|i| i.path.join("::")).collect();
+        assert_eq!(paths, vec!["std::time::Instant".to_owned()]);
+    }
+}

@@ -3,27 +3,45 @@
 //! suppressed by `xtask-allow` directives. Fixtures live in
 //! `tests/fixtures/` (a subdirectory, so cargo does not compile them as
 //! test targets).
+//!
+//! The grouped/renamed-import fixtures are additionally checked against
+//! the preserved legacy needle scanner ([`xtask::legacy`]) to *prove*
+//! they dodge it: the rewrite's motivating false negatives are pinned
+//! here as regression tests, not just described in comments.
 
-use xtask::rules::{all_rule_names, HOT_PATH_RULES, SNAPSHOT_PATH_RULES};
-use xtask::{scan_source_with, FileClass, Rule};
+use xtask::legacy;
+use xtask::rules::{
+    all_rule_names, BASE_RULES, HOT_LOOP_RULES, HOT_PATH_RULES, PROTOCOL_CLOCK_RULES,
+    SNAPSHOT_PATH_RULES, UNKNOWN_ALLOW_MSG,
+};
+use xtask::scanner::{analyze_source, FileClass, Finding, RuleSet};
 
-/// Scans a fixture file with extra rules, returning `(rule, line)` pairs
-/// in file order.
-fn scan_fixture_with(name: &str, class: FileClass, extra: &[Rule]) -> Vec<(String, usize)> {
+/// The base rule set every library file gets, mirroring the driver.
+const LIB: RuleSet = RuleSet::new("library", BASE_RULES);
+const HOT: RuleSet = RuleSet::new("hot-path", HOT_PATH_RULES);
+const CLOCK: RuleSet = RuleSet::new("protocol-clock", PROTOCOL_CLOCK_RULES);
+const SNAP: RuleSet = RuleSet::new("snapshot-encode", SNAPSHOT_PATH_RULES);
+const LOOP_STEP: RuleSet = RuleSet::in_fns("hot-loop", HOT_LOOP_RULES, &["step"]);
+
+fn fixture_text(name: &str) -> String {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|err| panic!("fixture {} unreadable: {err}", path.display()));
-    scan_source_with(class, &text, extra)
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("fixture {} unreadable: {err}", path.display()))
+}
+
+/// Scans a fixture with the given rule sets, returning `(rule, line)`
+/// pairs sorted the way the scanner reports them.
+fn analyze(name: &str, class: FileClass, sets: &[RuleSet]) -> Vec<(String, usize)> {
+    analyze_source(class, &fixture_text(name), sets)
         .into_iter()
         .map(|f| (f.rule.to_owned(), f.line))
         .collect()
 }
 
-/// Scans a fixture file against the base catalog only.
-fn scan_fixture(name: &str, class: FileClass) -> Vec<(String, usize)> {
-    scan_fixture_with(name, class, &[])
+fn findings(name: &str, class: FileClass, sets: &[RuleSet]) -> Vec<Finding> {
+    analyze_source(class, &fixture_text(name), sets)
 }
 
 fn expect(rule: &str, lines: &[usize]) -> Vec<(String, usize)> {
@@ -32,108 +50,179 @@ fn expect(rule: &str, lines: &[usize]) -> Vec<(String, usize)> {
 
 #[test]
 fn ambient_randomness_fires_exactly_where_expected() {
-    let got = scan_fixture("ambient_randomness.rs", FileClass::LibrarySource);
+    let got = analyze("ambient_randomness.rs", FileClass::LibrarySource, &[LIB]);
     assert_eq!(got, expect("ambient-randomness", &[5, 6]));
 }
 
 #[test]
 fn wall_clock_fires_exactly_where_expected() {
-    let got = scan_fixture("wall_clock.rs", FileClass::LibrarySource);
+    let got = analyze("wall_clock.rs", FileClass::LibrarySource, &[LIB]);
     assert_eq!(got, expect("wall-clock", &[7]));
 }
 
 #[test]
 fn hash_iteration_fires_exactly_where_expected() {
-    let got = scan_fixture("hash_iteration.rs", FileClass::LibrarySource);
+    let got = analyze("hash_iteration.rs", FileClass::LibrarySource, &[LIB]);
     assert_eq!(got, expect("hash-iteration", &[5, 6]));
 }
 
 #[test]
 fn unwrap_fires_exactly_where_expected() {
-    let got = scan_fixture("unwrap.rs", FileClass::LibrarySource);
+    let got = analyze("unwrap.rs", FileClass::LibrarySource, &[LIB]);
     assert_eq!(got, expect("unwrap", &[5, 9]));
 }
 
 #[test]
 fn debug_print_fires_exactly_where_expected() {
-    let got = scan_fixture("debug_print.rs", FileClass::LibrarySource);
+    let got = analyze("debug_print.rs", FileClass::LibrarySource, &[LIB]);
     assert_eq!(got, expect("debug-print", &[5, 6, 7]));
 }
 
 #[test]
 fn float_eq_fires_exactly_where_expected() {
-    let got = scan_fixture("float_eq.rs", FileClass::LibrarySource);
+    let got = analyze("float_eq.rs", FileClass::LibrarySource, &[LIB]);
     assert_eq!(got, expect("float-eq", &[5, 9, 13]));
 }
 
 #[test]
 fn raw_stdrng_fires_only_under_hot_path_rules() {
-    let hot = scan_fixture_with("raw_stdrng.rs", FileClass::LibrarySource, HOT_PATH_RULES);
+    let hot = analyze("raw_stdrng.rs", FileClass::LibrarySource, &[LIB, HOT]);
     assert_eq!(hot, expect("raw-stdrng", &[5, 6]));
-    // Outside the hot-path scope the same file is clean: the rule is
-    // scoped, not global.
-    let base = scan_fixture("raw_stdrng.rs", FileClass::LibrarySource);
-    assert!(base.is_empty(), "{base:?}");
+    // Outside the hot-path scope the rule never runs — and then the
+    // fixture's raw-stdrng suppression suppresses nothing, which the
+    // stale-allow analysis reports. Scoping and allow-accounting in one.
+    let base = analyze("raw_stdrng.rs", FileClass::LibrarySource, &[LIB]);
+    assert_eq!(base, expect("stale-allow", &[15]));
 }
 
 #[test]
-fn protocol_instant_fires_only_under_hot_path_rules() {
-    let mut hot = scan_fixture_with(
+fn protocol_instant_fires_only_under_protocol_clock_rules() {
+    let got = analyze(
         "protocol_instant.rs",
         FileClass::LibrarySource,
-        HOT_PATH_RULES,
+        &[LIB, CLOCK],
     );
-    hot.sort();
-    // Line 8 (`Instant::now()`) also trips the generic wall-clock rule;
-    // line 5 (the bare import) is visible to the hot-path rule alone.
-    let mut want = expect("protocol-instant", &[5, 8]);
-    want.extend(expect("wall-clock", &[8]));
-    want.sort();
-    assert_eq!(hot, want);
-    // Outside the hot-path scope only the generic wall-clock rule applies:
-    // naming the type (as the import does) is legal there.
-    let base = scan_fixture("protocol_instant.rs", FileClass::LibrarySource);
-    assert_eq!(base, expect("wall-clock", &[8]));
+    let want = vec![
+        ("protocol-instant".to_owned(), 5),
+        ("protocol-instant".to_owned(), 8),
+        ("wall-clock".to_owned(), 8),
+    ];
+    assert_eq!(got, want);
+    // Outside the protocol-clock scope only the generic wall-clock rule
+    // applies (naming the type is legal), and the fixture's
+    // protocol-instant suppression goes stale.
+    let base = analyze("protocol_instant.rs", FileClass::LibrarySource, &[LIB]);
+    assert_eq!(
+        base,
+        vec![("wall-clock".to_owned(), 8), ("stale-allow".to_owned(), 18)]
+    );
 }
 
 #[test]
 fn snapshot_bytes_fires_only_under_snapshot_path_rules() {
-    let mut got = scan_fixture_with(
-        "snapshot_bytes.rs",
-        FileClass::LibrarySource,
-        SNAPSHOT_PATH_RULES,
-    );
-    got.sort();
-    // Line 10 (`HashMap`) also trips the base hash-iteration rule; the
-    // bare type mentions on lines 5 and 7 are visible to the encode-path
-    // rule alone.
-    let mut want = expect("snapshot-bytes", &[5, 7, 10]);
-    want.extend(expect("hash-iteration", &[10]));
-    want.sort();
+    let got = analyze("snapshot_bytes.rs", FileClass::LibrarySource, &[LIB, SNAP]);
+    let want = vec![
+        ("snapshot-bytes".to_owned(), 5),
+        ("snapshot-bytes".to_owned(), 7),
+        ("hash-iteration".to_owned(), 10),
+        ("snapshot-bytes".to_owned(), 10),
+    ];
     assert_eq!(got, want);
-    // Outside the encode-path scope only construction/iteration is
-    // caught: naming the types (as the import does) is legal there.
-    let base = scan_fixture("snapshot_bytes.rs", FileClass::LibrarySource);
-    assert_eq!(base, expect("hash-iteration", &[10]));
+}
+
+#[test]
+fn narrowing_cast_fires_exactly_where_expected() {
+    let got = analyze("narrowing_cast.rs", FileClass::LibrarySource, &[LIB, SNAP]);
+    assert_eq!(got, expect("narrowing-cast", &[6, 7]));
+}
+
+#[test]
+fn panic_path_fires_only_inside_the_named_fn() {
+    let got = analyze("panic_path.rs", FileClass::LibrarySource, &[LIB, LOOP_STEP]);
+    assert_eq!(got, expect("panic-path", &[7, 9]));
+}
+
+#[test]
+fn stale_allow_flags_unused_and_unknown_directives() {
+    let got = findings("stale_allow.rs", FileClass::LibrarySource, &[LIB]);
+    let summary: Vec<(String, usize)> = got.iter().map(|f| (f.rule.to_owned(), f.line)).collect();
+    assert_eq!(summary, expect("stale-allow", &[5, 14]));
+    // The two findings carry different messages: one is unused, one names
+    // a rule that does not exist.
+    assert!(
+        got[0].message.contains("suppresses nothing"),
+        "{:?}",
+        got[0]
+    );
+    assert_eq!(got[1].message, UNKNOWN_ALLOW_MSG);
+}
+
+#[test]
+fn grouped_import_fires_and_provably_dodges_the_needle_scanner() {
+    let got = analyze(
+        "grouped_instant.rs",
+        FileClass::LibrarySource,
+        &[LIB, CLOCK],
+    );
+    let want = vec![
+        ("protocol-instant".to_owned(), 6),
+        ("protocol-instant".to_owned(), 9),
+        ("wall-clock".to_owned(), 9),
+    ];
+    assert_eq!(got, want);
+    // The legacy scanner's protocol-instant needle never matches this
+    // file: the grouped import was its documented false negative.
+    let text = fixture_text("grouped_instant.rs");
+    assert!(
+        legacy::needle_lines(&text, legacy::PROTOCOL_INSTANT_NEEDLES).is_empty(),
+        "legacy needle scan was supposed to miss the grouped import"
+    );
+}
+
+#[test]
+fn renamed_import_fires_and_provably_dodges_the_needle_scanner() {
+    let got = analyze(
+        "renamed_instant.rs",
+        FileClass::LibrarySource,
+        &[LIB, CLOCK],
+    );
+    let want = vec![
+        ("protocol-instant".to_owned(), 6),
+        ("protocol-instant".to_owned(), 9),
+        ("wall-clock".to_owned(), 9),
+    ];
+    assert_eq!(got, want);
+    let text = fixture_text("renamed_instant.rs");
+    // The rename leaves `time::Instant` only on the import line; the use
+    // site (`Clock::now()`) matches no legacy needle at all.
+    assert_eq!(
+        legacy::needle_lines(&text, legacy::PROTOCOL_INSTANT_NEEDLES),
+        vec![6],
+        "legacy saw only the import, never the renamed use site"
+    );
+    assert!(
+        legacy::needle_lines(&text, legacy::WALL_CLOCK_NEEDLES).is_empty(),
+        "legacy wall-clock needles were supposed to miss `Clock::now()`"
+    );
 }
 
 #[test]
 fn crate_headers_fires_on_library_roots_only() {
-    let as_root = scan_fixture("missing_headers.rs", FileClass::LibraryRoot);
+    let as_root = analyze("missing_headers.rs", FileClass::LibraryRoot, &[LIB]);
     assert_eq!(as_root, expect("crate-headers", &[1, 1]));
-    let as_source = scan_fixture("missing_headers.rs", FileClass::LibrarySource);
+    let as_source = analyze("missing_headers.rs", FileClass::LibrarySource, &[LIB]);
     assert!(as_source.is_empty(), "{as_source:?}");
 }
 
 #[test]
 fn clean_fixture_has_no_findings_even_as_root() {
-    let got = scan_fixture("clean.rs", FileClass::LibraryRoot);
+    let got = analyze("clean.rs", FileClass::LibraryRoot, &[LIB]);
     assert!(got.is_empty(), "{got:?}");
 }
 
 #[test]
-fn allow_directives_suppress_every_finding() {
-    let got = scan_fixture("allowed.rs", FileClass::LibrarySource);
+fn allow_directives_suppress_every_finding_and_none_is_stale() {
+    let got = analyze("allowed.rs", FileClass::LibrarySource, &[LIB]);
     assert!(got.is_empty(), "{got:?}");
 }
 
@@ -142,7 +231,7 @@ fn every_rule_has_a_bad_fixture() {
     // Each rule must be demonstrated by a fixture that makes it fire;
     // collect the rules fired across all bad fixtures and compare against
     // the full catalog, so adding a rule without a fixture fails here.
-    let bad_fixtures = [
+    let base_fixtures = [
         "ambient_randomness.rs",
         "wall_clock.rs",
         "hash_iteration.rs",
@@ -150,24 +239,35 @@ fn every_rule_has_a_bad_fixture() {
         "debug_print.rs",
         "float_eq.rs",
         "missing_headers.rs",
+        "stale_allow.rs",
     ];
-    let mut fired: Vec<String> = bad_fixtures
+    let mut fired: Vec<String> = base_fixtures
         .iter()
-        .flat_map(|f| scan_fixture(f, FileClass::LibraryRoot))
-        .chain(scan_fixture_with(
+        .flat_map(|f| analyze(f, FileClass::LibraryRoot, &[LIB]))
+        .chain(analyze(
             "raw_stdrng.rs",
             FileClass::LibrarySource,
-            HOT_PATH_RULES,
+            &[LIB, HOT],
         ))
-        .chain(scan_fixture_with(
+        .chain(analyze(
             "protocol_instant.rs",
             FileClass::LibrarySource,
-            HOT_PATH_RULES,
+            &[LIB, CLOCK],
         ))
-        .chain(scan_fixture_with(
+        .chain(analyze(
             "snapshot_bytes.rs",
             FileClass::LibrarySource,
-            SNAPSHOT_PATH_RULES,
+            &[LIB, SNAP],
+        ))
+        .chain(analyze(
+            "narrowing_cast.rs",
+            FileClass::LibrarySource,
+            &[LIB, SNAP],
+        ))
+        .chain(analyze(
+            "panic_path.rs",
+            FileClass::LibrarySource,
+            &[LIB, LOOP_STEP],
         ))
         .map(|(rule, _)| rule)
         .collect();

@@ -1,0 +1,11 @@
+//! Bad fixture for the grouped-import dodge: `use std::time::{Duration,
+//! Instant}` never contains the substring `time::Instant`, so the legacy
+//! needle scanner missed it entirely. The token analyzer resolves the
+//! group and fires `protocol-instant` on the import and on every use.
+
+use std::time::{Duration, Instant};
+
+pub fn grouped(d: Duration) -> Duration {
+    let t = Instant::now();
+    t.elapsed() + d
+}

@@ -1,0 +1,15 @@
+//! Bad fixture for the `narrowing-cast` encode-path rule: truncating `as`
+//! casts fire on lines 6 and 7; the widening cast on line 8 and the
+//! allowed, pre-masked cast on line 14 stay silent.
+
+pub fn encode(x: u64, small: u8) -> (u32, usize, u64) {
+    let a = x as u32;
+    let b = (x >> 1) as usize;
+    let widened = small as u64;
+    (a, b, widened)
+}
+
+pub fn allowed(x: u64) -> u16 {
+    // xtask-allow: narrowing-cast (masked to 16 bits on the same line)
+    (x & 0xffff) as u16
+}

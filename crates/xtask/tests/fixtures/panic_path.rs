@@ -1,0 +1,18 @@
+//! Bad fixture for the fn-scoped `panic-path` rule: inside `step`,
+//! indexing and panic!-family macros fire (lines 7 and 9); identical code
+//! in any other function is out of scope, and an allowed line is
+//! suppressed.
+
+pub fn step(xs: &[u64], i: usize) -> u64 {
+    let v = xs[i];
+    if v == 0 {
+        unreachable!("guarded by caller");
+    }
+    // xtask-allow: panic-path (first element guaranteed by construction)
+    let w = xs[0];
+    v + w
+}
+
+pub fn helper(xs: &[u64]) -> u64 {
+    xs[0]
+}

@@ -1,0 +1,10 @@
+//! Bad fixture for the renamed-import dodge: after `use std::time::Instant
+//! as Clock`, every use site says `Clock::now()` — neither legacy needle
+//! (`time::Instant`, `Instant::now`) appears on the use line. The import
+//! resolver follows the alias and fires both rules there anyway.
+
+use std::time::Instant as Clock;
+
+pub fn renamed() -> u128 {
+    Clock::now().elapsed().as_nanos()
+}

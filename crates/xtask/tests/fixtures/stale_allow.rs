@@ -1,0 +1,17 @@
+//! Bad fixture for the unused-suppression analysis: a directive that
+//! suppresses nothing is itself a finding, as is one naming an unknown
+//! rule; a directive that suppresses a real finding is not.
+
+// xtask-allow: unwrap (nothing below this line unwraps)
+pub fn spotless() -> u32 {
+    0
+}
+
+pub fn used(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // xtask-allow: unwrap (suppresses a real finding)
+}
+
+// xtask-allow: unwrpa (typo: names no rule)
+pub fn typo() -> u32 {
+    1
+}

@@ -1,0 +1,164 @@
+//! Corpus and property tests pinning the new lexer's sanitized view of
+//! source text against the preserved legacy sanitizer
+//! ([`xtask::legacy`]).
+//!
+//! The token analyzer replaced a line-oriented sanitizer that the whole
+//! old rule set depended on. To guarantee the rewrite never *regressed*
+//! string/comment stripping, every workspace source file the legacy code
+//! could parse correctly (`legacy_comparable`) must sanitize to the exact
+//! same per-line view under both implementations — plus proptest sweeps
+//! over generated fragments and arbitrary junk.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use xtask::{legacy, lexer};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn sanitizer_matches_legacy_over_the_whole_workspace_corpus() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for dir in ["crates", "src"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+    assert!(
+        files.len() > 40,
+        "corpus unexpectedly small: {}",
+        files.len()
+    );
+
+    let mut compared = 0usize;
+    let mut skipped = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("readable source");
+        let lexed = lexer::lex(&text);
+        if !lexed.legacy_comparable {
+            // The legacy sanitizer misparses this file (multi-line string,
+            // nested block comment, exotic literal); comparing against a
+            // known-wrong oracle proves nothing.
+            skipped.push(file.clone());
+            continue;
+        }
+        let new = lexer::sanitize_lines(&text, &lexed);
+        let old = legacy::sanitize_file(&text);
+        assert_eq!(
+            new.len(),
+            old.len(),
+            "{}: line counts diverged",
+            file.display()
+        );
+        for (i, (n, o)) in new.iter().zip(&old).enumerate() {
+            assert_eq!(
+                n,
+                o,
+                "{}:{}: sanitized views diverged",
+                file.display(),
+                i + 1
+            );
+        }
+        compared += 1;
+    }
+    // The corpus check must actually cover most of the workspace, or the
+    // comparable-flag could silently rot into "skip everything". Files
+    // with multi-line string literals (bench binaries, report writers)
+    // are legitimately skipped, so the floor is two thirds, not all.
+    assert!(
+        compared * 3 >= files.len() * 2,
+        "only {compared}/{} files were comparable; skipped: {skipped:?}",
+        files.len()
+    );
+}
+
+/// The fragment pool for the agreement property: plausible lines of
+/// Rust-ish source, restricted to constructs the legacy sanitizer handles
+/// correctly — the property filters on `legacy_comparable` anyway, but a
+/// pool biased toward comparable text exercises the equality check
+/// instead of the skip path.
+const FRAGMENTS: &[&str] = &[
+    "let x = 1;\n",
+    "fn f() { y.unwrap(); }\n",
+    "let s = \"lit with needle thread_rng\";\n",
+    "let e = \"esc \\\" quote\";\n",
+    "let c = 'x';\n",
+    "let nl = '\\n';\n",
+    "// line comment with HashMap\n",
+    "/* block comment */ let y = 2;\n",
+    "let l: &'static str = \"\";\n",
+    "if a == 1.0 { }\n",
+    "let r = 0..=n;\n",
+    "#[cfg(test)]\n",
+    "mod t { use std::time::Instant; }\n",
+    "let idx = xs[i % 4] as u32;\n",
+    "   \n",
+    "} // closing\n",
+];
+
+/// Uniform draw from [`FRAGMENTS`] (the vendored proptest has no
+/// `prop_oneof`/`Just`, so selection is an index map).
+fn fragment() -> impl Strategy<Value = &'static str> {
+    any::<u32>().prop_map(|i| FRAGMENTS[i as usize % FRAGMENTS.len()])
+}
+
+proptest! {
+    /// On generated fragments the two sanitizers agree line-for-line
+    /// whenever the legacy one claims competence.
+    #[test]
+    fn sanitize_agrees_on_generated_fragments(
+        parts in proptest::collection::vec(fragment(), 1..24)
+    ) {
+        let text: String = parts.concat();
+        let lexed = lexer::lex(&text);
+        prop_assume!(lexed.legacy_comparable);
+        let new = lexer::sanitize_lines(&text, &lexed);
+        let old = legacy::sanitize_file(&text);
+        prop_assert_eq!(new, old);
+    }
+
+    /// The lexer and sanitizer must never panic, whatever bytes arrive —
+    /// they run over every workspace file on every CI pass. (The vendored
+    /// proptest has no char/string strategies, so code points are drawn
+    /// as u32 and folded into chars by hand, biased toward the ASCII
+    /// punctuation the lexer actually branches on.)
+    #[test]
+    fn lexer_and_sanitizer_never_panic_on_arbitrary_input(
+        raw in proptest::collection::vec(any::<u32>(), 0..300)
+    ) {
+        const SPICE: &[char] = &['"', '\'', '\\', '/', '*', '#', 'r', 'b', '\n', '[', ']'];
+        let text: String = raw
+            .into_iter()
+            .map(|c| {
+                if c % 3 == 0 {
+                    SPICE[(c / 3) as usize % SPICE.len()]
+                } else {
+                    char::from_u32(c % 0x11_0000).unwrap_or('\u{fffd}')
+                }
+            })
+            .collect();
+        let lexed = lexer::lex(&text);
+        let _ = lexer::sanitize_lines(&text, &lexed);
+        let _ = lexer::regions(&lexed.toks);
+    }
+}

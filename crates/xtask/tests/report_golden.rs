@@ -1,0 +1,115 @@
+//! Golden-byte test for the `np-lint/v1` report: a fixed fixture scan
+//! must render to the exact bytes committed at
+//! `tests/golden/np_lint_v1.jsonl`.
+//!
+//! The report is an interface — CI diffs it against baselines, and the
+//! header promises byte-stable ordering. Any change to field order,
+//! escaping, sorting, or the header must show up as a diff on the golden
+//! file and be committed deliberately. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p xtask --test report_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use xtask::rules::{BASE_RULES, PROTOCOL_CLOCK_RULES, SNAPSHOT_PATH_RULES};
+use xtask::scanner::{analyze_source, FileClass, RuleSet};
+use xtask::{artifacts, report};
+
+const LIB: RuleSet = RuleSet::new("library", BASE_RULES);
+const CLOCK: RuleSet = RuleSet::new("protocol-clock", PROTOCOL_CLOCK_RULES);
+const SNAP: RuleSet = RuleSet::new("snapshot-encode", SNAPSHOT_PATH_RULES);
+
+fn crate_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
+}
+
+/// Scans a fixed fixture set with fixed workspace-relative names and
+/// renders the canonical report. Everything here is deterministic: the
+/// fixtures are committed, the rule tables are compiled in, and the
+/// renderer sorts by (file, line, rule).
+fn golden_report() -> String {
+    let jobs: &[(&str, &[RuleSet])] = &[
+        ("grouped_instant.rs", &[LIB, CLOCK]),
+        ("narrowing_cast.rs", &[LIB, SNAP]),
+        ("renamed_instant.rs", &[LIB, CLOCK]),
+        ("stale_allow.rs", &[LIB]),
+    ];
+    let mut entries: Vec<report::Entry> = Vec::new();
+    for (name, sets) in jobs {
+        let path = crate_dir().join("tests/fixtures").join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|err| panic!("fixture {} unreadable: {err}", path.display()));
+        let rel = format!("crates/xtask/tests/fixtures/{name}");
+        for finding in analyze_source(FileClass::LibrarySource, &text, sets) {
+            entries.push((rel.clone(), finding));
+        }
+    }
+    report::sort_entries(&mut entries);
+    report::render_jsonl(&entries, jobs.len())
+}
+
+#[test]
+fn np_lint_v1_report_matches_golden_bytes() {
+    let rendered = golden_report();
+    let golden_path = crate_dir().join("tests/golden/np_lint_v1.jsonl");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|err| {
+        panic!(
+            "golden file {} unreadable ({err}); bootstrap with UPDATE_GOLDEN=1",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "np-lint/v1 output drifted from the committed golden bytes; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn report_is_byte_identical_across_renders() {
+    assert_eq!(golden_report(), golden_report());
+}
+
+#[test]
+fn golden_report_validates_against_its_own_schema() {
+    let rendered = golden_report();
+    match artifacts::validate_text(&rendered) {
+        Ok(desc) => assert!(desc.contains("np-lint/v1"), "unexpected schema: {desc}"),
+        Err(errs) => panic!("golden report failed schema validation: {errs:?}"),
+    }
+}
+
+#[test]
+fn golden_report_round_trips_as_its_own_baseline() {
+    let rendered = golden_report();
+    let baseline = report::parse_baseline(&rendered).expect("report parses as baseline");
+    assert!(
+        !baseline.is_empty(),
+        "golden fixtures were supposed to produce findings"
+    );
+    // Re-derive the entries and confirm none are "new" against the
+    // baseline built from the same report.
+    let jobs: &[(&str, &[RuleSet])] = &[
+        ("grouped_instant.rs", &[LIB, CLOCK]),
+        ("narrowing_cast.rs", &[LIB, SNAP]),
+        ("renamed_instant.rs", &[LIB, CLOCK]),
+        ("stale_allow.rs", &[LIB]),
+    ];
+    let mut entries: Vec<report::Entry> = Vec::new();
+    for (name, sets) in jobs {
+        let path = crate_dir().join("tests/fixtures").join(name);
+        let text = std::fs::read_to_string(&path).expect("fixture");
+        let rel = format!("crates/xtask/tests/fixtures/{name}");
+        for finding in analyze_source(FileClass::LibrarySource, &text, sets) {
+            entries.push((rel.clone(), finding));
+        }
+    }
+    report::sort_entries(&mut entries);
+    assert!(report::new_since(&entries, &baseline).is_empty());
+}

@@ -12,8 +12,24 @@ cargo fmt --check
 echo "### cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "### cargo xtask check"
-cargo xtask check
+# The determinism analyzer must come up clean against an empty baseline
+# (i.e. zero findings), and its np-lint/v1 report must be byte-identical
+# across two runs — the report is an interface CI diffs, so ordering
+# instability is itself a bug.
+echo "### cargo xtask lint (np-lint/v1, empty baseline, double-run diff)"
+lint_dir="$(mktemp -d)"
+: > "$lint_dir/empty-baseline.jsonl"
+cargo xtask lint --format json --baseline "$lint_dir/empty-baseline.jsonl" \
+  > "$lint_dir/lint1.jsonl"
+cargo xtask lint --format json > "$lint_dir/lint2.jsonl"
+diff "$lint_dir/lint1.jsonl" "$lint_dir/lint2.jsonl"
+rm -rf "$lint_dir"
+
+# Committed benchmark artifacts must parse against their np-* schemas:
+# a malformed BENCH_*.json is a broken interface even when every test
+# passes.
+echo "### cargo xtask check-artifacts"
+cargo xtask check-artifacts
 
 echo "### cargo build --release (tier-1)"
 cargo build --release
