@@ -14,8 +14,8 @@ use std::ops::Range;
 use np_engine::opinion::Opinion;
 use np_engine::population::{PopulationConfig, Role};
 use np_engine::protocol::{AgentState, ColumnarProtocol, ColumnarState, Protocol};
+use np_engine::streams::StreamRng;
 use np_engine::streams::{RoundStreams, StreamStage};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// The h-majority baseline. Binary alphabet; sources display and keep
@@ -62,7 +62,7 @@ impl Protocol for HMajority {
         2
     }
 
-    fn init_agent(&self, role: Role, rng: &mut StdRng) -> MajorityAgent {
+    fn init_agent(&self, role: Role, rng: &mut StreamRng) -> MajorityAgent {
         MajorityAgent {
             role,
             opinion: role.preference().unwrap_or(Opinion::from_bool(rng.gen())),
@@ -71,11 +71,11 @@ impl Protocol for HMajority {
 }
 
 impl AgentState for MajorityAgent {
-    fn display(&self, _rng: &mut StdRng) -> usize {
+    fn display(&self, _rng: &mut StreamRng) -> usize {
         self.opinion.as_index()
     }
 
-    fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+    fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
         if let Role::Source(pref) = self.role {
             self.opinion = pref;
             return;
@@ -160,6 +160,24 @@ impl ColumnarState for MajorityColumns {
         }
     }
 
+    fn display_chunk_packed(
+        &self,
+        range: Range<usize>,
+        chunk: &mut np_engine::packed::PackedChunkMut<'_>,
+        _streams: &RoundStreams,
+    ) {
+        debug_assert_eq!(chunk.start(), range.start);
+        debug_assert_eq!(chunk.len(), range.len());
+        // One plane (d = 2): the display is the opinion bit itself.
+        for (w, opinions) in self.opinion[range].chunks(64).enumerate() {
+            let mut bits = 0u64;
+            for (b, &op) in opinions.iter().enumerate() {
+                bits |= (op.as_index() as u64) << b;
+            }
+            chunk.set_plane_word(0, w, bits);
+        }
+    }
+
     fn chunks_mut(&mut self, chunk_len: usize) -> Vec<MajorityChunkMut<'_>> {
         let chunk_len = chunk_len.max(1);
         self.role
@@ -212,6 +230,22 @@ impl ColumnarState for MajorityColumns {
     /// (explicit for the same reason as [`MajorityAgent`]'s impl).
     fn stage_id(&self, _id: usize) -> u32 {
         0
+    }
+
+    /// Fused sweep: memoryless dynamics put every agent in stage 0 with
+    /// no weak opinion, so only the correct count needs a lane pass —
+    /// value-identical to the default per-agent walk.
+    fn metrics_sweep(&self, correct: Opinion) -> np_engine::metrics::MetricsSweep {
+        let stages = if self.opinion.is_empty() {
+            Vec::new()
+        } else {
+            vec![(0, self.opinion.len())]
+        };
+        np_engine::metrics::MetricsSweep {
+            correct: self.opinion.iter().filter(|&&o| o == correct).count(),
+            stages,
+            ..Default::default()
+        }
     }
 }
 
@@ -271,7 +305,7 @@ mod tests {
 
     #[test]
     fn sources_are_stubborn() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let mut agent = HMajority.init_agent(Role::Source(Opinion::Zero), &mut rng);
         agent.update(&[0, 99], &mut rng);
         assert_eq!(agent.opinion(), Opinion::Zero);
@@ -279,7 +313,7 @@ mod tests {
 
     #[test]
     fn non_source_takes_majority() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StreamRng::seed_from_u64(1);
         let mut agent = HMajority.init_agent(Role::NonSource, &mut rng);
         agent.update(&[2, 6], &mut rng);
         assert_eq!(agent.opinion(), Opinion::One);
@@ -289,7 +323,7 @@ mod tests {
 
     #[test]
     fn ties_break_randomly() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = StreamRng::seed_from_u64(2);
         let mut counts = [0u32; 2];
         for _ in 0..400 {
             let mut agent = HMajority.init_agent(Role::NonSource, &mut rng);

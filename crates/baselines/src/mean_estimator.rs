@@ -16,7 +16,7 @@
 use np_engine::opinion::Opinion;
 use np_engine::population::Role;
 use np_engine::protocol::{AgentState, Protocol};
-use rand::rngs::StdRng;
+use np_engine::streams::StreamRng;
 use rand::Rng;
 
 /// The mean-estimator ablation baseline. Binary alphabet.
@@ -91,7 +91,7 @@ impl Protocol for MeanEstimator {
         2
     }
 
-    fn init_agent(&self, role: Role, rng: &mut StdRng) -> MeanEstimatorAgent {
+    fn init_agent(&self, role: Role, rng: &mut StreamRng) -> MeanEstimatorAgent {
         MeanEstimatorAgent {
             role,
             delta: self.delta,
@@ -103,14 +103,14 @@ impl Protocol for MeanEstimator {
 }
 
 impl AgentState for MeanEstimatorAgent {
-    fn display(&self, _rng: &mut StdRng) -> usize {
+    fn display(&self, _rng: &mut StreamRng) -> usize {
         match self.role {
             Role::Source(pref) => pref.as_index(),
             Role::NonSource => self.opinion.as_index(),
         }
     }
 
-    fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+    fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
         self.zeros += observed[0];
         self.ones += observed[1];
         if self.role.is_source() {
@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn estimate_debiases_noise() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let proto = MeanEstimator::new(0.2);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         assert_eq!(agent.estimate(), None);
@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn opinion_follows_estimate() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StreamRng::seed_from_u64(1);
         let proto = MeanEstimator::new(0.0);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         agent.update(&[1, 9], &mut rng);
@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn sources_keep_preference() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = StreamRng::seed_from_u64(2);
         let proto = MeanEstimator::new(0.1);
         let mut agent = proto.init_agent(Role::Source(Opinion::One), &mut rng);
         agent.update(&[100, 0], &mut rng);

@@ -27,7 +27,7 @@
 use np_engine::opinion::Opinion;
 use np_engine::population::Role;
 use np_engine::push::{PushAgentState, PushProtocol};
-use rand::rngs::StdRng;
+use np_engine::streams::StreamRng;
 use rand::Rng;
 
 /// Schedule for [`PushSpreading`].
@@ -148,7 +148,7 @@ impl PushSpreadingAgent {
         self.informed
     }
 
-    fn majority(&self, rng: &mut StdRng) -> Opinion {
+    fn majority(&self, rng: &mut StreamRng) -> Opinion {
         match self.received[1].cmp(&self.received[0]) {
             std::cmp::Ordering::Greater => Opinion::One,
             std::cmp::Ordering::Less => Opinion::Zero,
@@ -164,7 +164,7 @@ impl PushProtocol for PushSpreading {
         2
     }
 
-    fn init_agent(&self, role: Role, rng: &mut StdRng) -> PushSpreadingAgent {
+    fn init_agent(&self, role: Role, rng: &mut StreamRng) -> PushSpreadingAgent {
         PushSpreadingAgent {
             params: self.params,
             stage: PushStage::Spreading { phase: 0 },
@@ -177,7 +177,7 @@ impl PushProtocol for PushSpreading {
 }
 
 impl PushAgentState for PushSpreadingAgent {
-    fn send(&self, _rng: &mut StdRng) -> Option<usize> {
+    fn send(&self, _rng: &mut StreamRng) -> Option<usize> {
         match self.stage {
             // Spreading: only informed agents speak — silence is reliable.
             PushStage::Spreading { .. } => self.informed.then(|| self.opinion.as_index()),
@@ -186,7 +186,7 @@ impl PushAgentState for PushSpreadingAgent {
         }
     }
 
-    fn receive(&mut self, received: &[u64], rng: &mut StdRng) {
+    fn receive(&mut self, received: &[u64], rng: &mut StreamRng) {
         debug_assert_eq!(received.len(), 2);
         self.received[0] += received[0];
         self.received[1] += received[1];
@@ -269,7 +269,7 @@ mod tests {
     fn uninformed_agents_stay_silent_in_spreading() {
         let params = PushSpreadingParams::derive(64, 1, 0.1);
         let proto = PushSpreading::new(params);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let non = proto.init_agent(Role::NonSource, &mut rng);
         assert!(!non.is_informed());
         assert_eq!(non.send(&mut rng), None);
@@ -282,7 +282,7 @@ mod tests {
     fn adoption_happens_at_phase_boundary() {
         let params = PushSpreadingParams::derive(64, 1, 0.1);
         let proto = PushSpreading::new(params);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StreamRng::seed_from_u64(1);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         // Receive a single One mid-phase: not yet informed.
         agent.receive(&[0, 1], &mut rng);

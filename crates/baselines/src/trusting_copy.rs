@@ -20,7 +20,7 @@
 use np_engine::opinion::Opinion;
 use np_engine::population::Role;
 use np_engine::protocol::{AgentState, Protocol};
-use rand::rngs::StdRng;
+use np_engine::streams::StreamRng;
 use rand::Rng;
 
 /// The trusting-copy rumor-spreading baseline (4-symbol alphabet).
@@ -66,7 +66,7 @@ impl Protocol for TrustingCopy {
         4
     }
 
-    fn init_agent(&self, role: Role, rng: &mut StdRng) -> TrustingCopyAgent {
+    fn init_agent(&self, role: Role, rng: &mut StreamRng) -> TrustingCopyAgent {
         match role {
             Role::Source(pref) => TrustingCopyAgent {
                 role,
@@ -83,11 +83,11 @@ impl Protocol for TrustingCopy {
 }
 
 impl AgentState for TrustingCopyAgent {
-    fn display(&self, _rng: &mut StdRng) -> usize {
+    fn display(&self, _rng: &mut StreamRng) -> usize {
         2 * usize::from(self.informed) + self.opinion.as_index()
     }
 
-    fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+    fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
         if self.role.is_source() || self.informed {
             // Sources and already-informed agents are settled.
             return;
@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn sources_start_informed_and_settled() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let mut agent = TrustingCopy.init_agent(Role::Source(Opinion::One), &mut rng);
         assert!(agent.is_informed());
         assert_eq!(agent.display(&mut rng), 3);
@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn uninformed_copies_informed_observation() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StreamRng::seed_from_u64(1);
         let mut agent = TrustingCopy.init_agent(Role::NonSource, &mut rng);
         assert!(!agent.is_informed());
         // No informed observations: stays uninformed.

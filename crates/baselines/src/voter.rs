@@ -12,7 +12,7 @@
 use np_engine::opinion::Opinion;
 use np_engine::population::Role;
 use np_engine::protocol::{AgentState, Protocol};
-use rand::rngs::StdRng;
+use np_engine::streams::StreamRng;
 use rand::Rng;
 
 /// The zealot voter protocol. Binary alphabet; sources display and keep
@@ -57,7 +57,7 @@ impl Protocol for ZealotVoter {
         2
     }
 
-    fn init_agent(&self, role: Role, rng: &mut StdRng) -> VoterAgent {
+    fn init_agent(&self, role: Role, rng: &mut StreamRng) -> VoterAgent {
         VoterAgent {
             role,
             opinion: role.preference().unwrap_or(Opinion::from_bool(rng.gen())),
@@ -66,11 +66,11 @@ impl Protocol for ZealotVoter {
 }
 
 impl AgentState for VoterAgent {
-    fn display(&self, _rng: &mut StdRng) -> usize {
+    fn display(&self, _rng: &mut StreamRng) -> usize {
         self.opinion.as_index()
     }
 
-    fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+    fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
         if let Role::Source(pref) = self.role {
             // Zealot: immune to influence.
             self.opinion = pref;
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn zealots_never_change() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let mut agent = ZealotVoter.init_agent(Role::Source(Opinion::One), &mut rng);
         agent.update(&[100, 0], &mut rng);
         assert_eq!(agent.opinion(), Opinion::One);
@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn non_source_copies_unanimous_observation() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StreamRng::seed_from_u64(1);
         let mut agent = ZealotVoter.init_agent(Role::NonSource, &mut rng);
         agent.update(&[0, 5], &mut rng);
         assert_eq!(agent.opinion(), Opinion::One);
@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn copy_probability_is_proportional_to_counts() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = StreamRng::seed_from_u64(2);
         let mut ones = 0u32;
         let trials = 20_000;
         for _ in 0..trials {
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn empty_observation_keeps_opinion() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = StreamRng::seed_from_u64(3);
         let mut agent = ZealotVoter.init_agent(Role::NonSource, &mut rng);
         let before = agent.opinion();
         agent.update(&[0, 0], &mut rng);

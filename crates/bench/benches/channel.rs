@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use np_engine::channel::{Channel, ChannelKind};
+use np_engine::streams::StreamRng;
 use np_linalg::noise::NoiseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,8 +16,9 @@ fn bench_channels(c: &mut Criterion) {
     let noise = NoiseMatrix::uniform(2, 0.2).unwrap();
     let mut group = c.benchmark_group("channel_round");
     for &n in &[256usize, 1024] {
-        let mut rng = StdRng::seed_from_u64(1);
-        let displays: Vec<usize> = (0..n).map(|_| usize::from(rng.gen::<bool>())).collect();
+        let mut setup = StdRng::seed_from_u64(1);
+        let displays: Vec<usize> = (0..n).map(|_| usize::from(setup.gen::<bool>())).collect();
+        let mut rng = StreamRng::seed_from_u64(1);
         for &h in &[1usize, 16, n] {
             group.throughput(Throughput::Elements((n * h) as u64));
             for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
@@ -43,8 +45,9 @@ fn bench_four_symbol_channel(c: &mut Criterion) {
     // (O(d²) binomials); measure the overhead.
     let noise = NoiseMatrix::uniform(4, 0.1).unwrap();
     let n = 1024usize;
-    let mut rng = StdRng::seed_from_u64(2);
-    let displays: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+    let mut setup = StdRng::seed_from_u64(2);
+    let displays: Vec<usize> = (0..n).map(|_| setup.gen_range(0..4)).collect();
+    let mut rng = StreamRng::seed_from_u64(2);
     let channel = Channel::new(&noise, ChannelKind::Aggregated);
     let mut out = vec![0u64; n * 4];
     c.bench_function("channel_round/Aggregated4/n1024_hn", |b| {

@@ -33,11 +33,11 @@ use np_engine::opinion::Opinion;
 use np_engine::population::PopulationConfig;
 use np_engine::protocol::ScalarState;
 use np_engine::runner::{run_batch, suggested_threads};
+use np_engine::streams::StreamRng;
 use np_engine::world::World;
 use np_linalg::noise::NoiseMatrix;
 use np_stats::estimate::Running;
 use np_stats::seeds::SeedSequence;
-use rand::rngs::StdRng;
 
 const DELTA: f64 = 0.1;
 const C1: f64 = 8.0;
@@ -53,9 +53,11 @@ fn corrupt_event(adversary: SsfAdversary, correct: Opinion, m: u64) -> FaultEven
     FaultEvent::Corrupt {
         frac: 1.0,
         label: adversary.name().to_string(),
-        fault: Arc::new(move |state: &mut SsfState, id: usize, rng: &mut StdRng| {
-            adversary.corrupt(&mut state.agents_mut()[id], correct, m, id, rng);
-        }),
+        fault: Arc::new(
+            move |state: &mut SsfState, id: usize, rng: &mut StreamRng| {
+                adversary.corrupt(&mut state.agents_mut()[id], correct, m, id, rng);
+            },
+        ),
     }
 }
 
@@ -120,6 +122,8 @@ fn measure_point(
         converged,
         mean_rounds: rounds.mean().ok(),
         mean_wall_ms: wall.mean().unwrap_or(0.0),
+        median_wall_ms: None,
+        p95_wall_ms: None,
     }
 }
 

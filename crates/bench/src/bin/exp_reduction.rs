@@ -11,18 +11,18 @@
 //!    error.
 
 use np_bench::report::{fmt_f64, Table};
+use np_engine::streams::StreamRng;
 use np_linalg::noise::{inverse_norm_bound, NoiseMatrix};
 use np_linalg::norm::operator_inf_norm;
 use np_linalg::stochastic::is_stochastic;
 use np_stats::alias::RowSamplers;
 use np_stats::hist::Histogram;
-use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Random δ-upper-bounded noise matrix: off-diagonals uniform in
 /// `[0, max_delta]`, diagonal absorbs the remainder.
 #[allow(clippy::needless_range_loop)] // (i, j) index the matrix symmetrically
-fn random_upper_bounded(rng: &mut StdRng, d: usize, max_delta: f64) -> NoiseMatrix {
+fn random_upper_bounded(rng: &mut StreamRng, d: usize, max_delta: f64) -> NoiseMatrix {
     let mut rows = vec![vec![0.0; d]; d];
     for i in 0..d {
         let mut off = 0.0;
@@ -42,7 +42,7 @@ fn main() {
     let quick = std::env::var("NP_QUICK").is_ok();
     let trials = if quick { 50 } else { 500 };
     let channel_uses: u64 = if quick { 100_000 } else { 1_000_000 };
-    let mut rng = StdRng::seed_from_u64(0x8ED);
+    let mut rng = StreamRng::seed_from_u64(0x8ED);
 
     // Part 1: algebraic verification over random matrices.
     let mut table = Table::new(

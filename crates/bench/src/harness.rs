@@ -303,6 +303,8 @@ pub fn perf_point(label: &str, n: usize, records: &[RunRecord]) -> PerfPoint {
         converged,
         mean_rounds: rounds.mean().ok(),
         mean_wall_ms: wall.mean().unwrap_or(0.0),
+        median_wall_ms: None,
+        p95_wall_ms: None,
     }
 }
 

@@ -451,20 +451,52 @@ pub struct PerfPoint {
     pub mean_rounds: Option<f64>,
     /// Mean wall-clock per run, milliseconds.
     pub mean_wall_ms: f64,
+    /// Median wall-clock per run, milliseconds. Present only for benches
+    /// that record per-seed wall samples (throughput); omitted from the
+    /// JSON when absent so legacy artifacts stay schema-valid.
+    pub median_wall_ms: Option<f64>,
+    /// 95th-percentile wall-clock per run, milliseconds (nearest-rank
+    /// over the per-seed samples). Paired with `median_wall_ms`: both
+    /// present or both absent.
+    pub p95_wall_ms: Option<f64>,
+}
+
+/// Nearest-rank quantiles of per-run wall samples: `(median, p95)`.
+/// Returns `None` for an empty slice.
+pub fn wall_quantiles(samples_ms: &[f64]) -> Option<(f64, f64)> {
+    if samples_ms.is_empty() {
+        return None;
+    }
+    let mut sorted = samples_ms.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = |q: f64| {
+        let k = (q * sorted.len() as f64).ceil() as usize;
+        sorted[k.max(1) - 1]
+    };
+    Some((rank(0.5), rank(0.95)))
 }
 
 impl PerfPoint {
     fn to_json(&self) -> String {
-        format!(
+        let mut body = format!(
             "    {{\"label\": {}, \"n\": {}, \"runs\": {}, \"converged\": {}, \
-             \"mean_rounds\": {}, \"mean_wall_ms\": {}}}",
+             \"mean_rounds\": {}, \"mean_wall_ms\": {}",
             json_string(&self.label),
             self.n,
             self.runs,
             self.converged,
             self.mean_rounds.map_or("null".to_string(), json_f64),
             json_f64(self.mean_wall_ms)
-        )
+        );
+        if let (Some(median), Some(p95)) = (self.median_wall_ms, self.p95_wall_ms) {
+            body.push_str(&format!(
+                ", \"median_wall_ms\": {}, \"p95_wall_ms\": {}",
+                json_f64(median),
+                json_f64(p95)
+            ));
+        }
+        body.push('}');
+        body
     }
 }
 
@@ -724,6 +756,8 @@ mod tests {
                 converged: 4,
                 mean_rounds: Some(12.5),
                 mean_wall_ms: 3.25,
+                median_wall_ms: None,
+                p95_wall_ms: None,
             },
             PerfPoint {
                 label: "n=128".to_string(),
@@ -732,6 +766,8 @@ mod tests {
                 converged: 0,
                 mean_rounds: None,
                 mean_wall_ms: 6.5,
+                median_wall_ms: Some(6.25),
+                p95_wall_ms: Some(8.0),
             },
         ];
         let doc = bench_json("scale", &points);

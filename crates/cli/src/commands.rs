@@ -20,9 +20,9 @@ use np_engine::opinion::Opinion;
 use np_engine::population::PopulationConfig;
 use np_engine::protocol::{Protocol, ScalarState};
 use np_engine::push::PushWorld;
+use np_engine::streams::StreamRng;
 use np_engine::world::World;
 use np_linalg::noise::NoiseMatrix;
-use rand::rngs::StdRng;
 
 use crate::args::{Args, ArgsError};
 
@@ -471,7 +471,7 @@ pub fn run_ssf(args: &Args) -> CliResult {
                 frac,
                 label: kind.to_string(),
                 fault: Arc::new(
-                    move |state: &mut ScalarState<SsfAgent>, id: usize, rng: &mut StdRng| {
+                    move |state: &mut ScalarState<SsfAgent>, id: usize, rng: &mut StreamRng| {
                         adv.corrupt(&mut state.agents_mut()[id], correct, m, id, rng);
                     },
                 ),
@@ -698,22 +698,27 @@ pub fn sweep_run(args: &Args) -> CliResult {
 }
 
 /// `sweep throughput` — measure wall-clock SF rounds/sec at engine thread
-/// counts 1 and 4 and record the perf point in `BENCH_throughput.json`.
+/// counts 1 and 4 (`--seeds` seeded runs each, default 5) and record the
+/// mean/median/p95 perf points in `BENCH_throughput.json`.
 pub fn sweep_throughput(args: &Args) -> CliResult {
     let spec = np_sweep::scheduler::ThroughputSpec {
         n: args.get_or("n", 4096usize).map_err(err)?,
         rounds: args.get_or("rounds", 200u64).map_err(err)?,
         delta: args.get_or("delta", 0.2f64).map_err(err)?,
         seed: args.get_or("seed", 42u64).map_err(err)?,
+        seeds: args.get_or("seeds", 5usize).map_err(err)?,
     };
     args.finish().map_err(err)?;
     let points = np_sweep::scheduler::measure_throughput(&spec).map_err(err)?;
     for p in &points {
         println!(
-            "{}: {:.0} rounds/sec ({:.2} ms for {} rounds)",
+            "{}: {:.0} rounds/sec (mean {:.2} ms, median {:.2} ms, p95 {:.2} ms over {} run(s) of {} rounds)",
             p.label,
             np_sweep::scheduler::rounds_per_sec(p),
             p.mean_wall_ms,
+            p.median_wall_ms.unwrap_or(p.mean_wall_ms),
+            p.p95_wall_ms.unwrap_or(p.mean_wall_ms),
+            p.runs,
             spec.rounds
         );
     }

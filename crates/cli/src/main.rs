@@ -22,7 +22,7 @@ COMMANDS:
     run ssf         run Algorithm SSF (Self-stabilizing Source Filter)
     run baseline X  run a baseline: voter | majority | trusting-copy | mean-estimator | push
     sweep run SPEC  run a checkpointed parameter sweep from a spec file
-    sweep throughput  measure SF rounds/sec (threads 1/4) into BENCH_throughput.json
+    sweep throughput  measure SF rounds/sec (threads 1/4, --seeds runs) into BENCH_throughput.json
     theory          evaluate the Theorem 3/4/5 closed-form bounds
     reduce          derive the Theorem 8 artificial-noise matrix
     help            show this message

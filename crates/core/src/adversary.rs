@@ -9,7 +9,7 @@
 //! boundary.
 
 use np_engine::opinion::Opinion;
-use rand::rngs::StdRng;
+use np_engine::streams::StreamRng;
 use rand::Rng;
 
 use crate::ssf::SsfAgent;
@@ -79,7 +79,7 @@ impl SsfAdversary {
         correct: Opinion,
         m: u64,
         id: usize,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
     ) {
         let wrong = !correct;
         match self {
@@ -147,7 +147,7 @@ mod tests {
             .with_m(m)
             .unwrap();
         let proto = SelfStabilizingSourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StreamRng::seed_from_u64(1);
         proto.init_agent(Role::NonSource, &mut rng)
     }
 
@@ -164,7 +164,7 @@ mod tests {
     fn none_leaves_agent_untouched() {
         let mut agent = fresh_agent(100);
         let before_mem = agent.memory();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = StreamRng::seed_from_u64(2);
         SsfAdversary::None.corrupt(&mut agent, Opinion::One, 100, 0, &mut rng);
         assert_eq!(agent.memory(), before_mem);
     }
@@ -172,7 +172,7 @@ mod tests {
     #[test]
     fn all_wrong_sets_wrong_opinions() {
         let mut agent = fresh_agent(100);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = StreamRng::seed_from_u64(3);
         SsfAdversary::AllWrong.corrupt(&mut agent, Opinion::One, 100, 0, &mut rng);
         assert_eq!(agent.opinion(), Opinion::Zero);
         assert_eq!(agent.weak_opinion(), Opinion::Zero);
@@ -182,7 +182,7 @@ mod tests {
     #[test]
     fn poisoned_memory_fills_with_tagged_wrong() {
         let mut agent = fresh_agent(100);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = StreamRng::seed_from_u64(4);
         SsfAdversary::PoisonedMemory.corrupt(&mut agent, Opinion::One, 100, 0, &mut rng);
         assert_eq!(agent.memory()[crate::ssf::encode(true, Opinion::Zero)], 100);
         assert_eq!(agent.memory_size(), 100);
@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn random_desync_produces_varied_sizes() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = StreamRng::seed_from_u64(5);
         let mut sizes = std::collections::HashSet::new();
         for id in 0..50 {
             let mut agent = fresh_agent(1000);
@@ -206,7 +206,7 @@ mod tests {
         // Regression: the old sequential `gen_range(0..=left)` split gave
         // slot 0 half the remaining mass in expectation. Under the uniform
         // composition each slot must carry ~1/4 of the total mass.
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = StreamRng::seed_from_u64(8);
         let mut totals = [0u64; 4];
         let mut grand = 0u64;
         for id in 0..2000 {
@@ -230,7 +230,7 @@ mod tests {
 
     #[test]
     fn split_brain_alternates_camps() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = StreamRng::seed_from_u64(6);
         let mut even = fresh_agent(100);
         SsfAdversary::SplitBrain.corrupt(&mut even, Opinion::One, 100, 0, &mut rng);
         assert_eq!(even.opinion(), Opinion::Zero);
@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn fake_consensus_sits_below_update_threshold() {
         let mut agent = fresh_agent(64);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = StreamRng::seed_from_u64(7);
         SsfAdversary::FakeConsensus.corrupt(&mut agent, Opinion::One, 64, 0, &mut rng);
         assert_eq!(agent.memory_size(), 63);
         assert_eq!(agent.opinion(), Opinion::Zero);

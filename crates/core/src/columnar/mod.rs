@@ -27,8 +27,8 @@
 //! * [`sf_alt::ColumnarAltSf`] ↔ [`crate::sf_alternating::AlternatingSourceFilter`]
 
 use np_engine::opinion::Opinion;
+use np_engine::streams::StreamRng;
 use np_engine::streams::{RoundStreams, StreamStage};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 pub mod sf;
@@ -43,7 +43,7 @@ pub(crate) struct LazyRng<'a> {
     streams: &'a RoundStreams,
     agent: usize,
     stage: StreamStage,
-    rng: Option<StdRng>,
+    rng: Option<StreamRng>,
 }
 
 impl<'a> LazyRng<'a> {

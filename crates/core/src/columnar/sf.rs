@@ -147,6 +147,45 @@ impl ColumnarState for SfColumns {
         }
     }
 
+    fn display_chunk_packed(
+        &self,
+        range: Range<usize>,
+        chunk: &mut np_engine::packed::PackedChunkMut<'_>,
+        _streams: &RoundStreams,
+    ) {
+        debug_assert_eq!(chunk.start(), range.start);
+        debug_assert_eq!(chunk.len(), range.len());
+        // One plane (d = 2): build each 64-agent word with bit ops
+        // straight from the lanes — the same deterministic rule as
+        // `display_chunk`, one store per word.
+        let stage = &self.stage[range.clone()];
+        let role = &self.role[range.clone()];
+        let opinion = &self.opinion[range];
+        for (w, ((stages, roles), opinions)) in stage
+            .chunks(64)
+            .zip(role.chunks(64))
+            .zip(opinion.chunks(64))
+            .enumerate()
+        {
+            let mut bits = 0u64;
+            for (b, ((&st, &ro), &op)) in stages.iter().zip(roles).zip(opinions).enumerate() {
+                let sym = match st {
+                    Stage::Listen0 => match ro {
+                        Role::Source(pref) => pref.as_index(),
+                        Role::NonSource => 0,
+                    },
+                    Stage::Listen1 => match ro {
+                        Role::Source(pref) => pref.as_index(),
+                        Role::NonSource => 1,
+                    },
+                    Stage::Boost(_) | Stage::Done => op.as_index(),
+                };
+                bits |= (sym as u64) << b;
+            }
+            chunk.set_plane_word(0, w, bits);
+        }
+    }
+
     fn chunks_mut(&mut self, chunk_len: usize) -> Vec<SfChunkMut<'_>> {
         let chunk_len = chunk_len.max(1);
         let params = self.params;
@@ -283,18 +322,33 @@ impl ColumnarState for SfColumns {
     /// Same numbering as scalar SF: Listen₀ = 0, Listen₁ = 1,
     /// Boost(k) = 2 + k, Done = `u32::MAX`.
     fn stage_id(&self, id: usize) -> u32 {
-        match self.stage[id] {
-            Stage::Listen0 => 0,
-            Stage::Listen1 => 1,
-            Stage::Boost(k) => u32::try_from(k.saturating_add(2))
-                .unwrap_or(u32::MAX)
-                .min(u32::MAX - 1),
-            Stage::Done => u32::MAX,
-        }
+        stage_code(self.stage[id])
     }
 
     fn weak_opinion(&self, id: usize) -> Option<Opinion> {
         self.weak[id]
+    }
+
+    /// Fused lane sweep: one zipped pass over the opinion, stage and weak
+    /// lanes — value-identical to the default per-agent walk (the
+    /// `BTreeMap` keeps the stage list in the same ascending order).
+    fn metrics_sweep(&self, correct: Opinion) -> np_engine::metrics::MetricsSweep {
+        let mut sweep = np_engine::metrics::MetricsSweep::default();
+        let mut stages: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+        for ((&op, &st), &weak) in self.opinion.iter().zip(&self.stage).zip(&self.weak) {
+            if op == correct {
+                sweep.correct += 1;
+            }
+            *stages.entry(stage_code(st)).or_insert(0) += 1;
+            if let Some(weak) = weak {
+                sweep.weak_formed += 1;
+                if weak == correct {
+                    sweep.weak_correct += 1;
+                }
+            }
+        }
+        sweep.stages = stages.into_iter().collect();
+        sweep
     }
 
     /// Mirrors the scalar trend-change hook
@@ -308,6 +362,19 @@ impl ColumnarState for SfColumns {
             }
         }
         flipped
+    }
+}
+
+/// The scalar stage numbering shared by [`ColumnarState::stage_id`] and
+/// the fused metrics sweep.
+fn stage_code(stage: Stage) -> u32 {
+    match stage {
+        Stage::Listen0 => 0,
+        Stage::Listen1 => 1,
+        Stage::Boost(k) => u32::try_from(k.saturating_add(2))
+            .unwrap_or(u32::MAX)
+            .min(u32::MAX - 1),
+        Stage::Done => u32::MAX,
     }
 }
 

@@ -154,6 +154,35 @@ impl ColumnarState for SsfColumns {
         }
     }
 
+    fn display_chunk_packed(
+        &self,
+        range: Range<usize>,
+        chunk: &mut np_engine::packed::PackedChunkMut<'_>,
+        _streams: &RoundStreams,
+    ) {
+        debug_assert_eq!(chunk.start(), range.start);
+        debug_assert_eq!(chunk.len(), range.len());
+        // Two planes (d = 4): plane 1 carries the source tag, plane 0 the
+        // displayed value — the bit layout of [`encode`] — built one
+        // 64-agent word per store.
+        let role = &self.role[range.clone()];
+        let weak = &self.weak[range];
+        for (w, (roles, weaks)) in role.chunks(64).zip(weak.chunks(64)).enumerate() {
+            let mut low = 0u64;
+            let mut high = 0u64;
+            for (b, (&ro, &wk)) in roles.iter().zip(weaks).enumerate() {
+                let sym = match ro {
+                    Role::Source(pref) => encode(true, pref),
+                    Role::NonSource => encode(false, wk),
+                };
+                low |= ((sym & 1) as u64) << b;
+                high |= ((sym >> 1) as u64) << b;
+            }
+            chunk.set_plane_word(0, w, low);
+            chunk.set_plane_word(1, w, high);
+        }
+    }
+
     fn chunks_mut(&mut self, chunk_len: usize) -> Vec<SsfChunkMut<'_>> {
         let chunk_len = chunk_len.max(1);
         let m = self.m;
@@ -247,6 +276,28 @@ impl ColumnarState for SsfColumns {
 
     fn weak_opinion(&self, id: usize) -> Option<Opinion> {
         Some(self.weak[id])
+    }
+
+    /// Fused lane sweep: one zipped pass over the opinion, updates and
+    /// weak lanes — value-identical to the default per-agent walk (every
+    /// SSF agent always has a weak opinion).
+    fn metrics_sweep(&self, correct: Opinion) -> np_engine::metrics::MetricsSweep {
+        let mut sweep = np_engine::metrics::MetricsSweep::default();
+        let mut stages: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+        for ((&op, &updates), &weak) in self.opinion.iter().zip(&self.updates).zip(&self.weak) {
+            if op == correct {
+                sweep.correct += 1;
+            }
+            *stages
+                .entry(u32::try_from(updates).unwrap_or(u32::MAX))
+                .or_insert(0) += 1;
+            sweep.weak_formed += 1;
+            if weak == correct {
+                sweep.weak_correct += 1;
+            }
+        }
+        sweep.stages = stages.into_iter().collect();
+        sweep
     }
 
     /// Mirrors the scalar trend-change hook

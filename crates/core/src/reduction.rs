@@ -17,9 +17,9 @@
 
 use np_engine::opinion::Opinion;
 use np_engine::protocol::{AgentState, Protocol};
+use np_engine::streams::StreamRng;
 use np_linalg::noise::NoiseMatrix;
 use np_stats::multinomial;
-use rand::rngs::StdRng;
 
 /// A protocol adaptor applying artificial noise `P` to all incoming
 /// observations (Definition 6).
@@ -115,7 +115,7 @@ impl<A: Protocol> Protocol for WithArtificialNoise<A> {
         self.inner.alphabet_size()
     }
 
-    fn init_agent(&self, role: np_engine::population::Role, rng: &mut StdRng) -> Self::Agent {
+    fn init_agent(&self, role: np_engine::population::Role, rng: &mut StreamRng) -> Self::Agent {
         let d = self.artificial.dim();
         let rows: Vec<Vec<f64>> = (0..d)
             .map(|s| self.artificial.observation_distribution(s).to_vec())
@@ -130,11 +130,11 @@ impl<A: Protocol> Protocol for WithArtificialNoise<A> {
 }
 
 impl<S: AgentState> AgentState for ArtificialNoiseAgent<S> {
-    fn display(&self, rng: &mut StdRng) -> usize {
+    fn display(&self, rng: &mut StreamRng) -> usize {
         self.inner.display(rng)
     }
 
-    fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+    fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
         debug_assert_eq!(observed.len(), self.rows.len());
         // Re-randomize each received message through P: the c_σ messages
         // received as σ scatter as Multinomial(c_σ, P_σ).
@@ -224,7 +224,7 @@ mod tests {
             .unwrap();
         let swap = NoiseMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let proto = WithArtificialNoise::new(SourceFilter::new(params), swap).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StreamRng::seed_from_u64(1);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         // Phase 0 lasts two rounds (m = 16, h = 8). The observation
         // [0 zeros, 8 ones] arrives swapped as [8, 0]: counter1 stays 0.
@@ -262,7 +262,7 @@ mod tests {
         assert_eq!(proto.alphabet_size(), 2);
         assert_eq!(proto.artificial(), &p);
         assert_eq!(proto.inner().params(), &params);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         let _ = agent.inner_mut();
     }

@@ -25,7 +25,7 @@
 use np_engine::opinion::Opinion;
 use np_engine::population::Role;
 use np_engine::protocol::{AgentState, Protocol};
-use rand::rngs::StdRng;
+use np_engine::streams::StreamRng;
 use rand::Rng;
 
 use crate::params::SfParams;
@@ -154,7 +154,7 @@ impl SfAgent {
         self.gathered = 0;
     }
 
-    fn majority_of_mem(&self, rng: &mut StdRng) -> Opinion {
+    fn majority_of_mem(&self, rng: &mut StreamRng) -> Opinion {
         match self.mem[1].cmp(&self.mem[0]) {
             std::cmp::Ordering::Greater => Opinion::One,
             std::cmp::Ordering::Less => Opinion::Zero,
@@ -170,7 +170,7 @@ impl Protocol for SourceFilter {
         2
     }
 
-    fn init_agent(&self, role: Role, rng: &mut StdRng) -> SfAgent {
+    fn init_agent(&self, role: Role, rng: &mut StreamRng) -> SfAgent {
         SfAgent {
             role,
             params: self.params,
@@ -190,7 +190,7 @@ impl Protocol for SourceFilter {
 }
 
 impl AgentState for SfAgent {
-    fn display(&self, _rng: &mut StdRng) -> usize {
+    fn display(&self, _rng: &mut StreamRng) -> usize {
         match self.stage {
             Stage::Listen0 => match self.role {
                 Role::Source(pref) => pref.as_index(),
@@ -204,7 +204,7 @@ impl AgentState for SfAgent {
         }
     }
 
-    fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+    fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
         debug_assert_eq!(observed.len(), 2);
         match self.stage {
             Stage::Listen0 => {
@@ -402,7 +402,7 @@ mod tests {
         let config = PopulationConfig::new(8, 1, 2, 8).unwrap();
         let params = SfParams::derive(&config, 0.1, 1.0).unwrap();
         let proto = SourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let src1 = proto.init_agent(Role::Source(Opinion::One), &mut rng);
         let src0 = proto.init_agent(Role::Source(Opinion::Zero), &mut rng);
         let non = proto.init_agent(Role::NonSource, &mut rng);
@@ -427,7 +427,7 @@ mod tests {
             .with_m(16)
             .unwrap();
         let proto = SourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StreamRng::seed_from_u64(1);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         // Phase 0 lasts 2 rounds (m=16, h=8): counts only 1s.
         agent.update(&[5, 3], &mut rng);
@@ -453,7 +453,7 @@ mod tests {
         let proto = SourceFilter::new(params);
         let mut outcomes = [0u32; 2];
         for seed in 0..200 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = StreamRng::seed_from_u64(seed);
             let mut agent = proto.init_agent(Role::NonSource, &mut rng);
             agent.update(&[4, 4], &mut rng); // counter1 = 4
             agent.update(&[4, 4], &mut rng); // counter0 = 4 → tie
@@ -473,7 +473,7 @@ mod tests {
             .with_m(8)
             .unwrap();
         let proto = SourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = StreamRng::seed_from_u64(3);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         agent.update(&[0, 8], &mut rng); // phase 0: counter1 = 8
         agent.update(&[8, 0], &mut rng); // phase 1: counter0 = 8... tie
@@ -584,7 +584,7 @@ mod tests {
         let proto = SourceFilter::new(params);
         assert_eq!(proto.alphabet_size(), 2);
         assert_eq!(proto.params(), &params);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let agent = proto.init_agent(Role::Source(Opinion::One), &mut rng);
         assert_eq!(agent.role(), Role::Source(Opinion::One));
         assert!(!agent.is_done());

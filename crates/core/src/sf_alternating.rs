@@ -29,7 +29,7 @@
 use np_engine::opinion::Opinion;
 use np_engine::population::Role;
 use np_engine::protocol::{AgentState, Protocol};
-use rand::rngs::StdRng;
+use np_engine::streams::StreamRng;
 use rand::Rng;
 
 use crate::params::SfParams;
@@ -96,7 +96,7 @@ impl AltSfAgent {
         self.stage == Stage::Done
     }
 
-    fn majority_of_mem(&self, rng: &mut StdRng) -> Opinion {
+    fn majority_of_mem(&self, rng: &mut StreamRng) -> Opinion {
         match self.mem[1].cmp(&self.mem[0]) {
             std::cmp::Ordering::Greater => Opinion::One,
             std::cmp::Ordering::Less => Opinion::Zero,
@@ -112,7 +112,7 @@ impl Protocol for AlternatingSourceFilter {
         2
     }
 
-    fn init_agent(&self, role: Role, rng: &mut StdRng) -> AltSfAgent {
+    fn init_agent(&self, role: Role, rng: &mut StreamRng) -> AltSfAgent {
         AltSfAgent {
             role,
             params: self.params,
@@ -128,7 +128,7 @@ impl Protocol for AlternatingSourceFilter {
 }
 
 impl AgentState for AltSfAgent {
-    fn display(&self, _rng: &mut StdRng) -> usize {
+    fn display(&self, _rng: &mut StreamRng) -> usize {
         match self.stage {
             Stage::Listening => match self.role {
                 Role::Source(pref) => pref.as_index(),
@@ -145,7 +145,7 @@ impl AgentState for AltSfAgent {
         }
     }
 
-    fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+    fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
         debug_assert_eq!(observed.len(), 2);
         match self.stage {
             Stage::Listening => {
@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn non_source_alternates_displays() {
         let proto = AlternatingSourceFilter::new(params(8, 8, 0.1));
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         let first = agent.display(&mut rng);
         agent.update(&[4, 4], &mut rng);
@@ -303,7 +303,7 @@ mod tests {
         let proto = AlternatingSourceFilter::new(params(8, 8, 0.1));
         let mut ones = 0;
         for seed in 0..400 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = StreamRng::seed_from_u64(seed);
             let agent = proto.init_agent(Role::NonSource, &mut rng);
             ones += agent.display(&mut rng);
         }
@@ -313,7 +313,7 @@ mod tests {
     #[test]
     fn sources_display_preference_throughout_listening() {
         let proto = AlternatingSourceFilter::new(params(8, 8, 0.1));
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StreamRng::seed_from_u64(1);
         let mut agent = proto.init_agent(Role::Source(Opinion::One), &mut rng);
         for _ in 0..5 {
             assert_eq!(agent.display(&mut rng), 1);
@@ -324,7 +324,7 @@ mod tests {
     #[test]
     fn evidence_accumulates_signed_difference() {
         let proto = AlternatingSourceFilter::new(params(8, 8, 0.1));
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = StreamRng::seed_from_u64(2);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         agent.update(&[2, 6], &mut rng);
         assert_eq!(agent.evidence(), 4);
@@ -337,7 +337,7 @@ mod tests {
     fn weak_opinion_is_sign_of_evidence() {
         let p = params(8, 8, 0.1).with_m(8).unwrap(); // phase_len = 1, listening = 2 rounds
         let proto = AlternatingSourceFilter::new(p);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = StreamRng::seed_from_u64(3);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         agent.update(&[1, 7], &mut rng);
         agent.update(&[3, 5], &mut rng);

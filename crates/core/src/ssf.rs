@@ -35,7 +35,7 @@
 use np_engine::opinion::Opinion;
 use np_engine::population::Role;
 use np_engine::protocol::{AgentState, Protocol};
-use rand::rngs::StdRng;
+use np_engine::streams::StreamRng;
 use rand::Rng;
 
 use crate::params::SsfParams;
@@ -160,7 +160,7 @@ impl SsfAgent {
         self.mem_size = memory.iter().sum();
     }
 
-    fn majority(one_side: u64, zero_side: u64, rng: &mut StdRng) -> Opinion {
+    fn majority(one_side: u64, zero_side: u64, rng: &mut StreamRng) -> Opinion {
         match one_side.cmp(&zero_side) {
             std::cmp::Ordering::Greater => Opinion::One,
             std::cmp::Ordering::Less => Opinion::Zero,
@@ -176,7 +176,7 @@ impl Protocol for SelfStabilizingSourceFilter {
         4
     }
 
-    fn init_agent(&self, role: Role, rng: &mut StdRng) -> SsfAgent {
+    fn init_agent(&self, role: Role, rng: &mut StreamRng) -> SsfAgent {
         SsfAgent {
             role,
             m: self.params.m(),
@@ -190,14 +190,14 @@ impl Protocol for SelfStabilizingSourceFilter {
 }
 
 impl AgentState for SsfAgent {
-    fn display(&self, _rng: &mut StdRng) -> usize {
+    fn display(&self, _rng: &mut StreamRng) -> usize {
         match self.role {
             Role::Source(pref) => encode(true, pref),
             Role::NonSource => encode(false, self.weak),
         }
     }
 
-    fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+    fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
         debug_assert_eq!(observed.len(), 4);
         for (slot, &c) in self.mem.iter_mut().zip(observed) {
             *slot += c;
@@ -333,7 +333,7 @@ mod tests {
         let config = PopulationConfig::new(8, 1, 2, 8).unwrap();
         let params = SsfParams::derive(&config, 0.1, 1.0).unwrap();
         let proto = SelfStabilizingSourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let src = proto.init_agent(Role::Source(Opinion::One), &mut rng);
         assert_eq!(src.display(&mut rng), encode(true, Opinion::One));
         let src0 = proto.init_agent(Role::Source(Opinion::Zero), &mut rng);
@@ -353,7 +353,7 @@ mod tests {
             .with_m(10)
             .unwrap();
         let proto = SelfStabilizingSourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = StreamRng::seed_from_u64(2);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         // 9 messages: still below m = 10, no update.
         agent.update(&[0, 0, 0, 9], &mut rng);
@@ -376,7 +376,7 @@ mod tests {
             .with_m(10)
             .unwrap();
         let proto = SelfStabilizingSourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = StreamRng::seed_from_u64(3);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         // 9 untagged zeros + 2 tagged ones: weak must follow the tagged
         // ones; opinion follows the overall majority (zeros).
@@ -395,7 +395,7 @@ mod tests {
         let proto = SelfStabilizingSourceFilter::new(params);
         let mut outcomes = [0u32; 2];
         for seed in 0..200 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = StreamRng::seed_from_u64(seed);
             let mut agent = proto.init_agent(Role::NonSource, &mut rng);
             // (1,0) and (1,1) tied at 2 each.
             agent.update(&[0, 0, 2, 2], &mut rng);
@@ -467,7 +467,7 @@ mod tests {
         let config = PopulationConfig::new(8, 0, 1, 8).unwrap();
         let params = SsfParams::derive(&config, 0.1, 1.0).unwrap();
         let proto = SelfStabilizingSourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let mut agent = proto.init_agent(Role::Source(Opinion::One), &mut rng);
         agent.corrupt_state(Opinion::Zero, Opinion::Zero, [7, 7, 7, 7]);
         assert_eq!(agent.memory_size(), 28);

@@ -1,0 +1,113 @@
+//! Packed-vs-scalar bit-equality matrix: every hand-written
+//! `display_chunk_packed` port must produce exactly the symbols of its
+//! scalar `display_chunk` — per round, per chunking — and whole
+//! trajectories must be invariant across thread counts on the packed hot
+//! path. Populations are sized so n % 64 ≠ 0 (ragged final words).
+
+use noisy_pull::columnar::sf::ColumnarSourceFilter;
+use noisy_pull::columnar::sf_alt::ColumnarAltSf;
+use noisy_pull::columnar::ssf::ColumnarSsf;
+use noisy_pull::params::{SfParams, SsfParams};
+use np_engine::channel::ChannelKind;
+use np_engine::opinion::Opinion;
+use np_engine::packed::{chunk_len_for, PackedDisplays};
+use np_engine::population::PopulationConfig;
+use np_engine::protocol::{ColumnarProtocol, ColumnarState};
+use np_engine::streams::RoundStreams;
+use np_engine::world::World;
+use np_linalg::noise::NoiseMatrix;
+
+const THREAD_MATRIX: [usize; 3] = [1, 2, 7];
+
+/// Packs the state's displays through `display_chunk_packed` under each
+/// thread count's chunking, unpacks, and demands bit-equality with the
+/// scalar `display_chunk` output.
+fn assert_packed_matches_scalar<S: ColumnarState>(state: &S, d: usize, round: u64, label: &str) {
+    let n = state.len();
+    let streams = RoundStreams::new(977, round);
+    let mut scalar = vec![0usize; n];
+    state.display_chunk(0..n, &mut scalar, &streams);
+    for threads in THREAD_MATRIX {
+        let chunk_len = chunk_len_for(n, threads);
+        let mut packed = PackedDisplays::new(n, d);
+        for mut chunk in packed.chunks_mut(chunk_len) {
+            let start = chunk.start();
+            let len = chunk.len();
+            state.display_chunk_packed(start..start + len, &mut chunk, &streams);
+        }
+        let mut unpacked = vec![0usize; n];
+        packed.unpack_into(&mut unpacked);
+        assert_eq!(
+            unpacked, scalar,
+            "{label}: round {round}, threads {threads}"
+        );
+        // The popcount histogram agrees with a naive tally of the same
+        // symbols.
+        let mut hist = vec![0u64; d];
+        packed.histogram_into(&mut hist);
+        let mut naive = vec![0u64; d];
+        for &s in &scalar {
+            naive[s] += 1;
+        }
+        assert_eq!(hist, naive, "{label}: histogram, threads {threads}");
+    }
+}
+
+/// Drives a world while checking display bit-equality at every round of
+/// the prefix, then whole-trajectory thread invariance.
+fn check_protocol<P>(proto: &P, config: PopulationConfig, rounds: u64, label: &str)
+where
+    P: ColumnarProtocol,
+{
+    let noise = NoiseMatrix::uniform(proto.alphabet_size(), 0.12).unwrap();
+    let d = proto.alphabet_size();
+
+    // Per-round display equality along one trajectory.
+    let mut world = World::new(proto, config, &noise, ChannelKind::Aggregated, 4242).unwrap();
+    for r in 0..rounds {
+        assert_packed_matches_scalar(world.state(), d, r, label);
+        world.step();
+    }
+    assert_packed_matches_scalar(world.state(), d, rounds, label);
+
+    // Whole-trajectory thread invariance on the packed hot path.
+    let reference: Vec<Opinion> = {
+        let mut w = World::new(proto, config, &noise, ChannelKind::Aggregated, 4242).unwrap();
+        w.set_threads(1);
+        w.run(rounds);
+        w.opinions()
+    };
+    for threads in THREAD_MATRIX {
+        let mut w = World::new(proto, config, &noise, ChannelKind::Aggregated, 4242).unwrap();
+        w.set_threads(threads);
+        w.run(rounds);
+        assert_eq!(
+            w.opinions(),
+            reference,
+            "{label}: trajectory, threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn sf_packed_displays_match_scalar() {
+    let config = PopulationConfig::new(197, 1, 2, 197).unwrap();
+    let params = SfParams::derive(&config, 0.12, 1.0).unwrap();
+    let rounds = params.total_rounds().min(40);
+    check_protocol(&ColumnarSourceFilter::new(params), config, rounds, "SF");
+}
+
+#[test]
+fn ssf_packed_displays_match_scalar() {
+    let config = PopulationConfig::new(197, 1, 3, 197).unwrap();
+    let params = SsfParams::derive(&config, 0.12, 1.0).unwrap();
+    check_protocol(&ColumnarSsf::new(params), config, 30, "SSF");
+}
+
+#[test]
+fn sf_alt_packed_displays_match_scalar() {
+    let config = PopulationConfig::new(197, 1, 2, 197).unwrap();
+    let params = SfParams::derive(&config, 0.12, 1.0).unwrap();
+    let rounds = params.total_rounds().min(40);
+    check_protocol(&ColumnarAltSf::new(params), config, rounds, "SF-ALT");
+}

@@ -9,8 +9,8 @@ use noisy_pull::theory;
 use np_engine::opinion::Opinion;
 use np_engine::population::{PopulationConfig, Role};
 use np_engine::protocol::{AgentState, Protocol};
+use np_engine::streams::StreamRng;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn config(n: usize, h: usize) -> PopulationConfig {
@@ -84,7 +84,7 @@ proptest! {
         let cfg = config(8, 8);
         let params = SfParams::derive(&cfg, 0.1, 1.0).unwrap().with_m(32).unwrap();
         let proto = SourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StreamRng::seed_from_u64(seed);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         let phase_len = params.phase_len();
         prop_assert!(agent.weak_opinion().is_none());
@@ -117,7 +117,7 @@ proptest! {
         let cfg = config(8, 8);
         let params = SsfParams::derive(&cfg, 0.1, 1.0).unwrap().with_m(m).unwrap();
         let proto = SelfStabilizingSourceFilter::new(params);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StreamRng::seed_from_u64(seed);
         let mut agent = proto.init_agent(Role::NonSource, &mut rng);
         for o in &obs {
             let before = agent.memory_size();
@@ -138,7 +138,7 @@ proptest! {
     #[test]
     fn displays_stay_in_alphabet(seed in any::<u64>(), source_bit in any::<bool>()) {
         let cfg = config(8, 8);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StreamRng::seed_from_u64(seed);
         let sf = SourceFilter::new(SfParams::derive(&cfg, 0.2, 1.0).unwrap());
         let role = if source_bit {
             Role::Source(Opinion::One)

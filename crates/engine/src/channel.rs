@@ -16,20 +16,31 @@
 //!   i.i.d. draws from row `σ` of the noise matrix, so the per-symbol
 //!   observation counts are `Multinomial(k_σ, N_σ)`. Summing over σ gives
 //!   the agent's observation-count vector with *exactly* the same joint
-//!   distribution as the literal channel, at cost `O(|Σ|²)` binomial draws
-//!   per agent — independent of `h`. This is what makes the paper's
-//!   `h = n` regime (`Θ(n²)` messages per round) simulable at
-//!   `n = 10⁵`.
+//!   distribution as the literal channel — independent of `h`. This is
+//!   what makes the paper's `h = n` regime (`Θ(n²)` messages per round)
+//!   simulable at `n = 10⁵`.
+//!
+//!   The chunked hot path collapses the two stages further: composing the
+//!   categorical display draw with the noise row gives each observation
+//!   the mixture law `q_j = Σ_σ (c_σ/n)·N_σj`, so the agent's count
+//!   vector is simply `Multinomial(h, q)` — `|Σ| − 1` binomial draws per
+//!   agent, with the level-0 binomial served from a per-round cached
+//!   inverse-cdf table ([`np_stats::binomial::CdfTable`]) built once in
+//!   [`Channel::begin_round`]. The sequential path
+//!   ([`Channel::fill_observations`]) keeps the literal two-stage
+//!   factorization, so the distribution tests below compare the collapse
+//!   against an independent implementation.
 //!
 //! Both channels deliver observations as per-symbol counts; see
 //! [`crate::protocol`] for why this is lossless for anonymous protocols.
 
 use std::ops::Range;
 
+use crate::streams::StreamRng;
 use np_linalg::noise::NoiseMatrix;
 use np_stats::alias::RowSamplers;
+use np_stats::binomial::CdfTable;
 use np_stats::{hypergeometric, multinomial};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::streams::{RoundStreams, StreamStage};
@@ -70,11 +81,12 @@ pub enum SamplingMode {
 /// ```
 /// use np_engine::channel::{Channel, ChannelKind};
 /// use np_linalg::noise::NoiseMatrix;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use np_engine::streams::StreamRng;
+/// use rand::SeedableRng;
 ///
 /// let noise = NoiseMatrix::noiseless(2);
 /// let channel = Channel::new(&noise, ChannelKind::Aggregated);
-/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut rng = StreamRng::seed_from_u64(0);
 /// // Three agents all displaying symbol 1; h = 5 noiseless observations
 /// // must all come back as 1.
 /// let displays = vec![1, 1, 1];
@@ -100,8 +112,24 @@ pub struct Channel {
 pub struct RoundContext {
     /// Histogram of currently displayed symbols.
     disp_counts: Vec<u64>,
-    /// `disp_counts / n` — the categorical law of one sampled display.
-    probs: Vec<f64>,
+    /// The `h` this context was built for (the cached table below is a
+    /// function of it).
+    h: u64,
+    /// The collapsed observation law `q_j = Σ_σ probs[σ]·N_σj` — the
+    /// marginal distribution of a single noisy observation. Empty unless
+    /// the channel is aggregated with replacement.
+    obs_law: Vec<f64>,
+    /// Cached inverse-cdf table for `Binomial(h, obs_law[0])`, the head
+    /// draw of every agent's collapsed multinomial this round. `None`
+    /// unless the channel is aggregated with replacement.
+    level0: Option<CdfTable>,
+}
+
+impl RoundContext {
+    /// The display histogram this context was built from.
+    pub fn disp_counts(&self) -> &[u64] {
+        &self.disp_counts
+    }
 }
 
 impl Channel {
@@ -161,7 +189,7 @@ impl Channel {
     /// # Panics
     ///
     /// Panics if `displayed >= self.alphabet_size()`.
-    pub fn observe_one(&self, rng: &mut StdRng, displayed: usize) -> usize {
+    pub fn observe_one(&self, rng: &mut StreamRng, displayed: usize) -> usize {
         self.samplers.observe(rng, displayed)
     }
 
@@ -181,7 +209,7 @@ impl Channel {
         &self,
         displays: &[usize],
         h: usize,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         out: &mut [u64],
     ) {
         let n = displays.len();
@@ -200,7 +228,7 @@ impl Channel {
         }
     }
 
-    fn fill_exact(&self, displays: &[usize], h: usize, rng: &mut StdRng, out: &mut [u64]) {
+    fn fill_exact(&self, displays: &[usize], h: usize, rng: &mut StreamRng, out: &mut [u64]) {
         let n = displays.len();
         match self.mode {
             SamplingMode::WithReplacement => {
@@ -242,21 +270,65 @@ impl Channel {
     /// Panics if `displays` is empty, if any displayed symbol is out of
     /// range, or if `h > n` under [`SamplingMode::WithoutReplacement`].
     pub fn begin_round(&self, displays: &[usize], h: usize) -> RoundContext {
-        let n = displays.len();
-        assert!(n > 0, "no agents to observe");
-        if self.mode == SamplingMode::WithoutReplacement {
-            assert!(
-                h <= n,
-                "cannot draw {h} distinct agents from {n} without replacement"
-            );
-        }
+        assert!(!displays.is_empty(), "no agents to observe");
         let mut disp_counts = vec![0u64; self.d];
         for &s in displays {
             assert!(s < self.d, "displayed symbol {s} out of range {}", self.d);
             disp_counts[s] += 1;
         }
-        let probs: Vec<f64> = disp_counts.iter().map(|&c| c as f64 / n as f64).collect();
-        RoundContext { disp_counts, probs }
+        self.begin_round_from_counts(disp_counts, h)
+    }
+
+    /// Like [`Channel::begin_round`], but starts from an already-computed
+    /// display histogram — the packed bit-plane round loop accumulates
+    /// `disp_counts` from word popcounts and never materializes a scalar
+    /// display vector. The symbols are trusted to be in range by
+    /// construction (a histogram cannot hold an out-of-range symbol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disp_counts.len() != self.alphabet_size()`, if the
+    /// histogram is empty (sums to zero), or if `h > n` under
+    /// [`SamplingMode::WithoutReplacement`].
+    pub fn begin_round_from_counts(&self, disp_counts: Vec<u64>, h: usize) -> RoundContext {
+        assert_eq!(
+            disp_counts.len(),
+            self.d,
+            "display histogram length mismatch"
+        );
+        let n: u64 = disp_counts.iter().sum();
+        assert!(n > 0, "no agents to observe");
+        if self.mode == SamplingMode::WithoutReplacement {
+            assert!(
+                h as u64 <= n,
+                "cannot draw {h} distinct agents from {n} without replacement"
+            );
+        }
+        let (obs_law, level0) =
+            if self.kind == ChannelKind::Aggregated && self.mode == SamplingMode::WithReplacement {
+                // Collapsed observation law: q_j = Σ_σ (c_σ/n)·N_σj. Built
+                // once per round; every agent's count vector this round is
+                // Multinomial(h, q).
+                let mut q = vec![0.0f64; self.d];
+                for (sigma, &c) in disp_counts.iter().enumerate() {
+                    if c > 0 {
+                        let w = c as f64 / n as f64;
+                        for (qj, &row_j) in q.iter_mut().zip(&self.rows[sigma]) {
+                            *qj += w * row_j;
+                        }
+                    }
+                }
+                let table = CdfTable::new_unchecked(h as u64, q[0].clamp(0.0, 1.0));
+                (q, Some(table))
+            } else {
+                (Vec::new(), None)
+            };
+        RoundContext {
+            disp_counts,
+            h: h as u64,
+            obs_law,
+            level0,
+        }
     }
 
     /// Fills the observations of agents `range` using each agent's
@@ -320,6 +392,8 @@ impl Channel {
                 // identity permutation — this keeps each agent's subset a
                 // pure function of its own stream, independent of chunking.
                 let mut idx: Vec<usize> = (0..n).collect();
+                // xtask-allow: hot-loop-rng-construct (per-chunk scratch,
+                // reused across the agent loop below — not per-agent)
                 let mut swaps: Vec<usize> = Vec::with_capacity(h);
                 for (k, agent) in range.enumerate() {
                     let mut rng = streams.rng(agent, StreamStage::Observe);
@@ -348,39 +422,75 @@ impl Channel {
         streams: &RoundStreams,
         out: &mut [u64],
     ) {
-        let mut sampled = vec![0u64; self.d];
-        let mut observed = vec![0u64; self.d];
-        for (k, agent) in range.enumerate() {
-            let mut rng = streams.rng(agent, StreamStage::Observe);
-            let base = k * self.d;
-            match self.mode {
-                SamplingMode::WithReplacement => {
-                    multinomial::sample_into(&mut rng, h as u64, &ctx.probs, &mut sampled);
+        match self.mode {
+            SamplingMode::WithReplacement => {
+                // Collapsed compound draw (see module docs): each agent's
+                // count vector is Multinomial(h, q) directly. The head
+                // binomial comes from the per-round cached table; the tail
+                // is the conditional chain written straight into `out` —
+                // no per-agent scratch, no per-agent allocation.
+                assert_eq!(ctx.h, h as u64, "round context was built for a different h");
+                let table = ctx
+                    .level0
+                    .as_ref()
+                    // xtask-allow: unwrap (infallible by construction:
+                    // begin_round_from_counts always builds the table for
+                    // this mode; documented panic otherwise)
+                    .expect("with-replacement aggregated context carries a level-0 table");
+                for (k, agent) in range.enumerate() {
+                    let mut rng = streams.rng(agent, StreamStage::Observe);
+                    let base = k * self.d;
+                    let first = table.sample(&mut rng);
+                    multinomial::sample_given_first(
+                        &mut rng,
+                        h as u64,
+                        &ctx.obs_law,
+                        first,
+                        &mut out[base..base + self.d],
+                    );
                 }
-                SamplingMode::WithoutReplacement => {
+            }
+            SamplingMode::WithoutReplacement => {
+                // Without replacement there is no collapse: the sampled
+                // displays are multivariate hypergeometric, not i.i.d., so
+                // the two-stage factorization stays.
+                // xtask-allow: hot-loop-rng-construct (per-chunk scratch,
+                // reused across the agent loop below — not per-agent)
+                let mut sampled = vec![0u64; self.d];
+                // xtask-allow: hot-loop-rng-construct (per-chunk scratch,
+                // reused across the agent loop below — not per-agent)
+                let mut observed = vec![0u64; self.d];
+                for (k, agent) in range.enumerate() {
+                    let mut rng = streams.rng(agent, StreamStage::Observe);
+                    let base = k * self.d;
                     hypergeometric::sample_multivariate_into(
                         &mut rng,
                         &ctx.disp_counts,
                         h as u64,
                         &mut sampled,
                     );
-                }
-            }
-            #[allow(clippy::needless_range_loop)]
-            for sigma in 0..self.d {
-                let k_sigma = sampled[sigma];
-                if k_sigma == 0 {
-                    continue;
-                }
-                multinomial::sample_into(&mut rng, k_sigma, &self.rows[sigma], &mut observed);
-                for (slot, c) in out[base..base + self.d].iter_mut().zip(&observed) {
-                    *slot += c;
+                    #[allow(clippy::needless_range_loop)]
+                    for sigma in 0..self.d {
+                        let k_sigma = sampled[sigma];
+                        if k_sigma == 0 {
+                            continue;
+                        }
+                        multinomial::sample_into(
+                            &mut rng,
+                            k_sigma,
+                            &self.rows[sigma],
+                            &mut observed,
+                        );
+                        for (slot, c) in out[base..base + self.d].iter_mut().zip(&observed) {
+                            *slot += c;
+                        }
+                    }
                 }
             }
         }
     }
 
-    fn fill_aggregated(&self, displays: &[usize], h: usize, rng: &mut StdRng, out: &mut [u64]) {
+    fn fill_aggregated(&self, displays: &[usize], h: usize, rng: &mut StreamRng, out: &mut [u64]) {
         let n = displays.len();
         // Histogram of currently displayed symbols.
         let mut disp_counts = vec![0u64; self.d];
@@ -439,7 +549,7 @@ mod tests {
         seed: u64,
     ) -> Vec<u64> {
         let channel = Channel::new(noise, kind);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StreamRng::seed_from_u64(seed);
         let mut out = vec![0u64; displays.len() * noise.dim()];
         channel.fill_observations(displays, h, &mut rng, &mut out);
         out
@@ -511,7 +621,7 @@ mod tests {
             .enumerate()
         {
             let channel = Channel::new(&noise, *kind);
-            let mut rng = StdRng::seed_from_u64(99 + ki as u64);
+            let mut rng = StreamRng::seed_from_u64(99 + ki as u64);
             let mut out = vec![0u64; displays.len() * 2];
             for _ in 0..reps {
                 channel.fill_observations(&displays, h, &mut rng, &mut out);
@@ -537,7 +647,7 @@ mod tests {
     fn observe_one_follows_noise_row() {
         let noise = NoiseMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.3, 0.7]]).unwrap();
         let channel = Channel::new(&noise, ChannelKind::Exact);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = StreamRng::seed_from_u64(11);
         // Row 0 is deterministic.
         for _ in 0..50 {
             assert_eq!(channel.observe_one(&mut rng, 0), 0);
@@ -557,7 +667,7 @@ mod tests {
     fn wrong_buffer_size_panics() {
         let noise = NoiseMatrix::noiseless(2);
         let channel = Channel::new(&noise, ChannelKind::Aggregated);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let mut out = vec![0u64; 3];
         channel.fill_observations(&[0, 1], 1, &mut rng, &mut out);
     }
@@ -567,7 +677,7 @@ mod tests {
     fn bad_display_symbol_panics() {
         let noise = NoiseMatrix::noiseless(2);
         let channel = Channel::new(&noise, ChannelKind::Aggregated);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let mut out = vec![0u64; 4];
         channel.fill_observations(&[0, 2], 1, &mut rng, &mut out);
     }
@@ -580,7 +690,7 @@ mod tests {
         let displays = vec![0, 1, 1, 0, 1, 1, 0, 1]; // 3 zeros, 5 ones
         for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
             let channel = Channel::with_sampling(&noise, kind, SamplingMode::WithoutReplacement);
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = StreamRng::seed_from_u64(7);
             let mut out = vec![0u64; displays.len() * 2];
             channel.fill_observations(&displays, displays.len(), &mut rng, &mut out);
             for agent in 0..displays.len() {
@@ -597,7 +707,7 @@ mod tests {
         let displays: Vec<usize> = (0..50).map(|i| usize::from(i % 5 < 2)).collect();
         for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
             let channel = Channel::with_sampling(&noise, kind, SamplingMode::WithoutReplacement);
-            let mut rng = StdRng::seed_from_u64(8);
+            let mut rng = StreamRng::seed_from_u64(8);
             let mut out = vec![0u64; 50 * 2];
             let mut ones = 0u64;
             let reps = 400;
@@ -617,7 +727,7 @@ mod tests {
         let noise = NoiseMatrix::noiseless(2);
         let channel =
             Channel::with_sampling(&noise, ChannelKind::Exact, SamplingMode::WithoutReplacement);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let mut out = vec![0u64; 4];
         channel.fill_observations(&[0, 1], 3, &mut rng, &mut out);
     }
@@ -715,6 +825,94 @@ mod tests {
             for agent in 0..displays.len() {
                 assert_eq!(&out[agent * 2..agent * 2 + 2], &[3, 5], "{kind:?}");
             }
+        }
+    }
+
+    #[test]
+    fn begin_round_from_counts_matches_begin_round() {
+        // The histogram-input entry point (fed by packed popcounts) must
+        // produce a context whose chunk fills are bit-identical to the
+        // display-vector entry point's.
+        let noise = NoiseMatrix::uniform(2, 0.2).unwrap();
+        let displays: Vec<usize> = (0..40).map(|i| usize::from(i % 4 == 1)).collect();
+        for mode in [
+            SamplingMode::WithReplacement,
+            SamplingMode::WithoutReplacement,
+        ] {
+            let channel = Channel::with_sampling(&noise, ChannelKind::Aggregated, mode);
+            let streams = RoundStreams::new(77, 3);
+            let from_displays = channel.begin_round(&displays, 12);
+            let from_counts = channel.begin_round_from_counts(vec![30, 10], 12);
+            let mut a = vec![0u64; 40 * 2];
+            let mut b = vec![0u64; 40 * 2];
+            channel.fill_observations_chunk(&from_displays, &displays, 12, 0..40, &streams, &mut a);
+            channel.fill_observations_chunk(&from_counts, &displays, 12, 0..40, &streams, &mut b);
+            assert_eq!(a, b, "{mode:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram length mismatch")]
+    fn begin_round_from_counts_checks_length() {
+        let noise = NoiseMatrix::noiseless(2);
+        let channel = Channel::new(&noise, ChannelKind::Aggregated);
+        let _ = channel.begin_round_from_counts(vec![1, 2, 3], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different h")]
+    fn chunk_fill_rejects_mismatched_h() {
+        let noise = NoiseMatrix::noiseless(2);
+        let channel = Channel::new(&noise, ChannelKind::Aggregated);
+        let streams = RoundStreams::new(0, 0);
+        let ctx = channel.begin_round(&[0, 1], 4);
+        let mut out = vec![0u64; 4];
+        channel.fill_observations_chunk(&ctx, &[0, 1], 5, 0..2, &streams, &mut out);
+    }
+
+    /// The collapse identity, checked jointly rather than marginally: the
+    /// collapsed chunk path and the two-stage sequential path must induce
+    /// the same distribution over an agent's full count *vector*. We
+    /// compare empirical frequencies of the complete (o₀, o₁, o₂) outcome
+    /// on a 3-symbol alphabet with an asymmetric noise matrix.
+    #[test]
+    fn collapsed_chunk_matches_two_stage_jointly() {
+        let noise = NoiseMatrix::from_rows(vec![
+            vec![0.7, 0.2, 0.1],
+            vec![0.05, 0.9, 0.05],
+            vec![0.3, 0.3, 0.4],
+        ])
+        .unwrap();
+        let displays: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let h = 6;
+        let channel = Channel::new(&noise, ChannelKind::Aggregated);
+        let reps = 400u64;
+        // Outcome key: o₀·(h+1) + o₁ (o₂ is determined by the sum).
+        let mut seq_freq = vec![0u64; (h + 1) * (h + 1)];
+        let mut chunk_freq = vec![0u64; (h + 1) * (h + 1)];
+        let mut rng = StreamRng::seed_from_u64(55);
+        let mut out = vec![0u64; displays.len() * 3];
+        for round in 0..reps {
+            channel.fill_observations(&displays, h, &mut rng, &mut out);
+            for a in 0..displays.len() {
+                seq_freq[out[a * 3] as usize * (h + 1) + out[a * 3 + 1] as usize] += 1;
+            }
+            let streams = RoundStreams::new(555, round);
+            let ctx = channel.begin_round(&displays, h);
+            channel.fill_observations_chunk(&ctx, &displays, h, 0..30, &streams, &mut out);
+            for a in 0..displays.len() {
+                chunk_freq[out[a * 3] as usize * (h + 1) + out[a * 3 + 1] as usize] += 1;
+            }
+        }
+        let total = (reps * displays.len() as u64) as f64;
+        for (key, (&s, &c)) in seq_freq.iter().zip(&chunk_freq).enumerate() {
+            let fs = s as f64 / total;
+            let fc = c as f64 / total;
+            // 12000 samples per path; 3σ of a frequency is ≤ 3·0.5/√N ≈ 0.014.
+            assert!(
+                (fs - fc).abs() < 0.02,
+                "outcome {key}: sequential {fs} vs collapsed {fc}"
+            );
         }
     }
 

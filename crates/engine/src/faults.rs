@@ -28,8 +28,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::streams::StreamRng;
 use np_linalg::noise::NoiseMatrix;
-use rand::rngs::StdRng;
 
 use crate::error::EngineError;
 use crate::metrics::RoundMetrics;
@@ -38,19 +38,19 @@ use crate::metrics::RoundMetrics;
 /// [`FaultEvent::Corrupt`] selects. `S` is the protocol's population
 /// state (e.g. `ScalarState<SsfAgent>` or a columnar port).
 ///
-/// Implemented for free by any `Fn(&mut S, usize, &mut StdRng)` closure.
+/// Implemented for free by any `Fn(&mut S, usize, &mut StreamRng)` closure.
 pub trait StateFault<S>: Send + Sync {
     /// Corrupts agent `id` inside `state`. `rng` is the agent's
     /// [`crate::streams::StreamStage::Fault`] stream for the injection
     /// round (the same generator that selected the agent).
-    fn apply(&self, state: &mut S, id: usize, rng: &mut StdRng);
+    fn apply(&self, state: &mut S, id: usize, rng: &mut StreamRng);
 }
 
 impl<S, F> StateFault<S> for F
 where
-    F: Fn(&mut S, usize, &mut StdRng) + Send + Sync,
+    F: Fn(&mut S, usize, &mut StreamRng) + Send + Sync,
 {
-    fn apply(&self, state: &mut S, id: usize, rng: &mut StdRng) {
+    fn apply(&self, state: &mut S, id: usize, rng: &mut StreamRng) {
         self(state, id, rng)
     }
 }
@@ -395,7 +395,7 @@ mod tests {
         FaultEvent::Corrupt {
             frac,
             label: "zero".into(),
-            fault: Arc::new(|state: &mut S, id: usize, _rng: &mut StdRng| {
+            fault: Arc::new(|state: &mut S, id: usize, _rng: &mut StreamRng| {
                 state[id] = 0;
             }),
         }
@@ -524,12 +524,12 @@ mod tests {
         let FaultEvent::Corrupt { fault, .. } = &event else {
             unreachable!()
         };
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         fault.apply(&mut state, 2, &mut rng);
         assert_eq!(state, vec![7, 7, 0, 7]);
         // The rng parameter is usable inside a fault.
         let drawing: Arc<dyn StateFault<S>> =
-            Arc::new(|state: &mut S, id: usize, rng: &mut StdRng| {
+            Arc::new(|state: &mut S, id: usize, rng: &mut StreamRng| {
                 state[id] = rng.gen();
             });
         drawing.apply(&mut state, 0, &mut rng);

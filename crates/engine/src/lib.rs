@@ -30,6 +30,10 @@
 //!   `h = n` experiments of the paper tractable.
 //! * [`world`] — the round loop, consensus detection, and the adversarial
 //!   state-corruption hook for self-stabilization experiments.
+//! * [`packed`] — bit-plane packed display storage: the word-level state
+//!   layout the round loop runs on (display histograms are plane
+//!   popcounts; scalar display vectors survive as seams for the exact
+//!   channel and for tests).
 //! * [`faults`] — deterministic *mid-run* fault injection: scheduled
 //!   re-corruption, source-preference flips (trend changes), noise
 //!   swaps/ramps, and agent sleep, with per-event recovery metrics.
@@ -67,7 +71,8 @@
 //! use np_engine::protocol::{AgentState, Protocol};
 //! use np_engine::world::World;
 //! use np_linalg::noise::NoiseMatrix;
-//! use rand::{rngs::StdRng, Rng};
+//! use np_engine::streams::StreamRng;
+//! use rand::Rng;
 //!
 //! struct Majority;
 //! struct MajorityAgent {
@@ -80,7 +85,7 @@
 //!     fn alphabet_size(&self) -> usize {
 //!         2
 //!     }
-//!     fn init_agent(&self, role: Role, _rng: &mut StdRng) -> MajorityAgent {
+//!     fn init_agent(&self, role: Role, _rng: &mut StreamRng) -> MajorityAgent {
 //!         let opinion = match role {
 //!             Role::Source(p) => p,
 //!             Role::NonSource => Opinion::Zero,
@@ -90,10 +95,10 @@
 //! }
 //!
 //! impl AgentState for MajorityAgent {
-//!     fn display(&self, _rng: &mut StdRng) -> usize {
+//!     fn display(&self, _rng: &mut StreamRng) -> usize {
 //!         self.opinion.as_index()
 //!     }
-//!     fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+//!     fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
 //!         if let Role::Source(p) = self.role {
 //!             self.opinion = p; // sources are stubborn in this toy protocol
 //!             return;
@@ -132,6 +137,7 @@ pub mod faults;
 pub mod invariants;
 pub mod metrics;
 pub mod opinion;
+pub mod packed;
 pub mod population;
 pub mod protocol;
 pub mod push;

@@ -150,6 +150,26 @@ impl RoundMetrics {
     }
 }
 
+/// The result of one observability sweep over the population
+/// ([`crate::protocol::ColumnarState::metrics_sweep`]): the
+/// state-dependent fields of [`RoundMetrics`], before the world adds the
+/// round number and fault labels. Columnar ports fill this in one fused
+/// pass over their lanes; the trait default walks the per-agent
+/// accessors. Both must agree exactly — these numbers flow into
+/// byte-compared run summaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSweep {
+    /// Agents holding the correct opinion.
+    pub correct: usize,
+    /// Stage occupancy, sorted ascending by stage id, empty stages
+    /// omitted.
+    pub stages: Vec<(u32, usize)>,
+    /// Agents whose weak opinion has formed.
+    pub weak_formed: usize,
+    /// Of those, how many weak opinions are correct.
+    pub weak_correct: usize,
+}
+
 /// Wall-clock time spent in each phase of one round.
 ///
 /// Nondeterministic by nature; see the module docs for where it may and
@@ -157,11 +177,16 @@ impl RoundMetrics {
 /// their cost is attributed to the enclosing phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
-    /// Phase 1: computing displayed symbols (the paper's sampling setup).
+    /// Pass 1: computing displayed symbols into the packed bit planes,
+    /// including the popcount display histogram (the paper's sampling
+    /// setup).
     pub display: Duration,
-    /// Phases 2+3: the noisy channel — sampling and noise application.
+    /// Pass 2: the noisy channel **and** the protocol updates — the hot
+    /// path fuses phases 2–4 into one scatter, so sampling, noise and
+    /// updates are timed together here.
     pub observe: Duration,
-    /// Phase 4: protocol state updates.
+    /// Always zero under the fused hot path; kept so accumulated timing
+    /// totals and their serialized forms stay shape-compatible.
     pub update: Duration,
     /// The observer's own metrics pass (stage/opinion sweep).
     pub collect: Duration,

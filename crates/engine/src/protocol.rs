@@ -36,9 +36,11 @@
 
 use std::ops::Range;
 
-use rand::rngs::StdRng;
+use crate::streams::StreamRng;
 
+use crate::metrics::MetricsSweep;
 use crate::opinion::Opinion;
+use crate::packed::PackedChunkMut;
 use crate::population::{PopulationConfig, Role};
 use crate::streams::{RoundStreams, StreamStage};
 
@@ -55,7 +57,7 @@ pub trait Protocol {
     ///
     /// `rng` may be used for randomized initialization; the engine passes
     /// the agent's [`StreamStage::Init`] stream.
-    fn init_agent(&self, role: Role, rng: &mut StdRng) -> Self::Agent;
+    fn init_agent(&self, role: Role, rng: &mut StreamRng) -> Self::Agent;
 }
 
 /// The per-agent, per-round behaviour of a protocol.
@@ -68,12 +70,12 @@ pub trait AgentState: Send + Sync {
     /// Called exactly once per round, *before* any observations are
     /// delivered, matching step 1 of the model. `rng` is the agent's
     /// [`StreamStage::Display`] stream for the round.
-    fn display(&self, rng: &mut StdRng) -> usize;
+    fn display(&self, rng: &mut StreamRng) -> usize;
 
     /// Consumes this round's observations: `observed[σ]` is how many of the
     /// agent's `h` samples arrived (post-noise) as symbol `σ`. `rng` is the
     /// agent's [`StreamStage::Update`] stream for the round.
-    fn update(&mut self, observed: &[u64], rng: &mut StdRng);
+    fn update(&mut self, observed: &[u64], rng: &mut StreamRng);
 
     /// The agent's current opinion `Y ∈ {0, 1}`.
     fn opinion(&self) -> Opinion;
@@ -153,7 +155,30 @@ pub trait ColumnarState: Send + Sync {
     /// from the start of the range). Implementations needing display
     /// randomness must use `streams.rng(id, StreamStage::Display)` per
     /// agent.
+    ///
+    /// This is the *scalar seam*: the exact channel's literal sampling
+    /// path and the equivalence tests consume it. The hot round loop
+    /// displays through [`ColumnarState::display_chunk_packed`] instead.
     fn display_chunk(&self, range: Range<usize>, out: &mut [usize], streams: &RoundStreams);
+
+    /// Writes the displayed symbols of agents `range` into a packed
+    /// bit-plane chunk ([`crate::packed`]) — the representation the hot
+    /// round loop runs on. `chunk` covers exactly the agents of `range`
+    /// (`chunk.start() == range.start`, `chunk.len() == range.len()`);
+    /// implementations must clear it first and must produce **the same
+    /// symbols** as [`ColumnarState::display_chunk`] for the same streams
+    /// — the packed-vs-scalar equivalence tests hold every implementation
+    /// to that.
+    ///
+    /// The blanket scalar adapter routes through
+    /// [`ColumnarState::display_chunk`] in 64-agent windows; hand-written
+    /// columnar ports write bit planes directly.
+    fn display_chunk_packed(
+        &self,
+        range: Range<usize>,
+        chunk: &mut PackedChunkMut<'_>,
+        streams: &RoundStreams,
+    );
 
     /// Splits the population into disjoint mutable chunk views of
     /// `chunk_len` agents each (the last may be shorter), in agent order.
@@ -226,6 +251,33 @@ pub trait ColumnarState: Send + Sync {
     fn weak_opinion(&self, _id: usize) -> Option<Opinion> {
         None
     }
+
+    /// One observability sweep over the population: correct-opinion
+    /// count, stage occupancy, and weak-opinion accuracy, all relative to
+    /// `correct`. This is what [`crate::world::World`] collects into
+    /// [`crate::metrics::RoundMetrics`] each observed round — the default
+    /// walks the per-agent accessors; columnar ports override it with a
+    /// single fused pass over their lanes. Overrides must be *value*-
+    /// identical to the default (the run-summary artifacts are
+    /// byte-compared), including the ascending-stage-id order.
+    fn metrics_sweep(&self, correct: Opinion) -> MetricsSweep {
+        let mut sweep = MetricsSweep::default();
+        let mut stages: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+        for id in 0..self.len() {
+            if self.opinion(id) == correct {
+                sweep.correct += 1;
+            }
+            *stages.entry(self.stage_id(id)).or_insert(0) += 1;
+            if let Some(weak) = self.weak_opinion(id) {
+                sweep.weak_formed += 1;
+                if weak == correct {
+                    sweep.weak_correct += 1;
+                }
+            }
+        }
+        sweep.stages = stages.into_iter().collect();
+        sweep
+    }
 }
 
 /// The adapter state behind the blanket `Protocol → ColumnarProtocol`
@@ -266,6 +318,35 @@ impl<A: AgentState> ColumnarState for ScalarState<A> {
         for (slot, id) in out.iter_mut().zip(range) {
             let mut rng = streams.rng(id, StreamStage::Display);
             *slot = self.agents[id].display(&mut rng);
+        }
+    }
+
+    fn display_chunk_packed(
+        &self,
+        range: Range<usize>,
+        chunk: &mut PackedChunkMut<'_>,
+        streams: &RoundStreams,
+    ) {
+        debug_assert_eq!(chunk.start(), range.start);
+        debug_assert_eq!(chunk.len(), range.len());
+        chunk.clear();
+        let d = chunk.alphabet_size();
+        // Scalar agents produce symbols one at a time; pack through a
+        // stack window so the alphabet invariant is checked with the
+        // same global-agent-naming panic the scalar path raises.
+        let mut window = [0usize; 64];
+        let mut start = range.start;
+        let mut local = 0;
+        while start < range.end {
+            let take = 64.min(range.end - start);
+            let buf = &mut window[..take];
+            self.display_chunk(start..start + take, buf, streams);
+            crate::invariants::check_displays_chunk(start, buf, d);
+            for (k, &s) in buf.iter().enumerate() {
+                chunk.set(local + k, s);
+            }
+            start += take;
+            local += take;
         }
     }
 
@@ -354,16 +435,16 @@ mod tests {
         fn alphabet_size(&self) -> usize {
             2
         }
-        fn init_agent(&self, role: Role, _rng: &mut StdRng) -> StubbornAgent {
+        fn init_agent(&self, role: Role, _rng: &mut StreamRng) -> StubbornAgent {
             StubbornAgent(role.preference().unwrap_or(Opinion::Zero))
         }
     }
 
     impl AgentState for StubbornAgent {
-        fn display(&self, _rng: &mut StdRng) -> usize {
+        fn display(&self, _rng: &mut StreamRng) -> usize {
             self.0.as_index()
         }
-        fn update(&mut self, _observed: &[u64], _rng: &mut StdRng) {}
+        fn update(&mut self, _observed: &[u64], _rng: &mut StreamRng) {}
         fn opinion(&self) -> Opinion {
             self.0
         }
@@ -371,7 +452,7 @@ mod tests {
 
     #[test]
     fn trait_plumbing_works() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StreamRng::seed_from_u64(0);
         let cfg = PopulationConfig::new(4, 1, 2, 1).unwrap();
         let agents: Vec<StubbornAgent> = cfg
             .iter_roles()

@@ -13,7 +13,9 @@
 //! [`crate::protocol::Protocol`] implementations and their columnar ports
 //! agree exactly — both consume the same streams at the same coordinates.
 
-use rand::rngs::StdRng;
+use np_stats::streams::{round_prefix, stream_seed_from_prefix};
+
+pub use np_stats::streams::StreamRng;
 
 /// The stage axis of a stream coordinate: which model step (or hook) the
 /// generator feeds. Distinct stages of the same `(round, agent)` are
@@ -58,14 +60,20 @@ impl StreamStage {
 /// coordination. `Copy`, cheap, and freely shareable across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RoundStreams {
-    master: u64,
     round: u64,
+    /// `(master, round)` folded once ([`np_stats::streams::round_prefix`]),
+    /// so deriving a per-agent generator in the chunk kernels is two
+    /// splitmix64 rounds — no per-agent re-folding of the round axis.
+    prefix: u64,
 }
 
 impl RoundStreams {
     /// The stream family for `round` of the world seeded with `master`.
     pub fn new(master: u64, round: u64) -> Self {
-        RoundStreams { master, round }
+        RoundStreams {
+            round,
+            prefix: round_prefix(master, round),
+        }
     }
 
     /// The round this family belongs to.
@@ -74,8 +82,12 @@ impl RoundStreams {
     }
 
     /// The independent generator for `agent` at `stage` this round.
-    pub fn rng(&self, agent: usize, stage: StreamStage) -> StdRng {
-        np_stats::streams::stream_rng(self.master, self.round, agent as u64, stage.tag())
+    pub fn rng(&self, agent: usize, stage: StreamStage) -> StreamRng {
+        StreamRng::from_stream_seed(stream_seed_from_prefix(
+            self.prefix,
+            agent as u64,
+            stage.tag(),
+        ))
     }
 }
 

@@ -4,16 +4,31 @@
 //! # Execution model
 //!
 //! The world holds a [`ColumnarState`] — one struct-of-arrays state for the
-//! whole population — and runs each round in three chunked phases
-//! (display → observe → update). Chunks are fanned out over scoped worker
-//! threads with [`crate::runner::scatter`]; every piece of randomness comes
-//! from a per-agent stream addressed by `(seed, round, agent, stage)`
+//! whole population — and runs each round in two chunked passes over
+//! word-aligned agent chunks ([`crate::packed::chunk_len_for`]):
+//!
+//! 1. **display**: each chunk writes its agents' symbols into its slice
+//!    of the packed bit-plane display store ([`crate::packed`]) and
+//!    tallies a partial display histogram from plane popcounts;
+//! 2. **observe + update (fused)**: the summed histogram seeds the
+//!    channel's round context, then each chunk samples its agents'
+//!    observations and applies their updates in the same pass — no
+//!    global observation matrix round-trip between phases.
+//!
+//! Chunks are fanned out over scoped worker threads with
+//! [`crate::runner::scatter`]; every piece of randomness comes from a
+//! per-agent stream addressed by `(seed, round, agent, stage)`
 //! ([`crate::streams`]), so the trajectory is **bit-identical for any
 //! thread count and any chunk size**. `NOISY_PULL_THREADS` (or
 //! [`World::set_threads`]) only changes wall-clock time, never results.
+//!
+//! The exact channel ([`ChannelKind::Exact`]) samples literal displays,
+//! so before its fused pass the packed planes are unpacked once into a
+//! scalar display vector — the seam that keeps the literal path (and its
+//! distribution-equivalence tests) byte-identical to before.
 
+use crate::streams::StreamRng;
 use np_linalg::noise::NoiseMatrix;
-use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::channel::{Channel, ChannelKind, SamplingMode};
@@ -22,6 +37,7 @@ use crate::metrics::{
     OpinionSeries, RoundMetrics, RunObserver, RunOutcome, StageClock, StageTimings, TraceRecorder,
 };
 use crate::opinion::Opinion;
+use crate::packed::{self, PackedDisplays};
 use crate::population::PopulationConfig;
 use crate::protocol::{ColumnarProtocol, ColumnarState, Protocol};
 use crate::runner;
@@ -57,6 +73,12 @@ pub struct World<P: ColumnarProtocol> {
     config: PopulationConfig,
     channel: Channel,
     state: P::State,
+    /// Bit-plane packed display store — the round loop's working layout.
+    /// Display histograms come from its plane popcounts.
+    packed: PackedDisplays,
+    /// Scalar display seam: refreshed from `packed` only when the exact
+    /// channel (which samples literal displays) needs it. Never
+    /// serialized; stale between exact rounds.
     displays: Vec<usize>,
     observations: Vec<u64>,
     seed: u64,
@@ -136,6 +158,7 @@ impl<P: ColumnarProtocol> World<P> {
             config,
             channel,
             state,
+            packed: PackedDisplays::new(n, d),
             displays: vec![0; n],
             observations: vec![0; n * d],
             seed,
@@ -419,15 +442,17 @@ impl<P: ColumnarProtocol> World<P> {
 
     /// Executes one synchronous round: display → sample+noise → update.
     ///
-    /// Each phase is chunked over [`World::threads`] scoped workers; the
-    /// per-chunk invariant checks name global agent ids, and a panic in any
-    /// worker is re-raised on the caller with its original message.
+    /// The round runs as two chunked passes (displays into bit planes with
+    /// partial popcount histograms, then a fused observe+update scatter)
+    /// over [`World::threads`] scoped workers; the per-chunk invariant
+    /// checks name global agent ids, and a panic in any worker is
+    /// re-raised on the caller with its original message.
     pub fn step(&mut self) {
         let n = self.config.n();
         let h = self.config.h();
         let streams = RoundStreams::new(self.seed, self.round);
         let threads = self.threads.clamp(1, n);
-        let chunk = n.div_ceil(threads);
+        let chunk = packed::chunk_len_for(n, threads);
 
         // Mid-run faults: events scheduled for the round about to execute
         // are applied first (from the per-agent fault streams), then an
@@ -447,58 +472,46 @@ impl<P: ColumnarProtocol> World<P> {
         };
         let mut timings = StageTimings::default();
 
-        // Phase 1: displays.
+        // Pass 1: displays into bit planes, one partial popcount histogram
+        // per chunk. Summing the partials afterwards gives the exact
+        // display histogram without ever materializing scalar symbols.
+        let mut disp_counts = vec![0u64; d];
         {
             let state = &self.state;
-            let jobs: Vec<(usize, &mut [usize])> = self
-                .displays
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(i, slice)| (i * chunk, slice))
-                .collect();
-            runner::scatter(threads, jobs, |(start, out)| {
-                state.display_chunk(start..start + out.len(), out, &streams);
-                crate::invariants::check_displays_chunk(start, out, d);
+            let chunks = self.packed.chunks_mut(chunk);
+            let mut hists = vec![0u64; chunks.len() * d];
+            let jobs: Vec<_> = chunks.into_iter().zip(hists.chunks_mut(d)).collect();
+            runner::scatter(threads, jobs, |(mut plane_chunk, hist)| {
+                let start = plane_chunk.start();
+                let len = plane_chunk.len();
+                state.display_chunk_packed(start..start + len, &mut plane_chunk, &streams);
+                plane_chunk.histogram_into(hist);
             });
+            for partial in hists.chunks(d) {
+                for (total, part) in disp_counts.iter_mut().zip(partial) {
+                    *total += part;
+                }
+            }
+        }
+        // The exact channel samples literal displays, so only it pays for
+        // unpacking the planes back into the scalar seam vector.
+        if self.channel.kind() == ChannelKind::Exact {
+            self.packed.unpack_into(&mut self.displays);
         }
         if let Some(clock) = clock.as_mut() {
             timings.display = clock.lap();
         }
 
-        // Phases 2+3 of the model: noisy observations. The histogram of
-        // displays is shared; each chunk samples its agents from their own
-        // Observe streams.
-        {
-            let ctx = self.channel.begin_round(&self.displays, h);
-            let channel = &self.channel;
-            let displays = &self.displays;
-            let jobs: Vec<(usize, &mut [u64])> = self
-                .observations
-                .chunks_mut(chunk * d)
-                .enumerate()
-                .map(|(i, slice)| (i * chunk, slice))
-                .collect();
-            runner::scatter(threads, jobs, |(start, out)| {
-                let agents = out.len() / d;
-                channel.fill_observations_chunk(
-                    &ctx,
-                    displays,
-                    h,
-                    start..start + agents,
-                    &streams,
-                    out,
-                );
-                crate::invariants::check_observation_chunk(start, out, d, h as u64);
-            });
-        }
-        if let Some(clock) = clock.as_mut() {
-            timings.observe = clock.lap();
-        }
-
-        // Phase 4: updates, on disjoint mutable chunk views. Sleeping
+        // Fused pass 2: noisy observations and updates in one scatter.
+        // Each chunk samples its agents' observation counts from their own
+        // Observe streams and immediately applies their updates — the
+        // observation slice never crosses a thread barrier. Sleeping
         // agents (fault subsystem) are masked out; the mask is `None` on
         // the fault-free fast path.
         {
+            let ctx = self.channel.begin_round_from_counts(disp_counts, h);
+            let channel = &self.channel;
+            let displays = &self.displays;
             let cur = self.round + 1;
             let awake: Option<Vec<bool>> = if self.asleep_until.iter().any(|&until| cur < until) {
                 Some(
@@ -510,7 +523,6 @@ impl<P: ColumnarProtocol> World<P> {
             } else {
                 None
             };
-            let observations = &self.observations;
             // Pair every state chunk with its observation (and mask)
             // chunk up front: the worker closure receives pre-sliced
             // views and never indexes, so out-of-range access is
@@ -520,7 +532,7 @@ impl<P: ColumnarProtocol> World<P> {
                 .state
                 .chunks_mut(chunk)
                 .into_iter()
-                .zip(observations.chunks((chunk * d).max(1)))
+                .zip(self.observations.chunks_mut((chunk * d).max(1)))
                 .enumerate()
                 .map(|(i, (view, obs))| {
                     let mask = mask_chunks.as_mut().and_then(Iterator::next);
@@ -528,20 +540,18 @@ impl<P: ColumnarProtocol> World<P> {
                 })
                 .collect();
             runner::scatter(threads, jobs, |(start, mut view, obs, mask)| {
-                let end = start + obs.len() / d.max(1);
-                <P::State as ColumnarState>::step_chunk(
-                    &mut view,
-                    start..end,
-                    obs,
-                    d,
-                    &streams,
-                    mask,
-                );
+                let agents = obs.len() / d.max(1);
+                let range = start..start + agents;
+                channel.fill_observations_chunk(&ctx, displays, h, range.clone(), &streams, obs);
+                crate::invariants::check_observation_chunk(start, obs, d, h as u64);
+                <P::State as ColumnarState>::step_chunk(&mut view, range, obs, d, &streams, mask);
             });
         }
 
+        // The fused pass is timed as `observe`; `update` stays zero under
+        // the packed hot path (see `StageTimings`).
         if let Some(clock) = clock.as_mut() {
-            timings.update = clock.lap();
+            timings.observe = clock.lap();
         }
 
         self.round += 1;
@@ -563,33 +573,19 @@ impl<P: ColumnarProtocol> World<P> {
     }
 
     /// One O(n) sweep over the population collecting the round snapshot:
-    /// correct count, stage occupancy, and weak-opinion accuracy.
+    /// correct count, stage occupancy, and weak-opinion accuracy. The
+    /// sweep itself is the state's [`ColumnarState::metrics_sweep`] —
+    /// columnar ports override it with fused lane passes; the values are
+    /// identical to the default per-agent walk by contract.
     fn collect_round_metrics(&self, faults: Vec<String>) -> RoundMetrics {
-        let n = self.state.len();
-        let correct_opinion = self.correct_opinion;
-        let mut correct = 0usize;
-        let mut stages: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
-        let mut weak_formed = 0usize;
-        let mut weak_correct = 0usize;
-        for id in 0..n {
-            if self.state.opinion(id) == correct_opinion {
-                correct += 1;
-            }
-            *stages.entry(self.state.stage_id(id)).or_insert(0) += 1;
-            if let Some(weak) = self.state.weak_opinion(id) {
-                weak_formed += 1;
-                if weak == correct_opinion {
-                    weak_correct += 1;
-                }
-            }
-        }
+        let sweep = self.state.metrics_sweep(self.correct_opinion);
         RoundMetrics {
             round: self.round,
-            n,
-            correct,
-            stages: stages.into_iter().collect(),
-            weak_formed,
-            weak_correct,
+            n: self.state.len(),
+            correct: sweep.correct,
+            stages: sweep.stages,
+            weak_formed: sweep.weak_formed,
+            weak_correct: sweep.weak_correct,
             faults,
         }
     }
@@ -881,6 +877,7 @@ where
             config,
             channel,
             state,
+            packed: PackedDisplays::new(n, d),
             displays: vec![0; n],
             observations: vec![0; n * d],
             seed,
@@ -924,7 +921,7 @@ impl<P: Protocol> World<P> {
     /// them (it may only corrupt internal state).
     pub fn corrupt_agents<F>(&mut self, mut corrupt: F)
     where
-        F: FnMut(usize, &mut P::Agent, &mut StdRng),
+        F: FnMut(usize, &mut P::Agent, &mut StreamRng),
     {
         let streams = RoundStreams::new(self.seed, self.round);
         for (id, agent) in self.state.agents_mut().iter_mut().enumerate() {
@@ -965,17 +962,17 @@ mod tests {
         fn alphabet_size(&self) -> usize {
             2
         }
-        fn init_agent(&self, role: Role, _rng: &mut StdRng) -> MajorityAgent {
+        fn init_agent(&self, role: Role, _rng: &mut StreamRng) -> MajorityAgent {
             let opinion = role.preference().unwrap_or(Opinion::Zero);
             MajorityAgent { role, opinion }
         }
     }
 
     impl AgentState for MajorityAgent {
-        fn display(&self, _rng: &mut StdRng) -> usize {
+        fn display(&self, _rng: &mut StreamRng) -> usize {
             self.opinion.as_index()
         }
-        fn update(&mut self, observed: &[u64], rng: &mut StdRng) {
+        fn update(&mut self, observed: &[u64], rng: &mut StreamRng) {
             if let Role::Source(p) = self.role {
                 self.opinion = p;
                 return;
@@ -1272,15 +1269,15 @@ mod tests {
             fn alphabet_size(&self) -> usize {
                 2
             }
-            fn init_agent(&self, _role: Role, _rng: &mut StdRng) -> RogueAgent {
+            fn init_agent(&self, _role: Role, _rng: &mut StreamRng) -> RogueAgent {
                 RogueAgent
             }
         }
         impl AgentState for RogueAgent {
-            fn display(&self, _rng: &mut StdRng) -> usize {
+            fn display(&self, _rng: &mut StreamRng) -> usize {
                 2
             }
-            fn update(&mut self, _observed: &[u64], _rng: &mut StdRng) {}
+            fn update(&mut self, _observed: &[u64], _rng: &mut StreamRng) {}
             fn opinion(&self) -> Opinion {
                 Opinion::Zero
             }
@@ -1311,7 +1308,7 @@ mod tests {
         FaultEvent::Corrupt {
             frac,
             label: "zero-out".to_string(),
-            fault: Arc::new(|state: &mut MajState, id: usize, _rng: &mut StdRng| {
+            fault: Arc::new(|state: &mut MajState, id: usize, _rng: &mut StreamRng| {
                 state.agents_mut()[id].opinion = Opinion::Zero;
             }),
         }
@@ -1458,7 +1455,7 @@ mod tests {
         assert_eq!(
             ref_trace.rounds()[3].faults,
             vec![
-                "sleep:7/2r".to_string(),
+                "sleep:10/2r".to_string(),
                 "ramp-noise:0.05->0.3/3".to_string()
             ],
             "same-round events keep plan order"

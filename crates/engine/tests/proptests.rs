@@ -4,10 +4,10 @@
 use np_engine::channel::{Channel, ChannelKind};
 use np_engine::opinion::Opinion;
 use np_engine::population::{PopulationConfig, Role};
+use np_engine::streams::StreamRng;
 use np_linalg::noise::NoiseMatrix;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn observation_totals(
     kind: ChannelKind,
@@ -18,7 +18,7 @@ fn observation_totals(
     seed: u64,
 ) -> Vec<u64> {
     let channel = Channel::new(noise, kind);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StreamRng::seed_from_u64(seed);
     let d = noise.dim();
     let mut out = vec![0u64; displays.len() * d];
     let mut totals = vec![0u64; d];
@@ -79,7 +79,7 @@ proptest! {
         let displays: Vec<usize> = (0..n).map(|i| i % 4).collect();
         for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
             let channel = Channel::new(&noise, kind);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = StreamRng::seed_from_u64(seed);
             let mut out = vec![0u64; n * 4];
             channel.fill_observations(&displays, h, &mut rng, &mut out);
             for agent in 0..n {
@@ -130,7 +130,7 @@ proptest! {
         let noise = NoiseMatrix::noiseless(2);
         let all_same = displays.windows(2).all(|w| w[0] == w[1]);
         let channel = Channel::new(&noise, ChannelKind::Aggregated);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StreamRng::seed_from_u64(seed);
         let mut out = vec![0u64; displays.len() * 2];
         channel.fill_observations(&displays, h, &mut rng, &mut out);
         if all_same {
@@ -163,13 +163,13 @@ proptest! {
         impl Protocol for Flip {
             type Agent = FlipAgent;
             fn alphabet_size(&self) -> usize { 2 }
-            fn init_agent(&self, role: Role, rng: &mut StdRng) -> FlipAgent {
+            fn init_agent(&self, role: Role, rng: &mut StreamRng) -> FlipAgent {
                 FlipAgent(role.preference().unwrap_or(Opinion::from_bool(rand::Rng::gen(rng))))
             }
         }
         impl AgentState for FlipAgent {
-            fn display(&self, _rng: &mut StdRng) -> usize { self.0.as_index() }
-            fn update(&mut self, observed: &[u64], _rng: &mut StdRng) {
+            fn display(&self, _rng: &mut StreamRng) -> usize { self.0.as_index() }
+            fn update(&mut self, observed: &[u64], _rng: &mut StreamRng) {
                 if observed[1] > observed[0] { self.0 = Opinion::One; }
             }
             fn opinion(&self) -> Opinion { self.0 }
@@ -184,5 +184,54 @@ proptest! {
         let ops_a: Vec<Opinion> = a.iter_agents().map(|x| x.opinion()).collect();
         let ops_b: Vec<Opinion> = b.iter_agents().map(|x| x.opinion()).collect();
         prop_assert_eq!(ops_a, ops_b);
+    }
+}
+
+proptest! {
+    /// Word-level popcount histograms over the packed bit planes agree
+    /// with a naive per-agent count, including ragged tails (n % 64 ≠ 0)
+    /// and every supported alphabet width.
+    #[test]
+    fn packed_histogram_matches_naive_counts(
+        n in 1usize..700,
+        d in 2usize..=4,
+        seed in 0u64..1_000,
+    ) {
+        use np_engine::packed::PackedDisplays;
+        let mut rng = StreamRng::seed_from_u64(seed);
+        let symbols: Vec<usize> = (0..n).map(|_| rng.gen_range(0..d)).collect();
+        let mut packed = PackedDisplays::new(n, d);
+        packed.pack_from(&symbols);
+        let mut hist = vec![0u64; d];
+        packed.histogram_into(&mut hist);
+        let mut naive = vec![0u64; d];
+        for &s in &symbols {
+            naive[s] += 1;
+        }
+        prop_assert_eq!(&hist, &naive);
+        prop_assert_eq!(hist.iter().sum::<u64>(), n as u64);
+    }
+
+    /// Per-chunk partial histograms (the hot path's tally) sum to the
+    /// whole-population histogram for any word-aligned chunk length.
+    #[test]
+    fn packed_chunk_partials_sum_to_global(
+        n in 1usize..700,
+        d in 2usize..=4,
+        chunk_words in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        use np_engine::packed::PackedDisplays;
+        let mut rng = StreamRng::seed_from_u64(seed);
+        let symbols: Vec<usize> = (0..n).map(|_| rng.gen_range(0..d)).collect();
+        let mut packed = PackedDisplays::new(n, d);
+        packed.pack_from(&symbols);
+        let mut global = vec![0u64; d];
+        packed.histogram_into(&mut global);
+        let mut summed = vec![0u64; d];
+        for chunk in packed.chunks_mut(chunk_words * 64) {
+            chunk.histogram_into(&mut summed);
+        }
+        prop_assert_eq!(&summed, &global);
     }
 }

@@ -163,6 +163,132 @@ pub fn sample_unchecked<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     }
 }
 
+/// Precomputed inverse-cdf table for repeated draws from one fixed
+/// `Binomial(n, p)` law.
+///
+/// The engine's aggregated channel draws the *same* binomial once per
+/// agent per round (the level-0 count of the collapsed observation
+/// multinomial — see `np-engine`'s channel docs). [`sample_unchecked`]
+/// walks the pmf outward from the mode on every draw (`O(σ)` expected
+/// steps); this table performs the identical inversion — same visit
+/// order, same tie rule — but pays the walk once at construction and
+/// answers each draw with one uniform plus a binary search (`O(log σ)`).
+///
+/// Construction visits pmf entries mode-outward in decreasing-pmf order
+/// (exactly [`sample_unchecked`]'s order, so in the mode-inversion regime
+/// the two are bit-identical on the same generator state) and truncates
+/// once the accumulated mass exceeds `1 − 1e-12`; a uniform beyond the
+/// table (probability `< 1e-12`) deterministically maps to the last —
+/// least likely — tabulated value.
+#[derive(Debug, Clone)]
+pub struct CdfTable {
+    /// Support values in visit order (mode-outward, decreasing pmf).
+    ks: Vec<u64>,
+    /// Cumulative mass over `ks[..=i]`; strictly increasing.
+    cum: Vec<f64>,
+}
+
+impl CdfTable {
+    /// Builds the table for `Binomial(n, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadProbability`] if `p ∉ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self> {
+        check_probability(p)?;
+        Ok(CdfTable::new_unchecked(n, p))
+    }
+
+    /// Like [`CdfTable::new`] but assumes `p ∈ [0, 1]` (hot-path variant;
+    /// the channel validates noise levels at construction).
+    pub fn new_unchecked(n: u64, p: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&p));
+        let single = |k: u64| CdfTable {
+            ks: vec![k],
+            cum: vec![1.0],
+        };
+        // xtask-allow: float-eq (degenerate-distribution sentinels, as in `pmf`)
+        if n == 0 || p == 0.0 {
+            return single(0);
+        }
+        // xtask-allow: float-eq (degenerate-distribution sentinel)
+        if p == 1.0 {
+            return single(n);
+        }
+        let mode = ((((n + 1) as f64) * p).floor() as u64).min(n);
+        // xtask-allow: unwrap (p validated by every caller of this path)
+        let pmf_mode = pmf(n, p, mode).expect("p validated");
+        let q = 1.0 - p;
+        let ratio = p / q;
+        let mut ks = vec![mode];
+        let mut cum = vec![pmf_mode];
+        let mut total = pmf_mode;
+        // Same outward walk as `sample_from_mode`, with the same
+        // multiplicative pmf recurrences and the same side-selection rule.
+        let mut lo = mode;
+        let mut hi = mode;
+        let mut pmf_lo = pmf_mode;
+        let mut pmf_hi = pmf_mode;
+        while total < 1.0 - 1e-12 {
+            let can_left = lo > 0;
+            let can_right = hi < n;
+            if !can_left && !can_right {
+                break;
+            }
+            let next_left = if can_left {
+                pmf_lo * (lo as f64) / ((n - lo + 1) as f64) / ratio
+            } else {
+                -1.0
+            };
+            let next_right = if can_right {
+                pmf_hi * ((n - hi) as f64) / ((hi + 1) as f64) * ratio
+            } else {
+                -1.0
+            };
+            let step = if next_right >= next_left {
+                hi += 1;
+                pmf_hi = next_right;
+                ks.push(hi);
+                next_right
+            } else {
+                lo -= 1;
+                pmf_lo = next_left;
+                ks.push(lo);
+                next_left
+            };
+            total += step;
+            cum.push(total);
+            if step <= 0.0 {
+                // Float underflow: no further mass is representable.
+                break;
+            }
+        }
+        CdfTable { ks, cum }
+    }
+
+    /// Draws one value, consuming exactly one `f64` from `rng` — the same
+    /// single uniform [`sample_unchecked`]'s mode-inversion regime uses.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.sample_u01(rng.gen::<f64>())
+    }
+
+    /// Inverts a uniform `u ∈ [0, 1)` through the table.
+    pub fn sample_u01(&self, u: f64) -> u64 {
+        let i = self.cum.partition_point(|&c| c < u);
+        self.ks[i.min(self.ks.len() - 1)]
+    }
+
+    /// Number of tabulated support values.
+    pub fn len(&self) -> usize {
+        self.ks.len()
+    }
+
+    /// Always `false`: the table covers at least the mode.
+    pub fn is_empty(&self) -> bool {
+        self.ks.is_empty()
+    }
+}
+
 /// BINV: sequential inversion from k = 0 using the pmf recurrence.
 /// Expected iterations ≈ n·p + 1; used only when that is small.
 fn sample_binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
@@ -356,6 +482,91 @@ mod tests {
     fn distribution_matches_reflected_regime() {
         // p > 0.5 goes through the reflection path.
         check_distribution(300, 0.8, 100_000, 14);
+    }
+
+    #[test]
+    fn cdf_table_rejects_bad_probability() {
+        assert!(CdfTable::new(10, 1.5).is_err());
+        assert!(CdfTable::new(10, -0.1).is_err());
+        assert!(CdfTable::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cdf_table_degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let zero = CdfTable::new(100, 0.0).unwrap();
+        let one = CdfTable::new(100, 1.0).unwrap();
+        let empty = CdfTable::new(0, 0.5).unwrap();
+        for _ in 0..10 {
+            assert_eq!(zero.sample(&mut rng), 0);
+            assert_eq!(one.sample(&mut rng), 100);
+            assert_eq!(empty.sample(&mut rng), 0);
+        }
+        assert_eq!(zero.len(), 1);
+        assert!(!zero.is_empty());
+    }
+
+    #[test]
+    fn cdf_table_matches_mode_inversion_bit_for_bit() {
+        // In the mode-inversion regime (n > 16, np > 12, p ≤ 0.5) the
+        // table performs the exact inversion `sample_from_mode` does —
+        // same visit order, same tie rule, one uniform each — so the
+        // draw sequences coincide exactly.
+        for &(n, p, seed) in &[(300u64, 0.45, 21u64), (4096, 0.13, 22), (1000, 0.5, 23)] {
+            let table = CdfTable::new(n, p).unwrap();
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            for i in 0..2000 {
+                let walk = sample(&mut a, n, p).unwrap();
+                let tabled = table.sample(&mut b);
+                assert_eq!(walk, tabled, "draw {i} diverged for n={n}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_table_distribution_matches_reflected_regime() {
+        // For p > 0.5 the walk reflects but the table inverts directly, so
+        // sequences differ; the laws must still agree. KS against the
+        // exact cdf.
+        let (n, p) = (300u64, 0.8);
+        let table = CdfTable::new(n, p).unwrap();
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut counts = vec![0u64; (n + 1) as usize];
+        for _ in 0..100_000 {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        assert!(
+            crate::ks::ks_passes(&counts, |k| cdf(n, p, k as u64).unwrap(), 3.0).unwrap(),
+            "KS test failed for tabled n={n}, p={p}"
+        );
+    }
+
+    #[test]
+    fn cdf_table_distribution_matches_small_n_regime() {
+        // n ≤ 16 draws go through Bernoulli counting in `sample`; the
+        // table must agree in law there too.
+        let (n, p) = (12u64, 0.37);
+        let table = CdfTable::new(n, p).unwrap();
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut counts = vec![0u64; (n + 1) as usize];
+        for _ in 0..100_000 {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        assert!(
+            crate::ks::ks_passes(&counts, |k| cdf(n, p, k as u64).unwrap(), 3.0).unwrap(),
+            "KS test failed for tabled n={n}, p={p}"
+        );
+    }
+
+    #[test]
+    fn cdf_table_covers_tail_uniforms() {
+        // A uniform beyond the truncated mass maps to the last (least
+        // likely) tabulated value rather than panicking.
+        let table = CdfTable::new(50, 0.3).unwrap();
+        let k = table.sample_u01(1.0 - f64::EPSILON);
+        assert!(k <= 50);
+        assert_eq!(table.sample_u01(0.0), 15); // mode = floor(51 · 0.3)
     }
 
     #[test]

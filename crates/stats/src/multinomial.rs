@@ -83,6 +83,55 @@ pub fn sample_into<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64], out: &mu
     }
 }
 
+/// Completes a multinomial draw whose *first*-category count was sampled
+/// elsewhere (e.g. from a cached [`binomial::CdfTable`]): writes `first`
+/// into `out[0]` and fills `out[1..]` with the conditional chain over the
+/// remaining `n - first` trials. When `first ~ Binomial(n, probs[0])`,
+/// the joint law of `out` equals [`sample_into`]'s — this is just the
+/// chain with its head draw factored out.
+///
+/// # Panics
+///
+/// Panics if `out.len() != probs.len()`, `probs` is empty, or
+/// `first > n`.
+pub fn sample_given_first<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u64,
+    probs: &[f64],
+    first: u64,
+    out: &mut [u64],
+) {
+    let k = probs.len();
+    assert!(k > 0, "empty probability vector");
+    assert_eq!(out.len(), k, "output buffer size mismatch");
+    assert!(first <= n, "first-category count {first} exceeds n = {n}");
+    out.fill(0);
+    out[0] = first;
+    let mut remaining_n = n - first;
+    let mut remaining_p = (1.0 - probs[0]).max(0.0);
+    for i in 1..k {
+        if remaining_n == 0 {
+            break;
+        }
+        if i == k - 1 {
+            out[i] = remaining_n;
+            break;
+        }
+        if remaining_p <= 0.0 {
+            // No residual mass but trials remain (float drift put the head
+            // draw past the representable tail): dump into the last
+            // category, mirroring `sample_into`'s remainder rule.
+            out[k - 1] = remaining_n;
+            return;
+        }
+        let cond = (probs[i] / remaining_p).clamp(0.0, 1.0);
+        let x = binomial::sample_unchecked(rng, remaining_n, cond);
+        out[i] = x;
+        remaining_n -= x;
+        remaining_p = (remaining_p - probs[i]).max(0.0);
+    }
+}
+
 fn validate_probs(probs: &[f64]) -> Result<()> {
     if probs.is_empty() {
         return Err(StatsError::BadWeights {
@@ -191,6 +240,52 @@ mod tests {
             sample_into(&mut b, 100, &probs, &mut buf);
             assert_eq!(owned.as_slice(), buf.as_slice());
         }
+    }
+
+    #[test]
+    fn sample_given_first_matches_chain_bit_for_bit() {
+        // Drawing the head with the same generator and handing it to
+        // `sample_given_first` must reproduce `sample_into` exactly: the
+        // helper is the chain with its first draw factored out.
+        let probs = [0.3, 0.25, 0.25, 0.2];
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut whole = [0u64; 4];
+        let mut split = [0u64; 4];
+        for _ in 0..200 {
+            sample_into(&mut a, 500, &probs, &mut whole);
+            let first = crate::binomial::sample_unchecked(&mut b, 500, probs[0]);
+            sample_given_first(&mut b, 500, &probs, first, &mut split);
+            assert_eq!(whole, split);
+        }
+    }
+
+    #[test]
+    fn sample_given_first_conserves_n() {
+        let probs = [0.6, 0.1, 0.3];
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut out = [0u64; 3];
+        for first in [0u64, 1, 250, 499, 500] {
+            sample_given_first(&mut rng, 500, &probs, first, &mut out);
+            assert_eq!(out[0], first);
+            assert_eq!(out.iter().sum::<u64>(), 500);
+        }
+    }
+
+    #[test]
+    fn sample_given_first_two_categories_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut out = [0u64; 2];
+        sample_given_first(&mut rng, 100, &[0.4, 0.6], 37, &mut out);
+        assert_eq!(out, [37, 63]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds n")]
+    fn sample_given_first_rejects_overdraw() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut out = [0u64; 2];
+        sample_given_first(&mut rng, 10, &[0.5, 0.5], 11, &mut out);
     }
 
     #[test]

@@ -1,29 +1,49 @@
 //! Counter-based per-agent RNG streams.
 //!
 //! The engine derives one independent generator per `(seed, round, agent,
-//! stage)` coordinate instead of threading a single sequential `StdRng`
+//! stage)` coordinate instead of threading a single sequential generator
 //! through the round loop. Each coordinate is folded into a seed through a
 //! chain of splitmix64 rounds (each round is a bijective, well-mixed
 //! `u64 → u64` map, so distinct coordinates collide only with probability
-//! `≈ 2⁻⁶⁴` per pair), and the seed initializes a fresh [`StdRng`].
+//! `≈ 2⁻⁶⁴` per pair), and the seed initializes a [`StreamRng`].
 //!
 //! Because a stream is a *pure function* of its coordinate, any worker can
 //! derive any agent's generator without coordination — this is what makes
 //! chunked round execution bit-identical across thread counts and chunk
-//! sizes. Deriving a generator is cheap (a few multiplies plus the
-//! `seed_from_u64` expansion; the underlying ChaCha block is only produced
-//! on first use), so it is fine to derive streams that end up drawing
-//! nothing.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! sizes.
+//!
+//! # Generator choice
+//!
+//! [`StreamRng`] is splitmix64 in counter mode: one 64-bit state word,
+//! advanced by the golden-gamma increment, finalized by the splitmix64
+//! output mix. Construction is two register writes and each draw is a
+//! handful of multiplies — against `StdRng` (ChaCha12), whose
+//! `seed_from_u64` expansion plus first-block generation costs hundreds of
+//! nanoseconds, this is what makes "derive a fresh stream per (agent,
+//! stage) every round" free. The hot loops of the engine derive millions
+//! of streams that draw only a few values each; splitmix64's output mix is
+//! a full-avalanche bijection, which is exactly the statistical contract
+//! those short streams need.
+//!
+//! Switching the stream generator from `StdRng` to [`StreamRng`] changed
+//! every drawn value — a one-time whole-trajectory change, recorded in the
+//! workspace CHANGELOG with regenerated goldens.
+//!
+//! The per-round derivation is a two-level chain: [`round_prefix`] folds
+//! `(master, round)` once, [`stream_seed_from_prefix`] folds `(agent,
+//! stage)` per stream. [`stream_seed`] composes the two and is the
+//! canonical definition.
 
 use crate::seeds::splitmix64;
+use rand::{RngCore, SeedableRng};
 
 /// Domain-separation constant mixed into the master seed, so stream seeds
 /// never coincide with the raw [`crate::seeds::SeedSequence`] values derived
 /// from the same master.
 const STREAM_DOMAIN: u64 = 0xA076_1D64_78BD_642F;
+
+/// The golden-gamma counter increment of splitmix64 (2⁶⁴/φ, odd).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Derives the seed of the stream at `(master, round, agent, stage)`.
 ///
@@ -40,16 +60,96 @@ const STREAM_DOMAIN: u64 = 0xA076_1D64_78BD_642F;
 /// assert_ne!(stream_seed(7, 0, 3, 1), stream_seed(7, 1, 3, 1));
 /// ```
 pub fn stream_seed(master: u64, round: u64, agent: u64, stage: u64) -> u64 {
-    let mut s = splitmix64(master ^ STREAM_DOMAIN);
-    s = splitmix64(s ^ round);
-    s = splitmix64(s ^ agent);
-    splitmix64(s ^ stage)
+    stream_seed_from_prefix(round_prefix(master, round), agent, stage)
+}
+
+/// Folds the `(master, round)` half of the stream coordinate.
+///
+/// The round loop computes this once per round and hands the prefix to
+/// every chunk worker; [`stream_seed_from_prefix`] finishes the chain.
+/// `stream_seed(m, r, a, s) == stream_seed_from_prefix(round_prefix(m, r), a, s)`
+/// by construction.
+pub fn round_prefix(master: u64, round: u64) -> u64 {
+    splitmix64(splitmix64(master ^ STREAM_DOMAIN) ^ round)
+}
+
+/// Finishes the stream-seed chain from a cached [`round_prefix`].
+pub fn stream_seed_from_prefix(prefix: u64, agent: u64, stage: u64) -> u64 {
+    splitmix64(splitmix64(prefix ^ agent) ^ stage)
 }
 
 /// The ready-to-use generator of the stream at `(master, round, agent,
 /// stage)`.
-pub fn stream_rng(master: u64, round: u64, agent: u64, stage: u64) -> StdRng {
-    StdRng::seed_from_u64(stream_seed(master, round, agent, stage))
+pub fn stream_rng(master: u64, round: u64, agent: u64, stage: u64) -> StreamRng {
+    StreamRng::from_stream_seed(stream_seed(master, round, agent, stage))
+}
+
+/// Counter-mode splitmix64 generator: the workspace's stream RNG.
+///
+/// State is a single `u64`; each draw adds the golden gamma and applies
+/// the splitmix64 finalizer, so `next_u64` is a pure function of
+/// `(seed, draw index)` — a true counter-mode block generator. Adjacent
+/// seeds yield decorrelated outputs because the finalizer is a
+/// full-avalanche mix.
+///
+/// # Example
+///
+/// ```
+/// use np_stats::streams::StreamRng;
+/// use rand::Rng;
+///
+/// let mut rng = StreamRng::from_stream_seed(42);
+/// let x: f64 = rng.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRng {
+    state: u64,
+}
+
+impl StreamRng {
+    /// Creates the generator directly from an already-mixed stream seed
+    /// (the output of [`stream_seed`]); the state is the seed itself.
+    ///
+    /// Raw counters (0, 1, 2, …) are fine too: the output mix decorrelates
+    /// adjacent states. Overlap between two seeds requires their difference
+    /// to be an exact multiple of the golden gamma — probability `≈ 2⁻⁶⁴`
+    /// per pair per stream length, same as any seed collision.
+    pub fn from_stream_seed(seed: u64) -> Self {
+        StreamRng { state: seed }
+    }
+}
+
+impl SeedableRng for StreamRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StreamRng {
+            state: u64::from_le_bytes(seed),
+        }
+    }
+}
+
+impl RngCore for StreamRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        // High half: the finalizer's best-mixed bits.
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +185,23 @@ mod tests {
         assert_ne!(stream_seed(5, 1, 0, 0), stream_seed(5, 0, 1, 0));
         assert_ne!(stream_seed(5, 0, 1, 0), stream_seed(5, 0, 0, 1));
         assert_ne!(stream_seed(5, 1, 0, 0), stream_seed(5, 0, 0, 1));
+    }
+
+    #[test]
+    fn prefix_split_matches_full_chain() {
+        for master in [0u64, 7, u64::MAX] {
+            for round in [0u64, 1, 1 << 40] {
+                let prefix = round_prefix(master, round);
+                for agent in [0u64, 63, 4096] {
+                    for stage in 0..6 {
+                        assert_eq!(
+                            stream_seed_from_prefix(prefix, agent, stage),
+                            stream_seed(master, round, agent, stage),
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -125,6 +242,59 @@ mod tests {
             total += (a ^ b).count_ones();
         }
         let mean = f64::from(total) / f64::from(u32::try_from(pairs).unwrap());
+        assert!((20.0..44.0).contains(&mean), "mean bit diff {mean}");
+    }
+
+    #[test]
+    fn counter_mode_is_a_pure_function_of_seed_and_index() {
+        // Drawing k values then one more equals seeding a fresh generator
+        // and skipping k: the draw at index k never depends on history.
+        let mut walked = StreamRng::from_stream_seed(555);
+        for _ in 0..10 {
+            walked.next_u64();
+        }
+        let mut fresh = StreamRng::from_stream_seed(555);
+        let mut last = 0;
+        for _ in 0..11 {
+            last = fresh.next_u64();
+        }
+        assert_eq!(walked.next_u64(), last);
+    }
+
+    #[test]
+    fn seedable_from_u64_round_trips_le_bytes() {
+        let a = StreamRng::seed_from_u64(99);
+        let b = StreamRng::seed_from_u64(99);
+        assert_eq!(a, b);
+        let mut c = StreamRng::from_seed(7u64.to_le_bytes());
+        assert_eq!(c, StreamRng::from_stream_seed(7));
+        c.next_u32();
+        assert_ne!(c, StreamRng::from_stream_seed(7));
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut bytes = StreamRng::from_stream_seed(21);
+        let mut words = StreamRng::from_stream_seed(21);
+        let mut buf = [0u8; 13];
+        bytes.fill_bytes(&mut buf);
+        let w0 = words.next_u64().to_le_bytes();
+        let w1 = words.next_u64().to_le_bytes();
+        assert_eq!(&buf[0..8], &w0);
+        assert_eq!(&buf[8..13], &w1[..5]);
+    }
+
+    #[test]
+    fn adjacent_raw_seeds_decorrelated() {
+        // The engine seeds streams with mixed values, but raw adjacent
+        // seeds must also be safe (tests seed 0, 1, 2, …).
+        let mut total = 0u32;
+        for seed in 0..200u64 {
+            let a = StreamRng::from_stream_seed(seed).gen::<u64>();
+            let b = StreamRng::from_stream_seed(seed + 1).gen::<u64>();
+            total += (a ^ b).count_ones();
+        }
+        let mean = f64::from(total) / 200.0;
         assert!((20.0..44.0).contains(&mean), "mean bit diff {mean}");
     }
 }

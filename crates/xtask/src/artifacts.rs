@@ -26,6 +26,10 @@ const POINT_KEYS: &[&str] = &[
     "mean_rounds",
     "mean_wall_ms",
 ];
+/// Optional trailing keys of an np-bench/v1 point: per-seed wall-clock
+/// quantiles, emitted only by benches that record one sample per seeded
+/// run (throughput). Both present or both absent.
+const POINT_QUANTILE_KEYS: &[&str] = &["median_wall_ms", "p95_wall_ms"];
 /// Keys of an np-run-summary/v1 document, in writer order (faults only
 /// present for fault-injected runs).
 const SUMMARY_KEYS: &[&str] = &[
@@ -113,12 +117,38 @@ pub fn validate_bench(text: &str) -> Result<String, Vec<String>> {
             }
             for (i, point) in points.iter().enumerate() {
                 let at = format!("points[{i}]");
-                check_keys(point, POINT_KEYS, &at, &mut errs);
+                check_keys_with_optional(point, POINT_KEYS, POINT_QUANTILE_KEYS, &at, &mut errs);
                 expect_str(point, "label", None, &at, &mut errs);
                 let n = expect_u64(point, "n", &at, &mut errs);
                 let runs = expect_u64(point, "runs", &at, &mut errs);
                 let converged = expect_u64(point, "converged", &at, &mut errs);
                 expect_finite_num(point, "mean_wall_ms", &at, &mut errs);
+                // Wall-clock quantiles: a bench either records per-seed
+                // samples (both keys, finite, median ≤ p95) or it doesn't
+                // (neither key). One without the other means the writer
+                // regressed or the artifact was hand-edited.
+                let median = point.get("median_wall_ms").map(|_| ());
+                let p95 = point.get("p95_wall_ms").map(|_| ());
+                match (median, p95) {
+                    (Some(()), Some(())) => {
+                        expect_finite_num(point, "median_wall_ms", &at, &mut errs);
+                        expect_finite_num(point, "p95_wall_ms", &at, &mut errs);
+                        if let (Some(m), Some(p)) = (
+                            point.get("median_wall_ms").and_then(Json::as_f64),
+                            point.get("p95_wall_ms").and_then(Json::as_f64),
+                        ) {
+                            if p < m {
+                                errs.push(format!(
+                                    "{at}: p95_wall_ms ({p}) is below median_wall_ms ({m})"
+                                ));
+                            }
+                        }
+                    }
+                    (None, None) => {}
+                    _ => errs.push(format!(
+                        "{at}: median_wall_ms and p95_wall_ms must appear together"
+                    )),
+                }
                 if n == Some(0) {
                     errs.push(format!("{at}: `n` must be positive"));
                 }
@@ -420,6 +450,18 @@ fn finish(errs: Vec<String>, what: String) -> Result<String, Vec<String>> {
 /// is semantically irrelevant and a reorder is caught by the byte-compare
 /// gates instead).
 fn check_keys(v: &Json, expected: &[&str], at: &str, errs: &mut Vec<String>) {
+    check_keys_with_optional(v, expected, &[], at, errs);
+}
+
+/// Like [`check_keys`], but tolerates (without requiring) the keys in
+/// `optional`. Stray keys outside both sets and duplicates stay errors.
+fn check_keys_with_optional(
+    v: &Json,
+    expected: &[&str],
+    optional: &[&str],
+    at: &str,
+    errs: &mut Vec<String>,
+) {
     let Some(fields) = v.as_obj() else {
         errs.push(format!("{at}: expected an object, got {}", v.type_name()));
         return;
@@ -430,7 +472,7 @@ fn check_keys(v: &Json, expected: &[&str], at: &str, errs: &mut Vec<String>) {
         }
     }
     for (k, _) in fields {
-        if !expected.contains(&k.as_str()) {
+        if !expected.contains(&k.as_str()) && !optional.contains(&k.as_str()) {
             errs.push(format!("{at}: unexpected key {k:?}"));
         }
     }
@@ -523,6 +565,38 @@ mod tests {
         assert!(
             errs.iter()
                 .any(|e| e.contains("is a number but no run converged")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn bench_wall_quantiles_validate_when_present() {
+        let good = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"median_wall_ms\": 3.0, \"p95_wall_ms\": 4.5",
+        );
+        assert_eq!(
+            validate_text(&good).expect("quantiles valid"),
+            "np-bench/v1, 2 point(s)"
+        );
+        // One quantile without the other is a writer regression.
+        let bad = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"median_wall_ms\": 3.0",
+        );
+        let errs = validate_text(&bad).expect_err("unpaired quantile");
+        assert!(
+            errs.iter().any(|e| e.contains("must appear together")),
+            "{errs:?}"
+        );
+        // p95 below the median cannot come out of nearest-rank order stats.
+        let bad = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"median_wall_ms\": 4.5, \"p95_wall_ms\": 3.0",
+        );
+        let errs = validate_text(&bad).expect_err("inverted quantiles");
+        assert!(
+            errs.iter().any(|e| e.contains("below median_wall_ms")),
             "{errs:?}"
         );
     }

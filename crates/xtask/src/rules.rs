@@ -45,6 +45,15 @@ pub enum Matcher {
     Methods(&'static [&'static str]),
     /// Fires on `name!` macro invocations with one of these names.
     Macros(&'static [&'static str]),
+    /// Fires on resolved path expressions *and* macro invocations — for
+    /// rules whose offense has two spellings (e.g. `Vec::with_capacity`
+    /// and `vec![…]`).
+    PathsOrMacros {
+        /// Path patterns, as in [`Matcher::Paths`].
+        paths: &'static [&'static [&'static str]],
+        /// Macro names, as in [`Matcher::Macros`].
+        macros: &'static [&'static str],
+    },
     /// Structural: `==`/`!=` with a float-typed operand.
     FloatEq,
     /// Structural: a narrowing `as` cast (`as u8`/`u16`/`u32`/`usize`).
@@ -220,6 +229,33 @@ pub const SNAPSHOT_PATH_RULES: &[RuleDef] = &[
     },
 ];
 
+/// Extra rules for the *phase kernels*: the per-chunk inner loops
+/// (display / observe / update) that run once per agent per round. A
+/// hand-built RNG or a fresh `Vec` in those loops turns O(1) per-agent
+/// work into seeding and allocator traffic that dominates round
+/// throughput — the packed hot path exists to avoid exactly that.
+/// Per-*chunk* scratch reused across the agent loop is fine and carries
+/// an `xtask-allow` saying so.
+pub const PHASE_KERNEL_RULES: &[RuleDef] = &[RuleDef {
+    name: "hot-loop-rng-construct",
+    severity: Severity::Deny,
+    matcher: Matcher::PathsOrMacros {
+        paths: &[
+            &["StdRng", "seed_from_u64"],
+            &["StdRng", "from_seed"],
+            &["StdRng", "from_rng"],
+            &["StreamRng", "seed_from_u64"],
+            &["Vec", "new"],
+            &["Vec", "with_capacity"],
+        ],
+        macros: &["vec"],
+    },
+    message: "phase-kernel inner loops run once per agent per round: draw from the \
+              per-agent (seed, round, agent, stage) streams and write into \
+              caller-provided buffers — constructing an RNG or allocating a Vec \
+              here turns the packed hot path into seeding/allocator traffic",
+}];
+
 /// Extra rules for the *round hot loop*: the chunk-dispatch functions a
 /// worker panic would poison. Scoped to individual functions, not files.
 pub const HOT_LOOP_RULES: &[RuleDef] = &[RuleDef {
@@ -325,6 +361,28 @@ pub const SCOPES: &[ScopeDef] = &[
         exclude_files: &[],
         fns: &["step"],
         rules: HOT_LOOP_RULES,
+    },
+    ScopeDef {
+        name: "phase-kernel",
+        doc: "per-agent kernel loops must not construct RNGs or allocate per agent",
+        crates: &[],
+        files: &[
+            "crates/engine/src/channel.rs",
+            "crates/engine/src/protocol.rs",
+            "crates/core/src/columnar/sf.rs",
+            "crates/core/src/columnar/sf_alt.rs",
+            "crates/core/src/columnar/ssf.rs",
+            "crates/baselines/src/majority.rs",
+        ],
+        exclude_files: &[],
+        fns: &[
+            "fill_exact_chunk",
+            "fill_aggregated_chunk",
+            "display_chunk",
+            "display_chunk_packed",
+            "step_chunk",
+        ],
+        rules: PHASE_KERNEL_RULES,
     },
 ];
 

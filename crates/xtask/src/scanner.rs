@@ -130,6 +130,11 @@ pub fn analyze_source(class: FileClass, text: &str, sets: &[RuleSet]) -> Vec<Fin
                 Matcher::Paths(pats) => ctx.match_paths(pats, set.fns),
                 Matcher::Methods(names) => ctx.match_methods(names, set.fns),
                 Matcher::Macros(names) => ctx.match_macros(names, set.fns),
+                Matcher::PathsOrMacros { paths, macros } => {
+                    let mut hits = ctx.match_paths(paths, set.fns);
+                    hits.extend(ctx.match_macros(macros, set.fns));
+                    hits
+                }
                 Matcher::FloatEq => ctx.match_float_eq(set.fns),
                 Matcher::NarrowingCast => ctx.match_narrowing_cast(set.fns),
                 Matcher::PanicPath => ctx.match_panic_path(set.fns),

@@ -11,8 +11,8 @@
 
 use xtask::legacy;
 use xtask::rules::{
-    all_rule_names, BASE_RULES, HOT_LOOP_RULES, HOT_PATH_RULES, PROTOCOL_CLOCK_RULES,
-    SNAPSHOT_PATH_RULES, UNKNOWN_ALLOW_MSG,
+    all_rule_names, BASE_RULES, HOT_LOOP_RULES, HOT_PATH_RULES, PHASE_KERNEL_RULES,
+    PROTOCOL_CLOCK_RULES, SNAPSHOT_PATH_RULES, UNKNOWN_ALLOW_MSG,
 };
 use xtask::scanner::{analyze_source, FileClass, Finding, RuleSet};
 
@@ -22,6 +22,19 @@ const HOT: RuleSet = RuleSet::new("hot-path", HOT_PATH_RULES);
 const CLOCK: RuleSet = RuleSet::new("protocol-clock", PROTOCOL_CLOCK_RULES);
 const SNAP: RuleSet = RuleSet::new("snapshot-encode", SNAPSHOT_PATH_RULES);
 const LOOP_STEP: RuleSet = RuleSet::in_fns("hot-loop", HOT_LOOP_RULES, &["step"]);
+/// The phase-kernel rule set, confined to the kernel function names the
+/// driver uses.
+const KERNELS: RuleSet = RuleSet::in_fns(
+    "phase-kernel",
+    PHASE_KERNEL_RULES,
+    &[
+        "fill_exact_chunk",
+        "fill_aggregated_chunk",
+        "display_chunk",
+        "display_chunk_packed",
+        "step_chunk",
+    ],
+);
 
 fn fixture_text(name: &str) -> String {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -140,6 +153,19 @@ fn narrowing_cast_fires_exactly_where_expected() {
 fn panic_path_fires_only_inside_the_named_fn() {
     let got = analyze("panic_path.rs", FileClass::LibrarySource, &[LIB, LOOP_STEP]);
     assert_eq!(got, expect("panic-path", &[7, 9]));
+}
+
+#[test]
+fn hot_loop_rng_construct_fires_only_inside_kernel_fns() {
+    let got = analyze(
+        "hot_loop_rng_construct.rs",
+        FileClass::LibrarySource,
+        &[KERNELS],
+    );
+    // Per-agent StdRng construction and per-agent Vec allocation fire
+    // inside the scoped kernels; the unscoped function and the
+    // stream-derived / allowed patterns stay silent.
+    assert_eq!(got, expect("hot-loop-rng-construct", &[7, 8, 9, 16]));
 }
 
 #[test]
@@ -268,6 +294,11 @@ fn every_rule_has_a_bad_fixture() {
             "panic_path.rs",
             FileClass::LibrarySource,
             &[LIB, LOOP_STEP],
+        ))
+        .chain(analyze(
+            "hot_loop_rng_construct.rs",
+            FileClass::LibrarySource,
+            &[KERNELS],
         ))
         .map(|(rule, _)| rule)
         .collect();

@@ -1,0 +1,38 @@
+//! Bad fixture for the `hot-loop-rng-construct` phase-kernel rule:
+//! per-agent RNG construction and per-agent Vec allocation inside a
+//! kernel inner loop. Only the named kernel functions are in scope.
+
+pub fn fill_aggregated_chunk(range: std::ops::Range<usize>, seed: u64) {
+    for agent in range {
+        let mut rng = StdRng::seed_from_u64(seed ^ agent as u64);
+        let mut counts = vec![0u64; 4];
+        let scratch: Vec<u64> = Vec::with_capacity(4);
+        let _ = (rng.gen::<u64>(), counts.pop(), scratch);
+    }
+}
+
+pub fn display_chunk_packed(range: std::ops::Range<usize>) {
+    for _agent in range {
+        let _per_agent: Vec<u64> = Vec::new();
+    }
+}
+
+pub fn fill_observations(range: std::ops::Range<usize>) {
+    // Not a scoped kernel function: the same allocation is no finding.
+    let _fine = vec![0u64; range.len()];
+}
+
+pub fn step_chunk(streams: &RoundStreams, range: std::ops::Range<usize>) {
+    for agent in range {
+        // Stream-derived generators are the sanctioned path.
+        let _rng = streams.rng(agent, StreamStage::Update);
+    }
+}
+
+pub fn fill_exact_chunk(h: usize, range: std::ops::Range<usize>) {
+    // xtask-allow: hot-loop-rng-construct (per-chunk scratch is fine)
+    let mut swaps: Vec<usize> = Vec::with_capacity(h);
+    for agent in range {
+        swaps.push(agent);
+    }
+}

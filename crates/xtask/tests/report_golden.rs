@@ -13,13 +13,24 @@
 
 use std::path::{Path, PathBuf};
 
-use xtask::rules::{BASE_RULES, PROTOCOL_CLOCK_RULES, SNAPSHOT_PATH_RULES};
+use xtask::rules::{BASE_RULES, PHASE_KERNEL_RULES, PROTOCOL_CLOCK_RULES, SNAPSHOT_PATH_RULES};
 use xtask::scanner::{analyze_source, FileClass, RuleSet};
 use xtask::{artifacts, report};
 
 const LIB: RuleSet = RuleSet::new("library", BASE_RULES);
 const CLOCK: RuleSet = RuleSet::new("protocol-clock", PROTOCOL_CLOCK_RULES);
 const SNAP: RuleSet = RuleSet::new("snapshot-encode", SNAPSHOT_PATH_RULES);
+const KERNELS: RuleSet = RuleSet::in_fns(
+    "phase-kernel",
+    PHASE_KERNEL_RULES,
+    &[
+        "fill_exact_chunk",
+        "fill_aggregated_chunk",
+        "display_chunk",
+        "display_chunk_packed",
+        "step_chunk",
+    ],
+);
 
 fn crate_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
@@ -32,6 +43,7 @@ fn crate_dir() -> PathBuf {
 fn golden_report() -> String {
     let jobs: &[(&str, &[RuleSet])] = &[
         ("grouped_instant.rs", &[LIB, CLOCK]),
+        ("hot_loop_rng_construct.rs", &[KERNELS]),
         ("narrowing_cast.rs", &[LIB, SNAP]),
         ("renamed_instant.rs", &[LIB, CLOCK]),
         ("stale_allow.rs", &[LIB]),
@@ -97,6 +109,7 @@ fn golden_report_round_trips_as_its_own_baseline() {
     // baseline built from the same report.
     let jobs: &[(&str, &[RuleSet])] = &[
         ("grouped_instant.rs", &[LIB, CLOCK]),
+        ("hot_loop_rng_construct.rs", &[KERNELS]),
         ("narrowing_cast.rs", &[LIB, SNAP]),
         ("renamed_instant.rs", &[LIB, CLOCK]),
         ("stale_allow.rs", &[LIB]),

@@ -154,4 +154,44 @@ cargo run -q --release -p np-cli -- \
 diff "$sweep_dir/straight/report.json" "$sweep_dir/resumed/report.json"
 echo "sweep reports agree"
 
+# Packed-vs-scalar artifact diff: the packed bit-plane kernels and the
+# scalar per-agent path must write byte-identical trace/summary artifacts
+# for the same seed, under both the aggregated (popcount) and exact
+# (unpack-seam) channels. The example regenerates the scalar reference on
+# every run and exits nonzero on any mismatch; the explicit diffs below
+# make the failure readable in CI logs.
+echo "### packed-vs-scalar artifact diff"
+pvs_dir="$trace_dir/packed_vs_scalar"
+cargo run -q --release --example packed_vs_scalar "$pvs_dir"
+for tag in agg exact; do
+  diff "$pvs_dir/scalar_${tag}_trace.jsonl" "$pvs_dir/packed_${tag}_trace.jsonl"
+  diff "$pvs_dir/scalar_${tag}_summary.json" "$pvs_dir/packed_${tag}_summary.json"
+done
+echo "packed and scalar artifacts agree"
+
+# Thread-scaling smoke gate: the packed hot path must keep threads=4 at
+# least 2.0x faster than threads=1 at n=4096. Wall-clock scaling needs
+# real cores, so the gate only arms on machines with >= 4; elsewhere the
+# bench still runs (catching crashes) but the ratio is informational.
+# BENCH_throughput.json is a committed artifact — the bench rewrites it,
+# so stash and restore the committed bytes around the measurement.
+echo "### thread-scaling smoke gate (threads 1 vs 4)"
+cores="$(nproc 2>/dev/null || echo 1)"
+cp BENCH_throughput.json "$trace_dir/BENCH_throughput.committed.json"
+cargo run -q --release -p np-cli -- sweep throughput --rounds 100 --seeds 5 \
+  | tee "$trace_dir/throughput.out"
+mv "$trace_dir/BENCH_throughput.committed.json" BENCH_throughput.json
+t1_ms="$(grep 'threads=1' "$trace_dir/throughput.out" | sed -n 's/.*mean \([0-9.]*\) ms.*/\1/p')"
+t4_ms="$(grep 'threads=4' "$trace_dir/throughput.out" | sed -n 's/.*mean \([0-9.]*\) ms.*/\1/p')"
+ratio="$(awk -v a="$t1_ms" -v b="$t4_ms" 'BEGIN { printf "%.2f", a / b }')"
+if [ "$cores" -ge 4 ]; then
+  awk -v r="$ratio" 'BEGIN { exit !(r >= 2.0) }' || {
+    echo "thread-scaling regression: threads=4 is only ${ratio}x threads=1 (< 2.0x)" >&2
+    exit 1
+  }
+  echo "thread scaling ok: threads=4 is ${ratio}x threads=1 (${cores} cores)"
+else
+  echo "thread scaling informational: ${ratio}x on ${cores} core(s); gate needs >= 4"
+fi
+
 echo "### ci.sh: all checks passed"

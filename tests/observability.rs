@@ -187,7 +187,7 @@ fn columnar_sf_trace_matches_scalar() {
 /// per-agent streams, never from the split of work across threads.
 #[test]
 fn faulted_trace_bytes_are_thread_count_invariant() {
-    use rand::rngs::StdRng;
+    use np_engine::streams::StreamRng;
     use rand::Rng;
     use std::sync::Arc;
 
@@ -201,7 +201,7 @@ fn faulted_trace_bytes_are_thread_count_invariant() {
                     fault: Arc::new(
                         |state: &mut ScalarState<noisy_pull::ssf::SsfAgent>,
                          id: usize,
-                         rng: &mut StdRng| {
+                         rng: &mut StreamRng| {
                             let opinion = Opinion::from_bool(rng.gen());
                             state.agents_mut()[id].corrupt_state(opinion, opinion, [0; 4]);
                         },

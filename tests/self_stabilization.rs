@@ -102,7 +102,7 @@ fn mid_run_corruption(
     correct: Opinion,
     m: u64,
 ) -> FaultEvent<ScalarState<noisy_pull::ssf::SsfAgent>> {
-    use rand::rngs::StdRng;
+    use np_engine::streams::StreamRng;
     use std::sync::Arc;
     FaultEvent::Corrupt {
         frac: 1.0,
@@ -110,7 +110,7 @@ fn mid_run_corruption(
         fault: Arc::new(
             move |state: &mut ScalarState<noisy_pull::ssf::SsfAgent>,
                   id: usize,
-                  rng: &mut StdRng| {
+                  rng: &mut StreamRng| {
                 adversary.corrupt(&mut state.agents_mut()[id], correct, m, id, rng);
             },
         ),
