@@ -294,14 +294,102 @@ impl np_engine::snapshot::SnapshotState for MajorityColumns {
     }
 }
 
+/// Mean-field class-count state of the h-majority baseline
+/// ([`np_engine::counts`] backend).
+///
+/// Majority's memory is one round deep, so the class structure is a
+/// single count: non-source agents holding opinion 1. Sources are
+/// stubborn at their preference; each round every non-source
+/// independently adopts the majority of `h` fresh observations from the
+/// collapsed law (fair coin on ties), so the new count is
+/// `Binom(#non-sources, majority_prob(h, q₁))` — exact under the
+/// aggregated with-replacement collapse.
+#[derive(Debug, Clone)]
+pub struct MajorityCountsState {
+    n: u64,
+    s0: u64,
+    s1: u64,
+    /// Non-source agents holding opinion 1.
+    non_ones: u64,
+}
+
+impl MajorityCountsState {
+    /// Agents (sources included) currently holding opinion 1.
+    pub fn ones(&self) -> u64 {
+        self.non_ones + self.s1
+    }
+}
+
+impl np_engine::counts::CountsProtocol for HMajority {
+    type State = MajorityCountsState;
+
+    fn alphabet_size(&self) -> usize {
+        2
+    }
+
+    fn init_counts(&self, config: &PopulationConfig, rng: &mut StreamRng) -> MajorityCountsState {
+        let n = config.n() as u64;
+        let s0 = config.s0() as u64;
+        let s1 = config.s1() as u64;
+        // Sources start at their preference; non-sources flip a fair coin
+        // (same law as `init_agent`).
+        let non_ones = np_stats::binomial::sample_unchecked(rng, n - s0 - s1, 0.5);
+        MajorityCountsState {
+            n,
+            s0,
+            s1,
+            non_ones,
+        }
+    }
+}
+
+impl np_engine::counts::CountsState for MajorityCountsState {
+    fn display_histogram(&self, out: &mut [u64]) {
+        out[1] = self.ones();
+        out[0] = self.n - out[1];
+    }
+
+    fn advance_round(&mut self, obs_law: &[f64], h: u64, rng: &mut StreamRng) {
+        let p_one = np_stats::binomial::majority_prob_unchecked(h, obs_law[1]);
+        let non = self.n - self.s0 - self.s1;
+        self.non_ones = np_stats::binomial::sample_unchecked(rng, non, p_one);
+    }
+
+    fn metrics_sweep(&self, correct: Opinion) -> np_engine::metrics::MetricsSweep {
+        let n = self.n as usize;
+        let ones = self.ones() as usize;
+        np_engine::metrics::MetricsSweep {
+            correct: match correct {
+                Opinion::One => ones,
+                Opinion::Zero => n - ones,
+            },
+            stages: vec![(0, n)],
+            weak_formed: 0,
+            weak_correct: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use np_engine::channel::ChannelKind;
+    use np_engine::counts::CountsWorld;
     use np_engine::population::PopulationConfig;
     use np_engine::world::World;
     use np_linalg::noise::NoiseMatrix;
     use rand::SeedableRng;
+
+    #[test]
+    fn counts_port_converges_with_source_majority() {
+        // Mirrors the engine's toy example: 40 one-sources out of 64 under
+        // 10% noise drive majority dynamics to consensus.
+        let config = PopulationConfig::new(64, 0, 40, 64).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
+        let mut w = CountsWorld::new(&HMajority, config, &noise, 42).unwrap();
+        assert!(w.run_until_consensus(500).converged());
+        assert_eq!(w.state().ones(), 64);
+    }
 
     #[test]
     fn sources_are_stubborn() {

@@ -124,6 +124,7 @@ fn measure_point(
         mean_wall_ms: wall.mean().unwrap_or(0.0),
         median_wall_ms: None,
         p95_wall_ms: None,
+        backend: None,
     }
 }
 

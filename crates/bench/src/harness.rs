@@ -305,6 +305,7 @@ pub fn perf_point(label: &str, n: usize, records: &[RunRecord]) -> PerfPoint {
         mean_wall_ms: wall.mean().unwrap_or(0.0),
         median_wall_ms: None,
         p95_wall_ms: None,
+        backend: None,
     }
 }
 

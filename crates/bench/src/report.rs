@@ -459,6 +459,11 @@ pub struct PerfPoint {
     /// over the per-seed samples). Paired with `median_wall_ms`: both
     /// present or both absent.
     pub p95_wall_ms: Option<f64>,
+    /// Simulation backend that produced this point: `"per-agent"` or
+    /// `"mean-field"`. Omitted from the JSON when absent so legacy
+    /// artifacts (which predate the mean-field counts engine) stay
+    /// schema-valid.
+    pub backend: Option<String>,
 }
 
 /// Nearest-rank quantiles of per-run wall samples: `(median, p95)`.
@@ -494,6 +499,9 @@ impl PerfPoint {
                 json_f64(median),
                 json_f64(p95)
             ));
+        }
+        if let Some(backend) = &self.backend {
+            body.push_str(&format!(", \"backend\": {}", json_string(backend)));
         }
         body.push('}');
         body
@@ -758,6 +766,7 @@ mod tests {
                 mean_wall_ms: 3.25,
                 median_wall_ms: None,
                 p95_wall_ms: None,
+                backend: None,
             },
             PerfPoint {
                 label: "n=128".to_string(),
@@ -768,6 +777,7 @@ mod tests {
                 mean_wall_ms: 6.5,
                 median_wall_ms: Some(6.25),
                 p95_wall_ms: Some(8.0),
+                backend: Some("mean-field".to_string()),
             },
         ];
         let doc = bench_json("scale", &points);
@@ -776,6 +786,9 @@ mod tests {
         assert!(doc.contains("\"mean_rounds\": 12.5"));
         assert!(doc.contains("\"mean_rounds\": null"));
         assert_eq!(doc.matches("\"label\"").count(), 2);
+        // Backend key is trailing and only present when set.
+        assert!(doc.contains("\"p95_wall_ms\": 8, \"backend\": \"mean-field\"}"));
+        assert_eq!(doc.matches("\"backend\"").count(), 1);
     }
 
     #[test]

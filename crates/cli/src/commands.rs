@@ -15,6 +15,7 @@ use np_baselines::trusting_copy::TrustingCopy;
 use np_baselines::voter::ZealotVoter;
 use np_bench::report::{save_trace_jsonl, RunSummary};
 use np_engine::channel::ChannelKind;
+use np_engine::counts::{CountsProtocol, CountsWorld};
 use np_engine::faults::{recovery_times, FaultEvent, FaultPlan};
 use np_engine::opinion::Opinion;
 use np_engine::population::PopulationConfig;
@@ -31,6 +32,18 @@ pub type CliResult = Result<(), String>;
 
 fn err<E: std::fmt::Display>(e: E) -> String {
     e.to_string()
+}
+
+/// Simulation backend selected by `--backend` (sf/ssf only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// The per-agent engine: one row per agent, full fault/snapshot
+    /// machinery, bit-level reproducibility.
+    PerAgent,
+    /// The mean-field counts engine: class counts only, distributionally
+    /// equivalent to per-agent under the aggregated with-replacement
+    /// channel; scales to `n = 10⁸`.
+    MeanField,
 }
 
 /// Shared population/noise flags.
@@ -57,6 +70,8 @@ struct CommonFlags {
     checkpoint: Option<PathBuf>,
     /// Checkpoint cadence in rounds (with `--checkpoint`).
     checkpoint_every: u64,
+    /// Which engine runs the protocol (sf/ssf only).
+    backend: Backend,
 }
 
 impl CommonFlags {
@@ -86,6 +101,15 @@ impl CommonFlags {
             ));
         }
         let checkpoint_every = every.unwrap_or(32);
+        let backend = match args.str_or("backend", "per-agent").as_str() {
+            "per-agent" => Backend::PerAgent,
+            "mean-field" => Backend::MeanField,
+            other => {
+                return Err(ArgsError(format!(
+                    "flag --backend: unknown backend `{other}`; known: per-agent, mean-field"
+                )))
+            }
+        };
         Ok(CommonFlags {
             n,
             h: args.get_or("h", n)?,
@@ -102,7 +126,42 @@ impl CommonFlags {
             restore: args.get_opt("restore")?,
             checkpoint,
             checkpoint_every,
+            backend,
         })
+    }
+
+    /// The mean-field backend has no per-agent rows, so everything that
+    /// addresses individual agents — the exact channel, fault injection,
+    /// snapshots, the opinion-vector digest — is structurally unavailable
+    /// rather than merely unimplemented.
+    fn check_mean_field_flags(&self) -> Result<(), String> {
+        let reject = |flag: &str, why: &str| {
+            Err(format!(
+                "--backend mean-field does not support {flag}: {why}"
+            ))
+        };
+        if self.exact {
+            return reject(
+                "--exact",
+                "the counts engine is defined over the aggregated with-replacement channel",
+            );
+        }
+        if !self.faults.is_empty() {
+            return reject("--fault", "fault injection addresses individual agents");
+        }
+        if self.restore.is_some() {
+            return reject("--restore", "np-snap/v1 snapshots store per-agent rows");
+        }
+        if self.checkpoint.is_some() {
+            return reject("--checkpoint", "np-snap/v1 snapshots store per-agent rows");
+        }
+        if self.digest {
+            return reject(
+                "--digest",
+                "the digest fingerprints the per-agent opinion vector",
+            );
+        }
+        Ok(())
     }
 
     /// Returns `true` if any run-observability output was requested.
@@ -347,6 +406,59 @@ fn report_run<P: Protocol>(
     Ok(())
 }
 
+/// The mean-field counterpart of [`report_run`]: same console report and
+/// trace/summary outputs, no fault/checkpoint hooks (rejected upstream by
+/// [`CommonFlags::check_mean_field_flags`]).
+fn report_counts_run<P: CountsProtocol>(
+    world: &mut CountsWorld<P>,
+    budget: u64,
+    label: &str,
+    common: &CommonFlags,
+) -> CliResult {
+    if common.observing() {
+        world.record_trace();
+    }
+    let mut last_bad = world.round();
+    while world.round() < budget {
+        world.step();
+        if !world.is_consensus() {
+            last_bad = world.round();
+        }
+    }
+    let n = world.config().n();
+    if world.is_consensus() {
+        println!(
+            "{label}: consensus settled at round {} / {budget}",
+            last_bad + 1
+        );
+    } else {
+        println!(
+            "{label}: NO consensus within {budget} rounds ({}/{} correct)",
+            world.correct_count(),
+            n
+        );
+    }
+    if common.observing() {
+        let rounds = world
+            .trace()
+            .expect("record_trace was called before the run");
+        if let Some(path) = &common.trace {
+            save_trace_jsonl(path, rounds).map_err(err)?;
+            println!("{label} trace: {}", path.display());
+        }
+        if let Some(path) = &common.metrics_out {
+            let last = rounds
+                .last()
+                .ok_or("--metrics-out: no rounds were executed (budget 0?)")?;
+            RunSummary::from_final_metrics(label, world.config(), world.seed(), last)
+                .save(path)
+                .map_err(err)?;
+            println!("{label} summary: {}", path.display());
+        }
+    }
+    Ok(())
+}
+
 /// `run sf` — run Algorithm SF.
 pub fn run_sf(args: &Args) -> CliResult {
     let common = CommonFlags::from_args(args).map_err(err)?;
@@ -366,6 +478,12 @@ pub fn run_sf(args: &Args) -> CliResult {
         params.total_rounds()
     );
     let protocol = SourceFilter::new(params);
+    if common.backend == Backend::MeanField {
+        common.check_mean_field_flags()?;
+        let mut world =
+            CountsWorld::new(&protocol, config, &noise, common.seed).map_err(err)?;
+        return report_counts_run(&mut world, params.total_rounds(), "SF", &common);
+    }
     let mut world = match &common.restore {
         Some(path) => restore_world(&protocol, path)?,
         None => {
@@ -438,6 +556,20 @@ pub fn run_ssf(args: &Args) -> CliResult {
         params.update_interval()
     );
     let protocol = SelfStabilizingSourceFilter::new(params);
+    if common.backend == Backend::MeanField {
+        common.check_mean_field_flags()?;
+        if adversary != SsfAdversary::None {
+            return Err(
+                "--backend mean-field does not support --adversary: initial corruption \
+                 addresses individual agents"
+                    .into(),
+            );
+        }
+        let mut world =
+            CountsWorld::new(&protocol, config, &noise, common.seed).map_err(err)?;
+        let budget = intervals * params.update_interval();
+        return report_counts_run(&mut world, budget, "SSF", &common);
+    }
     let mut world = match &common.restore {
         Some(path) => restore_world(&protocol, path)?,
         None => {
@@ -500,6 +632,9 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
         return Err(
             "--restore/--checkpoint are only supported for the sf and ssf subcommands".into(),
         );
+    }
+    if common.backend != Backend::PerAgent {
+        return Err("--backend is only supported for the sf and ssf subcommands".into());
     }
     let config = common.config()?;
     match name {
@@ -814,6 +949,90 @@ mod tests {
         assert!(summary_text.contains("\"protocol\": \"SF\""));
         std::fs::remove_file(trace).ok();
         std::fs::remove_file(summary).ok();
+    }
+
+    #[test]
+    fn mean_field_backend_runs_sf_and_ssf() {
+        run_sf(&args(&[
+            "--n",
+            "256",
+            "--delta",
+            "0.1",
+            "--seed",
+            "1",
+            "--backend",
+            "mean-field",
+        ]))
+        .unwrap();
+        run_ssf(&args(&[
+            "--n",
+            "256",
+            "--delta",
+            "0.1",
+            "--c1",
+            "8",
+            "--backend",
+            "mean-field",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn mean_field_backend_writes_trace_and_summary() {
+        let dir = std::env::temp_dir().join("np_cli_mean_field_test");
+        let trace = dir.join("t.jsonl");
+        let summary = dir.join("s.json");
+        run_sf(&args(&[
+            "--n",
+            "128",
+            "--delta",
+            "0.1",
+            "--backend",
+            "mean-field",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            summary.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.starts_with("{\"round\":1,"));
+        let summary_text = std::fs::read_to_string(&summary).unwrap();
+        assert!(summary_text.contains("\"schema\": \"np-run-summary/v1\""));
+        std::fs::remove_file(trace).ok();
+        std::fs::remove_file(summary).ok();
+    }
+
+    #[test]
+    fn mean_field_backend_rejects_per_agent_features() {
+        let check = |flags: &[&str], needle: &str| {
+            let mut v = vec!["--n", "64", "--backend", "mean-field"];
+            v.extend_from_slice(flags);
+            let e = run_sf(&args(&v)).unwrap_err();
+            assert!(e.contains(needle), "{flags:?} → {e}");
+        };
+        check(&["--exact"], "--exact");
+        check(&["--fault", "3:flip"], "--fault");
+        check(&["--restore", "x.snap"], "--restore");
+        check(&["--checkpoint", "x.snap"], "--checkpoint");
+        check(&["--digest"], "--digest");
+        let e = run_ssf(&args(&[
+            "--n",
+            "64",
+            "--c1",
+            "8",
+            "--backend",
+            "mean-field",
+            "--adversary",
+            "all-wrong",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--adversary"), "{e}");
+        let e = run_sf(&args(&["--n", "64", "--backend", "quantum"])).unwrap_err();
+        assert!(e.contains("unknown backend"), "{e}");
+        let e =
+            run_baseline("voter", &args(&["--n", "32", "--backend", "mean-field"])).unwrap_err();
+        assert!(e.contains("sf and ssf"), "{e}");
     }
 
     #[test]

@@ -35,6 +35,11 @@ COMMON FLAGS:
     --seed S        RNG seed                   (default 42)
     --c1 C          analysis constant          (default 1 for SF, 16 for SSF)
     --exact         use the literal per-sample channel
+    --backend B     (sf/ssf) simulation engine: per-agent (default) |
+                    mean-field — class-count dynamics, distributionally
+                    equivalent under the aggregated channel, scales to
+                    n = 10^8; incompatible with --exact, --fault,
+                    --restore, --checkpoint, --digest, --adversary
     --threads T     worker threads for the round loop (>= 1; overrides
                     the NOISY_PULL_THREADS environment variable)
     --digest        print a FNV-1a digest of the final outcome (round +
@@ -70,7 +75,9 @@ SWEEPS:
                    [--checkpoint-every K] [--stop-after N]
         SPEC is `key = value[, value...]` lines (# comments):
         protocol/n/delta accept comma grids; h, s0, s1, c1, runs, seed,
-        budget-intervals are scalars. Progress lives in DIR/manifest.jsonl
+        budget-intervals, backend are scalars (backend: per-agent |
+        mean-field — counts jobs run atomically, without checkpoints).
+        Progress lives in DIR/manifest.jsonl
         (np-manifest/v1); finished sweeps aggregate to DIR/report.json
         (np-bench/v1), byte-identical however the sweep was interrupted,
         resumed or threaded. --stop-after N exits after N checkpoint

@@ -78,6 +78,7 @@ mod error;
 
 pub mod adversary;
 pub mod columnar;
+pub mod counts;
 pub mod memory;
 pub mod params;
 pub mod reduction;

@@ -36,6 +36,7 @@
 
 use std::ops::Range;
 
+use crate::error::EngineError;
 use crate::streams::StreamRng;
 use np_linalg::noise::NoiseMatrix;
 use np_stats::alias::RowSamplers;
@@ -129,6 +130,33 @@ impl RoundContext {
     /// The display histogram this context was built from.
     pub fn disp_counts(&self) -> &[u64] {
         &self.disp_counts
+    }
+
+    /// The collapsed single-observation law `q_j = Σ_σ (c_σ/n)·N_σj`,
+    /// clamped and renormalized against float drift. Empty unless the
+    /// channel is aggregated with replacement — the mean-field counts
+    /// backend (which requires exactly that configuration) reads its
+    /// per-round transition laws from here.
+    pub fn obs_law(&self) -> &[f64] {
+        &self.obs_law
+    }
+}
+
+/// Clamps a collapsed observation law into `[0, 1]` per entry and rescales
+/// it to sum to exactly 1. The input is a convex combination of stochastic
+/// rows, so it is within a few ulps of a distribution already — this only
+/// irons out accumulation drift (the rescale factor is `1 ± O(d·ε)`), it
+/// never masks a genuinely malformed law.
+fn normalize_law(q: &mut [f64]) {
+    let mut total = 0.0f64;
+    for qj in q.iter_mut() {
+        *qj = qj.clamp(0.0, 1.0);
+        total += *qj;
+    }
+    if total > 0.0 {
+        for qj in q.iter_mut() {
+            *qj /= total;
+        }
     }
 }
 
@@ -276,34 +304,72 @@ impl Channel {
             assert!(s < self.d, "displayed symbol {s} out of range {}", self.d);
             disp_counts[s] += 1;
         }
-        self.begin_round_from_counts(disp_counts, h)
-    }
-
-    /// Like [`Channel::begin_round`], but starts from an already-computed
-    /// display histogram — the packed bit-plane round loop accumulates
-    /// `disp_counts` from word popcounts and never materializes a scalar
-    /// display vector. The symbols are trusted to be in range by
-    /// construction (a histogram cannot hold an out-of-range symbol).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `disp_counts.len() != self.alphabet_size()`, if the
-    /// histogram is empty (sums to zero), or if `h > n` under
-    /// [`SamplingMode::WithoutReplacement`].
-    pub fn begin_round_from_counts(&self, disp_counts: Vec<u64>, h: usize) -> RoundContext {
-        assert_eq!(
-            disp_counts.len(),
-            self.d,
-            "display histogram length mismatch"
-        );
-        let n: u64 = disp_counts.iter().sum();
-        assert!(n > 0, "no agents to observe");
         if self.mode == SamplingMode::WithoutReplacement {
+            let n = displays.len();
             assert!(
-                h as u64 <= n,
+                h <= n,
                 "cannot draw {h} distinct agents from {n} without replacement"
             );
         }
+        self.begin_round_from_counts_trusted(disp_counts, h)
+    }
+
+    /// Like [`Channel::begin_round`], but starts from an already-computed
+    /// display histogram (symbols are in range by construction — a
+    /// histogram cannot hold an out-of-range symbol). This is the public
+    /// seam reachable from sweep specs and the mean-field backend, so the
+    /// preconditions are typed errors rather than panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadHistogram`] if
+    /// `disp_counts.len() != self.alphabet_size()`, if the histogram is
+    /// empty (sums to zero), or if `h > n` under
+    /// [`SamplingMode::WithoutReplacement`].
+    pub fn begin_round_from_counts(
+        &self,
+        disp_counts: Vec<u64>,
+        h: usize,
+    ) -> Result<RoundContext, EngineError> {
+        if disp_counts.len() != self.d {
+            return Err(EngineError::BadHistogram {
+                detail: format!(
+                    "length {} does not match alphabet size {}",
+                    disp_counts.len(),
+                    self.d
+                ),
+            });
+        }
+        let n: u64 = disp_counts.iter().sum();
+        if n == 0 {
+            return Err(EngineError::BadHistogram {
+                detail: "histogram sums to zero: no agents to observe".into(),
+            });
+        }
+        if self.mode == SamplingMode::WithoutReplacement && h as u64 > n {
+            return Err(EngineError::BadHistogram {
+                detail: format!("cannot draw {h} distinct agents from {n} without replacement"),
+            });
+        }
+        Ok(self.begin_round_from_counts_trusted(disp_counts, h))
+    }
+
+    /// Internal hot-path variant of [`Channel::begin_round_from_counts`]:
+    /// the per-round loops in `World::step` and the counts backend have
+    /// already established the preconditions, so this keeps them as debug
+    /// asserts only.
+    pub(crate) fn begin_round_from_counts_trusted(
+        &self,
+        disp_counts: Vec<u64>,
+        h: usize,
+    ) -> RoundContext {
+        debug_assert_eq!(disp_counts.len(), self.d, "display histogram length");
+        let n: u64 = disp_counts.iter().sum();
+        debug_assert!(n > 0, "no agents to observe");
+        debug_assert!(
+            self.mode == SamplingMode::WithReplacement || h as u64 <= n,
+            "oversampling without replacement"
+        );
         let (obs_law, level0) =
             if self.kind == ChannelKind::Aggregated && self.mode == SamplingMode::WithReplacement {
                 // Collapsed observation law: q_j = Σ_σ (c_σ/n)·N_σj. Built
@@ -318,7 +384,12 @@ impl Channel {
                         }
                     }
                 }
-                let table = CdfTable::new_unchecked(h as u64, q[0].clamp(0.0, 1.0));
+                // Float accumulation can leave any entry (not just q[0])
+                // with −1e-17-scale negatives or Σq ≠ 1; the multinomial
+                // chain and the mean-field transition laws consume the
+                // whole vector, so clamp and renormalize all of it.
+                normalize_law(&mut q);
+                let table = CdfTable::new_unchecked(h as u64, q[0]);
                 (q, Some(table))
             } else {
                 (Vec::new(), None)
@@ -842,7 +913,9 @@ mod tests {
             let channel = Channel::with_sampling(&noise, ChannelKind::Aggregated, mode);
             let streams = RoundStreams::new(77, 3);
             let from_displays = channel.begin_round(&displays, 12);
-            let from_counts = channel.begin_round_from_counts(vec![30, 10], 12);
+            let from_counts = channel
+                .begin_round_from_counts(vec![30, 10], 12)
+                .expect("valid histogram");
             let mut a = vec![0u64; 40 * 2];
             let mut b = vec![0u64; 40 * 2];
             channel.fill_observations_chunk(&from_displays, &displays, 12, 0..40, &streams, &mut a);
@@ -852,11 +925,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "histogram length mismatch")]
-    fn begin_round_from_counts_checks_length() {
+    fn begin_round_from_counts_typed_errors() {
+        // The histogram seam is reachable from misconfigured sweep specs,
+        // so its preconditions are typed errors, not panics.
         let noise = NoiseMatrix::noiseless(2);
         let channel = Channel::new(&noise, ChannelKind::Aggregated);
-        let _ = channel.begin_round_from_counts(vec![1, 2, 3], 1);
+        assert!(matches!(
+            channel.begin_round_from_counts(vec![1, 2, 3], 1),
+            Err(EngineError::BadHistogram { .. })
+        ));
+        assert!(matches!(
+            channel.begin_round_from_counts(vec![0, 0], 1),
+            Err(EngineError::BadHistogram { .. })
+        ));
+        let without = Channel::with_sampling(
+            &noise,
+            ChannelKind::Aggregated,
+            SamplingMode::WithoutReplacement,
+        );
+        assert!(matches!(
+            without.begin_round_from_counts(vec![3, 2], 6),
+            Err(EngineError::BadHistogram { .. })
+        ));
+        // h = n without replacement is fine.
+        assert!(without.begin_round_from_counts(vec![3, 2], 5).is_ok());
+    }
+
+    #[test]
+    fn collapsed_law_is_clamped_and_renormalized() {
+        // Adversarial histogram: many symbols with wildly uneven counts so
+        // the accumulation Σ_σ (c_σ/n)·N_σj maximizes float drift. Every
+        // entry of the collapsed law must come out in [0, 1] and the vector
+        // must sum to exactly 1 (the mean-field multinomial path consumes
+        // all of it, not just q[0]).
+        let d = 7;
+        let rows: Vec<Vec<f64>> = (0..d)
+            .map(|s| {
+                let mut row = vec![0.1 / (d as f64 - 1.0); d];
+                row[s] = 0.9;
+                // Deliberately off-by-drift normalization.
+                let total: f64 = row.iter().sum();
+                row.iter_mut().for_each(|x| *x /= total);
+                row
+            })
+            .collect();
+        let noise = NoiseMatrix::from_rows(rows).unwrap();
+        let channel = Channel::new(&noise, ChannelKind::Aggregated);
+        let counts = vec![1u64, 0, 999_999_937, 3, 70_001, 1, 123_456_789];
+        let ctx = channel
+            .begin_round_from_counts(counts, 16)
+            .expect("valid histogram");
+        let q = ctx.obs_law();
+        assert_eq!(q.len(), d);
+        for &qj in q {
+            assert!((0.0..=1.0).contains(&qj), "law entry {qj} out of range");
+        }
+        let total: f64 = q.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-15,
+            "law sums to {total}, want exactly 1"
+        );
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub enum EngineError {
         /// Description of the violation.
         detail: String,
     },
+    /// A display histogram handed to the channel is unusable: wrong
+    /// length for the alphabet, all-zero (nobody to observe), or too small
+    /// to draw `h` distinct agents without replacement. Reachable from a
+    /// misconfigured sweep spec, so it is a typed error at the public
+    /// seam rather than a panic.
+    BadHistogram {
+        /// Description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -62,6 +71,9 @@ impl fmt::Display for EngineError {
             EngineError::BadSnapshot { detail } => {
                 write!(f, "bad snapshot: {detail}")
             }
+            EngineError::BadHistogram { detail } => {
+                write!(f, "bad display histogram: {detail}")
+            }
         }
     }
 }
@@ -83,6 +95,7 @@ mod tests {
             },
             EngineError::BadFaultPlan { detail: "y".into() },
             EngineError::BadSnapshot { detail: "z".into() },
+            EngineError::BadHistogram { detail: "w".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -28,6 +28,11 @@
 //!   multinomials in `O(|Σ|²)` per agent instead of `O(h)` (the identity
 //!   behind it is documented and tested there). This is what makes the
 //!   `h = n` experiments of the paper tractable.
+//! * [`counts`] — the mean-field class-count backend: the same collapse,
+//!   pushed one level further, from per-agent multinomials to per-class
+//!   transition laws. `O(#classes)` per round instead of `O(n)`, opening
+//!   `n = 10⁷–10⁸`; distributionally (not bit-level) equivalent to the
+//!   per-agent engine, aggregated with-replacement channels only.
 //! * [`world`] — the round loop, consensus detection, and the adversarial
 //!   state-corruption hook for self-stabilization experiments.
 //! * [`packed`] — bit-plane packed display storage: the word-level state
@@ -133,6 +138,7 @@
 mod error;
 
 pub mod channel;
+pub mod counts;
 pub mod faults;
 pub mod invariants;
 pub mod metrics;

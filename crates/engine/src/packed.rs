@@ -390,11 +390,21 @@ fn histogram_planes<W: std::ops::Deref<Target = [u64]>>(
 /// worker so ragged populations load-balance, never smaller than one
 /// word. With one thread the whole population is a single chunk (no
 /// scatter overhead on the serial path).
+///
+/// The single-word floor is load-bearing in the degenerate regime
+/// `threads·4 > n/64` (tiny populations, many workers): there
+/// `n.div_ceil(threads·4)` rounds up to one 64-agent word, every chunk
+/// stays word-aligned, and the surplus workers simply receive no chunk.
+/// The floor also covers `n = 0` (e.g. a counts-backend caller probing
+/// the rule before populating), where `next_multiple_of(64)` alone would
+/// return 0 and violate [`chunk_ranges`]'s non-empty-chunk contract.
 pub fn chunk_len_for(n: usize, threads: usize) -> usize {
     if threads <= 1 {
-        return n.next_multiple_of(64);
+        return n.next_multiple_of(64).max(64);
     }
-    n.div_ceil(threads * 4).next_multiple_of(64)
+    n.div_ceil(threads.saturating_mul(4))
+        .next_multiple_of(64)
+        .max(64)
 }
 
 /// Iterator over the word-aligned sub-ranges `chunk_len_for`-style
@@ -561,5 +571,34 @@ mod tests {
     fn serial_chunking_is_one_chunk() {
         assert_eq!(chunk_len_for(4096, 1), 4096);
         assert_eq!(chunk_ranges(4096, 4096).count(), 1);
+    }
+
+    #[test]
+    fn chunk_len_degenerate_many_threads_hits_word_floor() {
+        // threads·4 > n/64: the rule must bottom out at one 64-agent word,
+        // never 0, and surplus workers get no chunk rather than an empty
+        // one.
+        for n in [1usize, 63, 64, 65, 128, 500] {
+            for threads in [8usize, 64, 1024, usize::MAX / 4, usize::MAX] {
+                let c = chunk_len_for(n, threads);
+                assert_eq!(c, 64, "n={n} threads={threads}");
+                let covered: usize = chunk_ranges(n, c).map(|r| r.len()).sum();
+                assert_eq!(covered, n);
+                assert!(chunk_ranges(n, c).all(|r| !r.is_empty()));
+                assert_eq!(chunk_ranges(n, c).count(), n.div_ceil(64));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_len_zero_population_is_safe() {
+        // n = 0 must still yield a positive (word-sized) chunk length so
+        // `chunk_ranges`'s non-empty-chunk assert cannot trip; the induced
+        // range set is simply empty.
+        for threads in [1usize, 2, 16] {
+            let c = chunk_len_for(0, threads);
+            assert_eq!(c, 64, "threads={threads}");
+            assert_eq!(chunk_ranges(0, c).count(), 0);
+        }
     }
 }

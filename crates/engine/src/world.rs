@@ -509,7 +509,9 @@ impl<P: ColumnarProtocol> World<P> {
         // agents (fault subsystem) are masked out; the mask is `None` on
         // the fault-free fast path.
         {
-            let ctx = self.channel.begin_round_from_counts(disp_counts, h);
+            // Preconditions (non-empty population, h ≤ n checked at
+            // construction) hold here, so take the trusted hot path.
+            let ctx = self.channel.begin_round_from_counts_trusted(disp_counts, h);
             let channel = &self.channel;
             let displays = &self.displays;
             let cur = self.round + 1;

@@ -289,6 +289,222 @@ impl CdfTable {
     }
 }
 
+/// Windowed pmf/cdf table over the *effective support* of one fixed
+/// `Binomial(n, p)` law.
+///
+/// The mean-field counts backend (see `np-engine`) turns protocol
+/// transitions into boundary probabilities — binomial tails and
+/// two-binomial comparisons with up to `10⁹` trials. `O(k)` summation is
+/// infeasible there, so this table walks the pmf outward from the mode
+/// with the same multiplicative recurrence (and the same side-selection
+/// rule) as [`CdfTable`] and stops once the accumulated mass exceeds
+/// `1 − 1e-12`. The visited values form a contiguous window `[lo, hi]` of
+/// `O(σ)` entries; queries outside it saturate to mass 0 (below) or
+/// cumulative 1 (above), so every answer is exact up to the `1e-12`
+/// truncation budget plus f64 round-off.
+#[derive(Debug, Clone)]
+pub struct TailTable {
+    lo: u64,
+    /// `pmf[i] = P(X = lo + i)` over the window.
+    pmf: Vec<f64>,
+    /// `cdf[i] = P(lo ≤ X ≤ lo + i)`; the mass below `lo` is within the
+    /// truncation budget, so this doubles as `P(X ≤ lo + i)`.
+    cdf: Vec<f64>,
+}
+
+impl TailTable {
+    /// Builds the table for `Binomial(n, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadProbability`] if `p ∉ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self> {
+        check_probability(p)?;
+        Ok(TailTable::new_unchecked(n, p))
+    }
+
+    /// Like [`TailTable::new`] but assumes `p ∈ [0, 1]` (hot-path variant;
+    /// the mean-field backend feeds it normalized observation laws).
+    pub fn new_unchecked(n: u64, p: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&p));
+        let single = |k: u64| TailTable {
+            lo: k,
+            pmf: vec![1.0],
+            cdf: vec![1.0],
+        };
+        // xtask-allow: float-eq (degenerate-distribution sentinels, as in `pmf`)
+        if n == 0 || p == 0.0 {
+            return single(0);
+        }
+        // xtask-allow: float-eq (degenerate-distribution sentinel)
+        if p == 1.0 {
+            return single(n);
+        }
+        let mode = ((((n + 1) as f64) * p).floor() as u64).min(n);
+        // xtask-allow: unwrap (p validated by every caller of this path)
+        let pmf_mode = pmf(n, p, mode).expect("p validated");
+        let q = 1.0 - p;
+        let ratio = p / q;
+        // Same outward walk as `CdfTable::new_unchecked`; here we keep the
+        // two sides separate so the window assembles contiguously.
+        let mut left: Vec<f64> = Vec::new(); // pmf at mode−1, mode−2, …
+        let mut right: Vec<f64> = Vec::new(); // pmf at mode+1, mode+2, …
+        let mut total = pmf_mode;
+        let mut lo = mode;
+        let mut hi = mode;
+        let mut pmf_lo = pmf_mode;
+        let mut pmf_hi = pmf_mode;
+        while total < 1.0 - 1e-12 {
+            let can_left = lo > 0;
+            let can_right = hi < n;
+            if !can_left && !can_right {
+                break;
+            }
+            let next_left = if can_left {
+                pmf_lo * (lo as f64) / ((n - lo + 1) as f64) / ratio
+            } else {
+                -1.0
+            };
+            let next_right = if can_right {
+                pmf_hi * ((n - hi) as f64) / ((hi + 1) as f64) * ratio
+            } else {
+                -1.0
+            };
+            let step = if next_right >= next_left {
+                hi += 1;
+                pmf_hi = next_right;
+                right.push(next_right);
+                next_right
+            } else {
+                lo -= 1;
+                pmf_lo = next_left;
+                left.push(next_left);
+                next_left
+            };
+            total += step;
+            if step <= 0.0 {
+                // Float underflow: no further mass is representable.
+                break;
+            }
+        }
+        let mut window = Vec::with_capacity(left.len() + 1 + right.len());
+        window.extend(left.iter().rev());
+        window.push(pmf_mode);
+        window.extend(&right);
+        let mut cdf = Vec::with_capacity(window.len());
+        let mut acc = 0.0;
+        for &m in &window {
+            acc += m;
+            cdf.push(acc.min(1.0));
+        }
+        TailTable {
+            lo,
+            pmf: window,
+            cdf,
+        }
+    }
+
+    /// First tabulated support value.
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Last tabulated support value.
+    pub fn hi(&self) -> u64 {
+        self.lo + (self.pmf.len() as u64 - 1)
+    }
+
+    /// `P(X = k)`; zero outside the window.
+    pub fn pmf_at(&self, k: u64) -> f64 {
+        if k < self.lo || k > self.hi() {
+            return 0.0;
+        }
+        self.pmf[(k - self.lo) as usize]
+    }
+
+    /// `P(X ≤ k)`, saturating to 0 below the window and to exactly 1 at
+    /// and above its upper end (the truncated tail mass is folded into the
+    /// last entry so that [`TailTable::sf_at`] is exactly 0 there).
+    pub fn cdf_at(&self, k: u64) -> f64 {
+        if k < self.lo {
+            return 0.0;
+        }
+        if k >= self.hi() {
+            return 1.0;
+        }
+        self.cdf[(k - self.lo) as usize]
+    }
+
+    /// The survival function `P(X > k)`.
+    pub fn sf_at(&self, k: u64) -> f64 {
+        1.0 - self.cdf_at(k)
+    }
+}
+
+/// `P(2X > n) + ½·P(2X = n)` for `X ~ Binomial(n, p)` — the probability
+/// that a majority vote over `n` noisy observations (ties broken by a
+/// fair coin) lands on the outcome each observation indicates with
+/// probability `p`. This is the exact per-agent law of one SF boosting
+/// sub-phase and of one h-majority round, evaluated in `O(σ)`.
+///
+/// `n = 0` returns `½` (an empty vote is a pure coin toss).
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadProbability`] if `p ∉ [0, 1]`.
+pub fn majority_prob(n: u64, p: f64) -> Result<f64> {
+    check_probability(p)?;
+    Ok(majority_prob_unchecked(n, p))
+}
+
+/// Like [`majority_prob`] but assumes `p ∈ [0, 1]` (hot-path variant).
+pub fn majority_prob_unchecked(n: u64, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    let table = TailTable::new_unchecked(n, p);
+    let half = n / 2;
+    // 2X > n ⟺ X > ⌊n/2⌋ for every parity; the tie 2X = n exists only
+    // for even n.
+    let win = table.sf_at(half);
+    let tie = if n % 2 == 0 {
+        0.5 * table.pmf_at(half)
+    } else {
+        0.0
+    };
+    (win + tie).clamp(0.0, 1.0)
+}
+
+/// `P(X > Y) + ½·P(X = Y)` for independent `X ~ Binomial(nx, px)` and
+/// `Y ~ Binomial(ny, py)` — the exact law of SF's weak-opinion comparison
+/// `1{Counter₁ > Counter₀}` with its fair-coin tie break. Evaluated in
+/// `O(σx + σy)` by summing `Y`'s windowed pmf against `X`'s windowed
+/// survival function.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadProbability`] if `px ∉ [0, 1]` or
+/// `py ∉ [0, 1]`.
+pub fn exceeds_prob(nx: u64, px: f64, ny: u64, py: f64) -> Result<f64> {
+    check_probability(px)?;
+    check_probability(py)?;
+    Ok(exceeds_prob_unchecked(nx, px, ny, py))
+}
+
+/// Like [`exceeds_prob`] but assumes both probabilities lie in `[0, 1]`.
+pub fn exceeds_prob_unchecked(nx: u64, px: f64, ny: u64, py: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&px));
+    debug_assert!((0.0..=1.0).contains(&py));
+    let tx = TailTable::new_unchecked(nx, px);
+    let ty = TailTable::new_unchecked(ny, py);
+    let mut acc = 0.0;
+    for k in ty.lo()..=ty.hi() {
+        let pk = ty.pmf_at(k);
+        if pk > 0.0 {
+            acc += pk * (tx.sf_at(k) + 0.5 * tx.pmf_at(k));
+        }
+    }
+    acc.clamp(0.0, 1.0)
+}
+
 /// BINV: sequential inversion from k = 0 using the pmf recurrence.
 /// Expected iterations ≈ n·p + 1; used only when that is small.
 fn sample_binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
@@ -388,6 +604,183 @@ mod tests {
         // The table/Stirling boundary at 1024 must be seamless.
         let direct: f64 = (2..=1500u64).map(|i| (i as f64).ln()).sum();
         assert!((ln_factorial(1500) - direct).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_factorial_table_stirling_seam_exact() {
+        // n = 1023 is the last tabulated value, n = 1024 the first Stirling
+        // one. Pin both against the exact log-sum and the identity
+        // ln(1024!) − ln(1023!) = ln(1024) across the seam.
+        let direct_1023: f64 = (2..=1023u64).map(|i| (i as f64).ln()).sum();
+        let direct_1024 = direct_1023 + 1024f64.ln();
+        assert!((ln_factorial(1023) - direct_1023).abs() < 1e-9);
+        assert!((ln_factorial(1024) - direct_1024).abs() < 1e-9);
+        assert!((ln_factorial(1024) - ln_factorial(1023) - 1024f64.ln()).abs() < 1e-9);
+        // A pmf evaluated with one factor on each side of the seam must
+        // still sum to 1 over a window around the mean.
+        let (n, p) = (2048u64, 0.5);
+        let mass: f64 = (874..=1174).map(|k| pmf(n, p, k).unwrap()).sum();
+        assert!((mass - 1.0).abs() < 1e-8, "seam-straddling pmf mass {mass}");
+    }
+
+    #[test]
+    fn sample_extreme_p_near_zero() {
+        // n = 2³⁰ with np ≪ 1: BINV territory where a naive `q^n` would
+        // underflow to 0 and an off-by-one would overdraw. The draw must be
+        // tiny, never near n.
+        let n = 1u64 << 30;
+        let mut rng = StdRng::seed_from_u64(60);
+        let mut total = 0u64;
+        for _ in 0..2000 {
+            let x = sample(&mut rng, n, 1e-12).unwrap();
+            assert!(x <= 2, "p = 1e-12 drew {x}");
+            total += x;
+        }
+        // E[total] = 2000·n·1e-12 ≈ 0.002: almost surely all-zero draws.
+        assert!(total <= 3);
+        // Subnormal p must not hang or panic.
+        assert_eq!(sample(&mut rng, n, 1e-300).unwrap(), 0);
+        assert_eq!(sample(&mut rng, n, 0.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn sample_extreme_p_near_one() {
+        // Mirror case: the sampler reflects to 1 − p, so drift or an
+        // off-by-one in the reflection shows up as draws far below n.
+        let n = 1u64 << 30;
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut total_gap = 0u64;
+        for _ in 0..2000 {
+            let x = sample(&mut rng, n, 1.0 - 1e-12).unwrap();
+            assert!(x <= n);
+            assert!(n - x <= 2, "p = 1 − 1e-12 drew n − {}", n - x);
+            total_gap += n - x;
+        }
+        assert!(total_gap <= 3);
+        assert_eq!(sample(&mut rng, n, 1.0).unwrap(), n);
+    }
+
+    #[test]
+    fn sample_large_n_moderate_p_moments() {
+        // n = 2³⁰ at moderate p exercises the from-mode walk with a huge
+        // support; check mean and spread rather than exact values.
+        let n = 1u64 << 30;
+        let p = 0.3;
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut acc = 0.0f64;
+        let reps = 200;
+        for _ in 0..reps {
+            let x = sample(&mut rng, n, p).unwrap() as f64;
+            assert!((x - mean).abs() < 8.0 * sd, "draw {x} implausibly far");
+            acc += x;
+        }
+        let got = acc / reps as f64;
+        assert!((got - mean).abs() < 8.0 * sd / (reps as f64).sqrt());
+    }
+
+    #[test]
+    fn tail_table_matches_exact_pmf_and_cdf() {
+        let (n, p) = (300u64, 0.37);
+        let t = TailTable::new(n, p).unwrap();
+        assert!(t.lo() <= 111 && t.hi() >= 111, "mode must be covered");
+        for k in t.lo()..t.hi() {
+            assert!((t.pmf_at(k) - pmf(n, p, k).unwrap()).abs() < 1e-12);
+            assert!((t.cdf_at(k) - cdf(n, p, k).unwrap()).abs() < 1e-9);
+            assert!((t.sf_at(k) - (1.0 - cdf(n, p, k).unwrap())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tail_table_saturates_outside_window() {
+        let t = TailTable::new(1u64 << 20, 0.5).unwrap();
+        // The effective support of Binomial(2²⁰, ½) is a few thousand wide;
+        // far tails must saturate without being tabulated.
+        assert!(t.hi() - t.lo() < 40_000);
+        assert_eq!(t.pmf_at(0), 0.0);
+        assert_eq!(t.cdf_at(0), 0.0);
+        assert_eq!(t.cdf_at(1u64 << 20), 1.0);
+        assert_eq!(t.sf_at(1u64 << 20), 0.0);
+    }
+
+    #[test]
+    fn tail_table_degenerate_cases() {
+        for (n, p, at) in [(0u64, 0.3, 0u64), (10, 0.0, 0), (10, 1.0, 10)] {
+            let t = TailTable::new(n, p).unwrap();
+            assert_eq!((t.lo(), t.hi()), (at, at));
+            assert_eq!(t.pmf_at(at), 1.0);
+            assert_eq!(t.cdf_at(at), 1.0);
+        }
+        assert!(TailTable::new(5, 1.5).is_err());
+    }
+
+    #[test]
+    fn majority_prob_small_cases_exact() {
+        // n = 1: win iff the single observation is a 1 (no tie possible).
+        assert!((majority_prob(1, 0.3).unwrap() - 0.3).abs() < 1e-12);
+        // n = 2, p = ½: P(X=2) + ½P(X=1) = ¼ + ¼ = ½.
+        assert!((majority_prob(2, 0.5).unwrap() - 0.5).abs() < 1e-12);
+        // Empty vote: pure coin.
+        assert!((majority_prob(0, 0.9).unwrap() - 0.5).abs() < 1e-12);
+        // Symmetry: p = ½ is a coin for every n.
+        for n in [3u64, 4, 51, 1000] {
+            assert!((majority_prob(n, 0.5).unwrap() - 0.5).abs() < 1e-9);
+        }
+        assert!(majority_prob(5, -0.1).is_err());
+    }
+
+    #[test]
+    fn majority_prob_matches_brute_force() {
+        for &(n, p) in &[(51u64, 0.3), (50, 0.55), (64, 0.48)] {
+            let mut want = 0.0;
+            for k in 0..=n {
+                let mass = pmf(n, p, k).unwrap();
+                match (2 * k).cmp(&n) {
+                    std::cmp::Ordering::Greater => want += mass,
+                    std::cmp::Ordering::Equal => want += 0.5 * mass,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            let got = majority_prob(n, p).unwrap();
+            assert!((got - want).abs() < 1e-10, "n={n} p={p}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exceeds_prob_symmetric_case_is_half() {
+        // X and Y i.i.d. ⟹ P(X > Y) + ½P(X = Y) = ½ exactly.
+        for &(n, p) in &[(40u64, 0.3), (512, 0.5), (1000, 0.05)] {
+            let got = exceeds_prob(n, p, n, p).unwrap();
+            assert!((got - 0.5).abs() < 1e-9, "n={n} p={p}: {got}");
+        }
+    }
+
+    #[test]
+    fn exceeds_prob_matches_brute_force() {
+        let (nx, px, ny, py) = (30u64, 0.6, 25u64, 0.4);
+        let mut want = 0.0;
+        for x in 0..=nx {
+            for y in 0..=ny {
+                let m = pmf(nx, px, x).unwrap() * pmf(ny, py, y).unwrap();
+                match x.cmp(&y) {
+                    std::cmp::Ordering::Greater => want += m,
+                    std::cmp::Ordering::Equal => want += 0.5 * m,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        let got = exceeds_prob(nx, px, ny, py).unwrap();
+        assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        assert!(exceeds_prob(5, 0.5, 5, 2.0).is_err());
+    }
+
+    #[test]
+    fn exceeds_prob_degenerate_edges() {
+        // X ≡ nx beats any Y with support below nx.
+        assert!((exceeds_prob(10, 1.0, 5, 0.5).unwrap() - 1.0).abs() < 1e-12);
+        // X ≡ 0 vs Y ≡ 0: pure tie.
+        assert!((exceeds_prob(10, 0.0, 7, 0.0).unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]

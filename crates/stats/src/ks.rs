@@ -79,6 +79,91 @@ pub fn ks_passes<F: Fn(usize) -> f64>(counts: &[u64], cdf: F, c: f64) -> Result<
     Ok(stat < ks_critical(total, c)?)
 }
 
+/// The two-sample KS statistic `sup_x |F̂ₓ(x) − F̂ᵧ(x)|` between two
+/// empirical samples.
+///
+/// Ties (common here — convergence-round counts are integers) are handled
+/// by advancing *both* empirical cdfs past each tied value before the
+/// supremum is probed, which is the standard convention and keeps the
+/// statistic conservative on discrete data.
+///
+/// The mean-field cross-validation gate uses this to compare per-agent
+/// and counts-backend trajectories; see [`ks2_p_value`] for the
+/// significance level.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] if either sample is empty, and
+/// [`StatsError::ParameterOutOfRange`] if any value is non-finite.
+pub fn ks2_statistic(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(StatsError::ParameterOutOfRange {
+            name: "sample",
+            range: "finite".into(),
+        });
+    }
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_unstable_by(f64::total_cmp);
+    b.sort_unstable_by(f64::total_cmp);
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut worst = 0.0f64;
+    while i < a.len() || j < b.len() {
+        let x = match (a.get(i), b.get(j)) {
+            (Some(&ax), Some(&bx)) => ax.min(bx),
+            (Some(&ax), None) => ax,
+            (None, Some(&bx)) => bx,
+            (None, None) => break,
+        };
+        while i < a.len() && a[i] <= x {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= x {
+            j += 1;
+        }
+        worst = worst.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    Ok(worst)
+}
+
+/// Asymptotic two-sided p-value for the two-sample KS statistic, via the
+/// Kolmogorov distribution `Q(λ) = 2·Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}` with
+/// the Stephens small-sample correction
+/// `λ = (√nₑ + 0.12 + 0.11/√nₑ)·D`, `nₑ = n·m/(n+m)`.
+///
+/// On discrete data the tie convention in [`ks2_statistic`] makes this
+/// conservative (the true p-value is at least as large), which is the
+/// safe direction for a cross-validation gate that rejects on `p` below a
+/// threshold.
+///
+/// # Errors
+///
+/// Propagates errors from [`ks2_statistic`].
+pub fn ks2_p_value(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    let d = ks2_statistic(xs, ys)?;
+    let ne = (xs.len() as f64) * (ys.len() as f64) / ((xs.len() + ys.len()) as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    if lambda < 1e-3 {
+        return Ok(1.0);
+    }
+    let mut acc = 0.0f64;
+    let mut sign = 1.0f64;
+    for k in 1..=100u32 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda.powi(2)).exp();
+        acc += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    Ok((2.0 * acc).clamp(0.0, 1.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +200,64 @@ mod tests {
             counts[binomial::sample(&mut rng, n, p).unwrap() as usize] += 1;
         }
         assert!(ks_passes(&counts, |k| binomial::cdf(n, p, k as u64).unwrap(), 3.0).unwrap());
+    }
+
+    #[test]
+    fn two_sample_statistic_identical_samples_is_zero() {
+        let xs = [1.0, 2.0, 2.0, 3.0, 7.0];
+        assert!(ks2_statistic(&xs, &xs).unwrap() < 1e-12);
+        assert!((ks2_p_value(&xs, &xs).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_sample_statistic_disjoint_samples_is_one() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [10.0, 11.0, 12.0];
+        assert!((ks2_statistic(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!(ks2_p_value(&xs, &ys).unwrap() < 0.2);
+    }
+
+    #[test]
+    fn two_sample_handles_ties_symmetrically() {
+        // Heavily tied integer data; D must not depend on argument order.
+        let xs = [1.0, 1.0, 2.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0];
+        let d1 = ks2_statistic(&xs, &ys).unwrap();
+        let d2 = ks2_statistic(&ys, &xs).unwrap();
+        assert!((d1 - d2).abs() < 1e-12);
+        // F̂ₓ − F̂ᵧ after value 1: 2/6 − 1/6; after 2: 5/6 − 3/6.
+        assert!((d1 - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_sample_same_law_has_large_p_value() {
+        let (n, p) = (200u64, 0.4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..128)
+            .map(|_| binomial::sample(&mut rng, n, p).unwrap() as f64)
+            .collect();
+        let ys: Vec<f64> = (0..128)
+            .map(|_| binomial::sample(&mut rng, n, p).unwrap() as f64)
+            .collect();
+        assert!(ks2_p_value(&xs, &ys).unwrap() > 0.01);
+    }
+
+    #[test]
+    fn two_sample_different_law_has_tiny_p_value() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..128)
+            .map(|_| binomial::sample(&mut rng, 200, 0.4).unwrap() as f64)
+            .collect();
+        let ys: Vec<f64> = (0..128)
+            .map(|_| binomial::sample(&mut rng, 200, 0.55).unwrap() as f64)
+            .collect();
+        assert!(ks2_p_value(&xs, &ys).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn two_sample_rejects_bad_input() {
+        assert_eq!(ks2_statistic(&[], &[1.0]), Err(StatsError::Empty));
+        assert!(ks2_statistic(&[f64::NAN], &[1.0]).is_err());
     }
 
     #[test]

@@ -70,12 +70,15 @@ pub fn sample_into<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64], out: &mu
             break;
         }
         // Conditional probability of category i among the remaining mass,
-        // clamped against float drift.
-        let cond = (probs[i] / remaining_p).clamp(0.0, 1.0);
+        // clamped against float drift. Entries pushed slightly negative by
+        // upstream accumulation (e.g. a collapsed channel law) are treated
+        // as zero — identical to the valid-input path, never a panic.
+        let pi = probs[i].max(0.0);
+        let cond = (pi / remaining_p).clamp(0.0, 1.0);
         let x = binomial::sample_unchecked(rng, remaining_n, cond);
         out[i] = x;
         remaining_n -= x;
-        remaining_p = (remaining_p - probs[i]).max(0.0);
+        remaining_p = (remaining_p - pi).max(0.0);
         if remaining_p <= 0.0 {
             // All residual categories have zero probability.
             break;
@@ -108,7 +111,7 @@ pub fn sample_given_first<R: Rng + ?Sized>(
     out.fill(0);
     out[0] = first;
     let mut remaining_n = n - first;
-    let mut remaining_p = (1.0 - probs[0]).max(0.0);
+    let mut remaining_p = (1.0 - probs[0].max(0.0)).max(0.0);
     for i in 1..k {
         if remaining_n == 0 {
             break;
@@ -124,11 +127,14 @@ pub fn sample_given_first<R: Rng + ?Sized>(
             out[k - 1] = remaining_n;
             return;
         }
-        let cond = (probs[i] / remaining_p).clamp(0.0, 1.0);
+        // Same drift guard as `sample_into`: slightly negative entries act
+        // as zero-probability categories.
+        let pi = probs[i].max(0.0);
+        let cond = (pi / remaining_p).clamp(0.0, 1.0);
         let x = binomial::sample_unchecked(rng, remaining_n, cond);
         out[i] = x;
         remaining_n -= x;
-        remaining_p = (remaining_p - probs[i]).max(0.0);
+        remaining_p = (remaining_p - pi).max(0.0);
     }
 }
 
@@ -286,6 +292,62 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let mut out = [0u64; 2];
         sample_given_first(&mut rng, 10, &[0.5, 0.5], 11, &mut out);
+    }
+
+    #[test]
+    fn drifted_negative_entries_act_as_zero() {
+        // A collapsed channel law can carry −1e-17-scale entries from float
+        // accumulation. The unchecked path must treat them as zero
+        // categories, not panic or skew the remainder chain.
+        let drifted = [0.5, -1e-17, 0.5 + 1e-17];
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut buf = [0u64; 3];
+        for _ in 0..50 {
+            sample_into(&mut rng, 400, &drifted, &mut buf);
+            assert_eq!(buf[1], 0);
+            assert_eq!(buf.iter().sum::<u64>(), 400);
+        }
+        let mut out = [0u64; 3];
+        sample_given_first(&mut rng, 400, &drifted, 123, &mut out);
+        assert_eq!(out[1], 0);
+        assert_eq!(out.iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn drift_guard_is_bit_identical_on_valid_input() {
+        // `max(0.0)` must be a no-op for genuinely non-negative laws: the
+        // guarded chain reproduces an unguarded reference chain draw for
+        // draw, so seeded trajectories recorded before the guard existed
+        // stay valid.
+        let probs = [0.3, 0.25, 0.25, 0.2];
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        let mut buf = [0u64; 4];
+        for _ in 0..100 {
+            sample_into(&mut a, 777, &probs, &mut buf);
+            // Unguarded conditional-binomial chain, as written pre-guard.
+            let mut reference = [0u64; 4];
+            let mut remaining_n = 777u64;
+            let mut remaining_p = 1.0f64;
+            for i in 0..4 {
+                if remaining_n == 0 {
+                    break;
+                }
+                if i == 3 {
+                    reference[i] = remaining_n;
+                    break;
+                }
+                let cond = (probs[i] / remaining_p).clamp(0.0, 1.0);
+                let x = binomial::sample_unchecked(&mut b, remaining_n, cond);
+                reference[i] = x;
+                remaining_n -= x;
+                remaining_p = (remaining_p - probs[i]).max(0.0);
+                if remaining_p <= 0.0 {
+                    break;
+                }
+            }
+            assert_eq!(buf, reference);
+        }
     }
 
     #[test]

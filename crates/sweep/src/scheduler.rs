@@ -31,8 +31,11 @@ use noisy_pull::columnar::sf::ColumnarSourceFilter;
 use noisy_pull::columnar::sf_alt::ColumnarAltSf;
 use noisy_pull::columnar::ssf::ColumnarSsf;
 use noisy_pull::params::{SfParams, SsfParams};
+use noisy_pull::sf::SourceFilter;
+use noisy_pull::ssf::SelfStabilizingSourceFilter;
 use np_bench::report::{bench_json, PerfPoint};
 use np_engine::channel::ChannelKind;
+use np_engine::counts::{CountsProtocol, CountsWorld};
 use np_engine::population::PopulationConfig;
 use np_engine::protocol::ColumnarProtocol;
 use np_engine::runner::scatter;
@@ -41,7 +44,7 @@ use np_engine::world::World;
 use np_linalg::noise::NoiseMatrix;
 
 use crate::manifest::{append_record, latest, load_manifest, JobRecord, JobStatus};
-use crate::spec::{JobSpec, ProtocolKind, SweepSpec};
+use crate::spec::{BackendKind, JobSpec, ProtocolKind, SweepSpec};
 use crate::{err, SweepError};
 
 /// Scheduling options for [`run_sweep`].
@@ -247,6 +250,32 @@ fn base_record(job: &JobSpec, budget: u64) -> JobRecord {
 /// dispatching on the protocol.
 fn run_job(job: &JobSpec, prior: Option<&JobRecord>, ctx: &SweepCtx<'_>) -> Result<(), SweepError> {
     let config = PopulationConfig::new(job.n, job.s0, job.s1, job.h).map_err(err)?;
+    if job.backend == BackendKind::MeanField {
+        return match job.protocol {
+            ProtocolKind::Sf => {
+                let params = SfParams::derive(&config, job.delta, job.c1).map_err(err)?;
+                let budget = params.total_rounds();
+                drive_counts(&SourceFilter::new(params), config, budget, job, ctx)
+            }
+            ProtocolKind::Ssf => {
+                let params = SsfParams::derive(&config, job.delta, job.c1).map_err(err)?;
+                let budget = job.budget_intervals * params.update_interval();
+                drive_counts(
+                    &SelfStabilizingSourceFilter::new(params),
+                    config,
+                    budget,
+                    job,
+                    ctx,
+                )
+            }
+            // `SweepSpec::parse` rejects mean-field + sf-alt; guard anyway
+            // so a hand-built spec fails loudly instead of silently
+            // running the wrong engine.
+            ProtocolKind::SfAlt => Err(SweepError(
+                "backend mean-field does not support protocol sf-alt".into(),
+            )),
+        };
+    }
     match job.protocol {
         ProtocolKind::Sf => {
             let params = SfParams::derive(&config, job.delta, job.c1).map_err(err)?;
@@ -338,6 +367,37 @@ where
     ctx.append(&rec)
 }
 
+/// The mean-field job loop: counts jobs are `O(states)` per round, so
+/// they run atomically — no snapshots, no checkpoint records. A stop
+/// request between rounds abandons the job (no record appended) and
+/// resume re-runs it from scratch, which costs less than one per-agent
+/// checkpoint restore.
+fn drive_counts<P: CountsProtocol>(
+    protocol: &P,
+    config: PopulationConfig,
+    budget: u64,
+    job: &JobSpec,
+    ctx: &SweepCtx<'_>,
+) -> Result<(), SweepError> {
+    let noise = NoiseMatrix::uniform(job.protocol.alphabet_size(), job.delta).map_err(err)?;
+    let mut world = CountsWorld::new(protocol, config, &noise, job.seed).map_err(err)?;
+    while world.round() < budget {
+        if ctx.stopped() {
+            return Ok(());
+        }
+        world.step();
+        if world.is_consensus() {
+            break;
+        }
+    }
+    let mut rec = base_record(job, budget);
+    rec.status = JobStatus::Done;
+    rec.round = world.round();
+    rec.consensus = world.is_consensus();
+    rec.correct = world.correct_count();
+    ctx.append(&rec)
+}
+
 /// Writes a snapshot to `checkpoints/<job>.snap` atomically (temp file +
 /// rename) and returns the out-relative path.
 fn write_checkpoint(out: &Path, job_id: &str, bytes: &[u8]) -> Result<String, SweepError> {
@@ -393,6 +453,10 @@ pub fn aggregate(spec: &SweepSpec, records: &[JobRecord]) -> Result<Vec<PerfPoin
                     mean_wall_ms: 0.0,
                     median_wall_ms: None,
                     p95_wall_ms: None,
+                    // Per-agent sweeps omit the tag so their reports stay
+                    // byte-identical to pre-backend artifacts.
+                    backend: (spec.backend == BackendKind::MeanField)
+                        .then(|| BackendKind::MeanField.name().to_string()),
                 });
             }
         }
@@ -462,6 +526,7 @@ pub fn measure_throughput(spec: &ThroughputSpec) -> Result<Vec<PerfPoint>, Sweep
             mean_wall_ms: mean,
             median_wall_ms: Some(median),
             p95_wall_ms: Some(p95),
+            backend: None,
         });
     }
     Ok(points)
@@ -494,6 +559,7 @@ mod tests {
             runs,
             seed: 5,
             budget_intervals: 10,
+            backend: BackendKind::PerAgent,
         }
     }
 
@@ -515,6 +581,27 @@ mod tests {
         let report = std::fs::read_to_string(outcome.report.unwrap()).unwrap();
         assert!(report.contains("\"schema\": \"np-bench/v1\""));
         assert!(report.contains("\"mean_wall_ms\": 0"));
+        std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn mean_field_sweep_completes_and_tags_the_report() {
+        let out = temp_out("mean_field");
+        let opts = SweepOptions::new(out.clone());
+        let mut s = spec(2);
+        s.protocols = vec![ProtocolKind::Sf, ProtocolKind::Ssf];
+        s.backend = BackendKind::MeanField;
+        let outcome = run_sweep(&s, &opts).unwrap();
+        assert_eq!(outcome.completed, 4);
+        assert!(!outcome.stopped_early);
+        let report = std::fs::read_to_string(outcome.report.unwrap()).unwrap();
+        assert!(report.contains("\"schema\": \"np-bench/v1\""));
+        assert!(report.contains("\"backend\": \"mean-field\""));
+        // Counts jobs run atomically: the manifest holds only `done`
+        // records and no snapshots were written.
+        let records = load_manifest(&out.join("manifest.jsonl")).unwrap();
+        assert!(records.iter().all(|r| r.status == JobStatus::Done));
+        assert!(records.iter().all(|r| r.checkpoint.is_none()));
         std::fs::remove_dir_all(&out).ok();
     }
 

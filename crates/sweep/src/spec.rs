@@ -78,6 +78,41 @@ impl ProtocolKind {
     }
 }
 
+/// The simulation engine a sweep's jobs run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The per-agent engine (default): full checkpoint/resume support.
+    PerAgent,
+    /// The mean-field counts engine: class-count dynamics, no snapshots
+    /// (jobs are cheap enough to re-run atomically), `sf`/`ssf` only.
+    MeanField,
+}
+
+impl BackendKind {
+    /// The spec name of the backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::PerAgent => "per-agent",
+            BackendKind::MeanField => "mean-field",
+        }
+    }
+
+    /// Parses a spec backend name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self, SweepError> {
+        match name {
+            "per-agent" => Ok(BackendKind::PerAgent),
+            "mean-field" => Ok(BackendKind::MeanField),
+            other => Err(SweepError(format!(
+                "unknown backend `{other}`; known: per-agent, mean-field"
+            ))),
+        }
+    }
+}
+
 /// A parsed sweep specification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
@@ -101,6 +136,8 @@ pub struct SweepSpec {
     pub seed: u64,
     /// SSF round budget in update intervals (default 10).
     pub budget_intervals: u64,
+    /// Simulation engine for every job (default per-agent).
+    pub backend: BackendKind,
 }
 
 /// One expanded job: a single seeded run at one grid point.
@@ -128,6 +165,8 @@ pub struct JobSpec {
     pub run: usize,
     /// SSF round budget in update intervals.
     pub budget_intervals: u64,
+    /// Simulation engine for this job.
+    pub backend: BackendKind,
 }
 
 impl SweepSpec {
@@ -149,6 +188,7 @@ impl SweepSpec {
         let mut runs: Option<usize> = None;
         let mut seed: Option<u64> = None;
         let mut budget_intervals: Option<u64> = None;
+        let mut backend: Option<BackendKind> = None;
 
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -192,10 +232,18 @@ impl SweepSpec {
                         &at,
                     )?;
                 }
+                "backend" => {
+                    set_once(
+                        &mut backend,
+                        key,
+                        BackendKind::parse(value).map_err(|e| at(e.to_string()))?,
+                        &at,
+                    )?;
+                }
                 other => {
                     return Err(at(format!(
                         "unknown key `{other}`; known: protocol, n, delta, h, s0, s1, c1, \
-                         runs, seed, budget-intervals"
+                         runs, seed, budget-intervals, backend"
                     )))
                 }
             }
@@ -213,9 +261,19 @@ impl SweepSpec {
             runs: runs.unwrap_or(1),
             seed: seed.unwrap_or(42),
             budget_intervals: budget_intervals.unwrap_or(10),
+            backend: backend.unwrap_or(BackendKind::PerAgent),
         };
         if spec.runs == 0 {
             return Err(SweepError("spec: `runs` must be at least 1".into()));
+        }
+        if spec.backend == BackendKind::MeanField
+            && spec.protocols.contains(&ProtocolKind::SfAlt)
+        {
+            return Err(SweepError(
+                "spec: backend mean-field does not support protocol sf-alt \
+                 (no counts port of the alternating display)"
+                    .into(),
+            ));
         }
         Ok(spec)
     }
@@ -257,6 +315,7 @@ impl SweepSpec {
                             seed,
                             run,
                             budget_intervals: self.budget_intervals,
+                            backend: self.backend,
                         });
                     }
                 }
@@ -328,6 +387,18 @@ mod tests {
         assert_eq!(spec.runs, 2);
         assert_eq!(spec.seed, 7);
         assert_eq!(spec.budget_intervals, 10);
+        assert_eq!(spec.backend, BackendKind::PerAgent);
+    }
+
+    #[test]
+    fn parses_mean_field_backend() {
+        let spec =
+            SweepSpec::parse("protocol=sf\nn=32\ndelta=0.1\nbackend=mean-field\n").unwrap();
+        assert_eq!(spec.backend, BackendKind::MeanField);
+        assert_eq!(spec.jobs()[0].backend, BackendKind::MeanField);
+        for kind in [BackendKind::PerAgent, BackendKind::MeanField] {
+            assert_eq!(BackendKind::parse(kind.name()).unwrap(), kind);
+        }
     }
 
     #[test]
@@ -386,6 +457,14 @@ mod tests {
         check("protocol = sf\nn=64\ndelta=0.1\nruns=0\n", "at least 1");
         check("protocol = sf\nn=64\ndelta=0.1\nbogus=1\n", "unknown key");
         check("protocol =\nn=64\ndelta=0.1\n", "no value");
+        check(
+            "protocol = sf\nn=64\ndelta=0.1\nbackend=gremlin\n",
+            "unknown backend",
+        );
+        check(
+            "protocol = sf-alt\nn=64\ndelta=0.1\nbackend=mean-field\n",
+            "does not support protocol sf-alt",
+        );
     }
 
     #[test]

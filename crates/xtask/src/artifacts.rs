@@ -27,9 +27,12 @@ const POINT_KEYS: &[&str] = &[
     "mean_wall_ms",
 ];
 /// Optional trailing keys of an np-bench/v1 point: per-seed wall-clock
-/// quantiles, emitted only by benches that record one sample per seeded
-/// run (throughput). Both present or both absent.
-const POINT_QUANTILE_KEYS: &[&str] = &["median_wall_ms", "p95_wall_ms"];
+/// quantiles (emitted only by benches that record one sample per seeded
+/// run — both present or both absent) and the simulation backend tag
+/// (emitted by benches that mix per-agent and mean-field points).
+const POINT_OPTIONAL_KEYS: &[&str] = &["median_wall_ms", "p95_wall_ms", "backend"];
+/// Legal values of a point's `backend` tag.
+const POINT_BACKENDS: &[&str] = &["per-agent", "mean-field"];
 /// Keys of an np-run-summary/v1 document, in writer order (faults only
 /// present for fault-injected runs).
 const SUMMARY_KEYS: &[&str] = &[
@@ -117,7 +120,7 @@ pub fn validate_bench(text: &str) -> Result<String, Vec<String>> {
             }
             for (i, point) in points.iter().enumerate() {
                 let at = format!("points[{i}]");
-                check_keys_with_optional(point, POINT_KEYS, POINT_QUANTILE_KEYS, &at, &mut errs);
+                check_keys_with_optional(point, POINT_KEYS, POINT_OPTIONAL_KEYS, &at, &mut errs);
                 expect_str(point, "label", None, &at, &mut errs);
                 let n = expect_u64(point, "n", &at, &mut errs);
                 let runs = expect_u64(point, "runs", &at, &mut errs);
@@ -148,6 +151,17 @@ pub fn validate_bench(text: &str) -> Result<String, Vec<String>> {
                     _ => errs.push(format!(
                         "{at}: median_wall_ms and p95_wall_ms must appear together"
                     )),
+                }
+                // Backend tag: optional, but when present it must name one
+                // of the two engines the writers actually have.
+                if let Some(backend) = point.get("backend") {
+                    match backend.as_str() {
+                        Some(b) if POINT_BACKENDS.contains(&b) => {}
+                        Some(other) => {
+                            errs.push(format!("{at}: unknown backend {other:?}"));
+                        }
+                        None => errs.push(format!("{at}: `backend` must be a string")),
+                    }
                 }
                 if n == Some(0) {
                     errs.push(format!("{at}: `n` must be positive"));
@@ -597,6 +611,41 @@ mod tests {
         let errs = validate_text(&bad).expect_err("inverted quantiles");
         assert!(
             errs.iter().any(|e| e.contains("below median_wall_ms")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn bench_backend_tag_is_validated_when_present() {
+        let good = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"backend\": \"mean-field\"",
+        );
+        assert_eq!(
+            validate_text(&good).expect("backend valid"),
+            "np-bench/v1, 2 point(s)"
+        );
+        let good = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"backend\": \"per-agent\"",
+        );
+        assert!(validate_text(&good).is_ok());
+        let bad = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"backend\": \"quantum\"",
+        );
+        let errs = validate_text(&bad).expect_err("unknown backend");
+        assert!(
+            errs.iter().any(|e| e.contains("unknown backend \"quantum\"")),
+            "{errs:?}"
+        );
+        let bad = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"backend\": 7",
+        );
+        let errs = validate_text(&bad).expect_err("non-string backend");
+        assert!(
+            errs.iter().any(|e| e.contains("`backend` must be a string")),
             "{errs:?}"
         );
     }

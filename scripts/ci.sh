@@ -59,6 +59,16 @@ echo "### fault-injection tests under strict-invariants"
 cargo test --release --features strict-invariants -q \
   --test self_stabilization --test observability
 
+# Mean-field KS cross-validation gate: the counts backend must reproduce
+# the per-agent convergence distributions (probe-round correct counts and
+# settle rounds, two-sample KS p > 0.01 over 64 fixed seeds a side) for
+# SF and SSF at n = 256 and n = 4096, and the exact-channel majority
+# baseline. The n = 4096 suites are `#[ignore]`d in plain test runs
+# (release-build scale); --include-ignored arms them here.
+echo "### mean-field KS cross-validation (per-agent vs counts backend)"
+cargo test --release -q -p noisy-pull --test mean_field_crossval -- --include-ignored
+cargo test --release -q -p np-baselines --test mean_field_crossval
+
 # Cross-thread-count digest check: the same fixed-seed run must print a
 # byte-identical outcome digest at 1 and 4 worker threads.
 echo "### thread-count digest diff (1 vs 4 threads)"
