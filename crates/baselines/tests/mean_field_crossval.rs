@@ -54,7 +54,10 @@ fn per_agent_exact(seed: u64) -> Vec<f64> {
         World::new(&HMajority, config, &noise, ChannelKind::Exact, seed).expect("valid world");
     world.record_series();
     world.run(ROUNDS);
-    let correct = world.series().expect("series recorded").counts(Opinion::One);
+    let correct = world
+        .series()
+        .expect("series recorded")
+        .counts(Opinion::One);
     stats_from_counts(&correct, n)
 }
 
@@ -64,7 +67,10 @@ fn mean_field(seed: u64) -> Vec<f64> {
     let mut world = CountsWorld::new(&HMajority, config, &noise, seed).expect("valid world");
     world.record_series();
     world.run(ROUNDS);
-    let correct = world.series().expect("series recorded").counts(Opinion::One);
+    let correct = world
+        .series()
+        .expect("series recorded")
+        .counts(Opinion::One);
     stats_from_counts(&correct, n)
 }
 

@@ -125,6 +125,8 @@ fn measure_point(
         median_wall_ms: None,
         p95_wall_ms: None,
         backend: None,
+        degree: None,
+        convergence_rate: None,
     }
 }
 

@@ -306,6 +306,8 @@ pub fn perf_point(label: &str, n: usize, records: &[RunRecord]) -> PerfPoint {
         median_wall_ms: None,
         p95_wall_ms: None,
         backend: None,
+        degree: None,
+        convergence_rate: None,
     }
 }
 

@@ -464,6 +464,14 @@ pub struct PerfPoint {
     /// artifacts (which predate the mean-field counts engine) stay
     /// schema-valid.
     pub backend: Option<String>,
+    /// Graph degree at this point (topology benches only). Omitted from
+    /// the JSON when absent so complete-graph artifacts stay
+    /// schema-valid.
+    pub degree: Option<u64>,
+    /// Fraction of runs that converged, `converged / runs` (topology
+    /// benches only, where partial convergence is the interesting
+    /// signal). Omitted from the JSON when absent.
+    pub convergence_rate: Option<f64>,
 }
 
 /// Nearest-rank quantiles of per-run wall samples: `(median, p95)`.
@@ -502,6 +510,12 @@ impl PerfPoint {
         }
         if let Some(backend) = &self.backend {
             body.push_str(&format!(", \"backend\": {}", json_string(backend)));
+        }
+        if let Some(degree) = self.degree {
+            body.push_str(&format!(", \"degree\": {degree}"));
+        }
+        if let Some(rate) = self.convergence_rate {
+            body.push_str(&format!(", \"convergence_rate\": {}", json_f64(rate)));
         }
         body.push('}');
         body
@@ -767,6 +781,8 @@ mod tests {
                 median_wall_ms: None,
                 p95_wall_ms: None,
                 backend: None,
+                degree: None,
+                convergence_rate: None,
             },
             PerfPoint {
                 label: "n=128".to_string(),
@@ -778,6 +794,8 @@ mod tests {
                 median_wall_ms: Some(6.25),
                 p95_wall_ms: Some(8.0),
                 backend: Some("mean-field".to_string()),
+                degree: None,
+                convergence_rate: None,
             },
         ];
         let doc = bench_json("scale", &points);
@@ -789,6 +807,28 @@ mod tests {
         // Backend key is trailing and only present when set.
         assert!(doc.contains("\"p95_wall_ms\": 8, \"backend\": \"mean-field\"}"));
         assert_eq!(doc.matches("\"backend\"").count(), 1);
+        // Topology keys stay absent unless set.
+        assert!(!doc.contains("degree"));
+        assert!(!doc.contains("convergence_rate"));
+    }
+
+    #[test]
+    fn topology_point_appends_degree_and_rate() {
+        let point = PerfPoint {
+            label: "sf ring:4 d=0.20".to_string(),
+            n: 256,
+            runs: 8,
+            converged: 6,
+            mean_rounds: Some(41.5),
+            mean_wall_ms: 2.0,
+            median_wall_ms: None,
+            p95_wall_ms: None,
+            backend: None,
+            degree: Some(8),
+            convergence_rate: Some(0.75),
+        };
+        let doc = bench_json("topology", &[point]);
+        assert!(doc.contains("\"degree\": 8, \"convergence_rate\": 0.75}"));
     }
 
     #[test]

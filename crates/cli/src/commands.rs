@@ -22,6 +22,7 @@ use np_engine::population::PopulationConfig;
 use np_engine::protocol::{Protocol, ScalarState};
 use np_engine::push::PushWorld;
 use np_engine::streams::StreamRng;
+use np_engine::topology::TopologySpec;
 use np_engine::world::World;
 use np_linalg::noise::NoiseMatrix;
 
@@ -72,6 +73,8 @@ struct CommonFlags {
     checkpoint_every: u64,
     /// Which engine runs the protocol (sf/ssf only).
     backend: Backend,
+    /// Restrict sampling to a graph topology (sf/ssf, per-agent only).
+    topology: Option<TopologySpec>,
 }
 
 impl CommonFlags {
@@ -110,6 +113,21 @@ impl CommonFlags {
                 )))
             }
         };
+        let topology = match args.get_opt::<String>("topology")? {
+            Some(text) => Some(
+                TopologySpec::parse(&text)
+                    .map_err(|e| ArgsError(format!("flag --topology: {e}")))?,
+            ),
+            None => None,
+        };
+        let restore: Option<PathBuf> = args.get_opt("restore")?;
+        if topology.is_some() && restore.is_some() {
+            return Err(ArgsError(
+                "flag --topology: cannot be combined with --restore (the snapshot already \
+                 carries the topology it was taken under)"
+                    .into(),
+            ));
+        }
         Ok(CommonFlags {
             n,
             h: args.get_or("h", n)?,
@@ -123,10 +141,11 @@ impl CommonFlags {
             trace: args.get_opt("trace")?,
             metrics_out: args.get_opt("metrics-out")?,
             faults: args.get_all("fault"),
-            restore: args.get_opt("restore")?,
+            restore,
             checkpoint,
             checkpoint_every,
             backend,
+            topology,
         })
     }
 
@@ -161,6 +180,27 @@ impl CommonFlags {
                 "the digest fingerprints the per-agent opinion vector",
             );
         }
+        if self.topology.is_some() {
+            return reject(
+                "--topology",
+                "the counts engine assumes exchangeability over the complete graph",
+            );
+        }
+        Ok(())
+    }
+
+    /// Applies `--topology` to a freshly built world. The world is always
+    /// fresh here: `--topology --restore` was rejected at flag parse time
+    /// (a snapshot carries the topology it was taken under).
+    fn apply_topology<P: np_engine::protocol::ColumnarProtocol>(
+        &self,
+        world: &mut World<P>,
+    ) -> Result<(), String> {
+        let Some(spec) = self.topology else {
+            return Ok(());
+        };
+        world.set_topology(spec).map_err(err)?;
+        println!("topology: {}", spec.label());
         Ok(())
     }
 
@@ -480,8 +520,7 @@ pub fn run_sf(args: &Args) -> CliResult {
     let protocol = SourceFilter::new(params);
     if common.backend == Backend::MeanField {
         common.check_mean_field_flags()?;
-        let mut world =
-            CountsWorld::new(&protocol, config, &noise, common.seed).map_err(err)?;
+        let mut world = CountsWorld::new(&protocol, config, &noise, common.seed).map_err(err)?;
         return report_counts_run(&mut world, params.total_rounds(), "SF", &common);
     }
     let mut world = match &common.restore {
@@ -491,6 +530,7 @@ pub fn run_sf(args: &Args) -> CliResult {
         }
     };
     common.tune(&mut world);
+    common.apply_topology(&mut world)?;
     if !common.faults.is_empty() {
         let plan = parse_faults(&common.faults, 2, common.delta, no_corrupt_kinds)?;
         if common.restore.is_some() {
@@ -565,8 +605,7 @@ pub fn run_ssf(args: &Args) -> CliResult {
                     .into(),
             );
         }
-        let mut world =
-            CountsWorld::new(&protocol, config, &noise, common.seed).map_err(err)?;
+        let mut world = CountsWorld::new(&protocol, config, &noise, common.seed).map_err(err)?;
         let budget = intervals * params.update_interval();
         return report_counts_run(&mut world, budget, "SSF", &common);
     }
@@ -577,6 +616,7 @@ pub fn run_ssf(args: &Args) -> CliResult {
         }
     };
     common.tune(&mut world);
+    common.apply_topology(&mut world)?;
     let correct = config.correct_opinion();
     let m = params.m();
     if common.restore.is_none() {
@@ -635,6 +675,13 @@ pub fn run_baseline(name: &str, args: &Args) -> CliResult {
     }
     if common.backend != Backend::PerAgent {
         return Err("--backend is only supported for the sf and ssf subcommands".into());
+    }
+    if common.topology.is_some() {
+        return Err(
+            "--topology is only supported for the sf and ssf subcommands: the baselines pin \
+             the paper's complete-graph model"
+                .into(),
+        );
     }
     let config = common.config()?;
     match name {
@@ -843,6 +890,13 @@ pub fn sweep_throughput(args: &Args) -> CliResult {
         seed: args.get_or("seed", 42u64).map_err(err)?,
         seeds: args.get_or("seeds", 5usize).map_err(err)?,
     };
+    if args.get_opt::<String>("topology").map_err(err)?.is_some() {
+        return Err(
+            "sweep throughput does not support --topology: the bench measures the \
+             complete-graph hot path (use a `topology =` axis in `sweep run` instead)"
+                .into(),
+        );
+    }
     args.finish().map_err(err)?;
     let points = np_sweep::scheduler::measure_throughput(&spec).map_err(err)?;
     for p in &points {
@@ -1033,6 +1087,83 @@ mod tests {
         let e =
             run_baseline("voter", &args(&["--n", "32", "--backend", "mean-field"])).unwrap_err();
         assert!(e.contains("sf and ssf"), "{e}");
+    }
+
+    #[test]
+    fn topology_flag_runs_sf_and_ssf_on_sparse_graphs() {
+        run_sf(&args(&[
+            "--n",
+            "64",
+            "--h",
+            "8",
+            "--delta",
+            "0.1",
+            "--seed",
+            "1",
+            "--topology",
+            "ring:4",
+        ]))
+        .unwrap();
+        run_ssf(&args(&[
+            "--n",
+            "64",
+            "--h",
+            "8",
+            "--delta",
+            "0.1",
+            "--c1",
+            "8",
+            "--topology",
+            "regular:12",
+        ]))
+        .unwrap();
+        // `--topology complete` is the explicit no-op seam.
+        run_sf(&args(&["--n", "64", "--topology", "complete"])).unwrap();
+    }
+
+    #[test]
+    fn topology_flag_is_rejected_where_meaningless() {
+        // Mean-field backend: no per-agent rows, exchangeability assumed.
+        let e = run_sf(&args(&[
+            "--n",
+            "64",
+            "--backend",
+            "mean-field",
+            "--topology",
+            "ring:4",
+        ]))
+        .unwrap_err();
+        assert!(
+            e.contains("--topology") && e.contains("exchangeability"),
+            "{e}"
+        );
+        // Baselines pin the complete-graph model.
+        let e = run_baseline("voter", &args(&["--n", "32", "--topology", "ring:4"])).unwrap_err();
+        assert!(e.contains("sf and ssf"), "{e}");
+        // A restored snapshot already carries its topology; the conflict
+        // is caught at flag parse time, before any file I/O.
+        let e = run_sf(&args(&[
+            "--n",
+            "64",
+            "--restore",
+            "/no/such/file.snap",
+            "--topology",
+            "ring:4",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--restore") && !e.contains("cannot read"), "{e}");
+        // The throughput bench pins the complete-graph hot path.
+        let e = sweep_throughput(&args(&["--n", "64", "--topology", "ring:4"])).unwrap_err();
+        assert!(
+            e.contains("sweep throughput") && e.contains("--topology"),
+            "{e}"
+        );
+        // Malformed specs are caught at flag parse time.
+        let e = run_sf(&args(&["--n", "64", "--topology", "torus:3"])).unwrap_err();
+        assert!(e.contains("--topology") && e.contains("torus"), "{e}");
+        // An unrealizable graph is caught before the run starts.
+        let e = run_sf(&args(&["--n", "64", "--topology", "ring:40"])).unwrap_err();
+        assert!(e.contains("bad topology"), "{e}");
     }
 
     #[test]

@@ -265,10 +265,7 @@ pub struct SsfCountsState {
 impl SsfCountsState {
     /// Agents currently holding opinion 1.
     pub fn ones(&self) -> u64 {
-        self.counts
-            .iter()
-            .map(|g| g[0][1] + g[1][1])
-            .sum::<u64>()
+        self.counts.iter().map(|g| g[0][1] + g[1][1]).sum::<u64>()
     }
 
     /// Non-source agents whose weak opinion is 1 (these drive the
@@ -468,7 +465,7 @@ fn opinion_win_prob(m1_table: &TailTable, n: u64, m3: u64) -> f64 {
     }
     let threshold = n - 2 * m3; // win iff 2M₁ > threshold
     let win = m1_table.sf_at(threshold / 2);
-    if threshold % 2 == 0 {
+    if threshold.is_multiple_of(2) {
         win + 0.5 * m1_table.pmf_at(threshold / 2)
     } else {
         // Odd threshold: 2M₁ > t ⟺ M₁ > ⌊t/2⌋, and no tie exists.
@@ -594,12 +591,7 @@ mod tests {
                     // Multinomial pmf via iterated binomials.
                     let p = pmf(n, q[0], m0).unwrap()
                         * pmf(n - m0, q[1] / (1.0 - q[0]), m1).unwrap()
-                        * pmf(
-                            n - m0 - m1,
-                            q[2] / (1.0 - q[0] - q[1]),
-                            m2,
-                        )
-                        .unwrap();
+                        * pmf(n - m0 - m1, q[2] / (1.0 - q[0] - q[1]), m2).unwrap();
                     let s = m2 + m3;
                     let w1 = match (2 * m3).cmp(&s) {
                         std::cmp::Ordering::Greater => 1.0,
@@ -623,5 +615,4 @@ mod tests {
             assert!((g - w).abs() < 1e-9, "cell {i}: got {g}, want {w}");
         }
     }
-
 }

@@ -80,7 +80,10 @@ fn sf_stats_per_agent(n: usize, seed: u64) -> RunStats {
     let series = world.series().expect("series recorded");
     let correct: Vec<usize> = series.counts(Opinion::One);
     RunStats {
-        probes: probes.iter().map(|&r| correct[r as usize - 1] as f64).collect(),
+        probes: probes
+            .iter()
+            .map(|&r| correct[r as usize - 1] as f64)
+            .collect(),
         settle: settle_round(&correct, n),
     }
 }
@@ -95,7 +98,10 @@ fn sf_stats_mean_field(n: usize, seed: u64) -> RunStats {
     let series = world.series().expect("series recorded");
     let correct: Vec<usize> = series.counts(Opinion::One);
     RunStats {
-        probes: probes.iter().map(|&r| correct[r as usize - 1] as f64).collect(),
+        probes: probes
+            .iter()
+            .map(|&r| correct[r as usize - 1] as f64)
+            .collect(),
         settle: settle_round(&correct, n),
     }
 }
@@ -151,9 +157,13 @@ fn ssf_stats_per_agent(n: usize, seed: u64) -> RunStats {
 fn ssf_stats_mean_field(n: usize, seed: u64) -> RunStats {
     let (config, params, noise) = ssf_setup(n);
     ssf_stats(n, move |rounds| {
-        let mut world =
-            CountsWorld::new(&SelfStabilizingSourceFilter::new(params), config, &noise, seed)
-                .expect("valid world");
+        let mut world = CountsWorld::new(
+            &SelfStabilizingSourceFilter::new(params),
+            config,
+            &noise,
+            seed,
+        )
+        .expect("valid world");
         world.record_trace();
         world.run(rounds);
         let trace = world.trace().expect("trace recorded");

@@ -38,6 +38,7 @@ use std::ops::Range;
 
 use crate::error::EngineError;
 use crate::streams::StreamRng;
+use crate::topology::Topology;
 use np_linalg::noise::NoiseMatrix;
 use np_stats::alias::RowSamplers;
 use np_stats::binomial::CdfTable;
@@ -147,17 +148,29 @@ impl RoundContext {
 /// rows, so it is within a few ulps of a distribution already — this only
 /// irons out accumulation drift (the rescale factor is `1 ± O(d·ε)`), it
 /// never masks a genuinely malformed law.
-fn normalize_law(q: &mut [f64]) {
+///
+/// # Errors
+///
+/// Returns [`EngineError::BadHistogram`] when the law sums to zero. A
+/// convex combination of stochastic rows can only be all-zero if the
+/// mixture weights were — i.e. a malformed (empty) histogram. Leaving the
+/// zero law in place used to hand `CdfTable::new_unchecked(h, 0.0)` a
+/// silently degenerate sampler; it is a hard error now.
+fn normalize_law(q: &mut [f64]) -> Result<(), EngineError> {
     let mut total = 0.0f64;
     for qj in q.iter_mut() {
         *qj = qj.clamp(0.0, 1.0);
         total += *qj;
     }
-    if total > 0.0 {
-        for qj in q.iter_mut() {
-            *qj /= total;
-        }
+    if total <= 0.0 {
+        return Err(EngineError::BadHistogram {
+            detail: "collapsed observation law sums to zero (malformed display histogram)".into(),
+        });
     }
+    for qj in q.iter_mut() {
+        *qj /= total;
+    }
+    Ok(())
 }
 
 impl Channel {
@@ -388,7 +401,11 @@ impl Channel {
                 // with −1e-17-scale negatives or Σq ≠ 1; the multinomial
                 // chain and the mean-field transition laws consume the
                 // whole vector, so clamp and renormalize all of it.
-                normalize_law(&mut q);
+                normalize_law(&mut q)
+                    // xtask-allow: unwrap (infallible by construction: the
+                    // nonzero histogram validated above mixes stochastic
+                    // rows, so the law sums to ≈ 1, never 0)
+                    .expect("nonzero histogram over stochastic rows yields a nonzero law");
                 let table = CdfTable::new_unchecked(h as u64, q[0]);
                 (q, Some(table))
             } else {
@@ -537,6 +554,202 @@ impl Channel {
                     hypergeometric::sample_multivariate_into(
                         &mut rng,
                         &ctx.disp_counts,
+                        h as u64,
+                        &mut sampled,
+                    );
+                    #[allow(clippy::needless_range_loop)]
+                    for sigma in 0..self.d {
+                        let k_sigma = sampled[sigma];
+                        if k_sigma == 0 {
+                            continue;
+                        }
+                        multinomial::sample_into(
+                            &mut rng,
+                            k_sigma,
+                            &self.rows[sigma],
+                            &mut observed,
+                        );
+                        for (slot, c) in out[base..base + self.d].iter_mut().zip(&observed) {
+                            *slot += c;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fills the observations of agents `range` when sampling is
+    /// restricted to a [`Topology`]'s neighborhoods: each of the `h`
+    /// samples is drawn from the agent's own neighbor slice instead of
+    /// the whole population. The per-agent stream discipline is identical
+    /// to [`Channel::fill_observations_chunk`], so the result is again
+    /// independent of chunking and thread count.
+    ///
+    /// There is no shared [`RoundContext`] here: with a sparse graph each
+    /// agent's observation law is a function of *its* neighborhood, so
+    /// the aggregated path builds a local display histogram (`O(deg)`)
+    /// and collapses it per agent — `O(n·|Σ|)`-shaped for bounded-degree
+    /// graphs instead of falling back to the literal `Θ(n·h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` is the complete graph (use the unrestricted path
+    /// — it is faster and byte-identical to pre-topology trajectories),
+    /// if `topo` does not cover `displays`, if `out` has the wrong size,
+    /// or if `h` exceeds the minimum degree under
+    /// [`SamplingMode::WithoutReplacement`].
+    pub fn fill_observations_topo_chunk(
+        &self,
+        displays: &[usize],
+        topo: &Topology,
+        h: usize,
+        range: Range<usize>,
+        streams: &RoundStreams,
+        out: &mut [u64],
+    ) {
+        assert!(
+            !topo.is_complete(),
+            "complete topology must use the unrestricted sampling path"
+        );
+        assert_eq!(
+            topo.n(),
+            displays.len(),
+            "topology does not cover the population"
+        );
+        assert!(range.end <= displays.len(), "chunk range out of bounds");
+        assert_eq!(
+            out.len(),
+            range.len() * self.d,
+            "observation buffer has wrong size"
+        );
+        if self.mode == SamplingMode::WithoutReplacement {
+            assert!(
+                h <= topo.min_degree(),
+                "cannot draw {h} distinct neighbors: minimum degree is {}",
+                topo.min_degree()
+            );
+        }
+        out.fill(0);
+        match self.kind {
+            ChannelKind::Exact => {
+                self.fill_exact_topo_chunk(displays, topo, h, range, streams, out)
+            }
+            ChannelKind::Aggregated => {
+                self.fill_aggregated_topo_chunk(displays, topo, h, range, streams, out)
+            }
+        }
+    }
+
+    fn fill_exact_topo_chunk(
+        &self,
+        displays: &[usize],
+        topo: &Topology,
+        h: usize,
+        range: Range<usize>,
+        streams: &RoundStreams,
+        out: &mut [u64],
+    ) {
+        match self.mode {
+            SamplingMode::WithReplacement => {
+                for (k, agent) in range.enumerate() {
+                    let mut rng = streams.rng(agent, StreamStage::Observe);
+                    let nbrs = topo.neighbors(agent);
+                    let base = k * self.d;
+                    for _ in 0..h {
+                        let sampled = nbrs[rng.gen_range(0..nbrs.len())] as usize;
+                        let observed = self.samplers.observe(&mut rng, displays[sampled]);
+                        out[base + observed] += 1;
+                    }
+                }
+            }
+            SamplingMode::WithoutReplacement => {
+                // Partial Fisher–Yates over a copy of the neighbor slice:
+                // the first h positions end up a uniform h-subset of the
+                // neighborhood.
+                // Per-chunk scratch, reused across the agent loop below.
+                let mut pool: Vec<u32> = Vec::with_capacity(topo.max_degree());
+                for (k, agent) in range.enumerate() {
+                    let mut rng = streams.rng(agent, StreamStage::Observe);
+                    pool.clear();
+                    pool.extend_from_slice(topo.neighbors(agent));
+                    let base = k * self.d;
+                    for i in 0..h {
+                        let j = rng.gen_range(i..pool.len());
+                        pool.swap(i, j);
+                        let observed = self.samplers.observe(&mut rng, displays[pool[i] as usize]);
+                        out[base + observed] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn fill_aggregated_topo_chunk(
+        &self,
+        displays: &[usize],
+        topo: &Topology,
+        h: usize,
+        range: Range<usize>,
+        streams: &RoundStreams,
+        out: &mut [u64],
+    ) {
+        // Per-agent *local* display histogram over the neighbor slice.
+        // Per-chunk scratch, reused across the agent loop below.
+        let mut local = vec![0u64; self.d];
+        match self.mode {
+            SamplingMode::WithReplacement => {
+                // Local collapse: the agent's h samples are i.i.d. over its
+                // neighborhood, so its count vector is Multinomial(h, q_loc)
+                // with q_loc_j = Σ_σ (local_σ/deg)·N_σj. The law differs per
+                // agent, so there is no round-shared cached CdfTable — the
+                // multinomial chain is drawn directly.
+                // Per-chunk scratch, reused across the agent loop below.
+                let mut q = vec![0.0f64; self.d];
+                for (k, agent) in range.enumerate() {
+                    let mut rng = streams.rng(agent, StreamStage::Observe);
+                    let nbrs = topo.neighbors(agent);
+                    local.fill(0);
+                    for &j in nbrs {
+                        local[displays[j as usize]] += 1;
+                    }
+                    let deg = nbrs.len() as f64;
+                    q.fill(0.0);
+                    for (sigma, &c) in local.iter().enumerate() {
+                        if c > 0 {
+                            let w = c as f64 / deg;
+                            for (qj, &row_j) in q.iter_mut().zip(&self.rows[sigma]) {
+                                *qj += w * row_j;
+                            }
+                        }
+                    }
+                    normalize_law(&mut q)
+                        // xtask-allow: unwrap (infallible by construction:
+                        // every built topology has minimum degree ≥ 1, so
+                        // the local histogram is nonzero)
+                        .expect("nonempty neighborhood yields a nonzero local law");
+                    let base = k * self.d;
+                    multinomial::sample_into(&mut rng, h as u64, &q, &mut out[base..base + self.d]);
+                }
+            }
+            SamplingMode::WithoutReplacement => {
+                // A uniform h-subset of the neighborhood: the sampled
+                // displays are multivariate hypergeometric in the *local*
+                // histogram, then pass through the noise rows per symbol.
+                // Per-chunk scratch, reused across the agent loop below.
+                let mut sampled = vec![0u64; self.d];
+                // Per-chunk scratch, reused across the agent loop below.
+                let mut observed = vec![0u64; self.d];
+                for (k, agent) in range.enumerate() {
+                    let mut rng = streams.rng(agent, StreamStage::Observe);
+                    let nbrs = topo.neighbors(agent);
+                    local.fill(0);
+                    for &j in nbrs {
+                        local[displays[j as usize]] += 1;
+                    }
+                    let base = k * self.d;
+                    hypergeometric::sample_multivariate_into(
+                        &mut rng,
+                        &local,
                         h as u64,
                         &mut sampled,
                     );
@@ -832,21 +1045,203 @@ mod tests {
 
     #[test]
     fn chunked_fill_is_chunk_size_invariant() {
-        let noise = NoiseMatrix::uniform(2, 0.15).unwrap();
-        let displays: Vec<usize> = (0..31).map(|i| usize::from(i % 3 == 0)).collect();
-        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
-            for mode in [
-                SamplingMode::WithReplacement,
-                SamplingMode::WithoutReplacement,
-            ] {
-                let channel = Channel::with_sampling(&noise, kind, mode);
-                let whole = chunk_counts_for(&channel, &displays, 9, 5, 31);
-                for chunk in [1, 4, 7, 30] {
-                    let pieces = chunk_counts_for(&channel, &displays, 9, 5, chunk);
-                    assert_eq!(whole, pieces, "{kind:?} {mode:?} chunk={chunk}");
+        // Full matrix: alphabet sizes 2, 3 and 4 (the multinomial chain and
+        // hypergeometric splitter branch on the tail length, so d = 2 alone
+        // does not cover them) under both kinds and both sampling modes.
+        // n = 31 with chunks [1, 4, 7, 30] exercises uneven chunk
+        // boundaries, including WithoutReplacement mid-permutation splits.
+        for d in [2usize, 3, 4] {
+            let noise = NoiseMatrix::uniform(d, 0.15).unwrap();
+            let displays: Vec<usize> = (0..31).map(|i| i % d).collect();
+            for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+                for mode in [
+                    SamplingMode::WithReplacement,
+                    SamplingMode::WithoutReplacement,
+                ] {
+                    let channel = Channel::with_sampling(&noise, kind, mode);
+                    let whole = chunk_counts_for(&channel, &displays, 9, 5, 31);
+                    for chunk in [1, 4, 7, 30] {
+                        let pieces = chunk_counts_for(&channel, &displays, 9, 5, chunk);
+                        assert_eq!(whole, pieces, "d={d} {kind:?} {mode:?} chunk={chunk}");
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn zero_law_is_a_typed_error() {
+        // Regression: an all-zero law used to pass through normalize_law
+        // untouched and feed CdfTable::new_unchecked(h, 0.0) — a silently
+        // degenerate sampler. It must be a BadHistogram error now.
+        let mut q = vec![0.0f64; 4];
+        let err = normalize_law(&mut q).expect_err("zero law");
+        assert!(matches!(err, EngineError::BadHistogram { .. }));
+        assert!(err.to_string().contains("sums to zero"));
+        // Clamping makes an all-negative law the same case.
+        let mut q = vec![-1e-18f64; 3];
+        assert!(normalize_law(&mut q).is_err());
+        // A healthy law still normalizes in place.
+        let mut q = vec![0.5f64, 0.25, 0.25 + 1e-16];
+        normalize_law(&mut q).expect("healthy law");
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    fn topo_chunk_counts_for(
+        channel: &Channel,
+        displays: &[usize],
+        topo: &crate::topology::Topology,
+        h: usize,
+        seed: u64,
+        chunk: usize,
+    ) -> Vec<u64> {
+        let streams = RoundStreams::new(seed, 0);
+        let d = channel.alphabet_size();
+        let mut out = vec![0u64; displays.len() * d];
+        let mut start = 0;
+        while start < displays.len() {
+            let end = (start + chunk).min(displays.len());
+            channel.fill_observations_topo_chunk(
+                displays,
+                topo,
+                h,
+                start..end,
+                &streams,
+                &mut out[start * d..end * d],
+            );
+            start = end;
+        }
+        out
+    }
+
+    #[test]
+    fn topo_chunked_fill_is_chunk_size_invariant() {
+        use crate::topology::{Topology, TopologySpec};
+        let specs = [
+            TopologySpec::Ring { k: 3 },
+            TopologySpec::RandomRegular { d: 6 },
+        ];
+        for d in [2usize, 3] {
+            let noise = NoiseMatrix::uniform(d, 0.15).unwrap();
+            let displays: Vec<usize> = (0..31).map(|i| i % d).collect();
+            for spec in specs {
+                let topo = Topology::build(spec, 31, 77).expect("builds");
+                for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+                    for mode in [
+                        SamplingMode::WithReplacement,
+                        SamplingMode::WithoutReplacement,
+                    ] {
+                        let channel = Channel::with_sampling(&noise, kind, mode);
+                        // h = 5 ≤ min degree 6, legal without replacement.
+                        let whole = topo_chunk_counts_for(&channel, &displays, &topo, 5, 5, 31);
+                        for chunk in [1, 4, 7, 30] {
+                            let pieces =
+                                topo_chunk_counts_for(&channel, &displays, &topo, 5, 5, chunk);
+                            assert_eq!(
+                                whole,
+                                pieces,
+                                "{} d={d} {kind:?} {mode:?} chunk={chunk}",
+                                spec.label()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topo_noiseless_without_replacement_sees_the_whole_neighborhood() {
+        // δ = 0, h = degree, no replacement: each agent's counts are
+        // exactly its neighborhood's display histogram — deterministically,
+        // for both channel kinds.
+        use crate::topology::{Topology, TopologySpec};
+        let noise = NoiseMatrix::noiseless(2);
+        let n = 12;
+        let topo = Topology::build(TopologySpec::Ring { k: 2 }, n, 1).expect("builds");
+        let displays: Vec<usize> = (0..n).map(|i| usize::from(i % 3 == 0)).collect();
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let channel = Channel::with_sampling(&noise, kind, SamplingMode::WithoutReplacement);
+            let out = topo_chunk_counts_for(&channel, &displays, &topo, 4, 9, 5);
+            for agent in 0..n {
+                let ones: u64 = topo
+                    .neighbors(agent)
+                    .iter()
+                    .map(|&j| displays[j as usize] as u64)
+                    .sum();
+                assert_eq!(
+                    &out[agent * 2..agent * 2 + 2],
+                    &[4 - ones, ones],
+                    "{kind:?} agent {agent}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topo_with_replacement_matches_neighborhood_marginals() {
+        // Ring of degree 4 under δ = 0.1: agent i's P(observe 1) is
+        // loc_i·0.9 + (1−loc_i)·0.1 with loc_i its neighborhood's display-1
+        // fraction. Check the empirical frequency pooled over agents whose
+        // neighborhoods are all-ones (loc = 1).
+        use crate::topology::{Topology, TopologySpec};
+        let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
+        let n = 40;
+        let topo = Topology::build(TopologySpec::Ring { k: 2 }, n, 1).expect("builds");
+        // First half displays 1, second half 0 — agents deep in the first
+        // half have all-ones neighborhoods.
+        let displays: Vec<usize> = (0..n).map(|i| usize::from(i < n / 2)).collect();
+        let deep: Vec<usize> = (2..n / 2 - 2).collect();
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let channel = Channel::new(&noise, kind);
+            let h = 16;
+            let reps = 200u64;
+            let mut ones = 0u64;
+            for round in 0..reps {
+                let streams = RoundStreams::new(4242, round);
+                let mut out = vec![0u64; n * 2];
+                channel.fill_observations_topo_chunk(&displays, &topo, h, 0..n, &streams, &mut out);
+                ones += deep.iter().map(|&a| out[a * 2 + 1]).sum::<u64>();
+            }
+            let frac = ones as f64 / (deep.len() as u64 * h as u64 * reps) as f64;
+            assert!((frac - 0.9).abs() < 0.01, "{kind:?}: fraction {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unrestricted sampling path")]
+    fn topo_chunk_rejects_complete_graph() {
+        use crate::topology::{Topology, TopologySpec};
+        let noise = NoiseMatrix::noiseless(2);
+        let channel = Channel::new(&noise, ChannelKind::Aggregated);
+        let topo = Topology::build(TopologySpec::Complete, 4, 0).expect("builds");
+        let streams = RoundStreams::new(0, 0);
+        let mut out = vec![0u64; 8];
+        channel.fill_observations_topo_chunk(&[0, 1, 0, 1], &topo, 1, 0..4, &streams, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum degree")]
+    fn topo_chunk_rejects_oversampling_the_neighborhood() {
+        use crate::topology::{Topology, TopologySpec};
+        let noise = NoiseMatrix::noiseless(2);
+        let channel = Channel::with_sampling(
+            &noise,
+            ChannelKind::Aggregated,
+            SamplingMode::WithoutReplacement,
+        );
+        let topo = Topology::build(TopologySpec::Ring { k: 1 }, 6, 0).expect("builds");
+        let streams = RoundStreams::new(0, 0);
+        let mut out = vec![0u64; 12];
+        // h = 3 > degree 2.
+        channel.fill_observations_topo_chunk(
+            &[0, 1, 0, 1, 0, 1],
+            &topo,
+            3,
+            0..6,
+            &streams,
+            &mut out,
+        );
     }
 
     #[test]

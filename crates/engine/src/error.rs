@@ -47,6 +47,15 @@ pub enum EngineError {
         /// Description of the violation.
         detail: String,
     },
+    /// A [`crate::topology::TopologySpec`] is malformed or incompatible
+    /// with the population it was asked to cover: unparsable spec string,
+    /// out-of-range parameters (ring span too wide, degree ≥ n, power-law
+    /// exponent ≤ 1), or a graph whose minimum degree cannot support the
+    /// requested sampling (h neighbors without replacement).
+    BadTopology {
+        /// Description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -74,6 +83,9 @@ impl fmt::Display for EngineError {
             EngineError::BadHistogram { detail } => {
                 write!(f, "bad display histogram: {detail}")
             }
+            EngineError::BadTopology { detail } => {
+                write!(f, "bad topology: {detail}")
+            }
         }
     }
 }
@@ -96,6 +108,7 @@ mod tests {
             EngineError::BadFaultPlan { detail: "y".into() },
             EngineError::BadSnapshot { detail: "z".into() },
             EngineError::BadHistogram { detail: "w".into() },
+            EngineError::BadTopology { detail: "t".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -60,6 +60,10 @@
 //!   [`world::World::snapshot`] / [`world::World::restore`]: crash-safe
 //!   mid-run persistence with a byte-identical-continuation guarantee
 //!   (the stream design means no RNG state is ever serialized).
+//! * [`topology`] — graph-restricted PULL: deterministic CSR neighbor
+//!   lists (ring, random regular, power-law) that confine each agent's
+//!   samples to its neighborhood; the complete graph stays the default
+//!   and costs nothing.
 //!
 //! # Example
 //!
@@ -150,6 +154,7 @@ pub mod push;
 pub mod runner;
 pub mod snapshot;
 pub mod streams;
+pub mod topology;
 pub mod world;
 
 pub use error::EngineError;

@@ -48,6 +48,13 @@ use crate::{EngineError, Result};
 /// The format magic, written first in every snapshot.
 pub const SNAP_MAGIC: &str = "np-snap/v1";
 
+/// The `np-snap/v2` magic: identical to v1 except for one extra section —
+/// the topology spec, right after the sampling-mode byte — emitted only by
+/// worlds running on a non-complete [`crate::topology::Topology`].
+/// Complete-graph worlds keep writing byte-identical v1 snapshots, so
+/// every pre-topology snapshot still restores unchanged.
+pub const SNAP_MAGIC_V2: &str = "np-snap/v2";
+
 fn bad(detail: impl Into<String>) -> EngineError {
     EngineError::BadSnapshot {
         detail: detail.into(),

@@ -33,6 +33,10 @@ pub enum StreamStage {
     /// The adversarial corruption hook
     /// ([`crate::world::World::corrupt_agents`]).
     Corrupt,
+    /// Deterministic topology generation ([`crate::topology`]): the
+    /// per-agent draws that build a graph's neighbor lists (used with
+    /// round 0, like [`StreamStage::Init`]).
+    Topology,
     /// The mid-run fault-injection hook ([`crate::faults`]). The payload
     /// is the index of the event in its [`crate::faults::FaultPlan`], so
     /// distinct events scheduled for the same round draw from independent
@@ -48,7 +52,8 @@ impl StreamStage {
             StreamStage::Observe => 2,
             StreamStage::Update => 3,
             StreamStage::Corrupt => 4,
-            // Tags 5..16 are reserved for future fixed stages; fault
+            StreamStage::Topology => 5,
+            // Tags 6..16 are reserved for future fixed stages; fault
             // events are open-ended so they get the tail of the space.
             StreamStage::Fault(event) => 16 + u64::from(event),
         }
@@ -113,6 +118,7 @@ mod tests {
             StreamStage::Observe,
             StreamStage::Update,
             StreamStage::Corrupt,
+            StreamStage::Topology,
             StreamStage::Fault(0),
             StreamStage::Fault(1),
             StreamStage::Fault(11),

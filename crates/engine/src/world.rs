@@ -41,8 +41,9 @@ use crate::packed::{self, PackedDisplays};
 use crate::population::PopulationConfig;
 use crate::protocol::{ColumnarProtocol, ColumnarState, Protocol};
 use crate::runner;
-use crate::snapshot::{SnapReader, SnapWriter, SnapshotState, SNAP_MAGIC};
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotState, SNAP_MAGIC, SNAP_MAGIC_V2};
 use crate::streams::{RoundStreams, StreamStage};
+use crate::topology::{Topology, TopologySpec};
 use crate::{EngineError, Result};
 
 /// A noise ramp in flight: the channel is rebuilt each round at the
@@ -72,6 +73,10 @@ struct ActiveRamp {
 pub struct World<P: ColumnarProtocol> {
     config: PopulationConfig,
     channel: Channel,
+    /// The interaction graph agents sample over. Defaults to the complete
+    /// graph (the paper's model), in which case the round loop takes the
+    /// unrestricted hot path and this field costs nothing.
+    topology: Topology,
     state: P::State,
     /// Bit-plane packed display store — the round loop's working layout.
     /// Display histograms come from its plane popcounts.
@@ -154,9 +159,15 @@ impl<P: ColumnarProtocol> World<P> {
         let n = config.n();
         let d = channel.alphabet_size();
         let correct_opinion = config.correct_opinion();
+        // A complete topology materializes no neighbor lists and only
+        // rejects the empty population, which the config already forbids.
+        let topology = Topology::build(TopologySpec::Complete, n, seed)
+            // xtask-allow: unwrap (infallible by construction: Complete over n >= 1 cannot fail)
+            .expect("complete topology over a nonempty population cannot fail");
         Ok(World {
             config,
             channel,
+            topology,
             state,
             packed: PackedDisplays::new(n, d),
             displays: vec![0; n],
@@ -200,6 +211,57 @@ impl<P: ColumnarProtocol> World<P> {
     /// value.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// The interaction graph agents sample over (the complete graph by
+    /// default).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Restricts sampling to a graph topology, regenerating the neighbor
+    /// lists deterministically from the master seed. A world on the
+    /// complete graph ([`TopologySpec::Complete`]) is byte-identical to one
+    /// that never called this method.
+    ///
+    /// Must be called before the first round: a trajectory is a pure
+    /// function of `(protocol, config, channel, topology, seed)`, and
+    /// swapping the graph mid-run would silently invalidate every
+    /// recorded metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadTopology`] if rounds have already run, if
+    /// the spec cannot be realized over this population (see
+    /// [`Topology::build`]), or if the channel samples without replacement
+    /// and `h` exceeds the graph's minimum degree (some agent would have
+    /// too few distinct neighbors to draw).
+    pub fn set_topology(&mut self, spec: TopologySpec) -> Result<()> {
+        if self.round != 0 {
+            return Err(EngineError::BadTopology {
+                detail: format!(
+                    "topology must be chosen before the first round (world is at round {})",
+                    self.round
+                ),
+            });
+        }
+        let topology = Topology::build(spec, self.config.n(), self.seed)?;
+        if self.channel.sampling_mode() == SamplingMode::WithoutReplacement
+            && !topology.is_complete()
+            && self.config.h() > topology.min_degree()
+        {
+            return Err(EngineError::BadTopology {
+                detail: format!(
+                    "cannot draw h = {} distinct neighbors without replacement on {}: \
+                     minimum degree is {}",
+                    self.config.h(),
+                    spec.label(),
+                    topology.min_degree()
+                ),
+            });
+        }
+        self.topology = topology;
+        Ok(())
     }
 
     /// Read access to the whole-population protocol state.
@@ -493,9 +555,12 @@ impl<P: ColumnarProtocol> World<P> {
                 }
             }
         }
-        // The exact channel samples literal displays, so only it pays for
-        // unpacking the planes back into the scalar seam vector.
-        if self.channel.kind() == ChannelKind::Exact {
+        // The exact channel samples literal displays, and a
+        // graph-restricted round tallies per-neighborhood display
+        // histograms, so both pay for unpacking the planes back into the
+        // scalar seam vector. The complete-graph aggregated path never
+        // does.
+        if self.channel.kind() == ChannelKind::Exact || !self.topology.is_complete() {
             self.packed.unpack_into(&mut self.displays);
         }
         if let Some(clock) = clock.as_mut() {
@@ -509,11 +574,9 @@ impl<P: ColumnarProtocol> World<P> {
         // agents (fault subsystem) are masked out; the mask is `None` on
         // the fault-free fast path.
         {
-            // Preconditions (non-empty population, h ≤ n checked at
-            // construction) hold here, so take the trusted hot path.
-            let ctx = self.channel.begin_round_from_counts_trusted(disp_counts, h);
             let channel = &self.channel;
             let displays = &self.displays;
+            let topology = &self.topology;
             let cur = self.round + 1;
             let awake: Option<Vec<bool>> = if self.asleep_until.iter().any(|&until| cur < until) {
                 Some(
@@ -541,13 +604,47 @@ impl<P: ColumnarProtocol> World<P> {
                     (i * chunk, view, obs, mask)
                 })
                 .collect();
-            runner::scatter(threads, jobs, |(start, mut view, obs, mask)| {
-                let agents = obs.len() / d.max(1);
-                let range = start..start + agents;
-                channel.fill_observations_chunk(&ctx, displays, h, range.clone(), &streams, obs);
-                crate::invariants::check_observation_chunk(start, obs, d, h as u64);
-                <P::State as ColumnarState>::step_chunk(&mut view, range, obs, d, &streams, mask);
-            });
+            if topology.is_complete() {
+                // Preconditions (non-empty population, h ≤ n checked at
+                // construction) hold here, so take the trusted hot path.
+                let ctx = channel.begin_round_from_counts_trusted(disp_counts, h);
+                runner::scatter(threads, jobs, |(start, mut view, obs, mask)| {
+                    let agents = obs.len() / d.max(1);
+                    let range = start..start + agents;
+                    channel.fill_observations_chunk(
+                        &ctx,
+                        displays,
+                        h,
+                        range.clone(),
+                        &streams,
+                        obs,
+                    );
+                    crate::invariants::check_observation_chunk(start, obs, d, h as u64);
+                    <P::State as ColumnarState>::step_chunk(
+                        &mut view, range, obs, d, &streams, mask,
+                    );
+                });
+            } else {
+                // Graph-restricted round: every agent's observation law is
+                // local to its neighborhood, so there is no shared round
+                // context — the channel collapses per-agent laws on the fly.
+                runner::scatter(threads, jobs, |(start, mut view, obs, mask)| {
+                    let agents = obs.len() / d.max(1);
+                    let range = start..start + agents;
+                    channel.fill_observations_topo_chunk(
+                        displays,
+                        topology,
+                        h,
+                        range.clone(),
+                        &streams,
+                        obs,
+                    );
+                    crate::invariants::check_observation_chunk(start, obs, d, h as u64);
+                    <P::State as ColumnarState>::step_chunk(
+                        &mut view, range, obs, d, &streams, mask,
+                    );
+                });
+            }
         }
 
         // The fused pass is timed as `observe`; `update` stays zero under
@@ -679,7 +776,12 @@ where
     P::State: SnapshotState,
 {
     /// Serializes the world's full trajectory-relevant state as an
-    /// `np-snap/v1` byte buffer.
+    /// `np-snap/v1` byte buffer — or `np-snap/v2` when a non-complete
+    /// [`Topology`] is active, which adds exactly one section (the
+    /// topology spec, right after the sampling-mode byte; neighbor lists
+    /// are regenerated from the seed on restore, never serialized).
+    /// Complete-graph worlds emit v1 bytes identical to before the
+    /// topology subsystem existed.
     ///
     /// Captured: the round counter, population configuration, seed,
     /// channel (kind, sampling mode, exact noise rows), the current
@@ -691,7 +793,11 @@ where
     /// see [`World::reattach_fault_plan`]).
     pub fn snapshot(&self) -> Vec<u8> {
         let mut w = SnapWriter::new();
-        w.put_str(SNAP_MAGIC);
+        w.put_str(if self.topology.is_complete() {
+            SNAP_MAGIC
+        } else {
+            SNAP_MAGIC_V2
+        });
         w.put_str(<P::State as SnapshotState>::SNAP_TAG);
         w.put_usize(self.config.n());
         w.put_usize(self.config.s0());
@@ -708,6 +814,23 @@ where
             SamplingMode::WithReplacement => 0,
             SamplingMode::WithoutReplacement => 1,
         });
+        // The v2 topology section. A complete topology writes nothing —
+        // that omission is what keeps complete-graph snapshots v1.
+        match self.topology.spec() {
+            TopologySpec::Complete => {}
+            TopologySpec::Ring { k } => {
+                w.put_u8(1);
+                w.put_usize(k);
+            }
+            TopologySpec::RandomRegular { d } => {
+                w.put_u8(2);
+                w.put_usize(d);
+            }
+            TopologySpec::PowerLaw { alpha } => {
+                w.put_u8(3);
+                w.put_f64(alpha);
+            }
+        }
         let rows = self.channel.noise_rows();
         w.put_usize(rows.len());
         for row in rows {
@@ -755,8 +878,10 @@ where
         w.into_bytes()
     }
 
-    /// Rebuilds a world from an `np-snap/v1` buffer produced by
-    /// [`World::snapshot`], ready to continue from the recorded round.
+    /// Rebuilds a world from an `np-snap/v1` or `np-snap/v2` buffer
+    /// produced by [`World::snapshot`], ready to continue from the
+    /// recorded round. A v2 buffer carries a topology spec; its neighbor
+    /// lists are regenerated from the seed.
     ///
     /// The restored world uses [`runner::suggested_threads`]`()` (override
     /// with [`World::set_threads`] — the trajectory never depends on it)
@@ -773,11 +898,15 @@ where
         let bad = |detail: String| EngineError::BadSnapshot { detail };
         let mut r = SnapReader::new(bytes);
         let magic = r.take_str()?;
-        if magic != SNAP_MAGIC {
+        let has_topology_section = if magic == SNAP_MAGIC {
+            false
+        } else if magic == SNAP_MAGIC_V2 {
+            true
+        } else {
             return Err(bad(format!(
-                "expected magic `{SNAP_MAGIC}`, found `{magic}`"
+                "expected magic `{SNAP_MAGIC}` or `{SNAP_MAGIC_V2}`, found `{magic}`"
             )));
-        }
+        };
         let tag = r.take_str()?;
         let want = <P::State as SnapshotState>::SNAP_TAG;
         if tag != want {
@@ -803,6 +932,31 @@ where
             1 => SamplingMode::WithoutReplacement,
             x => return Err(bad(format!("invalid sampling-mode byte {x}"))),
         };
+        let topo_spec = if has_topology_section {
+            match r.take_u8()? {
+                1 => TopologySpec::Ring { k: r.take_usize()? },
+                2 => TopologySpec::RandomRegular { d: r.take_usize()? },
+                3 => TopologySpec::PowerLaw {
+                    alpha: r.take_f64()?,
+                },
+                x => return Err(bad(format!("invalid topology tag {x}"))),
+            }
+        } else {
+            TopologySpec::Complete
+        };
+        // Neighbor lists are a pure function of (spec, n, seed), so the
+        // snapshot carries only the spec and we regenerate the graph here.
+        let topology = Topology::build(topo_spec, n, seed)
+            .map_err(|e| bad(format!("snapshot topology rejected: {e}")))?;
+        if mode == SamplingMode::WithoutReplacement
+            && !topology.is_complete()
+            && h > topology.min_degree()
+        {
+            return Err(bad(format!(
+                "snapshot samples {h} distinct neighbors but the topology's minimum degree is {}",
+                topology.min_degree()
+            )));
+        }
         let d = r.take_usize()?;
         if d != protocol.alphabet_size() {
             return Err(bad(format!(
@@ -878,6 +1032,7 @@ where
         Ok(World {
             config,
             channel,
+            topology,
             state,
             packed: PackedDisplays::new(n, d),
             displays: vec![0; n],
@@ -1475,7 +1630,7 @@ mod tests {
 
     // ---- snapshot / restore ------------------------------------------
 
-    use crate::snapshot::{SnapshotAgent, SNAP_MAGIC};
+    use crate::snapshot::{SnapshotAgent, SNAP_MAGIC, SNAP_MAGIC_V2};
 
     impl SnapshotAgent for MajorityAgent {
         const SNAP_TAG: &'static str = "test-majority/v1";
@@ -1632,6 +1787,126 @@ mod tests {
         wrong.put_str("other-protocol/v1");
         let err = World::<Majority>::restore(&Majority, &wrong.into_bytes()).unwrap_err();
         assert!(err.to_string().contains("test-majority/v1"), "{err}");
+    }
+
+    // ---- graph-restricted topologies ---------------------------------
+
+    /// A ring world under real noise; k = 4 gives degree 8 ≪ n.
+    fn ring_world(seed: u64, kind: ChannelKind) -> World<Majority> {
+        let config = PopulationConfig::new(32, 0, 20, 8).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
+        let mut w = World::new(&Majority, config, &noise, kind, seed).unwrap();
+        w.set_topology(TopologySpec::Ring { k: 4 }).unwrap();
+        w
+    }
+
+    #[test]
+    fn complete_topology_is_a_noop_seam() {
+        // Explicitly setting the complete topology must leave the
+        // trajectory AND the snapshot bytes identical to never touching
+        // the topology API at all.
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let config = || PopulationConfig::new(32, 0, 20, 32).unwrap();
+            let noise = NoiseMatrix::uniform(2, 0.05).unwrap();
+            let mut plain = World::new(&Majority, config(), &noise, kind, 7).unwrap();
+            let mut seamed = World::new(&Majority, config(), &noise, kind, 7).unwrap();
+            seamed.set_topology(TopologySpec::Complete).unwrap();
+            plain.run(10);
+            seamed.run(10);
+            assert_eq!(plain.opinions(), seamed.opinions(), "{kind:?}");
+            assert_eq!(plain.snapshot(), seamed.snapshot(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn topology_must_be_set_before_stepping() {
+        let mut w = world(5);
+        w.run(1);
+        let err = w.set_topology(TopologySpec::Ring { k: 2 }).unwrap_err();
+        assert!(matches!(err, EngineError::BadTopology { .. }), "{err}");
+        assert!(err.to_string().contains("before the first round"), "{err}");
+    }
+
+    #[test]
+    fn without_replacement_rejects_oversampling_the_neighborhood() {
+        // h = 8 but ring k = 2 gives degree 4: too few distinct neighbors.
+        let config = PopulationConfig::new(32, 0, 20, 8).unwrap();
+        let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
+        let channel = Channel::with_sampling(
+            &noise,
+            ChannelKind::Aggregated,
+            SamplingMode::WithoutReplacement,
+        );
+        let mut w: World<Majority> = World::with_channel(&Majority, config, channel, 3).unwrap();
+        let err = w.set_topology(TopologySpec::Ring { k: 2 }).unwrap_err();
+        assert!(matches!(err, EngineError::BadTopology { .. }), "{err}");
+        assert!(err.to_string().contains("minimum degree"), "{err}");
+        // Degree 16 ≥ h = 8 is fine.
+        w.set_topology(TopologySpec::Ring { k: 8 }).unwrap();
+    }
+
+    #[test]
+    fn ring_changes_the_trajectory() {
+        let mut complete = {
+            let config = PopulationConfig::new(32, 0, 20, 8).unwrap();
+            let noise = NoiseMatrix::uniform(2, 0.1).unwrap();
+            World::<Majority>::new(&Majority, config, &noise, ChannelKind::Aggregated, 9).unwrap()
+        };
+        let mut ring = ring_world(9, ChannelKind::Aggregated);
+        complete.run(5);
+        ring.run(5);
+        assert_ne!(
+            complete.opinions(),
+            ring.opinions(),
+            "a degree-8 ring should not reproduce the complete graph"
+        );
+    }
+
+    #[test]
+    fn ring_trajectory_is_thread_count_invariant() {
+        for kind in [ChannelKind::Exact, ChannelKind::Aggregated] {
+            let mut reference = ring_world(13, kind);
+            reference.set_threads(1);
+            reference.record_series();
+            reference.run(12);
+            for threads in [2, 7] {
+                let mut w = ring_world(13, kind);
+                w.set_threads(threads);
+                w.record_series();
+                w.run(12);
+                assert_eq!(
+                    w.opinions(),
+                    reference.opinions(),
+                    "{kind:?} threads = {threads}"
+                );
+                assert_eq!(
+                    w.series().unwrap().counts(Opinion::One),
+                    reference.series().unwrap().counts(Opinion::One),
+                    "{kind:?} threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_snapshot_round_trips_as_v2() {
+        let mut reference = ring_world(23, ChannelKind::Aggregated);
+        reference.set_threads(1);
+        reference.run(4);
+        let bytes = reference.snapshot();
+        // The v2 magic leads the buffer (u64 length prefix, then UTF-8).
+        assert_eq!(&bytes[8..18], SNAP_MAGIC_V2.as_bytes());
+        reference.run(6);
+
+        let mut restored: World<Majority> = World::restore(&Majority, &bytes).unwrap();
+        assert_eq!(restored.topology().spec(), TopologySpec::Ring { k: 4 });
+        restored.set_threads(7);
+        restored.run(6);
+        assert_eq!(restored.opinions(), reference.opinions());
+
+        // Re-encoding a freshly restored world reproduces the bytes.
+        let again: World<Majority> = World::restore(&Majority, &bytes).unwrap();
+        assert_eq!(again.snapshot(), bytes);
     }
 
     #[test]

@@ -465,7 +465,7 @@ pub fn majority_prob_unchecked(n: u64, p: f64) -> f64 {
     // 2X > n ⟺ X > ⌊n/2⌋ for every parity; the tie 2X = n exists only
     // for even n.
     let win = table.sf_at(half);
-    let tie = if n % 2 == 0 {
+    let tie = if n.is_multiple_of(2) {
         0.5 * table.pmf_at(half)
     } else {
         0.0

@@ -328,7 +328,14 @@ where
         _ => {
             let noise =
                 NoiseMatrix::uniform(job.protocol.alphabet_size(), job.delta).map_err(err)?;
-            World::new(protocol, config, &noise, ChannelKind::Aggregated, job.seed).map_err(err)?
+            let mut world = World::new(protocol, config, &noise, ChannelKind::Aggregated, job.seed)
+                .map_err(err)?;
+            // Restored worlds skip this: an np-snap/v2 checkpoint already
+            // carries the topology it was taken under.
+            if !job.topology.is_complete() {
+                world.set_topology(job.topology).map_err(err)?;
+            }
+            world
         }
     };
     // One engine thread per world: the sweep already parallelizes across
@@ -379,6 +386,14 @@ fn drive_counts<P: CountsProtocol>(
     job: &JobSpec,
     ctx: &SweepCtx<'_>,
 ) -> Result<(), SweepError> {
+    // `SweepSpec::parse` rejects mean-field + non-complete topologies;
+    // guard hand-built specs the same way the sf-alt arm does.
+    if !job.topology.is_complete() {
+        return Err(SweepError(format!(
+            "backend mean-field does not support topology {}",
+            job.topology.label()
+        )));
+    }
     let noise = NoiseMatrix::uniform(job.protocol.alphabet_size(), job.delta).map_err(err)?;
     let mut world = CountsWorld::new(protocol, config, &noise, job.seed).map_err(err)?;
     while world.round() < budget {
@@ -421,43 +436,56 @@ pub fn aggregate(spec: &SweepSpec, records: &[JobRecord]) -> Result<Vec<PerfPoin
     for &protocol in &spec.protocols {
         for &n in &spec.ns {
             for &delta in &spec.deltas {
-                let mut runs = 0usize;
-                let mut converged = 0usize;
-                let mut rounds_sum = 0.0f64;
-                for job in jobs
-                    .iter()
-                    .filter(|j| j.protocol == protocol && j.n == n && j.delta == delta)
-                {
-                    let rec = latest(records, &job.id).ok_or_else(|| {
-                        SweepError(format!("job {} has no manifest record", job.id))
-                    })?;
-                    if rec.status != JobStatus::Done {
-                        return Err(SweepError(format!(
-                            "job {} is {}, not done; resume the sweep first",
-                            job.id,
-                            rec.status.name()
-                        )));
+                for &topology in &spec.topologies {
+                    let mut runs = 0usize;
+                    let mut converged = 0usize;
+                    let mut rounds_sum = 0.0f64;
+                    for job in jobs.iter().filter(|j| {
+                        j.protocol == protocol
+                            && j.n == n
+                            && j.delta == delta
+                            && j.topology == topology
+                    }) {
+                        let rec = latest(records, &job.id).ok_or_else(|| {
+                            SweepError(format!("job {} has no manifest record", job.id))
+                        })?;
+                        if rec.status != JobStatus::Done {
+                            return Err(SweepError(format!(
+                                "job {} is {}, not done; resume the sweep first",
+                                job.id,
+                                rec.status.name()
+                            )));
+                        }
+                        runs += 1;
+                        if rec.consensus {
+                            converged += 1;
+                            rounds_sum += rec.round as f64;
+                        }
                     }
-                    runs += 1;
-                    if rec.consensus {
-                        converged += 1;
-                        rounds_sum += rec.round as f64;
-                    }
+                    // Complete-graph points keep the pre-topology label so
+                    // existing reports stay byte-identical.
+                    let label = if topology.is_complete() {
+                        format!("{} n={n} d={delta}", protocol.name())
+                    } else {
+                        format!("{} n={n} d={delta} t={}", protocol.name(), topology.label())
+                    };
+                    points.push(PerfPoint {
+                        label,
+                        n,
+                        runs,
+                        converged,
+                        mean_rounds: (converged > 0).then(|| rounds_sum / converged as f64),
+                        mean_wall_ms: 0.0,
+                        median_wall_ms: None,
+                        p95_wall_ms: None,
+                        // Per-agent sweeps omit the tag so their reports
+                        // stay byte-identical to pre-backend artifacts.
+                        backend: (spec.backend == BackendKind::MeanField)
+                            .then(|| BackendKind::MeanField.name().to_string()),
+                        degree: None,
+                        convergence_rate: None,
+                    });
                 }
-                points.push(PerfPoint {
-                    label: format!("{} n={n} d={delta}", protocol.name()),
-                    n,
-                    runs,
-                    converged,
-                    mean_rounds: (converged > 0).then(|| rounds_sum / converged as f64),
-                    mean_wall_ms: 0.0,
-                    median_wall_ms: None,
-                    p95_wall_ms: None,
-                    // Per-agent sweeps omit the tag so their reports stay
-                    // byte-identical to pre-backend artifacts.
-                    backend: (spec.backend == BackendKind::MeanField)
-                        .then(|| BackendKind::MeanField.name().to_string()),
-                });
             }
         }
     }
@@ -527,6 +555,8 @@ pub fn measure_throughput(spec: &ThroughputSpec) -> Result<Vec<PerfPoint>, Sweep
             median_wall_ms: Some(median),
             p95_wall_ms: Some(p95),
             backend: None,
+            degree: None,
+            convergence_rate: None,
         });
     }
     Ok(points)
@@ -546,12 +576,14 @@ pub fn rounds_per_sec(point: &PerfPoint) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use np_engine::topology::TopologySpec;
 
     fn spec(runs: usize) -> SweepSpec {
         SweepSpec {
             protocols: vec![ProtocolKind::Sf],
             ns: vec![32],
             deltas: vec![0.1],
+            topologies: vec![TopologySpec::Complete],
             h: None,
             s0: 0,
             s1: 1,
@@ -653,6 +685,65 @@ mod tests {
         assert_eq!(got, want, "resumed report differs from uninterrupted run");
 
         std::fs::remove_dir_all(&straight_out).ok();
+        std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn ring_sweep_completes_and_labels_its_points() {
+        let out = temp_out("ring");
+        let opts = SweepOptions::new(out.clone());
+        let mut s = spec(2);
+        s.topologies = vec![TopologySpec::Complete, TopologySpec::Ring { k: 2 }];
+        let outcome = run_sweep(&s, &opts).unwrap();
+        assert_eq!(outcome.completed, 4);
+        let report = std::fs::read_to_string(outcome.report.unwrap()).unwrap();
+        // Complete points keep the pre-topology label; ring points append it.
+        assert!(report.contains("\"sf n=32 d=0.1\""), "{report}");
+        assert!(report.contains("\"sf n=32 d=0.1 t=ring:2\""), "{report}");
+        std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn interrupted_ring_sweep_resumes_from_v2_checkpoints() {
+        // Ring jobs checkpoint as np-snap/v2 (the snapshot carries the
+        // topology); resuming from one must reproduce the uninterrupted
+        // report byte-for-byte.
+        let mut s = spec(3);
+        s.topologies = vec![TopologySpec::Ring { k: 4 }];
+
+        let straight_out = temp_out("ring_straight");
+        let mut straight_opts = SweepOptions::new(straight_out.clone());
+        straight_opts.checkpoint_every = 4;
+        let straight = run_sweep(&s, &straight_opts).unwrap();
+        let want = std::fs::read(straight.report.unwrap()).unwrap();
+
+        let out = temp_out("ring_interrupted");
+        let mut opts = SweepOptions::new(out.clone());
+        opts.checkpoint_every = 4;
+        opts.stop_after = Some(1);
+        opts.threads = 4;
+        let stopped = run_sweep(&s, &opts).unwrap();
+        assert!(stopped.stopped_early);
+
+        opts.stop_after = None;
+        opts.resume = true;
+        let resumed = run_sweep(&s, &opts).unwrap();
+        let got = std::fs::read(resumed.report.unwrap()).unwrap();
+        assert_eq!(got, want, "resumed ring report differs from straight run");
+
+        std::fs::remove_dir_all(&straight_out).ok();
+        std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn mean_field_refuses_restricted_topologies() {
+        let out = temp_out("mf_topo");
+        let opts = SweepOptions::new(out.clone());
+        let mut s = spec(1);
+        s.backend = BackendKind::MeanField;
+        s.topologies = vec![TopologySpec::Ring { k: 2 }];
+        let e = run_sweep(&s, &opts).unwrap_err().to_string();
+        assert!(e.contains("does not support topology ring:2"), "{e}");
         std::fs::remove_dir_all(&out).ok();
     }
 

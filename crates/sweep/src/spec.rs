@@ -1,9 +1,9 @@
 //! The declarative sweep specification and its `key = value` grid parser.
 //!
 //! A spec is a plain-text file of `key = value[, value…]` lines; `#`
-//! starts a comment and blank lines are ignored. Three keys accept comma
-//! grids (`protocol`, `n`, `delta`); the sweep is their cartesian product
-//! times `runs` repetitions. Example:
+//! starts a comment and blank lines are ignored. Four keys accept comma
+//! grids (`protocol`, `n`, `delta`, `topology`); the sweep is their
+//! cartesian product times `runs` repetitions. Example:
 //!
 //! ```text
 //! # Theorem 4 regime, two population sizes
@@ -15,11 +15,15 @@
 //! ```
 //!
 //! [`SweepSpec::jobs`] expands the grid in *spec order* (protocol, then
-//! `n`, then `delta`, then run index) into [`JobSpec`]s with stable ids
-//! `{protocol}-n{n}-d{delta}-r{run}`. Each job's seed is derived from the
-//! master seed and the id alone, so the expansion is a pure function of
-//! the spec text — the property `--resume` relies on.
+//! `n`, then `delta`, then `topology`, then run index) into [`JobSpec`]s
+//! with stable ids `{protocol}-n{n}-d{delta}[-{topo}]-r{run}` (the topo
+//! segment appears only for non-complete topologies, so complete-graph
+//! ids — and their derived seeds — are unchanged from pre-topology
+//! sweeps). Each job's seed is derived from the master seed and the id
+//! alone, so the expansion is a pure function of the spec text — the
+//! property `--resume` relies on.
 
+use np_engine::topology::TopologySpec;
 use np_stats::seeds::SeedSequence;
 
 use crate::SweepError;
@@ -138,6 +142,8 @@ pub struct SweepSpec {
     pub budget_intervals: u64,
     /// Simulation engine for every job (default per-agent).
     pub backend: BackendKind,
+    /// Interaction-graph grid (default: the complete graph only).
+    pub topologies: Vec<TopologySpec>,
 }
 
 /// One expanded job: a single seeded run at one grid point.
@@ -167,6 +173,8 @@ pub struct JobSpec {
     pub budget_intervals: u64,
     /// Simulation engine for this job.
     pub backend: BackendKind,
+    /// Interaction graph the job's world samples over.
+    pub topology: TopologySpec,
 }
 
 impl SweepSpec {
@@ -189,6 +197,7 @@ impl SweepSpec {
         let mut seed: Option<u64> = None;
         let mut budget_intervals: Option<u64> = None;
         let mut backend: Option<BackendKind> = None;
+        let mut topologies: Option<Vec<TopologySpec>> = None;
 
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -240,10 +249,17 @@ impl SweepSpec {
                         &at,
                     )?;
                 }
+                "topology" => {
+                    let grid: Result<Vec<TopologySpec>, SweepError> = value
+                        .split(',')
+                        .map(|v| TopologySpec::parse(v.trim()).map_err(|e| at(e.to_string())))
+                        .collect();
+                    set_once(&mut topologies, key, grid?, &at)?;
+                }
                 other => {
                     return Err(at(format!(
                         "unknown key `{other}`; known: protocol, n, delta, h, s0, s1, c1, \
-                         runs, seed, budget-intervals, backend"
+                         runs, seed, budget-intervals, backend, topology"
                     )))
                 }
             }
@@ -262,18 +278,26 @@ impl SweepSpec {
             seed: seed.unwrap_or(42),
             budget_intervals: budget_intervals.unwrap_or(10),
             backend: backend.unwrap_or(BackendKind::PerAgent),
+            topologies: topologies.unwrap_or_else(|| vec![TopologySpec::Complete]),
         };
         if spec.runs == 0 {
             return Err(SweepError("spec: `runs` must be at least 1".into()));
         }
-        if spec.backend == BackendKind::MeanField
-            && spec.protocols.contains(&ProtocolKind::SfAlt)
-        {
+        if spec.backend == BackendKind::MeanField && spec.protocols.contains(&ProtocolKind::SfAlt) {
             return Err(SweepError(
                 "spec: backend mean-field does not support protocol sf-alt \
                  (no counts port of the alternating display)"
                     .into(),
             ));
+        }
+        if spec.backend == BackendKind::MeanField {
+            if let Some(t) = spec.topologies.iter().find(|t| !t.is_complete()) {
+                return Err(SweepError(format!(
+                    "spec: backend mean-field does not support topology {} \
+                     (the counts engine assumes exchangeability over the complete graph)",
+                    t.label()
+                )));
+            }
         }
         Ok(spec)
     }
@@ -290,33 +314,49 @@ impl SweepSpec {
     }
 
     /// Expands the grid into the deterministic job list, in spec order
-    /// (protocol → `n` → `delta` → run index).
+    /// (protocol → `n` → `delta` → topology → run index).
+    ///
+    /// Complete-graph jobs keep the pre-topology id shape
+    /// `{protocol}-n{n}-d{delta}-r{run}` — and therefore the exact seeds
+    /// of older sweeps; non-complete topologies splice a `-{topo}` segment
+    /// before the run index.
     pub fn jobs(&self) -> Vec<JobSpec> {
         let master = SeedSequence::new(self.seed);
         let mut jobs = Vec::new();
         for &protocol in &self.protocols {
             for &n in &self.ns {
                 for &delta in &self.deltas {
-                    for run in 0..self.runs {
-                        let id = format!("{}-n{n}-d{delta}-r{run}", protocol.name());
-                        let seed = master.child_of_label(&id).seed_at(0);
-                        jobs.push(JobSpec {
-                            id,
-                            protocol,
-                            n,
-                            h: match self.h {
-                                None | Some(0) => n,
-                                Some(h) => h,
-                            },
-                            s0: self.s0,
-                            s1: self.s1,
-                            delta,
-                            c1: self.c1.unwrap_or_else(|| protocol.default_c1()),
-                            seed,
-                            run,
-                            budget_intervals: self.budget_intervals,
-                            backend: self.backend,
-                        });
+                    for &topology in &self.topologies {
+                        for run in 0..self.runs {
+                            let id = if topology.is_complete() {
+                                format!("{}-n{n}-d{delta}-r{run}", protocol.name())
+                            } else {
+                                format!(
+                                    "{}-n{n}-d{delta}-{}-r{run}",
+                                    protocol.name(),
+                                    topology.label().replace(':', "")
+                                )
+                            };
+                            let seed = master.child_of_label(&id).seed_at(0);
+                            jobs.push(JobSpec {
+                                id,
+                                protocol,
+                                n,
+                                h: match self.h {
+                                    None | Some(0) => n,
+                                    Some(h) => h,
+                                },
+                                s0: self.s0,
+                                s1: self.s1,
+                                delta,
+                                c1: self.c1.unwrap_or_else(|| protocol.default_c1()),
+                                seed,
+                                run,
+                                budget_intervals: self.budget_intervals,
+                                backend: self.backend,
+                                topology,
+                            });
+                        }
                     }
                 }
             }
@@ -392,8 +432,7 @@ mod tests {
 
     #[test]
     fn parses_mean_field_backend() {
-        let spec =
-            SweepSpec::parse("protocol=sf\nn=32\ndelta=0.1\nbackend=mean-field\n").unwrap();
+        let spec = SweepSpec::parse("protocol=sf\nn=32\ndelta=0.1\nbackend=mean-field\n").unwrap();
         assert_eq!(spec.backend, BackendKind::MeanField);
         assert_eq!(spec.jobs()[0].backend, BackendKind::MeanField);
         for kind in [BackendKind::PerAgent, BackendKind::MeanField] {
@@ -464,6 +503,50 @@ mod tests {
         check(
             "protocol = sf-alt\nn=64\ndelta=0.1\nbackend=mean-field\n",
             "does not support protocol sf-alt",
+        );
+    }
+
+    #[test]
+    fn topology_grid_expands_with_suffixed_ids() {
+        let spec =
+            SweepSpec::parse("protocol=sf\nn=32\ndelta=0.1\ntopology=complete, ring:4\nruns=1\n")
+                .unwrap();
+        assert_eq!(
+            spec.topologies,
+            vec![TopologySpec::Complete, TopologySpec::Ring { k: 4 }]
+        );
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 2);
+        // Complete jobs keep the pre-topology id — and therefore the exact
+        // seeds of pre-topology sweeps; ring jobs splice a segment.
+        assert_eq!(jobs[0].id, "sf-n32-d0.1-r0");
+        assert_eq!(jobs[1].id, "sf-n32-d0.1-ring4-r0");
+        let bare = SweepSpec::parse("protocol=sf\nn=32\ndelta=0.1\nruns=1\n").unwrap();
+        assert_eq!(bare.jobs()[0].seed, jobs[0].seed);
+        assert_ne!(jobs[0].seed, jobs[1].seed);
+        assert_eq!(jobs[1].topology, TopologySpec::Ring { k: 4 });
+    }
+
+    #[test]
+    fn topology_defaults_to_complete() {
+        let spec = SweepSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.topologies, vec![TopologySpec::Complete]);
+        assert!(spec.jobs().iter().all(|j| j.topology.is_complete()));
+    }
+
+    #[test]
+    fn rejects_topology_misuse() {
+        let check = |text: &str, needle: &str| {
+            let e = SweepSpec::parse(text).unwrap_err().to_string();
+            assert!(e.contains(needle), "`{text}` → {e}");
+        };
+        check(
+            "protocol=sf\nn=32\ndelta=0.1\ntopology=torus:3\n",
+            "unknown topology `torus:3`",
+        );
+        check(
+            "protocol=sf\nn=32\ndelta=0.1\ntopology=ring:2\nbackend=mean-field\n",
+            "does not support topology ring:2",
         );
     }
 

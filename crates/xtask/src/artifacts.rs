@@ -28,9 +28,17 @@ const POINT_KEYS: &[&str] = &[
 ];
 /// Optional trailing keys of an np-bench/v1 point: per-seed wall-clock
 /// quantiles (emitted only by benches that record one sample per seeded
-/// run — both present or both absent) and the simulation backend tag
-/// (emitted by benches that mix per-agent and mean-field points).
-const POINT_OPTIONAL_KEYS: &[&str] = &["median_wall_ms", "p95_wall_ms", "backend"];
+/// run — both present or both absent), the simulation backend tag
+/// (emitted by benches that mix per-agent and mean-field points), and
+/// the topology keys (graph degree plus convergence rate, emitted by the
+/// graph-restricted benches).
+const POINT_OPTIONAL_KEYS: &[&str] = &[
+    "median_wall_ms",
+    "p95_wall_ms",
+    "backend",
+    "degree",
+    "convergence_rate",
+];
 /// Legal values of a point's `backend` tag.
 const POINT_BACKENDS: &[&str] = &["per-agent", "mean-field"];
 /// Keys of an np-run-summary/v1 document, in writer order (faults only
@@ -161,6 +169,33 @@ pub fn validate_bench(text: &str) -> Result<String, Vec<String>> {
                             errs.push(format!("{at}: unknown backend {other:?}"));
                         }
                         None => errs.push(format!("{at}: `backend` must be a string")),
+                    }
+                }
+                // Topology keys: the degree is a positive integer, and
+                // the convergence rate must be the fraction the point's
+                // own counters imply — anything else is a hand-edit.
+                if let Some(degree) = point.get("degree") {
+                    match degree.as_u64() {
+                        Some(d) if d >= 1 => {}
+                        Some(0) => errs.push(format!("{at}: `degree` must be at least 1")),
+                        _ => errs.push(format!("{at}: `degree` must be a positive integer")),
+                    }
+                }
+                if let Some(rate) = point.get("convergence_rate") {
+                    match rate.as_f64() {
+                        Some(r) if r.is_finite() && (0.0..=1.0).contains(&r) => {
+                            if let (Some(runs), Some(converged)) = (runs, converged) {
+                                if runs > 0 && (r - converged as f64 / runs as f64).abs() > 1e-9 {
+                                    errs.push(format!(
+                                        "{at}: convergence_rate ({r}) ≠ converged/runs \
+                                         ({converged}/{runs})"
+                                    ));
+                                }
+                            }
+                        }
+                        _ => errs.push(format!(
+                            "{at}: `convergence_rate` must be a finite number in [0, 1]"
+                        )),
                     }
                 }
                 if n == Some(0) {
@@ -636,7 +671,8 @@ mod tests {
         );
         let errs = validate_text(&bad).expect_err("unknown backend");
         assert!(
-            errs.iter().any(|e| e.contains("unknown backend \"quantum\"")),
+            errs.iter()
+                .any(|e| e.contains("unknown backend \"quantum\"")),
             "{errs:?}"
         );
         let bad = GOOD_BENCH.replace(
@@ -645,7 +681,46 @@ mod tests {
         );
         let errs = validate_text(&bad).expect_err("non-string backend");
         assert!(
-            errs.iter().any(|e| e.contains("`backend` must be a string")),
+            errs.iter()
+                .any(|e| e.contains("`backend` must be a string")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn bench_topology_keys_are_validated_when_present() {
+        let good = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"degree\": 8, \"convergence_rate\": 1",
+        );
+        assert_eq!(
+            validate_text(&good).expect("topology keys valid"),
+            "np-bench/v1, 2 point(s)"
+        );
+        let bad = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"degree\": 0",
+        );
+        let errs = validate_text(&bad).expect_err("zero degree");
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("`degree` must be at least 1")),
+            "{errs:?}"
+        );
+        let bad = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"convergence_rate\": 1.5",
+        );
+        let errs = validate_text(&bad).expect_err("rate out of range");
+        assert!(errs.iter().any(|e| e.contains("in [0, 1]")), "{errs:?}");
+        // The rate must match the point's own converged/runs counters.
+        let bad = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"convergence_rate\": 0.5",
+        );
+        let errs = validate_text(&bad).expect_err("rate mismatch");
+        assert!(
+            errs.iter().any(|e| e.contains("≠ converged/runs (4/4)")),
             "{errs:?}"
         );
     }

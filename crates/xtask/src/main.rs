@@ -14,7 +14,7 @@
 //! - `check` — alias for `lint` (the pre-np-lint/v1 spelling, kept for
 //!   muscle memory and old scripts).
 //! - `check-artifacts [paths...]` — validate committed JSON artifacts
-//!   against their v1 schemas (defaults to the three `BENCH_*.json`).
+//!   against their v1 schemas (defaults to the four `BENCH_*.json`).
 //! - `list-rules` — alias for `lint --list`.
 
 #![forbid(unsafe_code)]
@@ -36,6 +36,7 @@ const DEFAULT_ARTIFACTS: &[&str] = &[
     "BENCH_scale.json",
     "BENCH_throughput.json",
     "BENCH_fault_recovery.json",
+    "BENCH_topology.json",
 ];
 
 const USAGE: &str = "\
@@ -52,7 +53,8 @@ commands:
         alias for `lint`
   check-artifacts [paths...]
         validate JSON artifacts against their v1 schemas
-        (default: BENCH_scale.json BENCH_throughput.json BENCH_fault_recovery.json)
+        (default: BENCH_scale.json BENCH_throughput.json BENCH_fault_recovery.json
+         BENCH_topology.json)
   list-rules
         alias for `lint --list`
 ";

@@ -84,6 +84,22 @@ if [ "$d1" != "$d4" ]; then
 fi
 echo "digests agree: $d1"
 
+# Same digest check on a graph-restricted world: the topology sampling
+# path has its own per-neighborhood machinery (no shared round context),
+# so it gets its own cross-thread-count gate.
+echo "### ring-topology digest diff (1 vs 4 threads)"
+ring_digest_run() {
+  NOISY_PULL_THREADS="$1" cargo run -q --release -p np-cli -- \
+    run sf --n 256 --seed 7 --topology ring:4 --digest | grep 'digest:'
+}
+r1="$(ring_digest_run 1)"
+r4="$(ring_digest_run 4)"
+if [ "$r1" != "$r4" ]; then
+  echo "ring digest mismatch: 1 thread -> $r1, 4 threads -> $r4" >&2
+  exit 1
+fi
+echo "ring digests agree: $r1"
+
 # Cross-thread-count trace diff: the observability artifacts (per-round
 # JSONL trace + end-of-run summary JSON) are pure trajectory data, so the
 # same fixed-seed run must write byte-identical files at 1 and 4 worker

@@ -13,7 +13,7 @@ exps=(exp_fig1 exp_logtime exp_speedup_h exp_noise_sweep exp_bias_sweep
       exp_self_stab exp_lb_tightness exp_weak_opinion exp_boosting
       exp_reduction exp_baselines exp_conflict exp_push_pull
       exp_ablation_c1 exp_memory exp_sf_variant exp_trajectory exp_replacement
-      exp_scale)
+      exp_scale exp_topology)
 for exp in "${exps[@]}"; do
     echo "### $exp"
     cargo run --release -q -p np-bench --bin "$exp"

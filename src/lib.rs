@@ -70,6 +70,7 @@ pub mod prelude {
         AgentState, ColumnarProtocol, ColumnarState, Protocol, ScalarState,
     };
     pub use np_engine::streams::{RoundStreams, StreamStage};
+    pub use np_engine::topology::{Topology, TopologySpec};
     pub use np_engine::world::World;
     pub use np_linalg::noise::NoiseMatrix;
 }
