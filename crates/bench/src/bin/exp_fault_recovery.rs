@@ -127,6 +127,7 @@ fn measure_point(
         backend: None,
         degree: None,
         convergence_rate: None,
+        messages_total: None,
     }
 }
 

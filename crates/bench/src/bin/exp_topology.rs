@@ -117,6 +117,7 @@ fn measure_point(
         backend: None,
         degree: Some(degree.max(1)),
         convergence_rate: Some(converged as f64 / runs.max(1) as f64),
+        messages_total: None,
     }
 }
 

@@ -308,6 +308,7 @@ pub fn perf_point(label: &str, n: usize, records: &[RunRecord]) -> PerfPoint {
         backend: None,
         degree: None,
         convergence_rate: None,
+        messages_total: None,
     }
 }
 

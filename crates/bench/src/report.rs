@@ -472,6 +472,11 @@ pub struct PerfPoint {
     /// benches only, where partial convergence is the interesting
     /// signal). Omitted from the JSON when absent.
     pub convergence_rate: Option<f64>,
+    /// Total peer-to-peer messages put on the wire across the point's
+    /// runs (cluster benches only, where message complexity is measured
+    /// rather than derived as `n·h·rounds`). Omitted from the JSON when
+    /// absent so round-engine artifacts stay schema-valid.
+    pub messages_total: Option<u64>,
 }
 
 /// Nearest-rank quantiles of per-run wall samples: `(median, p95)`.
@@ -516,6 +521,9 @@ impl PerfPoint {
         }
         if let Some(rate) = self.convergence_rate {
             body.push_str(&format!(", \"convergence_rate\": {}", json_f64(rate)));
+        }
+        if let Some(messages) = self.messages_total {
+            body.push_str(&format!(", \"messages_total\": {messages}"));
         }
         body.push('}');
         body
@@ -783,6 +791,7 @@ mod tests {
                 backend: None,
                 degree: None,
                 convergence_rate: None,
+                messages_total: None,
             },
             PerfPoint {
                 label: "n=128".to_string(),
@@ -796,6 +805,7 @@ mod tests {
                 backend: Some("mean-field".to_string()),
                 degree: None,
                 convergence_rate: None,
+                messages_total: None,
             },
         ];
         let doc = bench_json("scale", &points);
@@ -826,9 +836,30 @@ mod tests {
             backend: None,
             degree: Some(8),
             convergence_rate: Some(0.75),
+            messages_total: None,
         };
         let doc = bench_json("topology", &[point]);
         assert!(doc.contains("\"degree\": 8, \"convergence_rate\": 0.75}"));
+    }
+
+    #[test]
+    fn cluster_point_appends_messages_total() {
+        let point = PerfPoint {
+            label: "lat=50us drop=0".to_string(),
+            n: 256,
+            runs: 8,
+            converged: 8,
+            mean_rounds: Some(90.0),
+            mean_wall_ms: 95.0,
+            median_wall_ms: Some(92.0),
+            p95_wall_ms: Some(110.0),
+            backend: None,
+            degree: None,
+            convergence_rate: Some(1.0),
+            messages_total: Some(4_096_000),
+        };
+        let doc = bench_json("cluster", &[point]);
+        assert!(doc.contains("\"convergence_rate\": 1, \"messages_total\": 4096000}"));
     }
 
     #[test]

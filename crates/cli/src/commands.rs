@@ -916,6 +916,257 @@ pub fn sweep_throughput(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// Flags of the `cluster` subcommand, parsed independently of
+/// [`CommonFlags`]: the node runtime has its own timing vocabulary and
+/// deliberately rejects the round-engine flags that have no meaning for
+/// an event-driven transport.
+struct ClusterFlags {
+    cfg: np_net::cluster::ClusterConfig,
+    plan: np_net::faults::NetFaultPlan,
+    /// Local round at which the last fault has been applied (drive the
+    /// cluster past this point before measuring re-convergence).
+    heal_round: Option<u64>,
+    transport: String,
+    c1: f64,
+    intervals: u64,
+    summary_out: Option<PathBuf>,
+}
+
+impl ClusterFlags {
+    fn from_args(args: &Args, protocol_name: &str) -> Result<Self, String> {
+        Self::check_cluster_flags(args)?;
+        let n = args.get_or("n", 64usize).map_err(err)?;
+        let s0 = args.get_or("s0", 0usize).map_err(err)?;
+        let s1 = args.get_or("s1", 1usize).map_err(err)?;
+        let h = args
+            .get_or("h", (n as f64).ln().ceil().max(1.0) as usize)
+            .map_err(err)?;
+        let delta = args.get_or("delta", 0.2f64).map_err(err)?;
+        let seed = args.get_or("seed", 42u64).map_err(err)?;
+        let default_c1 = if protocol_name == "sf" { 1.0 } else { 16.0 };
+        let c1 = args.get_or("c1", default_c1).map_err(err)?;
+        let intervals = args.get_or("budget-intervals", 10u64).map_err(err)?;
+        let tick_us = args.get_or("tick-us", 1_000u64).map_err(err)?;
+        let latency_us = args.get_or("latency-us", 50u64).map_err(err)?;
+        let jitter_us = args.get_or("jitter-us", 100u64).map_err(err)?;
+        let stagger_us = args.get_or("stagger-us", tick_us).map_err(err)?;
+        let drop = args.get_or("drop", 0.0f64).map_err(err)?;
+        let transport = args.str_or("transport", "sim");
+        let summary_out = args.get_opt::<PathBuf>("metrics-out").map_err(err)?;
+        let partition_at = args.get_opt::<u64>("partition-at").map_err(err)?;
+        let heal_at = args.get_opt::<u64>("heal-at").map_err(err)?;
+        let split = args.get_opt::<usize>("partition-split").map_err(err)?;
+        args.finish().map_err(err)?;
+        if transport != "sim" && transport != "tcp" {
+            return Err(format!(
+                "cluster: unknown transport `{transport}` (sim | tcp)"
+            ));
+        }
+        let mut cfg = np_net::cluster::ClusterConfig::new(n, s0, s1, h, delta, seed);
+        cfg.tick_ns = tick_us.saturating_mul(1_000);
+        cfg.min_latency_ns = latency_us.saturating_mul(1_000);
+        cfg.jitter_ns = jitter_us.saturating_mul(1_000);
+        cfg.stagger_ns = stagger_us.saturating_mul(1_000);
+        cfg.drop_rate = drop;
+        let mut plan = np_net::faults::NetFaultPlan::new();
+        let mut heal_round = None;
+        match (partition_at, heal_at) {
+            (Some(at), heal) => {
+                let split = u64::try_from(split.unwrap_or(n / 2)).map_err(err)?;
+                plan = plan.at_ns(
+                    at.saturating_mul(cfg.tick_ns),
+                    np_net::faults::NetFault::Partition { split },
+                );
+                heal_round = Some(at);
+                if let Some(hr) = heal {
+                    if hr <= at {
+                        return Err(format!(
+                            "cluster: --heal-at {hr} must come after --partition-at {at}"
+                        ));
+                    }
+                    plan = plan.at_ns(
+                        hr.saturating_mul(cfg.tick_ns),
+                        np_net::faults::NetFault::Heal,
+                    );
+                    heal_round = Some(hr);
+                }
+            }
+            (None, Some(_)) => {
+                return Err("cluster: --heal-at requires --partition-at".into());
+            }
+            (None, None) => {
+                if split.is_some() {
+                    return Err("cluster: --partition-split requires --partition-at".into());
+                }
+            }
+        }
+        Ok(ClusterFlags {
+            cfg,
+            plan,
+            heal_round,
+            transport,
+            c1,
+            intervals,
+            summary_out,
+        })
+    }
+
+    /// The cluster analogue of [`CommonFlags::check_mean_field_flags`]:
+    /// round-engine flags that the node runtime cannot honour are
+    /// rejected with an explanation rather than silently ignored.
+    fn check_cluster_flags(args: &Args) -> Result<(), String> {
+        let reject = |flag: &str, why: &str| Err(format!("cluster does not support {flag}: {why}"));
+        if args.get_opt::<String>("topology").map_err(err)?.is_some() {
+            return reject(
+                "--topology",
+                "the node runtime samples pull targets uniformly over all peers \
+                 (complete graph); restricted graphs are a round-engine `run` feature",
+            );
+        }
+        if args.get_opt::<String>("backend").map_err(err)?.is_some() {
+            return reject(
+                "--backend",
+                "the cluster driver always runs per-node event loops; the mean-field \
+                 counts engine has no per-node state to place behind a transport",
+            );
+        }
+        if !args.get_all("fault").is_empty() {
+            return reject(
+                "--fault",
+                "round-indexed state corruption needs the round engine's global \
+                 barrier; use --partition-at/--heal-at for transport-level faults",
+            );
+        }
+        if args.get_opt::<String>("restore").map_err(err)?.is_some()
+            || args.get_opt::<String>("checkpoint").map_err(err)?.is_some()
+        {
+            return reject(
+                "--restore/--checkpoint",
+                "np-snap/v1 snapshots capture a globally synchronised round, which \
+                 an asynchronous cluster never occupies",
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Shared driver for `cluster` over either protocol: builds the cluster
+/// on the selected transport, runs it to convergence (driving past the
+/// fault plan first, so a partition is actually exercised), prints the
+/// report, and optionally writes an `np-run-summary/v1` artifact.
+fn run_cluster<P>(protocol: &P, label: &str, flags: &ClusterFlags, budget: u64) -> CliResult
+where
+    P: Protocol,
+    P::Agent: 'static,
+{
+    let report = if flags.transport == "tcp" {
+        np_net::tcp::run_tcp_cluster(&flags.cfg, protocol, &flags.plan, budget).map_err(err)?
+    } else {
+        let mut cluster =
+            np_net::sim::SimCluster::new(&flags.cfg, protocol, &flags.plan).map_err(err)?;
+        if let Some(heal) = flags.heal_round {
+            cluster.run_until_round(heal).map_err(err)?;
+        }
+        let reconverged = cluster.run_until_correct(budget).map_err(err)?;
+        if let (Some(heal), Some(at)) = (flags.heal_round, reconverged) {
+            println!(
+                "cluster heal: re-converged at round {at} ({} rounds after the last fault)",
+                at.saturating_sub(heal)
+            );
+        }
+        cluster.report()
+    };
+    let kind = &flags.transport;
+    if report.converged {
+        println!(
+            "{label} cluster[{kind}]: converged at round {} / {budget} \
+             ({:.2} ms, {} messages, {} dropped, {} stale, {} skipped)",
+            report.convergence_round.unwrap_or(report.rounds),
+            report.elapsed_ms,
+            report.messages_total,
+            report.drops_total,
+            report.stale_total,
+            report.skipped_total,
+        );
+    } else {
+        println!(
+            "{label} cluster[{kind}]: NO convergence within {budget} rounds \
+             ({}/{} correct, {} messages)",
+            report.final_correct, report.n, report.messages_total,
+        );
+    }
+    println!("cluster digest: {:#018x}", report.digest);
+    if let Some(path) = &flags.summary_out {
+        let summary = RunSummary {
+            protocol: format!("{}-cluster-{kind}", label.to_lowercase()),
+            n: report.n,
+            h: report.h,
+            s0: flags.cfg.s0,
+            s1: flags.cfg.s1,
+            seed: report.seed,
+            rounds: report.rounds,
+            consensus: report.converged,
+            final_correct: report.final_correct,
+            final_margin: report.final_correct as f64 - report.n as f64 / 2.0,
+            weak_formed: report.weak_formed,
+            weak_correct: report.weak_correct,
+            faults: Vec::new(),
+        };
+        summary.save(path).map_err(err)?;
+        println!("cluster summary: {}", path.display());
+    }
+    Ok(())
+}
+
+/// `cluster` — run the protocol on the event-driven node runtime
+/// (`np_net`) over the simulated-time or TCP transport.
+pub fn cluster_cmd(args: &Args) -> CliResult {
+    let protocol_name = args.str_or("protocol", "ssf");
+    if protocol_name != "sf" && protocol_name != "ssf" {
+        return Err(format!(
+            "cluster does not support --protocol {protocol_name}: the node runtime \
+             implements the paper's pull protocols only (sf | ssf); push and other \
+             baselines are round-engine `run baseline` features"
+        ));
+    }
+    let flags = ClusterFlags::from_args(args, &protocol_name)?;
+    let config = flags.cfg.population().map_err(err)?;
+    if protocol_name == "sf" {
+        let params = SfParams::derive(&config, flags.cfg.delta, flags.c1).map_err(err)?;
+        println!(
+            "SF cluster[{}]: n={} h={} δ={} c1={} → m={} schedule={} rounds",
+            flags.transport,
+            flags.cfg.n,
+            flags.cfg.h,
+            flags.cfg.delta,
+            flags.c1,
+            params.m(),
+            params.total_rounds()
+        );
+        let budget = params.total_rounds();
+        run_cluster(&SourceFilter::new(params), "SF", &flags, budget)
+    } else {
+        let params = SsfParams::derive(&config, flags.cfg.delta, flags.c1).map_err(err)?;
+        println!(
+            "SSF cluster[{}]: n={} h={} δ={} c1={} → m={} interval={} rounds",
+            flags.transport,
+            flags.cfg.n,
+            flags.cfg.h,
+            flags.cfg.delta,
+            flags.c1,
+            params.m(),
+            params.update_interval()
+        );
+        let budget = flags.intervals * params.update_interval();
+        run_cluster(
+            &SelfStabilizingSourceFilter::new(params),
+            "SSF",
+            &flags,
+            budget,
+        )
+    }
+}
+
 /// Formats an opinion for messages.
 pub fn opinion_name(o: Opinion) -> &'static str {
     match o {

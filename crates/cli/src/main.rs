@@ -23,6 +23,9 @@ COMMANDS:
     run baseline X  run a baseline: voter | majority | trusting-copy | mean-estimator | push
     sweep run SPEC  run a checkpointed parameter sweep from a spec file
     sweep throughput  measure SF rounds/sec (threads 1/4, --seeds runs) into BENCH_throughput.json
+    cluster         run SF/SSF on the event-driven node runtime (np_net):
+                    no global round barrier; nodes exchange PullRequest/
+                    PullReply messages over a transport
     theory          evaluate the Theorem 3/4/5 closed-form bounds
     reduce          derive the Theorem 8 artificial-noise matrix
     help            show this message
@@ -83,6 +86,23 @@ SWEEPS:
         resumed or threaded. --stop-after N exits after N checkpoint
         writes (the CI kill switch).
     sweep throughput [--n N] [--rounds R] [--delta D] [--seed S]
+
+CLUSTER:
+    cluster [--protocol sf|ssf] [--transport sim|tcp] [--n N] [--h H]
+            [--s0 K] [--s1 K] [--delta D] [--seed S] [--c1 C]
+            [--budget-intervals I] [--metrics-out PATH]
+        sim (default): deterministic simulated-time scheduler — virtual
+        clock, byte-identical `cluster digest` per seed. tcp: real
+        length-prefixed sockets on 127.0.0.1, one thread per node,
+        wall-clock timing (digest not reproducible by design).
+        Timing: --tick-us T (round length, default 1000), --latency-us L
+        (default 50), --jitter-us J (default 100), --stagger-us B (boot
+        spread, default tick), --drop R (per-message drop rate).
+        Transport faults: --partition-at ROUND [--partition-split K]
+        [--heal-at ROUND] — sever links across {0..K} vs {K..n}, then
+        heal; SSF re-converges, measured from the heal point.
+        Rejects round-engine flags (--topology, --backend, --fault,
+        --restore/--checkpoint) with an explanation.
 ";
 
 fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -128,6 +148,10 @@ fn dispatch(argv: &[String]) -> Result<(), String> {
                     }
                     [] => Err("sweep: missing subcommand (run SPEC | throughput)".into()),
                 },
+                "cluster" => {
+                    let args = Args::parse(rest.iter().cloned()).map_err(|e| e.to_string())?;
+                    commands::cluster_cmd(&args)
+                }
                 "theory" => {
                     let args = Args::parse(rest.iter().cloned()).map_err(|e| e.to_string())?;
                     commands::theory_cmd(&args)

@@ -101,3 +101,104 @@ fn errors_exit_nonzero_with_message() {
         "{err}"
     );
 }
+
+#[test]
+fn cluster_sim_run_is_deterministic() {
+    let args = [
+        "cluster", "--n", "48", "--delta", "0.05", "--c1", "1", "--seed", "9",
+    ];
+    let first = run_ok(&args);
+    assert!(first.contains("cluster digest:"), "{first}");
+    assert!(first.contains("converged at round"), "{first}");
+    let second = run_ok(&args);
+    assert_eq!(first, second, "sim cluster output must be byte-identical");
+}
+
+#[test]
+fn cluster_partition_heals_and_reconverges() {
+    let out = run_ok(&[
+        "cluster",
+        "--n",
+        "48",
+        "--delta",
+        "0.05",
+        "--c1",
+        "1",
+        "--seed",
+        "11",
+        "--partition-at",
+        "3",
+        "--heal-at",
+        "6",
+        "--budget-intervals",
+        "40",
+    ]);
+    assert!(out.contains("re-converged"), "{out}");
+    assert!(out.contains("converged at round"), "{out}");
+}
+
+#[test]
+fn cluster_writes_run_summary() {
+    let dir = std::env::temp_dir().join("np_cli_cluster_summary_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cluster.json");
+    let out = run_ok(&[
+        "cluster",
+        "--n",
+        "32",
+        "--delta",
+        "0.05",
+        "--c1",
+        "1",
+        "--seed",
+        "5",
+        "--metrics-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.contains("cluster summary:"), "{out}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"schema\": \"np-run-summary/v1\""), "{json}");
+    assert!(json.contains("\"protocol\": \"ssf-cluster-sim\""), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cluster_rejects_round_engine_flags() {
+    let err = run_err(&["cluster", "--topology", "ring:2"]);
+    assert!(err.contains("does not support --topology"), "{err}");
+    let err = run_err(&["cluster", "--backend", "mean-field"]);
+    assert!(err.contains("does not support --backend"), "{err}");
+    let err = run_err(&["cluster", "--protocol", "push"]);
+    assert!(err.contains("does not support --protocol push"), "{err}");
+    let err = run_err(&["cluster", "--fault", "3:flip"]);
+    assert!(err.contains("does not support --fault"), "{err}");
+    let err = run_err(&["cluster", "--restore", "snap.bin"]);
+    assert!(err.contains("--restore"), "{err}");
+    let err = run_err(&["cluster", "--heal-at", "4"]);
+    assert!(err.contains("--heal-at requires --partition-at"), "{err}");
+    let err = run_err(&["cluster", "--transport", "quic"]);
+    assert!(err.contains("unknown transport"), "{err}");
+}
+
+#[test]
+fn cluster_tcp_run_converges() {
+    let out = run_ok(&[
+        "cluster",
+        "--transport",
+        "tcp",
+        "--n",
+        "16",
+        "--delta",
+        "0.05",
+        "--c1",
+        "1",
+        "--seed",
+        "3",
+        "--tick-us",
+        "2000",
+        "--budget-intervals",
+        "30",
+    ]);
+    assert!(out.contains("cluster[tcp]"), "{out}");
+    assert!(out.contains("converged at round"), "{out}");
+}

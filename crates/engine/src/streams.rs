@@ -42,6 +42,18 @@ pub enum StreamStage {
     /// distinct events scheduled for the same round draw from independent
     /// streams.
     Fault(u32),
+    /// Message-latency draws of the simulated-time transport (`np_net`):
+    /// one stream per `(round, sender)`, consumed in deterministic
+    /// scheduler order.
+    NetDelay,
+    /// Message-drop coins of the simulated-time transport (`np_net`),
+    /// addressed like [`StreamStage::NetDelay`].
+    NetDrop,
+    /// Peer selection for a node's `h` pull requests in the message-passing
+    /// runtime (`np_net`). Kept separate from [`StreamStage::Observe`]
+    /// because the node applies channel noise on *receipt*, decoupled from
+    /// the sampling draw order of the round-based engine.
+    NetPeer,
 }
 
 impl StreamStage {
@@ -53,7 +65,10 @@ impl StreamStage {
             StreamStage::Update => 3,
             StreamStage::Corrupt => 4,
             StreamStage::Topology => 5,
-            // Tags 6..16 are reserved for future fixed stages; fault
+            StreamStage::NetDelay => 6,
+            StreamStage::NetDrop => 7,
+            StreamStage::NetPeer => 8,
+            // Tags 9..16 are reserved for future fixed stages; fault
             // events are open-ended so they get the tail of the space.
             StreamStage::Fault(event) => 16 + u64::from(event),
         }
@@ -119,6 +134,9 @@ mod tests {
             StreamStage::Update,
             StreamStage::Corrupt,
             StreamStage::Topology,
+            StreamStage::NetDelay,
+            StreamStage::NetDrop,
+            StreamStage::NetPeer,
             StreamStage::Fault(0),
             StreamStage::Fault(1),
             StreamStage::Fault(11),

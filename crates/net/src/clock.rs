@@ -1,0 +1,69 @@
+//! The crate's one sanctioned wall-clock site.
+//!
+//! Simulated time ([`crate::sim`]) never touches this module — its clock
+//! is the event-scheduler counter, which is what makes sim runs a pure
+//! function of the seed. The TCP transport *must* read real time (socket
+//! timeouts, tick deadlines, wall-clock convergence measurement), and all
+//! of those reads funnel through here so the rest of the crate never
+//! names `Instant`: the `protocol-clock` lint scope excludes exactly this
+//! file, mirroring how `np_engine::metrics::StageClock` is the engine's
+//! sanctioned observer.
+
+use std::time::{Duration, Instant};
+
+/// A started stopwatch for wall-clock measurements (TCP transport only).
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock(Instant);
+
+impl WallClock {
+    /// Starts the stopwatch now.
+    pub fn start() -> Self {
+        WallClock(Instant::now()) // xtask-allow: wall-clock (the sanctioned TCP-transport clock site)
+    }
+
+    /// Milliseconds elapsed since [`WallClock::start`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Nanoseconds elapsed since [`WallClock::start`], saturated to
+    /// `u64`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A point in the future against which socket timeouts are computed.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline(Instant);
+
+impl Deadline {
+    /// A deadline `ns` nanoseconds from now.
+    pub fn after_ns(ns: u64) -> Self {
+        // xtask-allow: wall-clock (the sanctioned TCP-transport clock site)
+        Deadline(Instant::now() + Duration::from_nanos(ns))
+    }
+
+    /// Time left until the deadline, or `None` if it has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        // xtask-allow: wall-clock (the sanctioned TCP-transport clock site)
+        self.0.checked_duration_since(Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_in_the_future_has_remaining_time() {
+        let d = Deadline::after_ns(5_000_000_000);
+        assert!(d.remaining().is_some());
+    }
+
+    #[test]
+    fn elapsed_is_nonnegative() {
+        let w = WallClock::start();
+        assert!(w.elapsed_ms() >= 0.0);
+    }
+}

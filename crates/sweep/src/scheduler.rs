@@ -484,6 +484,7 @@ pub fn aggregate(spec: &SweepSpec, records: &[JobRecord]) -> Result<Vec<PerfPoin
                             .then(|| BackendKind::MeanField.name().to_string()),
                         degree: None,
                         convergence_rate: None,
+                        messages_total: None,
                     });
                 }
             }
@@ -557,6 +558,7 @@ pub fn measure_throughput(spec: &ThroughputSpec) -> Result<Vec<PerfPoint>, Sweep
             backend: None,
             degree: None,
             convergence_rate: None,
+            messages_total: None,
         });
     }
     Ok(points)

@@ -31,16 +31,19 @@ const POINT_KEYS: &[&str] = &[
 /// run — both present or both absent), the simulation backend tag
 /// (emitted by benches that mix per-agent and mean-field points), and
 /// the topology keys (graph degree plus convergence rate, emitted by the
-/// graph-restricted benches).
+/// graph-restricted benches), and the wire-message count (emitted by the
+/// cluster benches, which measure traffic at the transport instead of
+/// deriving it as n·h·rounds).
 const POINT_OPTIONAL_KEYS: &[&str] = &[
     "median_wall_ms",
     "p95_wall_ms",
     "backend",
     "degree",
     "convergence_rate",
+    "messages_total",
 ];
 /// Legal values of a point's `backend` tag.
-const POINT_BACKENDS: &[&str] = &["per-agent", "mean-field"];
+const POINT_BACKENDS: &[&str] = &["per-agent", "mean-field", "sim-cluster"];
 /// Keys of an np-run-summary/v1 document, in writer order (faults only
 /// present for fault-injected runs).
 const SUMMARY_KEYS: &[&str] = &[
@@ -196,6 +199,16 @@ pub fn validate_bench(text: &str) -> Result<String, Vec<String>> {
                         _ => errs.push(format!(
                             "{at}: `convergence_rate` must be a finite number in [0, 1]"
                         )),
+                    }
+                }
+                // Wire-message count: a plain non-negative integer (JSON
+                // numbers parse to u64 here, so any non-integer or
+                // negative encoding fails the as_u64 probe).
+                if let Some(messages) = point.get("messages_total") {
+                    if messages.as_u64().is_none() {
+                        errs.push(format!(
+                            "{at}: `messages_total` must be a non-negative integer"
+                        ));
                     }
                 }
                 if n == Some(0) {
@@ -648,6 +661,44 @@ mod tests {
             errs.iter().any(|e| e.contains("below median_wall_ms")),
             "{errs:?}"
         );
+    }
+
+    #[test]
+    fn bench_messages_total_is_validated_when_present() {
+        let good = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"messages_total\": 4096000",
+        );
+        assert_eq!(
+            validate_text(&good).expect("messages_total valid"),
+            "np-bench/v1, 2 point(s)"
+        );
+        let zero = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"messages_total\": 0",
+        );
+        assert!(validate_text(&zero).is_ok(), "zero messages is legal");
+        for bad_value in ["-5", "3.5", "\"many\""] {
+            let bad = GOOD_BENCH.replace(
+                "\"mean_wall_ms\": 3.25",
+                &format!("\"mean_wall_ms\": 3.25, \"messages_total\": {bad_value}"),
+            );
+            let errs = validate_text(&bad).expect_err("bad messages_total");
+            assert!(
+                errs.iter()
+                    .any(|e| e.contains("`messages_total` must be a non-negative integer")),
+                "{bad_value}: {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_sim_cluster_backend_tag_is_legal() {
+        let good = GOOD_BENCH.replace(
+            "\"mean_wall_ms\": 3.25",
+            "\"mean_wall_ms\": 3.25, \"backend\": \"sim-cluster\"",
+        );
+        assert!(validate_text(&good).is_ok());
     }
 
     #[test]

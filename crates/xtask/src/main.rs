@@ -37,6 +37,7 @@ const DEFAULT_ARTIFACTS: &[&str] = &[
     "BENCH_throughput.json",
     "BENCH_fault_recovery.json",
     "BENCH_topology.json",
+    "BENCH_cluster.json",
 ];
 
 const USAGE: &str = "\
@@ -54,7 +55,7 @@ commands:
   check-artifacts [paths...]
         validate JSON artifacts against their v1 schemas
         (default: BENCH_scale.json BENCH_throughput.json BENCH_fault_recovery.json
-         BENCH_topology.json)
+         BENCH_topology.json BENCH_cluster.json)
   list-rules
         alias for `lint --list`
 ";

@@ -277,6 +277,7 @@ pub const LIB_CRATES: &[&str] = &[
     "crates/stats",
     "crates/baselines",
     "crates/sweep",
+    "crates/net",
 ];
 
 /// Crate roots only held to the header rule: binaries and the facade
@@ -324,7 +325,7 @@ pub const SCOPES: &[ScopeDef] = &[
     ScopeDef {
         name: "hot-path",
         doc: "code running inside a World round must draw from (seed, round, agent, stage) streams",
-        crates: &["crates/engine", "crates/core"],
+        crates: &["crates/engine", "crates/core", "crates/net"],
         files: &[],
         exclude_files: &["streams.rs"],
         fns: &[],
@@ -332,10 +333,11 @@ pub const SCOPES: &[ScopeDef] = &[
     },
     ScopeDef {
         name: "protocol-clock",
-        doc: "protocol code must not name Instant; metrics.rs (StageClock) is the sanctioned observer",
-        crates: &["crates/engine", "crates/core"],
+        doc: "protocol code must not name Instant; metrics.rs (StageClock) and np_net's clock.rs \
+              (the TCP transport's deadline/stopwatch site) are the sanctioned observers",
+        crates: &["crates/engine", "crates/core", "crates/net"],
         files: &[],
-        exclude_files: &["streams.rs", "metrics.rs"],
+        exclude_files: &["streams.rs", "metrics.rs", "clock.rs"],
         fns: &[],
         rules: PROTOCOL_CLOCK_RULES,
     },
@@ -446,6 +448,31 @@ mod tests {
         for name in all_rule_names() {
             assert!(rule_by_name(name).is_some(), "{name}");
         }
+    }
+
+    #[test]
+    fn net_crate_is_fully_in_scope_with_a_sanctioned_clock() {
+        // np_net is held to the same determinism bar as the engine: base
+        // rules, hot-path stream addressing, and the protocol-clock ban —
+        // with exactly one sanctioned escape hatch, the TCP transport's
+        // clock module.
+        let by_name = |name: &str| {
+            SCOPES
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("scope {name} missing"))
+        };
+        for name in ["library", "hot-path", "protocol-clock"] {
+            assert!(
+                by_name(name).crates.contains(&"crates/net"),
+                "crates/net missing from {name}"
+            );
+        }
+        assert!(by_name("protocol-clock")
+            .exclude_files
+            .contains(&"clock.rs"));
+        assert!(!by_name("library").exclude_files.contains(&"clock.rs"));
+        assert!(!by_name("hot-path").exclude_files.contains(&"clock.rs"));
     }
 
     #[test]

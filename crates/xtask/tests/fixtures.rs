@@ -132,6 +132,24 @@ fn protocol_instant_fires_only_under_protocol_clock_rules() {
 }
 
 #[test]
+fn net_transport_clock_fires_outside_the_sanctioned_module() {
+    // The np_net seam: transport code naming the wall clock directly
+    // trips both clock rules; the clock.rs-style allow directive (same
+    // wording as the real sanctioned site) silences them with nothing
+    // left stale.
+    let got = analyze(
+        "net_transport_clock.rs",
+        FileClass::LibrarySource,
+        &[LIB, CLOCK],
+    );
+    let want = vec![
+        ("protocol-instant".to_owned(), 6),
+        ("wall-clock".to_owned(), 6),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
 fn snapshot_bytes_fires_only_under_snapshot_path_rules() {
     let got = analyze("snapshot_bytes.rs", FileClass::LibrarySource, &[LIB, SNAP]);
     let want = vec![

@@ -1,0 +1,14 @@
+//! Fixture modeling the np_net transport seam: a deadline computed from
+//! the wall clock directly in transport code fires both clock rules; the
+//! sanctioned pattern (mirroring crates/net/src/clock.rs) is allowed.
+
+pub fn bad_deadline_ns(ns: u64) -> u128 {
+    let due = std::time::Instant::now() + std::time::Duration::from_nanos(ns);
+    due.elapsed().as_nanos()
+}
+
+pub fn sanctioned_deadline_ns(ns: u64) -> u128 {
+    // xtask-allow: wall-clock, protocol-instant (the sanctioned TCP-transport clock site)
+    let due = std::time::Instant::now() + std::time::Duration::from_nanos(ns);
+    due.elapsed().as_nanos()
+}

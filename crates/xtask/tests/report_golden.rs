@@ -45,6 +45,7 @@ fn golden_report() -> String {
         ("grouped_instant.rs", &[LIB, CLOCK]),
         ("hot_loop_rng_construct.rs", &[KERNELS]),
         ("narrowing_cast.rs", &[LIB, SNAP]),
+        ("net_transport_clock.rs", &[LIB, CLOCK]),
         ("renamed_instant.rs", &[LIB, CLOCK]),
         ("stale_allow.rs", &[LIB]),
     ];
@@ -111,6 +112,7 @@ fn golden_report_round_trips_as_its_own_baseline() {
         ("grouped_instant.rs", &[LIB, CLOCK]),
         ("hot_loop_rng_construct.rs", &[KERNELS]),
         ("narrowing_cast.rs", &[LIB, SNAP]),
+        ("net_transport_clock.rs", &[LIB, CLOCK]),
         ("renamed_instant.rs", &[LIB, CLOCK]),
         ("stale_allow.rs", &[LIB]),
     ];

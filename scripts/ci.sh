@@ -220,4 +220,31 @@ else
   echo "thread scaling informational: ${ratio}x on ${cores} core(s); gate needs >= 4"
 fi
 
+# Simulated-time cluster determinism gate: the np_net event scheduler's
+# contract is that a run is a pure function of the seed — same flags,
+# same seed, byte-identical stdout (including the cluster digest). Any
+# iteration-order or float nondeterminism in the scheduler shows up here.
+echo "### sim-cluster determinism diff (double run, same seed)"
+cluster_run() {
+  cargo run -q --release -p np-cli -- \
+    cluster --n 64 --delta 0.05 --c1 1 --seed 7
+}
+cluster_run > "$trace_dir/cluster1.out"
+cluster_run > "$trace_dir/cluster2.out"
+diff "$trace_dir/cluster1.out" "$trace_dir/cluster2.out"
+grep -q 'cluster digest:' "$trace_dir/cluster1.out" \
+  || { echo "sim cluster printed no digest" >&2; exit 1; }
+echo "sim cluster runs agree: $(grep 'cluster digest:' "$trace_dir/cluster1.out")"
+
+# Partition/heal smoke: sever half the cluster mid-run, heal, and require
+# SSF to re-converge (Theorem 5's self-stabilization, exercised at the
+# transport layer rather than by state corruption).
+echo "### sim-cluster partition/heal smoke (SSF re-convergence)"
+cargo run -q --release -p np-cli -- \
+  cluster --n 64 --delta 0.05 --c1 1 --seed 11 \
+  --partition-at 3 --heal-at 6 --budget-intervals 40 \
+  | tee "$trace_dir/cluster_heal.out"
+grep -q 're-converged' "$trace_dir/cluster_heal.out" \
+  || { echo "cluster did not re-converge after heal" >&2; exit 1; }
+
 echo "### ci.sh: all checks passed"

@@ -1,0 +1,135 @@
+//! Integration: the event-driven node runtime (`np_net`) against the
+//! round engine (`World`).
+//!
+//! The two executions are *not* byte-comparable — the runtime has no
+//! global barrier, nodes skip rounds, and replies race simulated
+//! latency — so the gate is distributional: over a fixed seed panel,
+//! the fraction of runs that converge within the same round budget must
+//! agree between the round engine and the simulated-time cluster, per
+//! population size. A second gate exercises Theorem 5 at the transport
+//! layer: a mid-run partition, once healed, must cost SSF at most a few
+//! update intervals to re-converge.
+
+use noisy_pull::params::SsfParams;
+use noisy_pull::ssf::SelfStabilizingSourceFilter;
+use np_engine::channel::ChannelKind;
+use np_engine::population::PopulationConfig;
+use np_engine::world::World;
+use np_linalg::noise::NoiseMatrix;
+use np_net::cluster::ClusterConfig;
+use np_net::faults::{NetFault, NetFaultPlan};
+use np_net::sim::SimCluster;
+
+const DELTA: f64 = 0.05;
+const C1: f64 = 1.0;
+const BUDGET_INTERVALS: u64 = 30;
+const SEEDS: [u64; 8] = [3, 7, 11, 19, 42, 101, 257, 9001];
+/// Convergence-rate tolerance between the two executions: with 8 seeds
+/// a side, allow the rates to differ by at most two runs' worth.
+const TOLERANCE: f64 = 0.25;
+
+fn h_of(n: usize) -> usize {
+    (n as f64).ln().ceil() as usize
+}
+
+/// One round-engine SSF run; `true` if it converges within the budget.
+fn world_converges(n: usize, seed: u64) -> bool {
+    let config = PopulationConfig::new(n, 0, 1, h_of(n)).unwrap();
+    let params = SsfParams::derive(&config, DELTA, C1).unwrap();
+    let noise = NoiseMatrix::uniform(4, DELTA).unwrap();
+    let mut world = World::new(
+        &SelfStabilizingSourceFilter::new(params),
+        config,
+        &noise,
+        ChannelKind::Exact,
+        seed,
+    )
+    .unwrap();
+    let budget = BUDGET_INTERVALS * params.update_interval();
+    world
+        .run_until_stable_consensus(budget, params.update_interval())
+        .converged()
+}
+
+/// One simulated-time cluster run on the same population; `true` if
+/// every node holds the planted opinion within the same round budget.
+fn cluster_converges(n: usize, seed: u64) -> bool {
+    let cfg = ClusterConfig::new(n, 0, 1, h_of(n), DELTA, seed);
+    let params = SsfParams::derive(&cfg.population().unwrap(), DELTA, C1).unwrap();
+    let protocol = SelfStabilizingSourceFilter::new(params);
+    let budget = BUDGET_INTERVALS * params.update_interval();
+    let mut cluster = SimCluster::new(&cfg, &protocol, &NetFaultPlan::new()).unwrap();
+    cluster.run_until_correct(budget).unwrap().is_some()
+}
+
+fn rates_agree(n: usize) {
+    let world_rate =
+        SEEDS.iter().filter(|&&s| world_converges(n, s)).count() as f64 / SEEDS.len() as f64;
+    let cluster_rate =
+        SEEDS.iter().filter(|&&s| cluster_converges(n, s)).count() as f64 / SEEDS.len() as f64;
+    assert!(
+        (world_rate - cluster_rate).abs() <= TOLERANCE,
+        "n={n}: round-engine rate {world_rate} vs sim-cluster rate {cluster_rate} \
+         differ by more than {TOLERANCE}"
+    );
+    // Below the δ < 1/4 threshold with this budget both executions are
+    // expected to succeed outright, not merely to agree on failing.
+    assert!(
+        world_rate >= 0.75 && cluster_rate >= 0.75,
+        "n={n}: rates {world_rate}/{cluster_rate} are too low for δ = {DELTA}"
+    );
+}
+
+#[test]
+fn convergence_rates_agree_at_n_64() {
+    rates_agree(64);
+}
+
+#[test]
+fn convergence_rates_agree_at_n_256() {
+    rates_agree(256);
+}
+
+#[test]
+fn ssf_reconverges_within_four_intervals_of_heal() {
+    for seed in [11u64, 42, 257] {
+        let n = 64;
+        let cfg = ClusterConfig::new(n, 0, 1, h_of(n), DELTA, seed);
+        let params = SsfParams::derive(&cfg.population().unwrap(), DELTA, C1).unwrap();
+        let protocol = SelfStabilizingSourceFilter::new(params);
+        let interval = params.update_interval();
+        // Let the cluster converge first (the slowest of these seeds
+        // settles fault-free at round 85 ≈ 5 intervals), then sever it
+        // across an update boundary: the sourceless half runs one memory
+        // update on noise-only samples, so its weak opinions degrade and
+        // healing has real damage to repair — mirroring the
+        // BENCH_fault_recovery setup, where recovery is measured against
+        // a converged population, not a cold start.
+        let partition_round = 6 * interval;
+        let heal_round = partition_round + interval + 3;
+        let plan = NetFaultPlan::new()
+            .at_ns(
+                partition_round * cfg.tick_ns,
+                NetFault::Partition {
+                    split: (n / 2) as u64,
+                },
+            )
+            .at_ns(heal_round * cfg.tick_ns, NetFault::Heal);
+        let mut cluster = SimCluster::new(&cfg, &protocol, &plan).unwrap();
+        // Drive past the heal point regardless of interim opinion state,
+        // then measure re-convergence from there.
+        cluster.run_until_round(heal_round).unwrap();
+        let budget = heal_round + BUDGET_INTERVALS * interval;
+        let at = cluster
+            .run_until_correct(budget)
+            .unwrap()
+            .unwrap_or_else(|| panic!("seed {seed}: no re-convergence within {budget} rounds"));
+        let cost = at.saturating_sub(heal_round);
+        assert!(
+            cost <= 4 * interval,
+            "seed {seed}: re-convergence took {cost} rounds after heal \
+             (> 4 intervals = {})",
+            4 * interval
+        );
+    }
+}
